@@ -1,0 +1,84 @@
+// Ablation: number of source IPs at one origin (1 / 4 / 16 / 64). The
+// paper only contrasts US1 and US64; sweeping the block size shows where
+// the per-IP rate detectors stop firing. The per-IP probe rate into a
+// destination network falls linearly with the block size, so each IDS
+// has a critical block size above which the origin stays invisible.
+#include "bench/bench_common.h"
+#include "core/access_matrix.h"
+#include "core/analysis/coverage.h"
+
+using namespace originscan;
+
+namespace {
+
+// Builds a roster of four US origins that differ only in source-IP count.
+std::vector<sim::OriginSpec> sweep_origins(std::uint32_t universe_size) {
+  std::vector<sim::OriginSpec> origins;
+  int index = 0;
+  for (int ips : {1, 4, 16, 64}) {
+    sim::OriginSpec spec;
+    spec.code = "US" + std::to_string(ips);
+    spec.display_name = spec.code;
+    spec.country = sim::country::kUS;
+    spec.scan_reputation = 0.15;
+    spec.loss_multiplier = 0.9;
+    for (int i = 0; i < ips; ++i) {
+      spec.source_ips.emplace_back(universe_size +
+                                   static_cast<std::uint32_t>(256 * index + i +
+                                                              10));
+    }
+    origins.push_back(std::move(spec));
+    ++index;
+  }
+  return origins;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "source-IP block size sweep");
+
+  core::ExperimentConfig config;
+  config.scenario.universe_size = bench::bench_universe_size();
+  config.scenario.seed = bench::bench_seed();
+  config.trials = 2;
+  config.protocols = {proto::Protocol::kSsh};
+
+  sim::World world = sim::build_world(
+      config.scenario, sweep_origins(config.scenario.universe_size));
+  core::Experiment experiment(config, std::move(world));
+  experiment.run([](std::string_view line) {
+    std::printf("  [scan] %.*s\n", static_cast<int>(line.size()), line.data());
+  });
+
+  const auto matrix =
+      core::AccessMatrix::build(experiment, proto::Protocol::kSsh);
+  const auto coverage = core::compute_coverage(matrix);
+
+  report::Table table({"source IPs", "SSH coverage (2 probes)",
+                       "gain vs 1 IP"});
+  const double base = coverage.mean_two_probe(0);
+  for (std::size_t o = 0; o < matrix.origins(); ++o) {
+    table.add_row({matrix.origin_codes()[o],
+                   bench::pct(coverage.mean_two_probe(o), 2),
+                   report::Table::num(
+                       100.0 * (coverage.mean_two_probe(o) - base), 2) +
+                       "pp"});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+
+  report::Comparison comparison("source-IP sweep");
+  comparison.add("64-IP vs 1-IP SSH coverage", "US64 > US1 (paper)",
+                 report::Table::num(
+                     100.0 * (coverage.mean_two_probe(3) - base), 2) +
+                     "pp gain",
+                 "spreading load evades rate IDSes and Alibaba detection");
+  comparison.add("coverage vs block size", "monotone non-decreasing",
+                 std::string(coverage.mean_two_probe(3) >=
+                                     coverage.mean_two_probe(0)
+                                 ? "monotone"
+                                 : "NOT monotone"),
+                 "each doubling lowers the per-IP rate signature");
+  std::printf("\n%s", comparison.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared plumbing for the figure/table reproduction binaries: builds the
+// bench-scale paper experiment (overridable via OSN_BENCH_SCALE, the
+// exponent of the universe size) and provides uniform headers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "report/compare.h"
+#include "report/table.h"
+
+namespace originscan::bench {
+
+inline std::uint32_t bench_universe_size() {
+  if (const char* env = std::getenv("OSN_BENCH_SCALE")) {
+    const int exponent = std::atoi(env);
+    if (exponent >= 12 && exponent <= 24) return 1u << exponent;
+  }
+  return 1u << 18;
+}
+
+inline std::uint64_t bench_seed() {
+  if (const char* env = std::getenv("OSN_BENCH_SEED")) {
+    return static_cast<std::uint64_t>(std::atoll(env));
+  }
+  return 0x05CA9;
+}
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("universe: %u addresses, seed %llu\n", bench_universe_size(),
+              static_cast<unsigned long long>(bench_seed()));
+  std::printf("==============================================================\n");
+}
+
+// Runs the standard three-trial paper-roster experiment over the given
+// protocols at bench scale, printing one progress line per scan.
+inline core::Experiment run_paper_experiment(
+    std::vector<proto::Protocol> protocols, int trials = 3) {
+  core::ExperimentConfig config;
+  config.scenario.universe_size = bench_universe_size();
+  config.scenario.seed = bench_seed();
+  config.trials = trials;
+  config.protocols = std::move(protocols);
+  core::Experiment experiment(std::move(config));
+  experiment.run([](std::string_view line) {
+    std::printf("  [scan] %.*s\n", static_cast<int>(line.size()), line.data());
+  });
+  return experiment;
+}
+
+// The follow-up roster (Section 7): AU DE JP US1 CEN + colocated Tier-1s,
+// two HTTP trials, as in the paper's September-2020 experiment.
+inline core::Experiment run_colocated_experiment() {
+  core::ExperimentConfig config;
+  config.scenario.universe_size = bench_universe_size();
+  config.scenario.seed = bench_seed() ^ 0x20200900;
+  config.roster = core::ExperimentConfig::Roster::kColocated;
+  config.trials = 2;
+  config.protocols = {proto::Protocol::kHttp};
+  core::Experiment experiment(std::move(config));
+  experiment.run([](std::string_view line) {
+    std::printf("  [scan] %.*s\n", static_cast<int>(line.size()), line.data());
+  });
+  return experiment;
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+  return report::Table::percent(fraction, precision);
+}
+
+}  // namespace originscan::bench

@@ -1,0 +1,54 @@
+// Figure 1: IPv4 host coverage by scan origin (2 probes), per protocol.
+// Paper: every origin sees a distinct host set; SSH origins see ~10%
+// fewer hosts than HTTP(S); Censys trails on HTTP(S); US64 leads.
+#include "bench/bench_common.h"
+#include "core/access_matrix.h"
+#include "core/analysis/coverage.h"
+#include "report/chart.h"
+
+using namespace originscan;
+
+int main() {
+  bench::print_header("Figure 1", "host coverage by scan origin (2 probes)");
+  auto experiment = bench::run_paper_experiment(
+      {proto::Protocol::kHttp, proto::Protocol::kHttps, proto::Protocol::kSsh});
+
+  std::vector<double> mean_http(7), mean_ssh(7);
+  for (proto::Protocol protocol : proto::kAllProtocols) {
+    const auto matrix = core::AccessMatrix::build(experiment, protocol);
+    const auto coverage = core::compute_coverage(matrix);
+
+    std::printf("\n%s coverage of ground-truth hosts:\n",
+                std::string(proto::name_of(protocol)).c_str());
+    std::vector<report::BarRow> rows;
+    for (std::size_t o = 0; o < matrix.origins(); ++o) {
+      rows.push_back({matrix.origin_codes()[o],
+                      100.0 * coverage.mean_two_probe(o)});
+      if (protocol == proto::Protocol::kHttp) {
+        mean_http[o] = coverage.mean_two_probe(o);
+      }
+      if (protocol == proto::Protocol::kSsh) {
+        mean_ssh[o] = coverage.mean_two_probe(o);
+      }
+    }
+    std::printf("%s", report::bar_chart(rows, 40, 2).c_str());
+  }
+
+  double academic_http = 0, ssh_gap = 0;
+  for (std::size_t o = 0; o < 6; ++o) academic_http += mean_http[o];
+  academic_http /= 6;
+  for (std::size_t o = 0; o < 7; ++o) ssh_gap += mean_http[o] - mean_ssh[o];
+  ssh_gap /= 7;
+
+  report::Comparison comparison("Fig 1 coverage by origin");
+  comparison.add("mean academic HTTP coverage", "96.7-98.0%",
+                 bench::pct(academic_http),
+                 "single-origin 2-probe scans miss a few % of hosts");
+  comparison.add("Censys HTTP coverage", "92.5%", bench::pct(mean_http[6]),
+                 "worst origin due to blocking");
+  comparison.add("SSH coverage deficit vs HTTP", "~10pp",
+                 bench::pct(ssh_gap),
+                 "SSH origins see fewer ground-truth hosts");
+  std::printf("\n%s", comparison.to_string().c_str());
+  return 0;
+}

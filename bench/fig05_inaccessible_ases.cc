@@ -1,0 +1,41 @@
+// Figure 5: long-term inaccessible ASes — how many ASes are 100% / >=75%
+// / >=50% long-term inaccessible from each origin. Paper: Brazil loses
+// the most entire ASes (~1.4x Censys, ~6.5x US1).
+#include "bench/bench_common.h"
+#include "core/access_matrix.h"
+#include "core/analysis/as_distribution.h"
+#include "core/classify.h"
+
+using namespace originscan;
+
+int main() {
+  bench::print_header("Figure 5", "fully / mostly inaccessible ASes");
+  auto experiment = bench::run_paper_experiment({proto::Protocol::kHttp});
+  const auto matrix =
+      core::AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  const core::Classification classification(matrix);
+  const auto counts = core::inaccessible_as_counts(
+      classification, experiment.world().topology, /*min_hosts=*/2);
+
+  report::Table table({"origin", "100% inaccessible", ">=75%", ">=50%"});
+  std::uint64_t br_full = 0, us1_full = 0, cen_full = 0;
+  for (const auto& row : counts) {
+    table.add_row({row.origin_code, std::to_string(row.fully),
+                   std::to_string(row.at_least_75),
+                   std::to_string(row.at_least_50)});
+    if (row.origin_code == "BR") br_full = row.fully;
+    if (row.origin_code == "US1") us1_full = row.fully;
+    if (row.origin_code == "CEN") cen_full = row.fully;
+  }
+  std::printf("\n%s", table.to_string().c_str());
+
+  report::Comparison comparison("Fig 5 fully inaccessible ASes");
+  comparison.add("BR fully-lost ASes vs US1", "~6.5x",
+                 std::to_string(br_full) + " vs " + std::to_string(us1_full),
+                 "US finance/health networks block Brazil outright");
+  comparison.add("BR vs CEN fully-lost ASes", "~1.4x",
+                 std::to_string(br_full) + " vs " + std::to_string(cen_full),
+                 "Brazil loses the most entire networks");
+  std::printf("\n%s", comparison.to_string().c_str());
+  return 0;
+}

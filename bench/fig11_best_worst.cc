@@ -1,0 +1,63 @@
+// Figure 11 / Section 5.1: consistent best and worst scan origins per
+// destination AS. Paper: ~23% of ASes flip (best origin in one trial is
+// worst in another); <5% have a consistent best; ~10% a consistent
+// worst; Australia is the consistent-worst origin for 72% of those.
+#include "bench/bench_common.h"
+#include "core/access_matrix.h"
+#include "core/analysis/stability.h"
+#include "core/classify.h"
+
+using namespace originscan;
+
+int main() {
+  bench::print_header("Figure 11", "consistent best/worst origins per AS");
+  auto experiment = bench::run_paper_experiment({proto::Protocol::kHttp});
+  const auto matrix =
+      core::AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  const core::Classification classification(matrix);
+  const auto stability = core::compute_stability(classification, 20);
+
+  std::printf("\nASes considered: %llu\n",
+              static_cast<unsigned long long>(stability.ases_considered));
+  std::printf("best-flips-to-worst ASes: %llu (%s)\n",
+              static_cast<unsigned long long>(stability.flip_ases),
+              bench::pct(stability.flip_fraction()).c_str());
+  std::printf("consistent best: %llu (%s), consistent worst: %llu (%s)\n",
+              static_cast<unsigned long long>(stability.consistent_best_ases),
+              bench::pct(static_cast<double>(stability.consistent_best_ases) /
+                         stability.ases_considered).c_str(),
+              static_cast<unsigned long long>(stability.consistent_worst_ases),
+              bench::pct(static_cast<double>(stability.consistent_worst_ases) /
+                         stability.ases_considered).c_str());
+
+  report::Table table({"origin", "consistent best ASes",
+                       "consistent worst ASes"});
+  std::uint64_t au_worst = 0;
+  for (std::size_t o = 0; o < matrix.origins(); ++o) {
+    table.add_row({matrix.origin_codes()[o],
+                   std::to_string(stability.consistent_best_by_origin[o]),
+                   std::to_string(stability.consistent_worst_by_origin[o])});
+    if (matrix.origin_codes()[o] == "AU") {
+      au_worst = stability.consistent_worst_by_origin[o];
+    }
+  }
+  std::printf("\n%s", table.to_string().c_str());
+
+  report::Comparison comparison("Fig 11 origin stability");
+  comparison.add("ASes where best flips to worst", "~23%",
+                 bench::pct(stability.flip_fraction()),
+                 "transient rank is unstable");
+  comparison.add("ASes with a consistent best origin", "<5%",
+                 bench::pct(static_cast<double>(
+                                stability.consistent_best_ases) /
+                            std::max<std::uint64_t>(1,
+                                                    stability.ases_considered)),
+                 "no reliable 'closest is best' rule");
+  comparison.add("AU share of consistent-worst ASes", "72%",
+                 bench::pct(static_cast<double>(au_worst) /
+                            std::max<std::uint64_t>(
+                                1, stability.consistent_worst_ases)),
+                 "Australia's lossy paths are persistent");
+  std::printf("\n%s", comparison.to_string().c_str());
+  return 0;
+}

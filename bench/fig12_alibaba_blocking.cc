@@ -1,0 +1,78 @@
+// Figure 12: temporal blocking by SSH hosts in Alibaba networks — hourly
+// fraction of the AS's hosts answering RST immediately after the TCP
+// handshake, per single-IP origin. Paper: detection fires mid-scan at
+// origin-specific times; multi-IP US64 is never detected.
+#include "bench/bench_common.h"
+#include "core/access_matrix.h"
+#include "core/analysis/ssh.h"
+#include "report/chart.h"
+
+using namespace originscan;
+
+int main() {
+  bench::print_header("Figure 12", "Alibaba temporal SSH blocking");
+  auto experiment = bench::run_paper_experiment({proto::Protocol::kSsh});
+  const auto matrix =
+      core::AccessMatrix::build(experiment, proto::Protocol::kSsh);
+  const auto& topology = experiment.world().topology;
+
+  const auto blockers = core::find_temporal_blockers(matrix, topology);
+  if (blockers.empty()) {
+    std::printf("no temporal blockers detected (unexpected)\n");
+    return 1;
+  }
+  std::printf("\ndetected temporal blockers (network-wide RST after TCP "
+              "handshake):\n");
+  for (const auto& blocker : blockers) {
+    std::printf("  %-28s %llu / %llu SSH hosts RST somewhere\n",
+                blocker.name.c_str(),
+                static_cast<unsigned long long>(blocker.rst_hosts),
+                static_cast<unsigned long long>(blocker.ssh_hosts));
+  }
+
+  const auto series =
+      core::temporal_blocking_series(matrix, topology, blockers.front().as,
+                                     /*trial=*/0);
+  std::printf("\n%s, trial 1 — hourly RST-after-accept fraction:\n",
+              series.as_name.c_str());
+  std::printf("hour:    ");
+  const std::size_t hours = series.series.front().size();
+  for (std::size_t hr = 0; hr < hours; ++hr) std::printf("%2zu ", hr);
+  std::printf("\n");
+  // A "blocked hour" shows the network-wide signature: the majority of
+  // hosts probed that hour RST right after the TCP handshake.
+  int us64_blocked_hours = 0, single_ip_blocked_hours = 0, single_count = 0;
+  int origins_with_blocked_hours = 0;
+  for (std::size_t o = 0; o < series.origin_codes.size(); ++o) {
+    std::printf("%-6s : ", series.origin_codes[o].c_str());
+    int blocked = 0;
+    for (double value : series.series[o]) {
+      std::printf("%s", value > 0.5 ? " # " : (value > 0.05 ? " + " : " . "));
+      if (value > 0.5) ++blocked;
+    }
+    std::printf("\n");
+    if (series.origin_codes[o] == "US64") {
+      us64_blocked_hours = blocked;
+    } else {
+      if (blocked > 0) ++origins_with_blocked_hours;
+      single_ip_blocked_hours += blocked;
+      ++single_count;
+    }
+  }
+
+  report::Comparison comparison("Fig 12 temporal SSH blocking");
+  comparison.add("single-IP origins with blocked hours", "all of them",
+                 std::to_string(origins_with_blocked_hours) + " of " +
+                     std::to_string(single_count),
+                 "'#' marks network-wide-RST hours above");
+  comparison.add("mean blocked hours per single-IP origin", "several",
+                 report::Table::num(
+                     static_cast<double>(single_ip_blocked_hours) /
+                         single_count, 1),
+                 "detection times differ per origin (and per trial)");
+  comparison.add("US64 blocked hours", "0 (never detected)",
+                 std::to_string(us64_blocked_hours),
+                 "64 source IPs stay under the radar");
+  std::printf("\n%s", comparison.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 13: scanning probabilistic temporarily blocking hosts — success
+// rate of the SSH handshake as the retry budget grows, for candidate
+// subnets from the most transiently-missed ASes. Paper: retrying up to
+// eight times reaches ~90% of responding IPs in EGI Hosting and Psychz
+// Networks.
+#include <algorithm>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "core/access_matrix.h"
+#include "core/analysis/ssh.h"
+#include "core/analysis/transient.h"
+#include "core/classify.h"
+
+using namespace originscan;
+
+int main() {
+  bench::print_header("Figure 13", "SSH handshake retries vs success");
+  auto experiment = bench::run_paper_experiment({proto::Protocol::kSsh});
+  const auto matrix =
+      core::AccessMatrix::build(experiment, proto::Protocol::kSsh);
+  const core::Classification classification(matrix);
+  const auto& world = experiment.world();
+
+  // Candidate subnets: one /24 from each of the ASes showing the most
+  // refused-before-banner SSH handshakes — the observable MaxStartups
+  // signature the paper's Section 6 investigation chased.
+  std::map<sim::AsId, std::uint64_t> refusals;
+  for (core::HostIdx h = 0; h < matrix.host_count(); ++h) {
+    for (int t = 0; t < matrix.trials(); ++t) {
+      for (std::size_t o = 0; o < matrix.origins(); ++o) {
+        if (matrix.outcome(t, o, h) == sim::L7Outcome::kClosedBeforeData) {
+          ++refusals[matrix.host_as(h)];
+        }
+      }
+    }
+  }
+  auto by_as =
+      core::transient_by_as(classification, world.topology, /*min_hosts=*/10);
+  std::sort(by_as.begin(), by_as.end(),
+            [&](const core::AsTransient& a, const core::AsTransient& b) {
+              return refusals[a.as] > refusals[b.as];
+            });
+
+  const auto us1 = experiment.origin_id("US1");
+  std::printf("\nsuccess rate of responding IPs vs retry budget (US1):\n");
+  report::Table table({"AS", "retries=0", "1", "2", "4", "8"});
+  double worst_r0 = 1.0, worst_r8 = 0.0;
+  int subnets = 0;
+  for (const auto& entry : by_as) {
+    if (subnets >= 6) break;
+    if (entry.as == sim::kNoAs) continue;
+    const auto& info = world.topology.as_info(entry.as);
+    if (info.prefixes.empty()) continue;
+    ++subnets;
+
+    std::vector<scan::ScanResult> ladder;
+    for (int retries : {0, 1, 2, 4, 8}) {
+      scan::ScanOptions options;
+      options.l7_retries = retries;
+      options.target_prefix = info.prefixes.front().prefix;
+      ladder.push_back(experiment.run_extra_scan(0, proto::Protocol::kSsh,
+                                                 us1, options));
+    }
+    // Networks that block US1 outright (tripped IDSes, ABCDE-style
+    // blocks) have nothing to retry against; the paper's follow-up
+    // could only probe networks that answered at all.
+    bool any_responding = false;
+    for (const auto& record : ladder.front().records) {
+      if (record.synack_mask != 0) any_responding = true;
+    }
+    if (!any_responding) {
+      --subnets;
+      continue;
+    }
+    const auto curve = core::retry_success_curve(ladder);
+    table.add_row({info.name, bench::pct(curve[0]), bench::pct(curve[1]),
+                   bench::pct(curve[2]), bench::pct(curve[3]),
+                   bench::pct(curve[4])});
+    if (curve[0] < worst_r0) {
+      worst_r0 = curve[0];
+      worst_r8 = curve.back();
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  report::Comparison comparison("Fig 13 retry recovery");
+  comparison.add("worst subnet, success with 0 retries", "well below 100%",
+                 bench::pct(worst_r0), "MaxStartups refuses first contact");
+  comparison.add("same subnet after 8 retries", "~90%", bench::pct(worst_r8),
+                 "immediate retries recover refused hosts");
+  std::printf("\n%s", comparison.to_string().c_str());
+  return 0;
+}

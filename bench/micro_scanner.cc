@@ -1,0 +1,119 @@
+// Microbenchmarks for the scanner's hot paths (google-benchmark):
+// address permutation, probe-MAC computation, packet serialization and
+// parsing, blocklist lookups, and the end-to-end probe exchange.
+#include <benchmark/benchmark.h>
+
+#include "netbase/headers.h"
+#include "netbase/siphash.h"
+#include "scanner/blocklist.h"
+#include "scanner/permutation.h"
+#include "scanner/validation.h"
+#include "sim/internet.h"
+#include "sim/scenario.h"
+
+using namespace originscan;
+
+static void BM_PermutationNext(benchmark::State& state) {
+  const auto group =
+      scan::CyclicGroup::for_size(1u << 20, /*seed=*/0xBEEF);
+  auto it = group.all();
+  for (auto _ : state) {
+    auto value = it.next();
+    if (!value) it = group.all();
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_PermutationNext);
+
+static void BM_GroupConstruction(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto group = scan::CyclicGroup::for_size(
+        static_cast<std::uint64_t>(state.range(0)), seed++);
+    benchmark::DoNotOptimize(group.generator());
+  }
+}
+BENCHMARK(BM_GroupConstruction)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 24);
+
+static void BM_SipHashMac(benchmark::State& state) {
+  const net::SipHash hasher(net::SipHash::key_from_seed(7));
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.hash_u64_pair(value++, 443));
+  }
+}
+BENCHMARK(BM_SipHashMac);
+
+static void BM_ProbeFields(benchmark::State& state) {
+  const scan::ProbeValidator validator(net::SipHash::key_from_seed(7), 32768,
+                                       28232);
+  std::uint32_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator.fields_for(
+        net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(addr++), 80));
+  }
+}
+BENCHMARK(BM_ProbeFields);
+
+static void BM_PacketSerializeParse(benchmark::State& state) {
+  net::TcpPacket packet;
+  packet.ip.src = net::Ipv4Addr(10, 0, 0, 1);
+  packet.ip.dst = net::Ipv4Addr(1, 2, 3, 4);
+  packet.tcp.src_port = 40000;
+  packet.tcp.dst_port = 443;
+  packet.tcp.flags.syn = true;
+  for (auto _ : state) {
+    const auto bytes = packet.serialize();
+    auto parsed = net::TcpPacket::parse(bytes);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_PacketSerializeParse);
+
+static void BM_BlocklistLookup(benchmark::State& state) {
+  scan::Blocklist blocklist;
+  // A realistic exclusion list: a few hundred scattered ranges.
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    blocklist.block(net::Prefix(net::Ipv4Addr(i * 7919u * 256u), 24));
+  }
+  std::uint32_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocklist.is_blocked(net::Ipv4Addr(addr)));
+    addr += 101;
+  }
+}
+BENCHMARK(BM_BlocklistLookup);
+
+static void BM_EndToEndProbe(benchmark::State& state) {
+  static const sim::World world = [] {
+    sim::ScenarioConfig config;
+    config.universe_size = 1u << 15;
+    return sim::build_world(config, sim::paper_origins(config.universe_size));
+  }();
+  sim::PersistentState persistent;
+  sim::TrialContext context;
+  context.experiment_seed = world.seed;
+  sim::Internet internet(&world, context, &persistent);
+  const scan::ProbeValidator validator(net::SipHash::key_from_seed(3), 32768,
+                                       28232);
+
+  std::uint32_t addr = 0;
+  for (auto _ : state) {
+    const net::Ipv4Addr dst(addr++ % world.universe_size);
+    const auto fields =
+        validator.fields_for(world.origins[0].source_ips[0], dst, 80);
+    net::TcpPacket syn;
+    syn.ip.src = world.origins[0].source_ips[0];
+    syn.ip.dst = dst;
+    syn.tcp.src_port = fields.src_port;
+    syn.tcp.dst_port = 80;
+    syn.tcp.seq = fields.seq;
+    syn.tcp.flags.syn = true;
+    auto response = internet.handle_probe(0, syn.serialize(),
+                                          net::VirtualTime{}, 0);
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_EndToEndProbe);
+
+BENCHMARK_MAIN();

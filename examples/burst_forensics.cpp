@@ -1,0 +1,76 @@
+// Burst-outage forensics (Section 5.3): run the HTTP experiment, apply
+// the paper's detector — hourly transient-loss series per
+// (origin, destination AS, trial), MSE-minimizing rolling window,
+// 2-sigma outliers on the noise component — and report where and when
+// bursts hit, how much transient loss they explain, and how many origins
+// shared each event.
+//
+// Usage: burst_forensics [universe_exponent] (default 16)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/access_matrix.h"
+#include "core/analysis/bursts.h"
+#include "core/classify.h"
+#include "core/experiment.h"
+#include "report/table.h"
+
+using namespace originscan;
+
+int main(int argc, char** argv) {
+  const int exponent = argc > 1 ? std::atoi(argv[1]) : 16;
+  core::ExperimentConfig config;
+  config.scenario.universe_size = 1u << exponent;
+  config.scenario.seed = 31337;
+  config.protocols = {proto::Protocol::kHttp};
+
+  std::printf("running 3 HTTP trials from 7 origins over %u addresses...\n",
+              config.scenario.universe_size);
+  core::Experiment experiment(config);
+  experiment.run();
+
+  const auto matrix =
+      core::AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  const core::Classification classification(matrix);
+
+  core::BurstOptions options;
+  options.min_as_hosts = 80;
+  const auto report = core::detect_burst_outages(classification, options);
+
+  std::printf("\nburst-outage summary (2-sigma on the noise component):\n");
+  report::Table table({"metric", "value"}, {report::Align::kLeft,
+                                            report::Align::kRight});
+  table.add_row({"transient host-instances analyzed",
+                 std::to_string(report.transient_loss_total)});
+  table.add_row({"...coinciding with a burst hour",
+                 std::to_string(report.transient_loss_in_bursts)});
+  table.add_row({"burst-coincident share (paper: 14-36%)",
+                 report::Table::percent(report.burst_loss_fraction())});
+  table.add_row({"ASes with transient loss",
+                 std::to_string(report.ases_with_transients)});
+  table.add_row({"...with at least one burst (paper: ~45%)",
+                 std::to_string(report.ases_with_bursts)});
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nburst simultaneity (how many origins share an event; "
+              "paper: ~60%% single-origin, >=91%% within three):\n");
+  std::uint64_t total_bursts = 0;
+  for (std::uint64_t count : report.simultaneity) total_bursts += count;
+  for (std::size_t k = 0; k < report.simultaneity.size(); ++k) {
+    if (report.simultaneity[k] == 0) continue;
+    std::printf("  %zu origin(s): %llu (%s)\n", k + 1,
+                static_cast<unsigned long long>(report.simultaneity[k]),
+                report::Table::percent(
+                    static_cast<double>(report.simultaneity[k]) /
+                    std::max<std::uint64_t>(1, total_bursts)).c_str());
+  }
+
+  std::printf("\nsingle-origin bursts by origin (paper: AU is the most "
+              "burst-prone, 30-40%%):\n");
+  for (std::size_t o = 0; o < report.origin_codes.size(); ++o) {
+    std::printf("  %-5s %llu\n", report.origin_codes[o].c_str(),
+                static_cast<unsigned long long>(
+                    report.single_origin_bursts[o]));
+  }
+  return 0;
+}

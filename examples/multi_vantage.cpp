@@ -1,0 +1,75 @@
+// Vantage-point planning demo: given a protocol, evaluate every 1-, 2-
+// and 3-origin combination and print what the paper's Section 7
+// recommends — which pairs/triads reach 98-99% coverage and how much
+// variance each k buys down.
+//
+// Usage: multi_vantage [http|https|ssh] [universe_exponent]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/access_matrix.h"
+#include "core/analysis/multi_origin.h"
+#include "core/experiment.h"
+#include "report/table.h"
+
+using namespace originscan;
+
+int main(int argc, char** argv) {
+  proto::Protocol protocol = proto::Protocol::kHttp;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "https") == 0) {
+      protocol = proto::Protocol::kHttps;
+    } else if (std::strcmp(argv[1], "ssh") == 0) {
+      protocol = proto::Protocol::kSsh;
+    } else if (std::strcmp(argv[1], "http") != 0) {
+      std::fprintf(stderr, "usage: %s [http|https|ssh] [exponent]\n", argv[0]);
+      return 1;
+    }
+  }
+  const int exponent = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  core::ExperimentConfig config;
+  config.scenario.universe_size = 1u << exponent;
+  config.scenario.seed = 11;
+  config.protocols = {protocol};
+  std::printf("evaluating %s vantage-point combinations over %u "
+              "addresses...\n",
+              std::string(proto::name_of(protocol)).c_str(),
+              config.scenario.universe_size);
+  core::Experiment experiment(config);
+  experiment.run();
+
+  const auto matrix = core::AccessMatrix::build(experiment, protocol);
+  const std::vector<std::size_t> exclude = {
+      static_cast<std::size_t>(experiment.origin_id("US64"))};
+
+  for (int k = 1; k <= 3; ++k) {
+    const auto result = core::multi_origin_coverage(matrix, k, exclude);
+    const auto summary = result.summary_two_probe();
+    std::printf("\n%d origin(s): median %s, sigma %.2fpp\n", k,
+                report::Table::percent(summary.median, 2).c_str(),
+                100.0 * summary.stddev);
+
+    // Rank combos.
+    auto combos = result.combos;
+    std::sort(combos.begin(), combos.end(),
+              [](const core::ComboCoverage& a, const core::ComboCoverage& b) {
+                return a.mean_two_probe > b.mean_two_probe;
+              });
+    report::Table table({"rank", "combination", "coverage (2 probes)",
+                         "coverage (1 probe)"});
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+      if (i >= 3 && i + 3 < combos.size()) continue;  // head and tail only
+      table.add_row({std::to_string(i + 1), combos[i].label,
+                     report::Table::percent(combos[i].mean_two_probe, 2),
+                     report::Table::percent(combos[i].mean_single_probe, 2)});
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  std::printf("\nrecommendation (paper Section 7): 2-3 sufficiently "
+              "diverse origins recover nearly all single-origin loss; the "
+              "specific choice matters much less than having diversity.\n");
+  return 0;
+}

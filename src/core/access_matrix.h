@@ -1,0 +1,114 @@
+// The per-protocol accessibility matrix: ground truth (the union of hosts
+// that completed an L7 handshake with any origin in a trial — Section 2's
+// "Limitations") crossed with which origin saw which host in which trial,
+// plus the probe-level detail (which of the two SYNs was answered, L7
+// outcome, probe hour) the deeper analyses need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "netbase/ipv4.h"
+#include "sim/country.h"
+#include "sim/types.h"
+
+namespace originscan::core {
+
+// Index into the matrix's ground-truth host list.
+using HostIdx = std::uint32_t;
+
+class AccessMatrix {
+ public:
+  // Builds the matrix for one protocol from a completed experiment.
+  static AccessMatrix build(const Experiment& experiment,
+                            proto::Protocol protocol);
+
+  [[nodiscard]] proto::Protocol protocol() const { return protocol_; }
+  [[nodiscard]] int trials() const { return trials_; }
+  [[nodiscard]] std::size_t origins() const { return origin_codes_.size(); }
+  [[nodiscard]] const std::vector<std::string>& origin_codes() const {
+    return origin_codes_;
+  }
+
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] net::Ipv4Addr host_addr(HostIdx h) const { return hosts_[h]; }
+  [[nodiscard]] sim::AsId host_as(HostIdx h) const { return host_as_[h]; }
+  [[nodiscard]] sim::CountryCode host_country(HostIdx h) const {
+    return host_country_[h];
+  }
+
+  // Host was in the trial's ground truth (completed L7 with >= 1 origin).
+  [[nodiscard]] bool present(int trial, HostIdx h) const {
+    return present_[trial][h];
+  }
+  [[nodiscard]] int trials_present(HostIdx h) const {
+    int count = 0;
+    for (int t = 0; t < trials_; ++t) count += present(t, h) ? 1 : 0;
+    return count;
+  }
+
+  // Origin completed the L7 handshake with the host in the trial.
+  [[nodiscard]] bool accessible(int trial, std::size_t origin,
+                                HostIdx h) const {
+    return accessible_[cell(trial, origin)][h];
+  }
+
+  // Which of the two back-to-back probes were answered with a SYN-ACK
+  // (bit 0 = first probe, bit 1 = second).
+  [[nodiscard]] std::uint8_t synack_mask(int trial, std::size_t origin,
+                                         HostIdx h) const {
+    return synack_mask_[cell(trial, origin)][h];
+  }
+
+  // The recorded L7 outcome (kNotAttempted when the host never made it
+  // past L4 for this origin/trial).
+  [[nodiscard]] sim::L7Outcome outcome(int trial, std::size_t origin,
+                                       HostIdx h) const {
+    return static_cast<sim::L7Outcome>(outcome_[cell(trial, origin)][h]);
+  }
+  [[nodiscard]] bool explicit_close(int trial, std::size_t origin,
+                                    HostIdx h) const {
+    return explicit_close_[cell(trial, origin)][h];
+  }
+
+  // Hour (0-20) in which the host was probed during the trial. All
+  // synchronized origins share the permutation, so this is per-trial.
+  [[nodiscard]] std::uint8_t probe_hour(int trial, HostIdx h) const {
+    return probe_hour_[trial][h];
+  }
+
+  // Single-probe simulation (Section 5): the host counts as seen by a
+  // 1-probe scan only when both probes were answered, matching the
+  // paper's conservative rule.
+  [[nodiscard]] bool accessible_single_probe(int trial, std::size_t origin,
+                                             HostIdx h) const {
+    return accessible(trial, origin, h) &&
+           synack_mask(trial, origin, h) == 0b11;
+  }
+
+  // Ground-truth host count for a trial.
+  [[nodiscard]] std::size_t present_count(int trial) const;
+
+ private:
+  [[nodiscard]] std::size_t cell(int trial, std::size_t origin) const {
+    return static_cast<std::size_t>(trial) * origin_codes_.size() + origin;
+  }
+
+  proto::Protocol protocol_{};
+  int trials_ = 0;
+  std::vector<std::string> origin_codes_;
+
+  std::vector<net::Ipv4Addr> hosts_;  // sorted
+  std::vector<sim::AsId> host_as_;
+  std::vector<sim::CountryCode> host_country_;
+
+  std::vector<std::vector<bool>> present_;             // [trial][host]
+  std::vector<std::vector<bool>> accessible_;          // [cell][host]
+  std::vector<std::vector<std::uint8_t>> synack_mask_; // [cell][host]
+  std::vector<std::vector<std::uint8_t>> outcome_;     // [cell][host]
+  std::vector<std::vector<bool>> explicit_close_;      // [cell][host]
+  std::vector<std::vector<std::uint8_t>> probe_hour_;  // [trial][host]
+};
+
+}  // namespace originscan::core

@@ -1,0 +1,92 @@
+#include "core/analysis/as_distribution.h"
+
+#include <algorithm>
+#include <map>
+
+namespace originscan::core {
+
+std::vector<std::vector<AsShare>> longterm_by_as(
+    const Classification& classification, const sim::Topology& topology) {
+  const AccessMatrix& matrix = classification.matrix();
+  const std::size_t origins = matrix.origins();
+
+  // Ground-truth host count per AS (hosts present in >= 1 trial).
+  std::map<sim::AsId, std::uint64_t> ground_truth;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) > 0) ++ground_truth[matrix.host_as(h)];
+  }
+
+  std::vector<std::vector<AsShare>> out(origins);
+  for (std::size_t o = 0; o < origins; ++o) {
+    std::map<sim::AsId, std::uint64_t> misses;
+    std::uint64_t total = 0;
+    for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+      if (classification.host_class(o, h) == HostClass::kLongTerm) {
+        ++misses[matrix.host_as(h)];
+        ++total;
+      }
+    }
+    for (const auto& [as, count] : misses) {
+      AsShare share;
+      share.as = as;
+      share.name = as == sim::kNoAs ? "(unrouted)" : topology.as_info(as).name;
+      share.longterm_hosts = count;
+      share.ground_truth_hosts = ground_truth[as];
+      share.share_of_origin_misses =
+          total == 0 ? 0.0
+                     : static_cast<double>(count) / static_cast<double>(total);
+      out[o].push_back(std::move(share));
+    }
+    std::sort(out[o].begin(), out[o].end(),
+              [](const AsShare& a, const AsShare& b) {
+                return a.longterm_hosts > b.longterm_hosts;
+              });
+  }
+  return out;
+}
+
+std::vector<InaccessibleAsCounts> inaccessible_as_counts(
+    const Classification& classification, const sim::Topology& topology,
+    std::uint64_t min_hosts) {
+  (void)topology;
+  const AccessMatrix& matrix = classification.matrix();
+  const std::size_t origins = matrix.origins();
+
+  // Per (AS, origin): ground-truth hosts vs hosts the origin never saw.
+  struct Counts {
+    std::uint64_t ground_truth = 0;
+    std::vector<std::uint64_t> never_seen;
+  };
+  std::map<sim::AsId, Counts> per_as;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) == 0) continue;
+    auto& counts = per_as[matrix.host_as(h)];
+    if (counts.never_seen.empty()) counts.never_seen.assign(origins, 0);
+    ++counts.ground_truth;
+    for (std::size_t o = 0; o < origins; ++o) {
+      bool seen = false;
+      for (int t = 0; t < matrix.trials(); ++t) {
+        if (matrix.present(t, h) && matrix.accessible(t, o, h)) seen = true;
+      }
+      if (!seen) ++counts.never_seen[o];
+    }
+  }
+
+  std::vector<InaccessibleAsCounts> out(origins);
+  for (std::size_t o = 0; o < origins; ++o) {
+    out[o].origin_code = matrix.origin_codes()[o];
+  }
+  for (const auto& [as, counts] : per_as) {
+    if (counts.ground_truth < min_hosts) continue;
+    for (std::size_t o = 0; o < origins; ++o) {
+      const double fraction = static_cast<double>(counts.never_seen[o]) /
+                              static_cast<double>(counts.ground_truth);
+      if (fraction >= 1.0) ++out[o].fully;
+      if (fraction >= 0.75) ++out[o].at_least_75;
+      if (fraction >= 0.50) ++out[o].at_least_50;
+    }
+  }
+  return out;
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,43 @@
+// AS-level views of long-term inaccessibility (Fig 4, Fig 5): which
+// networks concentrate an origin's missing hosts, and how many ASes are
+// 100% / >=75% / >=50% unreachable from each origin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+
+namespace originscan::core {
+
+struct AsShare {
+  sim::AsId as = sim::kNoAs;
+  std::string name;
+  std::uint64_t longterm_hosts = 0;  // origin's long-term misses in this AS
+  std::uint64_t ground_truth_hosts = 0;
+  double share_of_origin_misses = 0;  // fraction of the origin's LT misses
+};
+
+// Per origin: ASes sorted by their share of the origin's long-term
+// inaccessible hosts (descending) — the Fig 4 CDF's underlying data.
+std::vector<std::vector<AsShare>> longterm_by_as(
+    const Classification& classification, const sim::Topology& topology);
+
+struct InaccessibleAsCounts {
+  std::string origin_code;
+  std::uint64_t fully = 0;          // 100% of GT hosts long-term missed
+  std::uint64_t at_least_75 = 0;
+  std::uint64_t at_least_50 = 0;
+};
+
+// Fig 5: count of ASes fully (and mostly) inaccessible per origin. An
+// AS counts toward a threshold by the fraction of its ground-truth hosts
+// the origin NEVER completed a handshake with in any trial (robust to
+// host churn, which would otherwise keep a fully-blocked AS below 100%).
+// Only ASes with at least `min_hosts` ground-truth hosts count.
+std::vector<InaccessibleAsCounts> inaccessible_as_counts(
+    const Classification& classification, const sim::Topology& topology,
+    std::uint64_t min_hosts = 2);
+
+}  // namespace originscan::core

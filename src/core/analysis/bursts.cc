@@ -1,0 +1,89 @@
+#include "core/analysis/bursts.h"
+
+#include <map>
+#include <set>
+
+#include "stats/timeseries.h"
+
+namespace originscan::core {
+
+BurstReport detect_burst_outages(const Classification& classification,
+                                 const BurstOptions& options) {
+  const AccessMatrix& matrix = classification.matrix();
+  const std::size_t origins = matrix.origins();
+  const int trials = matrix.trials();
+
+  BurstReport report;
+  report.origin_codes = matrix.origin_codes();
+  report.single_origin_bursts.assign(origins, 0);
+  report.simultaneity.assign(origins, 0);
+
+  // Group hosts by AS.
+  std::map<sim::AsId, std::vector<HostIdx>> hosts_by_as;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) > 0) {
+      hosts_by_as[matrix.host_as(h)].push_back(h);
+    }
+  }
+
+  // Scan hour span: max probe hour + 1.
+  std::uint32_t hours = 1;
+  for (int t = 0; t < trials; ++t) {
+    for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+      hours = std::max<std::uint32_t>(hours, matrix.probe_hour(t, h) + 1u);
+    }
+  }
+
+  // (trial, as, hour) -> set of origins with a burst there, to measure
+  // simultaneity.
+  std::map<std::tuple<int, sim::AsId, std::size_t>, std::vector<std::size_t>>
+      burst_origins;
+
+  for (const auto& [as, hosts] : hosts_by_as) {
+    if (hosts.size() < options.min_as_hosts) continue;
+    bool as_has_transient = false;
+    bool as_has_burst = false;
+
+    for (std::size_t o = 0; o < origins; ++o) {
+      for (int t = 0; t < trials; ++t) {
+        std::vector<double> hourly(hours, 0.0);
+        std::uint64_t total = 0;
+        for (HostIdx h : hosts) {
+          if (classification.host_class(o, h) == HostClass::kTransient &&
+              classification.missing(t, o, h)) {
+            hourly[matrix.probe_hour(t, h)] += 1.0;
+            ++total;
+          }
+        }
+        if (total == 0) continue;
+        as_has_transient = true;
+        report.transient_loss_total += total;
+
+        const std::size_t window = stats::best_smoothing_window(
+            hourly, options.min_window, options.max_window);
+        const auto detection =
+            stats::detect_bursts(hourly, window, options.sigma);
+        if (detection.burst_indices.empty()) continue;
+        as_has_burst = true;
+        for (std::size_t hour : detection.burst_indices) {
+          report.transient_loss_in_bursts +=
+              static_cast<std::uint64_t>(hourly[hour]);
+          burst_origins[{t, as, hour}].push_back(o);
+        }
+      }
+    }
+    if (as_has_transient) {
+      ++report.ases_with_transients;
+      if (as_has_burst) ++report.ases_with_bursts;
+    }
+  }
+
+  for (const auto& [key, origin_list] : burst_origins) {
+    const std::size_t k = origin_list.size();
+    if (k >= 1 && k <= origins) ++report.simultaneity[k - 1];
+    if (k == 1) ++report.single_origin_bursts[origin_list.front()];
+  }
+  return report;
+}
+
+}  // namespace originscan::core

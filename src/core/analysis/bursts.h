@@ -1,0 +1,48 @@
+// Burst-outage detection (Section 5.3): build the hourly time series of
+// transiently missed hosts per (origin, destination AS, trial), smooth it
+// with the MSE-minimizing rolling window, and flag hours whose noise
+// component exceeds two standard deviations. Reports the share of
+// transient loss that coincides with bursts and how many origins share
+// each burst.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.h"
+
+namespace originscan::core {
+
+struct BurstReport {
+  std::vector<std::string> origin_codes;
+
+  std::uint64_t transient_loss_total = 0;     // host-instances
+  std::uint64_t transient_loss_in_bursts = 0; // ... during a burst hour
+  // ASes (with >= 1 transiently missing host) that had >= 1 burst.
+  std::uint64_t ases_with_transients = 0;
+  std::uint64_t ases_with_bursts = 0;
+  // Distribution of how many origins share a burst (same AS+trial+hour):
+  // simultaneity[k] = bursts seen by exactly k+1 origins.
+  std::vector<std::uint64_t> simultaneity;
+  // Of single-origin bursts, how many belong to each origin.
+  std::vector<std::uint64_t> single_origin_bursts;
+
+  [[nodiscard]] double burst_loss_fraction() const {
+    return transient_loss_total == 0
+               ? 0.0
+               : static_cast<double>(transient_loss_in_bursts) /
+                     static_cast<double>(transient_loss_total);
+  }
+};
+
+struct BurstOptions {
+  std::size_t min_window = 2;
+  std::size_t max_window = 8;
+  double sigma = 2.0;
+  std::uint64_t min_as_hosts = 50;  // skip tiny ASes (noise)
+};
+
+BurstReport detect_burst_outages(const Classification& classification,
+                                 const BurstOptions& options = {});
+
+}  // namespace originscan::core

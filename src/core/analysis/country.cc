@@ -1,0 +1,143 @@
+#include "core/analysis/country.h"
+
+#include <algorithm>
+
+#include "stats/hypothesis.h"
+
+namespace originscan::core {
+
+CountryTable compute_country_table(const Classification& classification,
+                                   const sim::Topology& topology) {
+  (void)topology;
+  const AccessMatrix& matrix = classification.matrix();
+  const std::size_t origins = matrix.origins();
+
+  struct Accumulator {
+    std::uint64_t ground_truth = 0;
+    std::vector<std::uint64_t> longterm;          // per origin
+    std::map<sim::AsId, std::uint64_t> by_as_max;  // worst-origin AS split
+    std::vector<std::map<sim::AsId, std::uint64_t>> by_as;
+  };
+  std::map<sim::CountryCode, Accumulator> accumulators;
+
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) == 0) continue;
+    auto& acc = accumulators[matrix.host_country(h)];
+    if (acc.longterm.empty()) {
+      acc.longterm.assign(origins, 0);
+      acc.by_as.resize(origins);
+    }
+    ++acc.ground_truth;
+    for (std::size_t o = 0; o < origins; ++o) {
+      if (classification.host_class(o, h) == HostClass::kLongTerm) {
+        ++acc.longterm[o];
+        ++acc.by_as[o][matrix.host_as(h)];
+      }
+    }
+  }
+
+  CountryTable table;
+  table.origin_codes = matrix.origin_codes();
+  for (auto& [country, acc] : accumulators) {
+    CountryRow row;
+    row.country = country;
+    row.ground_truth_hosts = acc.ground_truth;
+    row.inaccessible_percent.assign(origins, 0.0);
+    std::size_t worst_origin = 0;
+    double worst = -1;
+    for (std::size_t o = 0; o < origins; ++o) {
+      const double pct = acc.ground_truth == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(acc.longterm[o]) /
+                                   static_cast<double>(acc.ground_truth);
+      row.inaccessible_percent[o] = pct;
+      if (pct > worst) {
+        worst = pct;
+        worst_origin = o;
+      }
+    }
+    // How many ASes cover the majority of the worst origin's misses?
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    for (const auto& [as, count] : acc.by_as[worst_origin]) {
+      counts.push_back(count);
+      total += count;
+    }
+    std::sort(counts.rbegin(), counts.rend());
+    std::uint64_t covered = 0;
+    for (std::uint64_t count : counts) {
+      covered += count;
+      ++row.dominating_ases;
+      if (2 * covered > total) break;
+    }
+    table.rows.push_back(std::move(row));
+  }
+  std::sort(table.rows.begin(), table.rows.end(),
+            [](const CountryRow& a, const CountryRow& b) {
+              return a.ground_truth_hosts > b.ground_truth_hosts;
+            });
+  return table;
+}
+
+std::vector<std::vector<CountryRow>> bucket_top_countries(
+    const CountryTable& table, int per_bucket) {
+  std::vector<std::vector<CountryRow>> buckets(4);
+  if (table.rows.empty()) return buckets;
+
+  const double largest =
+      static_cast<double>(table.rows.front().ground_truth_hosts);
+  // Paper buckets >1M/>100K/>10K/>1K against a largest country of ~20M
+  // hosts; express the boundaries as the same relative fractions.
+  const double bounds[4] = {largest / 20.0, largest / 200.0,
+                            largest / 2000.0, largest / 20000.0};
+
+  for (int b = 0; b < 4; ++b) {
+    const double upper =
+        b == 0 ? largest + 1 : bounds[b - 1];
+    std::vector<CountryRow> candidates;
+    for (const auto& row : table.rows) {
+      const auto hosts = static_cast<double>(row.ground_truth_hosts);
+      if (hosts > bounds[b] && hosts <= upper) candidates.push_back(row);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CountryRow& a, const CountryRow& b2) {
+                const double ma = *std::max_element(
+                    a.inaccessible_percent.begin(),
+                    a.inaccessible_percent.end());
+                const double mb = *std::max_element(
+                    b2.inaccessible_percent.begin(),
+                    b2.inaccessible_percent.end());
+                return ma > mb;
+              });
+    if (static_cast<int>(candidates.size()) > per_bucket) {
+      candidates.resize(per_bucket);
+    }
+    buckets[b] = std::move(candidates);
+  }
+  return buckets;
+}
+
+double host_count_inaccessibility_correlation(
+    const Classification& classification) {
+  const AccessMatrix& matrix = classification.matrix();
+  std::map<sim::CountryCode, std::pair<double, double>> per_country;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) == 0) continue;
+    auto& [hosts, missing] = per_country[matrix.host_country(h)];
+    hosts += 1;
+    for (std::size_t o = 0; o < matrix.origins(); ++o) {
+      if (classification.host_class(o, h) == HostClass::kLongTerm) {
+        missing += 1;
+        break;  // count the host once, as "inaccessible from >=1 origin"
+      }
+    }
+  }
+  std::vector<double> xs, ys;
+  for (const auto& [country, pair] : per_country) {
+    xs.push_back(pair.first);
+    ys.push_back(pair.second);
+  }
+  return stats::spearman(xs, ys).rho;
+}
+
+}  // namespace originscan::core

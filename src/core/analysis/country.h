@@ -1,0 +1,51 @@
+// Country-level long-term inaccessibility (Table 2 / Table 5): for each
+// (origin, country), the percentage of the country's ground-truth hosts
+// long-term inaccessible from the origin, plus the per-country AS
+// concentration that the paper color-codes (how many ASes it takes to
+// cover the majority of the country's missing hosts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "sim/country.h"
+#include "sim/topology.h"
+
+namespace originscan::core {
+
+struct CountryRow {
+  sim::CountryCode country;
+  std::uint64_t ground_truth_hosts = 0;
+  // Per origin: % of this country's hosts long-term inaccessible.
+  std::vector<double> inaccessible_percent;
+  // Smallest number of ASes that together hold > 50% of the country's
+  // long-term missing hosts, maximized over origins with significant
+  // loss; 1 = one AS dominates (the paper's red cells).
+  int dominating_ases = 0;
+};
+
+struct CountryTable {
+  std::vector<std::string> origin_codes;
+  std::vector<CountryRow> rows;  // sorted by ground-truth size, descending
+};
+
+CountryTable compute_country_table(const Classification& classification,
+                                   const sim::Topology& topology);
+
+// Selects, for each host-count bucket boundary, the `per_bucket` rows
+// with the highest max-over-origins inaccessibility (the paper's Table 2
+// layout: 5 columns each for >1M, >100K, >10K, >1K equivalent sizes).
+// Bucket boundaries are given as fractions of the largest country's
+// host count, since the simulation is scale-reduced.
+std::vector<std::vector<CountryRow>> bucket_top_countries(
+    const CountryTable& table, int per_bucket = 5);
+
+// Spearman correlation between a country's host count and its number of
+// inaccessible hosts (Section 4.4 reports rho = 0.92).
+double host_count_inaccessibility_correlation(
+    const Classification& classification);
+
+}  // namespace originscan::core

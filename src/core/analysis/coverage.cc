@@ -1,0 +1,67 @@
+#include "core/analysis/coverage.h"
+
+namespace originscan::core {
+
+CoverageTable compute_coverage(const AccessMatrix& matrix) {
+  CoverageTable table;
+  table.origin_codes = matrix.origin_codes();
+  const int trials = matrix.trials();
+  const std::size_t origins = matrix.origins();
+  const std::size_t n = matrix.host_count();
+
+  table.two_probe.assign(trials, std::vector<double>(origins, 0.0));
+  table.single_probe.assign(trials, std::vector<double>(origins, 0.0));
+  table.union_size.assign(trials, 0);
+  table.intersection_fraction.assign(trials, 0.0);
+
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t present = 0;
+    std::uint64_t intersection = 0;
+    std::vector<std::uint64_t> seen_two(origins, 0);
+    std::vector<std::uint64_t> seen_one(origins, 0);
+
+    for (HostIdx h = 0; h < n; ++h) {
+      if (!matrix.present(t, h)) continue;
+      ++present;
+      bool all = true;
+      for (std::size_t o = 0; o < origins; ++o) {
+        if (matrix.accessible(t, o, h)) {
+          ++seen_two[o];
+          if (matrix.accessible_single_probe(t, o, h)) ++seen_one[o];
+        } else {
+          all = false;
+        }
+      }
+      if (all) ++intersection;
+    }
+
+    table.union_size[t] = present;
+    if (present > 0) {
+      table.intersection_fraction[t] =
+          static_cast<double>(intersection) / static_cast<double>(present);
+      for (std::size_t o = 0; o < origins; ++o) {
+        table.two_probe[t][o] =
+            static_cast<double>(seen_two[o]) / static_cast<double>(present);
+        table.single_probe[t][o] =
+            static_cast<double>(seen_one[o]) / static_cast<double>(present);
+      }
+    }
+  }
+  return table;
+}
+
+double CoverageTable::mean_two_probe(std::size_t origin) const {
+  double sum = 0;
+  for (const auto& row : two_probe) sum += row[origin];
+  return two_probe.empty() ? 0.0 : sum / static_cast<double>(two_probe.size());
+}
+
+double CoverageTable::mean_single_probe(std::size_t origin) const {
+  double sum = 0;
+  for (const auto& row : single_probe) sum += row[origin];
+  return single_probe.empty()
+             ? 0.0
+             : sum / static_cast<double>(single_probe.size());
+}
+
+}  // namespace originscan::core

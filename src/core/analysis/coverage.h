@@ -1,0 +1,30 @@
+// Coverage analysis (Fig 1, Appendix A Table 4): the fraction of each
+// trial's ground-truth hosts seen by each origin, for 1- and 2-probe
+// scans, plus intersection/union statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/access_matrix.h"
+
+namespace originscan::core {
+
+struct CoverageTable {
+  std::vector<std::string> origin_codes;
+  // coverage[trial][origin], as a fraction in [0, 1].
+  std::vector<std::vector<double>> two_probe;
+  std::vector<std::vector<double>> single_probe;
+  // Ground-truth union size per trial, and the fraction of hosts every
+  // origin agreed on (the intersection).
+  std::vector<std::uint64_t> union_size;
+  std::vector<double> intersection_fraction;
+
+  // Mean across trials for one origin.
+  [[nodiscard]] double mean_two_probe(std::size_t origin) const;
+  [[nodiscard]] double mean_single_probe(std::size_t origin) const;
+};
+
+CoverageTable compute_coverage(const AccessMatrix& matrix);
+
+}  // namespace originscan::core

@@ -1,0 +1,132 @@
+#include "core/analysis/exclusivity.h"
+
+namespace originscan::core {
+namespace {
+
+// True when origin o saw the host in every trial it was present (and it
+// was present at least once).
+bool always_accessible(const AccessMatrix& matrix, std::size_t origin,
+                       HostIdx h) {
+  int present = 0;
+  for (int t = 0; t < matrix.trials(); ++t) {
+    if (!matrix.present(t, h)) continue;
+    ++present;
+    if (!matrix.accessible(t, origin, h)) return false;
+  }
+  return present > 0;
+}
+
+// True when origin o never saw the host in any trial.
+bool never_accessible(const AccessMatrix& matrix, std::size_t origin,
+                      HostIdx h) {
+  for (int t = 0; t < matrix.trials(); ++t) {
+    if (matrix.present(t, h) && matrix.accessible(t, origin, h)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ExclusivityResult compute_exclusivity(const Classification& classification) {
+  const AccessMatrix& matrix = classification.matrix();
+  const std::size_t origins = matrix.origins();
+
+  ExclusivityResult result;
+  result.origin_codes = matrix.origin_codes();
+  result.exclusively_accessible.assign(origins, 0);
+  result.exclusively_inaccessible.assign(origins, 0);
+  result.accessible_by_country.resize(origins);
+  result.accessible_by_as.resize(origins);
+
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    // Exclusive accessibility: exactly one origin always sees the host
+    // and every other origin never does.
+    std::size_t always = origins;  // sentinel
+    std::size_t always_count = 0;
+    std::size_t never_count = 0;
+    for (std::size_t o = 0; o < origins; ++o) {
+      if (always_accessible(matrix, o, h)) {
+        always = o;
+        ++always_count;
+      } else if (never_accessible(matrix, o, h)) {
+        ++never_count;
+      }
+    }
+    if (always_count == 1 && never_count == origins - 1) {
+      ++result.exclusively_accessible[always];
+      ++result.accessible_by_country[always][matrix.host_country(h)];
+      ++result.accessible_by_as[always][matrix.host_as(h)];
+    }
+
+    // Exclusive inaccessibility: exactly one origin is long-term
+    // inaccessible and nobody else is.
+    std::size_t longterm = origins;
+    std::size_t longterm_count = 0;
+    for (std::size_t o = 0; o < origins; ++o) {
+      if (classification.host_class(o, h) == HostClass::kLongTerm) {
+        longterm = o;
+        ++longterm_count;
+      }
+    }
+    if (longterm_count == 1) {
+      ++result.exclusively_inaccessible[longterm];
+    }
+  }
+  return result;
+}
+
+std::vector<double> ExclusivityResult::accessible_percent() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t v : exclusively_accessible) total += v;
+  std::vector<double> out;
+  for (std::uint64_t v : exclusively_accessible) {
+    out.push_back(total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(v) /
+                                   static_cast<double>(total));
+  }
+  return out;
+}
+
+std::vector<double> ExclusivityResult::inaccessible_percent() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t v : exclusively_inaccessible) total += v;
+  std::vector<double> out;
+  for (std::uint64_t v : exclusively_inaccessible) {
+    out.push_back(total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(v) /
+                                   static_cast<double>(total));
+  }
+  return out;
+}
+
+std::vector<InCountryExclusive> in_country_exclusives(
+    const Classification& classification,
+    const std::vector<sim::CountryCode>& origin_countries) {
+  const AccessMatrix& matrix = classification.matrix();
+  auto exclusivity = compute_exclusivity(classification);
+
+  std::vector<InCountryExclusive> out;
+  for (std::size_t o = 0; o < origin_countries.size(); ++o) {
+    InCountryExclusive entry;
+    entry.country = origin_countries[o];
+    if (!entry.country.valid()) {
+      out.push_back(entry);
+      continue;
+    }
+    // Hosts in this origin's own country that only it can reach.
+    if (auto it = exclusivity.accessible_by_country[o].find(entry.country);
+        it != exclusivity.accessible_by_country[o].end()) {
+      entry.exclusive_hosts = it->second;
+    }
+    for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+      if (matrix.host_country(h) == entry.country &&
+          matrix.trials_present(h) > 0) {
+        ++entry.country_hosts;
+      }
+    }
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,48 @@
+// Exclusive accessibility analysis (Table 1, Fig 6, Fig 7):
+//   * exclusively accessible from origin o — o completed the handshake in
+//     every trial the host was present, and no other origin ever did;
+//   * exclusively inaccessible from o — o is long-term inaccessible and
+//     no other origin is.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/classify.h"
+#include "sim/country.h"
+
+namespace originscan::core {
+
+struct ExclusivityResult {
+  std::vector<std::string> origin_codes;
+  // Host counts per origin.
+  std::vector<std::uint64_t> exclusively_accessible;
+  std::vector<std::uint64_t> exclusively_inaccessible;
+
+  // Row-normalized percentages (Table 1's layout).
+  [[nodiscard]] std::vector<double> accessible_percent() const;
+  [[nodiscard]] std::vector<double> inaccessible_percent() const;
+
+  // For Fig 6/7 drill-down: per origin, exclusive-accessible hosts keyed
+  // by destination country and by AS.
+  std::vector<std::map<sim::CountryCode, std::uint64_t>>
+      accessible_by_country;
+  std::vector<std::map<sim::AsId, std::uint64_t>> accessible_by_as;
+};
+
+ExclusivityResult compute_exclusivity(const Classification& classification);
+
+// Fig 6 core claim: for an origin country, the number of that country's
+// hosts only reachable from within the country.
+struct InCountryExclusive {
+  sim::CountryCode country;
+  std::uint64_t exclusive_hosts = 0;  // reachable only from the in-country origin
+  std::uint64_t country_hosts = 0;    // the country's ground-truth hosts
+};
+
+std::vector<InCountryExclusive> in_country_exclusives(
+    const Classification& classification,
+    const std::vector<sim::CountryCode>& origin_countries);
+
+}  // namespace originscan::core

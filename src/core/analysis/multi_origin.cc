@@ -1,0 +1,126 @@
+#include "core/analysis/multi_origin.h"
+
+#include <algorithm>
+
+#include "stats/combinatorics.h"
+
+namespace originscan::core {
+namespace {
+
+std::string label_for(const AccessMatrix& matrix,
+                      const std::vector<std::size_t>& indices) {
+  std::string label;
+  for (std::size_t index : indices) {
+    if (!label.empty()) label += '+';
+    label += matrix.origin_codes()[index];
+  }
+  return label;
+}
+
+// Coverage of the union of `indices` in one trial.
+void trial_coverage(const AccessMatrix& matrix,
+                    const std::vector<std::size_t>& indices, int trial,
+                    double& two_probe, double& single_probe) {
+  std::uint64_t present = 0, covered2 = 0, covered1 = 0;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (!matrix.present(trial, h)) continue;
+    ++present;
+    bool any2 = false, any1 = false;
+    for (std::size_t o : indices) {
+      if (matrix.accessible(trial, o, h)) {
+        any2 = true;
+        if (matrix.accessible_single_probe(trial, o, h)) any1 = true;
+      }
+    }
+    if (any2) ++covered2;
+    if (any1) ++covered1;
+  }
+  two_probe = present == 0 ? 0.0
+                           : static_cast<double>(covered2) /
+                                 static_cast<double>(present);
+  single_probe = present == 0 ? 0.0
+                              : static_cast<double>(covered1) /
+                                    static_cast<double>(present);
+}
+
+}  // namespace
+
+ComboCoverage combo_coverage(const AccessMatrix& matrix,
+                             const std::vector<std::size_t>& origin_indices) {
+  ComboCoverage combo;
+  combo.origin_indices = origin_indices;
+  combo.label = label_for(matrix, origin_indices);
+  for (int t = 0; t < matrix.trials(); ++t) {
+    double two = 0, one = 0;
+    trial_coverage(matrix, origin_indices, t, two, one);
+    combo.mean_two_probe += two;
+    combo.mean_single_probe += one;
+  }
+  if (matrix.trials() > 0) {
+    combo.mean_two_probe /= matrix.trials();
+    combo.mean_single_probe /= matrix.trials();
+  }
+  return combo;
+}
+
+MultiOriginResult multi_origin_coverage(
+    const AccessMatrix& matrix, int k,
+    const std::vector<std::size_t>& exclude) {
+  MultiOriginResult result;
+  result.k = k;
+
+  std::vector<std::size_t> pool;
+  for (std::size_t o = 0; o < matrix.origins(); ++o) {
+    if (std::find(exclude.begin(), exclude.end(), o) == exclude.end()) {
+      pool.push_back(o);
+    }
+  }
+  const auto subsets =
+      stats::k_subsets(pool.size(), static_cast<std::size_t>(k));
+
+  for (const auto& subset : subsets) {
+    std::vector<std::size_t> indices;
+    indices.reserve(subset.size());
+    for (std::size_t i : subset) indices.push_back(pool[i]);
+
+    ComboCoverage combo;
+    combo.origin_indices = indices;
+    combo.label = label_for(matrix, indices);
+    for (int t = 0; t < matrix.trials(); ++t) {
+      double two = 0, one = 0;
+      trial_coverage(matrix, indices, t, two, one);
+      combo.mean_two_probe += two;
+      combo.mean_single_probe += one;
+      result.samples_two_probe.push_back(two);
+      result.samples_single_probe.push_back(one);
+    }
+    if (matrix.trials() > 0) {
+      combo.mean_two_probe /= matrix.trials();
+      combo.mean_single_probe /= matrix.trials();
+    }
+    result.combos.push_back(std::move(combo));
+  }
+  return result;
+}
+
+const ComboCoverage* MultiOriginResult::best() const {
+  const ComboCoverage* best = nullptr;
+  for (const auto& combo : combos) {
+    if (best == nullptr || combo.mean_two_probe > best->mean_two_probe) {
+      best = &combo;
+    }
+  }
+  return best;
+}
+
+const ComboCoverage* MultiOriginResult::worst() const {
+  const ComboCoverage* worst = nullptr;
+  for (const auto& combo : combos) {
+    if (worst == nullptr || combo.mean_two_probe < worst->mean_two_probe) {
+      worst = &combo;
+    }
+  }
+  return worst;
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,51 @@
+// Multi-origin coverage (Section 7, Fig 15/17/18): for every k-subset of
+// origins, the union coverage of the trial's ground truth, for 1- and
+// 2-probe scans. Reports the distribution across subsets x trials.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/access_matrix.h"
+#include "stats/descriptive.h"
+
+namespace originscan::core {
+
+struct ComboCoverage {
+  std::vector<std::size_t> origin_indices;
+  std::string label;       // e.g. "AU+US1"
+  double mean_two_probe = 0;   // across trials
+  double mean_single_probe = 0;
+};
+
+struct MultiOriginResult {
+  int k = 0;
+  std::vector<ComboCoverage> combos;
+  // All per-(combo, trial) coverage samples, for distribution summaries.
+  std::vector<double> samples_two_probe;
+  std::vector<double> samples_single_probe;
+
+  [[nodiscard]] stats::Summary summary_two_probe() const {
+    return stats::summarize(samples_two_probe);
+  }
+  [[nodiscard]] stats::Summary summary_single_probe() const {
+    return stats::summarize(samples_single_probe);
+  }
+  // Best combo by mean two-probe coverage.
+  [[nodiscard]] const ComboCoverage* best() const;
+  [[nodiscard]] const ComboCoverage* worst() const;
+};
+
+// `exclude` removes origins from the pool (the paper excludes US64 and
+// Carinet from the multi-origin analysis).
+MultiOriginResult multi_origin_coverage(
+    const AccessMatrix& matrix, int k,
+    const std::vector<std::size_t>& exclude = {});
+
+// Coverage of one specific combination (used to compare the colocated
+// HE-NTT-TELIA triad against geographically diverse triads).
+ComboCoverage combo_coverage(const AccessMatrix& matrix,
+                             const std::vector<std::size_t>& origin_indices);
+
+}  // namespace originscan::core

@@ -1,0 +1,48 @@
+#include "core/analysis/overlap.h"
+
+#include <algorithm>
+
+namespace originscan::core {
+namespace {
+
+OverlapHistogram overlap_for(const Classification& classification,
+                             HostClass target,
+                             const std::vector<std::size_t>& exclude) {
+  const AccessMatrix& matrix = classification.matrix();
+  std::vector<bool> excluded(matrix.origins(), false);
+  for (std::size_t o : exclude) excluded[o] = true;
+
+  std::size_t considered = 0;
+  for (std::size_t o = 0; o < matrix.origins(); ++o) {
+    if (!excluded[o]) ++considered;
+  }
+
+  OverlapHistogram histogram;
+  histogram.buckets.assign(considered, 0);
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    std::size_t missing_from = 0;
+    for (std::size_t o = 0; o < matrix.origins(); ++o) {
+      if (excluded[o]) continue;
+      if (classification.host_class(o, h) == target) ++missing_from;
+    }
+    if (missing_from > 0) {
+      ++histogram.buckets[missing_from - 1];
+      ++histogram.total;
+    }
+  }
+  return histogram;
+}
+
+}  // namespace
+
+OverlapHistogram longterm_overlap(const Classification& classification,
+                                  const std::vector<std::size_t>& exclude) {
+  return overlap_for(classification, HostClass::kLongTerm, exclude);
+}
+
+OverlapHistogram transient_overlap(const Classification& classification,
+                                   const std::vector<std::size_t>& exclude) {
+  return overlap_for(classification, HostClass::kTransient, exclude);
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,33 @@
+// Origin-overlap histograms (Fig 3 and Fig 8): of the hosts that are
+// long-term (resp. transiently) inaccessible from at least one origin,
+// how many origins miss each?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.h"
+
+namespace originscan::core {
+
+struct OverlapHistogram {
+  // bucket[k] = number of hosts missed (in the given sense) by exactly
+  // k+1 origins. Size = number of origins considered.
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t total = 0;
+
+  [[nodiscard]] double fraction(std::size_t k_origins) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(buckets[k_origins - 1]) /
+                            static_cast<double>(total);
+  }
+};
+
+// `exclude` lists origin indices to leave out (the paper excludes Censys
+// from its "nearly half missed by only one origin" statistic).
+OverlapHistogram longterm_overlap(const Classification& classification,
+                                  const std::vector<std::size_t>& exclude = {});
+OverlapHistogram transient_overlap(const Classification& classification,
+                                   const std::vector<std::size_t>& exclude = {});
+
+}  // namespace originscan::core

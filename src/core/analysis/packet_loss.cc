@@ -1,0 +1,114 @@
+#include "core/analysis/packet_loss.h"
+
+#include <map>
+
+namespace originscan::core {
+namespace {
+
+// Counts a host toward the estimate when it answered >= 1 probe with a
+// SYN-ACK and is in the trial's ground truth (the paper's filters).
+void accumulate(const AccessMatrix& matrix, int trial, std::size_t origin,
+                HostIdx h, LossEstimate& estimate) {
+  const std::uint8_t mask = matrix.synack_mask(trial, origin, h);
+  if (mask == 0b11) {
+    ++estimate.double_response_hosts;
+  } else if (mask == 0b01 || mask == 0b10) {
+    ++estimate.single_response_hosts;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<LossEstimate>> global_loss(
+    const AccessMatrix& matrix) {
+  std::vector<std::vector<LossEstimate>> out(
+      matrix.trials(), std::vector<LossEstimate>(matrix.origins()));
+  for (int t = 0; t < matrix.trials(); ++t) {
+    for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+      if (!matrix.present(t, h)) continue;
+      for (std::size_t o = 0; o < matrix.origins(); ++o) {
+        accumulate(matrix, t, o, h, out[t][o]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AsLoss> loss_by_as(const AccessMatrix& matrix,
+                               const sim::Topology& topology,
+                               std::uint64_t min_hosts) {
+  std::map<sim::AsId, AsLoss> per_as;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) == 0) continue;
+    auto& entry = per_as[matrix.host_as(h)];
+    if (entry.per_origin.empty()) {
+      entry.as = matrix.host_as(h);
+      entry.per_origin.assign(matrix.origins(), LossEstimate{});
+    }
+    ++entry.ground_truth_hosts;
+    for (int t = 0; t < matrix.trials(); ++t) {
+      if (!matrix.present(t, h)) continue;
+      for (std::size_t o = 0; o < matrix.origins(); ++o) {
+        accumulate(matrix, t, o, h, entry.per_origin[o]);
+      }
+    }
+  }
+  std::vector<AsLoss> out;
+  for (auto& [as, entry] : per_as) {
+    if (entry.ground_truth_hosts < min_hosts) continue;
+    entry.name =
+        as == sim::kNoAs ? "(unrouted)" : topology.as_info(as).name;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<stats::SpearmanResult> loss_vs_transient_correlation(
+    const Classification& classification, const sim::Topology& topology,
+    std::uint64_t min_hosts) {
+  const AccessMatrix& matrix = classification.matrix();
+  const auto losses = loss_by_as(matrix, topology, min_hosts);
+
+  // Transient rate per (AS, origin).
+  std::map<sim::AsId, std::vector<double>> transient_rate;
+  std::map<sim::AsId, std::uint64_t> ground_truth;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) == 0) continue;
+    auto& rates = transient_rate[matrix.host_as(h)];
+    if (rates.empty()) rates.assign(matrix.origins(), 0.0);
+    ++ground_truth[matrix.host_as(h)];
+    for (std::size_t o = 0; o < matrix.origins(); ++o) {
+      if (classification.host_class(o, h) == HostClass::kTransient) {
+        rates[o] += 1.0;
+      }
+    }
+  }
+
+  std::vector<stats::SpearmanResult> out;
+  for (std::size_t o = 0; o < matrix.origins(); ++o) {
+    std::vector<double> xs, ys;
+    for (const auto& entry : losses) {
+      auto it = transient_rate.find(entry.as);
+      if (it == transient_rate.end()) continue;
+      xs.push_back(entry.per_origin[o].rate());
+      ys.push_back(it->second[o] /
+                   static_cast<double>(ground_truth[entry.as]));
+    }
+    out.push_back(stats::spearman(xs, ys));
+  }
+  return out;
+}
+
+stats::SpearmanResult per_as_loss_vs_transient(
+    const Classification& classification, const AsLoss& as_loss,
+    const std::vector<std::uint64_t>& transient_hosts_per_origin) {
+  (void)classification;
+  std::vector<double> xs, ys;
+  for (std::size_t o = 0; o < as_loss.per_origin.size(); ++o) {
+    xs.push_back(as_loss.per_origin[o].rate());
+    ys.push_back(static_cast<double>(transient_hosts_per_origin[o]));
+  }
+  return stats::spearman(xs, ys);
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,59 @@
+// Packet-drop estimation (Section 5.2, Fig 10). ZMap sends two
+// back-to-back SYNs; a host answering exactly one of them witnessed one
+// dropped packet (in either direction). Following the paper, the
+// estimator excludes RST responders, restricts itself to hosts that
+// completed an L7 handshake with some origin in the trial, and is a
+// lower bound because double losses are indistinguishable from dead
+// hosts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.h"
+#include "sim/topology.h"
+#include "stats/hypothesis.h"
+
+namespace originscan::core {
+
+struct LossEstimate {
+  std::uint64_t single_response_hosts = 0;  // exactly one probe answered
+  std::uint64_t double_response_hosts = 0;
+  // singles / (singles + 2*doubles): the per-probe drop-rate lower bound.
+  [[nodiscard]] double rate() const {
+    const std::uint64_t probes =
+        single_response_hosts + 2 * double_response_hosts;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(single_response_hosts) /
+                             static_cast<double>(probes);
+  }
+};
+
+// Global per (origin, trial) drop estimates.
+std::vector<std::vector<LossEstimate>> global_loss(
+    const AccessMatrix& matrix);  // [trial][origin]
+
+struct AsLoss {
+  sim::AsId as = sim::kNoAs;
+  std::string name;
+  std::uint64_t ground_truth_hosts = 0;
+  std::vector<LossEstimate> per_origin;  // aggregated over trials
+};
+
+std::vector<AsLoss> loss_by_as(const AccessMatrix& matrix,
+                               const sim::Topology& topology,
+                               std::uint64_t min_hosts = 10);
+
+// Per-origin Spearman correlation across ASes between estimated packet
+// loss and transient host-loss rate (the paper reports rho = 0.40-0.52).
+std::vector<stats::SpearmanResult> loss_vs_transient_correlation(
+    const Classification& classification, const sim::Topology& topology,
+    std::uint64_t min_hosts = 10);
+
+// Fig 10 per-AS view: across origins, does the origin with more packet
+// loss miss more hosts in this AS?
+stats::SpearmanResult per_as_loss_vs_transient(
+    const Classification& classification, const AsLoss& as_loss,
+    const std::vector<std::uint64_t>& transient_hosts_per_origin);
+
+}  // namespace originscan::core

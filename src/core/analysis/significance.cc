@@ -1,0 +1,61 @@
+#include "core/analysis/significance.h"
+
+namespace originscan::core {
+
+std::vector<PairwiseSignificance> pairwise_mcnemar(const AccessMatrix& matrix,
+                                                   int trial) {
+  const std::size_t origins = matrix.origins();
+  std::vector<PairwiseSignificance> out;
+
+  for (std::size_t a = 0; a < origins; ++a) {
+    for (std::size_t b = a + 1; b < origins; ++b) {
+      std::uint64_t yy = 0, yn = 0, ny = 0, nn = 0;
+      for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+        if (!matrix.present(trial, h)) continue;
+        const bool sa = matrix.accessible(trial, a, h);
+        const bool sb = matrix.accessible(trial, b, h);
+        if (sa && sb) {
+          ++yy;
+        } else if (sa) {
+          ++yn;
+        } else if (sb) {
+          ++ny;
+        } else {
+          ++nn;
+        }
+      }
+      PairwiseSignificance entry;
+      entry.origin_a = a;
+      entry.origin_b = b;
+      entry.label = matrix.origin_codes()[a] + " vs " +
+                    matrix.origin_codes()[b];
+      entry.mcnemar = stats::mcnemar_test(yy, yn, ny, nn);
+      out.push_back(std::move(entry));
+    }
+  }
+
+  std::vector<double> raw;
+  raw.reserve(out.size());
+  for (const auto& entry : out) raw.push_back(entry.mcnemar.p_value);
+  const auto adjusted = stats::bonferroni(raw);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].bonferroni_p = adjusted[i];
+  }
+  return out;
+}
+
+stats::CochranQResult cochran_q_all_origins(const AccessMatrix& matrix,
+                                            int trial) {
+  std::vector<std::vector<bool>> table;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (!matrix.present(trial, h)) continue;
+    std::vector<bool> row(matrix.origins());
+    for (std::size_t o = 0; o < matrix.origins(); ++o) {
+      row[o] = matrix.accessible(trial, o, h);
+    }
+    table.push_back(std::move(row));
+  }
+  return stats::cochran_q(table);
+}
+
+}  // namespace originscan::core

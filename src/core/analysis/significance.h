@@ -1,0 +1,32 @@
+// Section 3's statistical validation: McNemar's test on every pair of
+// origins' host visibility, with a Bonferroni correction across the
+// pairwise family, plus Cochran's Q for comparison (the paper explains
+// why it prefers the pairwise tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/access_matrix.h"
+#include "stats/hypothesis.h"
+
+namespace originscan::core {
+
+struct PairwiseSignificance {
+  std::size_t origin_a = 0;
+  std::size_t origin_b = 0;
+  std::string label;  // "AU vs DE"
+  stats::McNemarResult mcnemar;
+  double bonferroni_p = 1.0;
+};
+
+// All origin pairs for one trial. Hosts considered are the trial's
+// ground truth; "sees" = completed L7 handshake.
+std::vector<PairwiseSignificance> pairwise_mcnemar(const AccessMatrix& matrix,
+                                                   int trial);
+
+// Cochran's Q across all origins for one trial.
+stats::CochranQResult cochran_q_all_origins(const AccessMatrix& matrix,
+                                            int trial);
+
+}  // namespace originscan::core

@@ -1,0 +1,179 @@
+#include "core/analysis/ssh.h"
+
+#include <algorithm>
+#include <map>
+
+namespace originscan::core {
+
+TemporalBlockingSeries temporal_blocking_series(const AccessMatrix& matrix,
+                                                const sim::Topology& topology,
+                                                sim::AsId as, int trial) {
+  TemporalBlockingSeries series;
+  series.as_name = as == sim::kNoAs ? "(unrouted)" : topology.as_info(as).name;
+  series.origin_codes = matrix.origin_codes();
+
+  std::uint32_t hours = 1;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    hours = std::max<std::uint32_t>(hours, matrix.probe_hour(trial, h) + 1u);
+  }
+
+  const std::size_t origins = matrix.origins();
+  series.series.assign(origins, std::vector<double>(hours, 0.0));
+  std::vector<std::vector<double>> probed(
+      origins, std::vector<double>(hours, 0.0));
+
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.host_as(h) != as) continue;
+    const std::uint8_t hour = matrix.probe_hour(trial, h);
+    for (std::size_t o = 0; o < origins; ++o) {
+      const sim::L7Outcome outcome = matrix.outcome(trial, o, h);
+      if (outcome == sim::L7Outcome::kNotAttempted) continue;
+      probed[o][hour] += 1.0;
+      if (outcome == sim::L7Outcome::kResetAfterAccept) {
+        series.series[o][hour] += 1.0;
+      }
+    }
+  }
+  for (std::size_t o = 0; o < origins; ++o) {
+    for (std::uint32_t hr = 0; hr < hours; ++hr) {
+      if (probed[o][hr] > 0) series.series[o][hr] /= probed[o][hr];
+    }
+  }
+  return series;
+}
+
+std::vector<TemporalBlocker> find_temporal_blockers(
+    const AccessMatrix& matrix, const sim::Topology& topology,
+    double min_rst_share, std::uint64_t min_hosts) {
+  struct Counts {
+    std::uint64_t rst = 0;
+    std::uint64_t hosts = 0;
+  };
+  std::map<sim::AsId, Counts> per_as;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) == 0) continue;
+    auto& counts = per_as[matrix.host_as(h)];
+    ++counts.hosts;
+    bool rst = false;
+    for (int t = 0; t < matrix.trials() && !rst; ++t) {
+      for (std::size_t o = 0; o < matrix.origins() && !rst; ++o) {
+        if (matrix.outcome(t, o, h) == sim::L7Outcome::kResetAfterAccept) {
+          rst = true;
+        }
+      }
+    }
+    if (rst) ++counts.rst;
+  }
+
+  std::vector<TemporalBlocker> out;
+  for (const auto& [as, counts] : per_as) {
+    if (counts.hosts < min_hosts) continue;
+    const double share = static_cast<double>(counts.rst) /
+                         static_cast<double>(counts.hosts);
+    if (share < min_rst_share) continue;
+    TemporalBlocker blocker;
+    blocker.as = as;
+    blocker.name =
+        as == sim::kNoAs ? "(unrouted)" : topology.as_info(as).name;
+    blocker.rst_hosts = counts.rst;
+    blocker.ssh_hosts = counts.hosts;
+    out.push_back(std::move(blocker));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TemporalBlocker& a, const TemporalBlocker& b) {
+              return a.rst_hosts > b.rst_hosts;
+            });
+  return out;
+}
+
+SshMissBreakdown ssh_miss_breakdown(const Classification& classification) {
+  const AccessMatrix& matrix = classification.matrix();
+  const std::size_t origins = matrix.origins();
+
+  SshMissBreakdown breakdown;
+  breakdown.origin_codes = matrix.origin_codes();
+  breakdown.temporal_blocking.assign(origins, 0);
+  breakdown.probabilistic_blocking.assign(origins, 0);
+  breakdown.longterm_other.assign(origins, 0);
+  breakdown.transient_other.assign(origins, 0);
+  breakdown.unknown.assign(origins, 0);
+
+  // Temporal (Alibaba-style) blocking is a *network-wide* RST signature
+  // — the paper notes Alibaba is the only network that RSTs every host
+  // once tripped. A lone RST (the occasional MaxStartups refusal) does
+  // not qualify. Compute the per-(trial, origin, AS) RST share first.
+  struct Cell {
+    std::uint64_t attempted = 0;
+    std::uint64_t rst = 0;
+  };
+  std::map<std::tuple<int, std::size_t, sim::AsId>, Cell> as_rst;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    for (std::size_t o = 0; o < origins; ++o) {
+      for (int t = 0; t < matrix.trials(); ++t) {
+        const sim::L7Outcome outcome = matrix.outcome(t, o, h);
+        if (outcome == sim::L7Outcome::kNotAttempted) continue;
+        auto& cell = as_rst[{t, o, matrix.host_as(h)}];
+        ++cell.attempted;
+        if (outcome == sim::L7Outcome::kResetAfterAccept) ++cell.rst;
+      }
+    }
+  }
+  const auto network_wide_rst = [&](int t, std::size_t o, sim::AsId as) {
+    const auto it = as_rst.find({t, o, as});
+    if (it == as_rst.end() || it->second.attempted < 5) return false;
+    return it->second.rst * 2 > it->second.attempted;
+  };
+
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    for (std::size_t o = 0; o < origins; ++o) {
+      for (int t = 0; t < matrix.trials(); ++t) {
+        if (!classification.missing(t, o, h)) continue;
+        const sim::L7Outcome outcome = matrix.outcome(t, o, h);
+        if (outcome == sim::L7Outcome::kResetAfterAccept &&
+            network_wide_rst(t, o, matrix.host_as(h))) {
+          ++breakdown.temporal_blocking[o];
+        } else if (outcome == sim::L7Outcome::kResetAfterAccept ||
+                   outcome == sim::L7Outcome::kClosedBeforeData ||
+                   (matrix.explicit_close(t, o, h) &&
+                    outcome != sim::L7Outcome::kNotAttempted)) {
+          // Explicitly refused pre-banner while someone else completed
+          // the handshake: the MaxStartups signature.
+          ++breakdown.probabilistic_blocking[o];
+        } else {
+          switch (classification.host_class(o, h)) {
+            case HostClass::kLongTerm:
+              ++breakdown.longterm_other[o];
+              break;
+            case HostClass::kTransient:
+              ++breakdown.transient_other[o];
+              break;
+            default:
+              ++breakdown.unknown[o];
+              break;
+          }
+        }
+      }
+    }
+  }
+  return breakdown;
+}
+
+std::vector<double> retry_success_curve(
+    const std::vector<scan::ScanResult>& results) {
+  std::vector<double> out;
+  for (const auto& result : results) {
+    std::uint64_t responding = 0;
+    std::uint64_t completed = 0;
+    for (const auto& record : result.records) {
+      if (record.synack_mask == 0) continue;
+      ++responding;
+      if (record.l7_completed()) ++completed;
+    }
+    out.push_back(responding == 0 ? 0.0
+                                  : static_cast<double>(completed) /
+                                        static_cast<double>(responding));
+  }
+  return out;
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,80 @@
+// SSH-specific behaviour (Section 6): temporal network-wide RST blocking
+// (Fig 12), handshake-retry recovery of probabilistic temporary blocking
+// (Fig 13, data produced by Experiment::run_extra_scan), and the missing-
+// host cause breakdown (Fig 14).
+//
+// Causes are inferred from *observed* behaviour, as the paper does — not
+// from the simulation's configuration:
+//   * temporal blocking     — connection RST immediately after the TCP
+//                             handshake (the Alibaba signature);
+//   * probabilistic blocking— connection explicitly closed before the
+//                             identification string by a host that
+//                             completed the handshake with some other
+//                             origin in the same trial;
+//   * long-term / transient / unknown — the Section-3 taxonomy for the
+//                             remainder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "scanner/orchestrator.h"
+#include "sim/topology.h"
+
+namespace originscan::core {
+
+// Fig 12: hourly fraction of an AS's SSH hosts answering RST-after-
+// accept, per origin, in one trial.
+struct TemporalBlockingSeries {
+  std::string as_name;
+  std::vector<std::string> origin_codes;
+  // series[origin][hour] = fraction of the AS's hosts probed that hour
+  // that were RST immediately after the TCP handshake.
+  std::vector<std::vector<double>> series;
+};
+
+TemporalBlockingSeries temporal_blocking_series(const AccessMatrix& matrix,
+                                                const sim::Topology& topology,
+                                                sim::AsId as, int trial);
+
+// ASes whose hosts exhibit network-wide RST-after-accept behaviour for
+// some single-IP origin (candidates for the Alibaba archetype), ranked by
+// affected host count.
+struct TemporalBlocker {
+  sim::AsId as = sim::kNoAs;
+  std::string name;
+  std::uint64_t rst_hosts = 0;
+  std::uint64_t ssh_hosts = 0;
+};
+std::vector<TemporalBlocker> find_temporal_blockers(
+    const AccessMatrix& matrix, const sim::Topology& topology,
+    double min_rst_share = 0.2, std::uint64_t min_hosts = 20);
+
+// Fig 14: the cause breakdown of missing SSH host-instances per origin
+// (aggregated over trials).
+struct SshMissBreakdown {
+  std::vector<std::string> origin_codes;
+  std::vector<std::uint64_t> temporal_blocking;      // RST after accept
+  std::vector<std::uint64_t> probabilistic_blocking; // MaxStartups signature
+  std::vector<std::uint64_t> longterm_other;
+  std::vector<std::uint64_t> transient_other;
+  std::vector<std::uint64_t> unknown;
+
+  [[nodiscard]] std::uint64_t total(std::size_t origin) const {
+    return temporal_blocking[origin] + probabilistic_blocking[origin] +
+           longterm_other[origin] + transient_other[origin] + unknown[origin];
+  }
+};
+
+SshMissBreakdown ssh_miss_breakdown(const Classification& classification);
+
+// Fig 13 reduction: success rate of a retried subnet scan. `results[k]`
+// must be the scan produced with max_retries = k; returns, per k, the
+// fraction of responding addresses (L4 SYN-ACK) that completed the SSH
+// handshake.
+std::vector<double> retry_success_curve(
+    const std::vector<scan::ScanResult>& results);
+
+}  // namespace originscan::core

@@ -1,0 +1,97 @@
+#include "core/analysis/stability.h"
+
+#include <algorithm>
+#include <map>
+
+namespace originscan::core {
+
+StabilityResult compute_stability(const Classification& classification,
+                                  std::uint64_t min_hosts) {
+  const AccessMatrix& matrix = classification.matrix();
+  const std::size_t origins = matrix.origins();
+  const int trials = matrix.trials();
+
+  StabilityResult result;
+  result.origin_codes = matrix.origin_codes();
+  result.consistent_best_by_origin.assign(origins, 0);
+  result.consistent_worst_by_origin.assign(origins, 0);
+
+  // Per AS: misses[trial][origin] over ground-truth hosts of that trial.
+  struct AsCounts {
+    std::uint64_t ground_truth = 0;
+    std::vector<std::vector<std::uint64_t>> misses;  // [trial][origin]
+    bool any_missing = false;
+  };
+  std::map<sim::AsId, AsCounts> per_as;
+
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) == 0) continue;
+    auto& entry = per_as[matrix.host_as(h)];
+    if (entry.misses.empty()) {
+      entry.misses.assign(trials, std::vector<std::uint64_t>(origins, 0));
+    }
+    ++entry.ground_truth;
+    for (int t = 0; t < trials; ++t) {
+      if (!matrix.present(t, h)) continue;
+      for (std::size_t o = 0; o < origins; ++o) {
+        // Section 5.1 ranks origins by *transient* loss: long-term
+        // blocking would otherwise make every blocked origin trivially
+        // "consistently worst".
+        if (!matrix.accessible(t, o, h) &&
+            classification.host_class(o, h) == HostClass::kTransient) {
+          ++entry.misses[t][o];
+          entry.any_missing = true;
+        }
+      }
+    }
+  }
+
+  for (const auto& [as, entry] : per_as) {
+    if (entry.ground_truth < min_hosts || !entry.any_missing) continue;
+    ++result.ases_considered;
+
+    // Unique best/worst origin per trial (ties disqualify).
+    std::vector<int> best(trials, -1);
+    std::vector<int> worst(trials, -1);
+    for (int t = 0; t < trials; ++t) {
+      const auto& row = entry.misses[t];
+      const auto [min_it, max_it] =
+          std::minmax_element(row.begin(), row.end());
+      if (std::count(row.begin(), row.end(), *min_it) == 1) {
+        best[t] = static_cast<int>(min_it - row.begin());
+      }
+      if (std::count(row.begin(), row.end(), *max_it) == 1) {
+        worst[t] = static_cast<int>(max_it - row.begin());
+      }
+    }
+
+    // Flip: some origin is best in one trial and worst in another.
+    bool flipped = false;
+    for (int t1 = 0; t1 < trials && !flipped; ++t1) {
+      for (int t2 = 0; t2 < trials && !flipped; ++t2) {
+        if (best[t1] >= 0 && best[t1] == worst[t2]) flipped = true;
+      }
+    }
+    if (flipped) ++result.flip_ases;
+
+    const bool best_consistent =
+        best[0] >= 0 &&
+        std::all_of(best.begin(), best.end(),
+                    [&](int b) { return b == best[0]; });
+    if (best_consistent) {
+      ++result.consistent_best_ases;
+      ++result.consistent_best_by_origin[static_cast<std::size_t>(best[0])];
+    }
+    const bool worst_consistent =
+        worst[0] >= 0 &&
+        std::all_of(worst.begin(), worst.end(),
+                    [&](int w) { return w == worst[0]; });
+    if (worst_consistent) {
+      ++result.consistent_worst_ases;
+      ++result.consistent_worst_by_origin[static_cast<std::size_t>(worst[0])];
+    }
+  }
+  return result;
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,42 @@
+// Origin-stability of transient loss (Section 5.1, Fig 11): per
+// destination AS and trial, which origin missed the fewest/most hosts;
+// how often the best origin flips to worst across trials; which origins
+// are consistently best or worst.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "sim/topology.h"
+
+namespace originscan::core {
+
+struct StabilityResult {
+  std::vector<std::string> origin_codes;
+
+  std::uint64_t ases_considered = 0;
+  // ASes where some origin is best in one trial and worst in another.
+  std::uint64_t flip_ases = 0;
+  // ASes with the same unique best (resp. worst) origin in all trials.
+  std::uint64_t consistent_best_ases = 0;
+  std::uint64_t consistent_worst_ases = 0;
+  // Who the consistent best/worst origin is, per origin index.
+  std::vector<std::uint64_t> consistent_best_by_origin;
+  std::vector<std::uint64_t> consistent_worst_by_origin;
+
+  [[nodiscard]] double flip_fraction() const {
+    return ases_considered == 0
+               ? 0.0
+               : static_cast<double>(flip_ases) /
+                     static_cast<double>(ases_considered);
+  }
+};
+
+// Only ASes with at least `min_hosts` ground-truth hosts and at least one
+// missing host in some trial are considered (rank noise otherwise).
+StabilityResult compute_stability(const Classification& classification,
+                                  std::uint64_t min_hosts = 10);
+
+}  // namespace originscan::core

@@ -1,0 +1,98 @@
+#include "core/analysis/transient.h"
+
+#include <algorithm>
+#include <map>
+
+namespace originscan::core {
+
+double AsTransient::max_rate() const {
+  return rate.empty() ? 0.0 : *std::max_element(rate.begin(), rate.end());
+}
+
+double AsTransient::min_rate() const {
+  return rate.empty() ? 0.0 : *std::min_element(rate.begin(), rate.end());
+}
+
+std::uint64_t AsTransient::diff_hosts() const {
+  if (transient_hosts.empty()) return 0;
+  const auto [min_it, max_it] =
+      std::minmax_element(transient_hosts.begin(), transient_hosts.end());
+  return *max_it - *min_it;
+}
+
+double AsTransient::ratio() const {
+  if (transient_hosts.empty()) return 0.0;
+  const auto [min_it, max_it] =
+      std::minmax_element(transient_hosts.begin(), transient_hosts.end());
+  const double denominator = *min_it == 0 ? 1.0 : static_cast<double>(*min_it);
+  return static_cast<double>(*max_it) / denominator;
+}
+
+std::vector<AsTransient> transient_by_as(
+    const Classification& classification, const sim::Topology& topology,
+    std::uint64_t min_hosts) {
+  const AccessMatrix& matrix = classification.matrix();
+  const std::size_t origins = matrix.origins();
+
+  std::map<sim::AsId, AsTransient> per_as;
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    if (matrix.trials_present(h) == 0) continue;
+    auto& entry = per_as[matrix.host_as(h)];
+    if (entry.transient_hosts.empty()) {
+      entry.as = matrix.host_as(h);
+      entry.transient_hosts.assign(origins, 0);
+    }
+    ++entry.ground_truth_hosts;
+    for (std::size_t o = 0; o < origins; ++o) {
+      if (classification.host_class(o, h) == HostClass::kTransient) {
+        ++entry.transient_hosts[o];
+      }
+    }
+  }
+
+  std::vector<AsTransient> out;
+  for (auto& [as, entry] : per_as) {
+    if (entry.ground_truth_hosts < min_hosts) continue;
+    if (as != sim::kNoAs) {
+      entry.name = topology.as_info(as).name;
+      entry.country = topology.as_info(as).country.to_string();
+    } else {
+      entry.name = "(unrouted)";
+      entry.country = "??";
+    }
+    entry.rate.assign(entry.transient_hosts.size(), 0.0);
+    for (std::size_t o = 0; o < entry.transient_hosts.size(); ++o) {
+      entry.rate[o] = static_cast<double>(entry.transient_hosts[o]) /
+                      static_cast<double>(entry.ground_truth_hosts);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+TransientSpread transient_spread(const std::vector<AsTransient>& by_as) {
+  TransientSpread spread;
+  for (const auto& entry : by_as) {
+    spread.differences.push_back(entry.max_rate() - entry.min_rate());
+    spread.weights.push_back(static_cast<double>(entry.ground_truth_hosts));
+  }
+  return spread;
+}
+
+std::vector<AsTransient> largest_transient_spread(
+    std::vector<AsTransient> by_as, std::size_t top_by_size,
+    std::size_t take) {
+  std::sort(by_as.begin(), by_as.end(),
+            [](const AsTransient& a, const AsTransient& b) {
+              return a.ground_truth_hosts > b.ground_truth_hosts;
+            });
+  if (by_as.size() > top_by_size) by_as.resize(top_by_size);
+  std::sort(by_as.begin(), by_as.end(),
+            [](const AsTransient& a, const AsTransient& b) {
+              return a.diff_hosts() > b.diff_hosts();
+            });
+  if (by_as.size() > take) by_as.resize(take);
+  return by_as;
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,55 @@
+// Transient-loss analysis across destination ASes (Fig 9, Table 3): per
+// (AS, origin) transient loss rates, the spread between the best and the
+// worst origin, and the ASes where that spread is largest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "sim/topology.h"
+
+namespace originscan::core {
+
+struct AsTransient {
+  sim::AsId as = sim::kNoAs;
+  std::string name;
+  std::string country;
+  std::uint64_t ground_truth_hosts = 0;
+  // Per origin: distinct hosts transiently missed (union over trials).
+  std::vector<std::uint64_t> transient_hosts;
+  // Per origin: rate = transient_hosts / ground_truth_hosts.
+  std::vector<double> rate;
+
+  [[nodiscard]] double max_rate() const;
+  [[nodiscard]] double min_rate() const;
+  // The paper's Table 3 columns.
+  [[nodiscard]] double delta_percent() const {
+    return 100.0 * (max_rate() - min_rate());
+  }
+  [[nodiscard]] std::uint64_t diff_hosts() const;
+  [[nodiscard]] double ratio() const;  // max/min host counts (min>=1)
+};
+
+// Per-AS transient statistics for all ASes with >= min_hosts GT hosts.
+std::vector<AsTransient> transient_by_as(
+    const Classification& classification, const sim::Topology& topology,
+    std::uint64_t min_hosts = 2);
+
+// Fig 9: the distribution of (max-min) transient-loss-rate differences,
+// optionally weighted by AS size. Returns the raw per-AS differences and
+// weights so callers can build ECDFs.
+struct TransientSpread {
+  std::vector<double> differences;  // per AS, in rate units [0,1]
+  std::vector<double> weights;      // AS ground-truth host counts
+};
+TransientSpread transient_spread(const std::vector<AsTransient>& by_as);
+
+// Table 3: ASes with the largest host-count spread (`Diff`), restricted
+// to the top `top_by_size` ASes by host count as the paper does.
+std::vector<AsTransient> largest_transient_spread(
+    std::vector<AsTransient> by_as, std::size_t top_by_size = 100,
+    std::size_t take = 6);
+
+}  // namespace originscan::core

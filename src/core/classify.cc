@@ -1,0 +1,118 @@
+#include "core/classify.h"
+
+namespace originscan::core {
+
+Classification::Classification(const AccessMatrix& matrix)
+    : matrix_(&matrix) {
+  const std::size_t origins = matrix.origins();
+  const std::size_t n = matrix.host_count();
+  classes_.assign(origins, std::vector<std::uint8_t>(n, 0));
+
+  for (std::size_t o = 0; o < origins; ++o) {
+    for (HostIdx h = 0; h < n; ++h) {
+      int present = 0;
+      int missed = 0;
+      for (int t = 0; t < matrix.trials(); ++t) {
+        if (!matrix.present(t, h)) continue;
+        ++present;
+        if (!matrix.accessible(t, o, h)) ++missed;
+      }
+      HostClass result = HostClass::kAccessible;
+      if (present == 0) {
+        result = HostClass::kNotInGroundTruth;
+      } else if (missed == 0) {
+        result = HostClass::kAccessible;
+      } else if (present == 1) {
+        result = HostClass::kUnknown;
+      } else if (missed == present) {
+        result = HostClass::kLongTerm;
+      } else {
+        result = HostClass::kTransient;
+      }
+      classes_[o][h] = static_cast<std::uint8_t>(result);
+    }
+  }
+  classify_networks();
+}
+
+void Classification::classify_networks() {
+  const std::size_t origins = matrix_->origins();
+  const std::size_t n = matrix_->host_count();
+  network_level_.assign(origins, std::vector<bool>(n, false));
+
+  // Hosts are sorted by address, so /24 groups are contiguous runs.
+  std::size_t run_start = 0;
+  while (run_start < n) {
+    const net::Ipv4Addr net24 = matrix_->host_addr(run_start).slash24();
+    std::size_t run_end = run_start + 1;
+    while (run_end < n &&
+           matrix_->host_addr(run_end).slash24() == net24) {
+      ++run_end;
+    }
+    if (run_end - run_start >= 2) {
+      for (std::size_t o = 0; o < origins; ++o) {
+        const std::uint8_t first = classes_[o][run_start];
+        bool consistent = true;
+        for (std::size_t i = run_start + 1; i < run_end; ++i) {
+          if (classes_[o][i] != first) {
+            consistent = false;
+            break;
+          }
+        }
+        if (consistent) {
+          for (std::size_t i = run_start; i < run_end; ++i) {
+            network_level_[o][i] = true;
+          }
+        }
+      }
+    }
+    run_start = run_end;
+  }
+}
+
+Classification::Breakdown Classification::breakdown(std::size_t origin,
+                                                    int trial) const {
+  Breakdown b;
+  const std::size_t n = matrix_->host_count();
+  for (HostIdx h = 0; h < n; ++h) {
+    if (!missing(trial, origin, h)) continue;
+    const bool net = network_level_[origin][h];
+    switch (host_class(origin, h)) {
+      case HostClass::kTransient:
+        (net ? b.transient_net : b.transient_host) += 1;
+        break;
+      case HostClass::kLongTerm:
+        (net ? b.longterm_net : b.longterm_host) += 1;
+        break;
+      case HostClass::kUnknown:
+        b.unknown += 1;
+        break;
+      case HostClass::kAccessible:
+      case HostClass::kNotInGroundTruth:
+        break;  // not missing by definition
+    }
+  }
+  return b;
+}
+
+std::uint64_t Classification::longterm_count(std::size_t origin) const {
+  std::uint64_t count = 0;
+  for (HostIdx h = 0; h < matrix_->host_count(); ++h) {
+    if (host_class(origin, h) == HostClass::kLongTerm) ++count;
+  }
+  return count;
+}
+
+std::uint64_t Classification::transient_count(std::size_t origin) const {
+  std::uint64_t count = 0;
+  for (HostIdx h = 0; h < matrix_->host_count(); ++h) {
+    if (host_class(origin, h) == HostClass::kTransient) ++count;
+  }
+  return count;
+}
+
+bool Classification::network_level(std::size_t origin, HostIdx h) const {
+  return network_level_[origin][h];
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,85 @@
+// Section 3's missing-host taxonomy. For each (origin, host):
+//
+//   accessible  — origin completed L7 in every trial the host was present;
+//   transient   — missed in some present trials, seen in others;
+//   long-term   — missed in every present trial (>= 2 trials present);
+//   unknown     — host present in only one trial and missed there.
+//
+// The same split is applied at /24 granularity: a /24 with at least two
+// ground-truth hosts whose classifications agree is treated as a network
+// unit, separating "networks that block" from "hosts that flap".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/access_matrix.h"
+
+namespace originscan::core {
+
+enum class HostClass : std::uint8_t {
+  kAccessible = 0,
+  kTransient,
+  kLongTerm,
+  kUnknown,
+  kNotInGroundTruth,  // host never present with >= 1 trial (cannot happen
+                      // for matrix hosts, but keeps switches exhaustive)
+};
+
+class Classification {
+ public:
+  // Classifies every (origin, host) pair of the matrix.
+  explicit Classification(const AccessMatrix& matrix);
+
+  [[nodiscard]] const AccessMatrix& matrix() const { return *matrix_; }
+
+  [[nodiscard]] HostClass host_class(std::size_t origin, HostIdx h) const {
+    return static_cast<HostClass>(classes_[origin][h]);
+  }
+
+  // Whether this host, for this origin, is missing in the given trial
+  // (present in ground truth but not accessible).
+  [[nodiscard]] bool missing(int trial, std::size_t origin, HostIdx h) const {
+    return matrix_->present(trial, h) && !matrix_->accessible(trial, origin, h);
+  }
+
+  // ---- Aggregates ----------------------------------------------------
+
+  struct Breakdown {
+    std::uint64_t transient_host = 0;   // transiently missing, host-level
+    std::uint64_t transient_net = 0;    // ... as part of a /24-level unit
+    std::uint64_t longterm_host = 0;
+    std::uint64_t longterm_net = 0;
+    std::uint64_t unknown = 0;
+
+    [[nodiscard]] std::uint64_t total() const {
+      return transient_host + transient_net + longterm_host + longterm_net +
+             unknown;
+    }
+  };
+
+  // Counts of missing hosts for (origin, trial), split by class and by
+  // host-vs-network granularity (Fig 2).
+  [[nodiscard]] Breakdown breakdown(std::size_t origin, int trial) const;
+
+  // Union across trials: number of distinct hosts long-term (resp.
+  // transiently) inaccessible from the origin.
+  [[nodiscard]] std::uint64_t longterm_count(std::size_t origin) const;
+  [[nodiscard]] std::uint64_t transient_count(std::size_t origin) const;
+
+  // Whether a host's /24 behaves as a consistent network unit for this
+  // origin (>= 2 ground-truth hosts in the /24, all with the same class).
+  [[nodiscard]] bool network_level(std::size_t origin, HostIdx h) const;
+
+ private:
+  void classify_networks();
+
+  const AccessMatrix* matrix_;
+  // classes_[origin][host] — HostClass as uint8.
+  std::vector<std::vector<std::uint8_t>> classes_;
+  // network_level_[origin][host] — part of a consistent /24.
+  std::vector<std::vector<bool>> network_level_;
+};
+
+}  // namespace originscan::core

@@ -1,0 +1,135 @@
+#include "core/experiment.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace originscan::core {
+namespace {
+
+std::vector<sim::OriginSpec> roster_for(const ExperimentConfig& config) {
+  switch (config.roster) {
+    case ExperimentConfig::Roster::kPaper:
+      return sim::paper_origins(config.scenario.universe_size);
+    case ExperimentConfig::Roster::kPaperWithCarinet:
+      return sim::paper_origins_with_carinet(config.scenario.universe_size);
+    case ExperimentConfig::Roster::kColocated:
+      return sim::colocated_origins(config.scenario.universe_size);
+  }
+  return sim::paper_origins(config.scenario.universe_size);
+}
+
+}  // namespace
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)),
+      world_(sim::build_world(config_.scenario, roster_for(config_))) {
+  world_.uniform_random_loss = config_.uniform_random_loss;
+}
+
+Experiment::Experiment(ExperimentConfig config, sim::World world)
+    : config_(std::move(config)), world_(std::move(world)) {
+  config_.scenario.seed = world_.seed;
+}
+
+std::size_t Experiment::index(int trial, std::size_t protocol_index,
+                              sim::OriginId origin) const {
+  return (static_cast<std::size_t>(trial) * config_.protocols.size() +
+          protocol_index) *
+             world_.origins.size() +
+         origin;
+}
+
+void Experiment::run(const std::function<void(std::string_view)>& progress) {
+  assert(results_.empty() && "Experiment::run called twice");
+  results_.resize(static_cast<std::size_t>(config_.trials) *
+                  config_.protocols.size() * world_.origins.size());
+
+  for (int trial = 0; trial < config_.trials; ++trial) {
+    sim::TrialContext context;
+    context.trial = trial;
+    context.experiment_seed = config_.scenario.seed;
+    context.simultaneous_origins =
+        static_cast<int>(world_.origins.size());
+    context.scan_duration = config_.scan_duration;
+    sim::Internet internet(&world_, context, &persistent_);
+
+    for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
+      for (sim::OriginId origin = 0; origin < world_.origins.size();
+           ++origin) {
+        scan::ScanOptions options;
+        options.probes = config_.probes;
+        options.probe_interval = config_.probe_interval;
+        options.l7_retries = config_.l7_retries;
+        options.blocklist = config_.blocklist;
+        options.scan_duration = config_.scan_duration;
+        auto result =
+            scan::run_scan(internet, origin, config_.protocols[p], options);
+        if (progress) {
+          progress("trial " + std::to_string(trial + 1) + " " +
+                   std::string(proto::name_of(config_.protocols[p])) + " " +
+                   result.origin_code + ": " +
+                   std::to_string(result.completed_count()) + " hosts");
+        }
+        results_[index(trial, p, origin)] = std::move(result);
+      }
+    }
+  }
+}
+
+bool Experiment::adopt_results(std::vector<scan::ScanResult> results) {
+  if (!results_.empty()) return false;
+  const std::size_t expected = static_cast<std::size_t>(config_.trials) *
+                               config_.protocols.size() *
+                               world_.origins.size();
+  if (results.size() != expected) return false;
+
+  std::vector<scan::ScanResult> arranged(expected);
+  std::vector<bool> filled(expected, false);
+  for (auto& result : results) {
+    const sim::OriginId origin = world_.origin_id(result.origin_code);
+    if (origin == ~sim::OriginId{0}) return false;
+    std::size_t protocol_index = config_.protocols.size();
+    for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
+      if (config_.protocols[p] == result.protocol) protocol_index = p;
+    }
+    if (protocol_index == config_.protocols.size()) return false;
+    if (result.trial < 0 || result.trial >= config_.trials) return false;
+    const std::size_t slot = index(result.trial, protocol_index, origin);
+    if (filled[slot]) return false;
+    arranged[slot] = std::move(result);
+    filled[slot] = true;
+  }
+  for (bool f : filled) {
+    if (!f) return false;
+  }
+  results_ = std::move(arranged);
+  return true;
+}
+
+const scan::ScanResult& Experiment::result(int trial,
+                                           proto::Protocol protocol,
+                                           sim::OriginId origin) const {
+  for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
+    if (config_.protocols[p] == protocol) {
+      return results_.at(index(trial, p, origin));
+    }
+  }
+  throw std::out_of_range("protocol not part of this experiment");
+}
+
+scan::ScanResult Experiment::run_extra_scan(int trial,
+                                            proto::Protocol protocol,
+                                            sim::OriginId origin,
+                                            const scan::ScanOptions& options) {
+  sim::TrialContext context;
+  context.trial = trial;
+  context.experiment_seed = config_.scenario.seed;
+  // Extra scans are one-origin follow-ups: no synchronized burst.
+  context.simultaneous_origins = 1;
+  context.scan_duration = options.scan_duration;
+  sim::Internet internet(&world_, context, &persistent_);
+  return scan::run_scan(internet, origin, protocol, options);
+}
+
+}  // namespace originscan::core

@@ -1,0 +1,99 @@
+// Experiment orchestration: the paper's nine synchronized scans —
+// `trials` x `protocols` x origin roster — run against one simulated
+// Internet, with cross-trial policy state (tripped IDSes) carried between
+// trials exactly as it would persist in the real world.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "proto/protocol.h"
+#include "scanner/orchestrator.h"
+#include "sim/internet.h"
+#include "sim/scenario.h"
+
+namespace originscan::core {
+
+struct ExperimentConfig {
+  sim::ScenarioConfig scenario = sim::ScenarioConfig::paper_default();
+
+  enum class Roster {
+    kPaper,             // AU BR DE JP US1 US64 CEN
+    kPaperWithCarinet,  // + CAR (one-trial origin, Section 2)
+    kColocated,         // AU DE JP US1 CEN + HE NTT TELIA (follow-up)
+  };
+  Roster roster = Roster::kPaper;
+
+  int trials = 3;
+  std::vector<proto::Protocol> protocols = {proto::Protocol::kHttp,
+                                            proto::Protocol::kHttps,
+                                            proto::Protocol::kSsh};
+  int probes = 2;
+  net::VirtualTime probe_interval;  // delay between probes to one target
+  int l7_retries = 0;
+  // Ablation: strip the burst structure from path loss (see
+  // sim::World::uniform_random_loss).
+  bool uniform_random_loss = false;
+  scan::Blocklist blocklist;  // synchronized across all origins
+  net::VirtualTime scan_duration = net::VirtualTime::from_hours(21);
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  // Runs the experiment against a caller-supplied world instead of the
+  // paper scenario (custom topologies, tests). The config's scenario
+  // settings are ignored except for the seed, which must match the
+  // world's.
+  Experiment(ExperimentConfig config, sim::World world);
+
+  // Runs every scan. `progress` (optional) receives one line per scan.
+  void run(const std::function<void(std::string_view)>& progress = {});
+
+  // Adopts previously saved results (core/store.h) instead of scanning.
+  // The results must cover exactly this experiment's trials x protocols
+  // x origins grid (matched by origin code, protocol, and trial);
+  // returns false and leaves the experiment unrun otherwise.
+  bool adopt_results(std::vector<scan::ScanResult> results);
+
+  // Flat view of all results, e.g. for core::save_results.
+  [[nodiscard]] const std::vector<scan::ScanResult>& all_results() const {
+    return results_;
+  }
+
+  [[nodiscard]] const sim::World& world() const { return world_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t origin_count() const {
+    return world_.origins.size();
+  }
+  [[nodiscard]] sim::OriginId origin_id(std::string_view code) const {
+    return world_.origin_id(code);
+  }
+
+  [[nodiscard]] const scan::ScanResult& result(int trial,
+                                               proto::Protocol protocol,
+                                               sim::OriginId origin) const;
+  [[nodiscard]] bool has_run() const { return !results_.empty(); }
+
+  // Ad-hoc extra scans against this experiment's world (used by the
+  // retry experiment of Section 6 and the fresh-IP confirmation of
+  // Section 7). `trial` selects host liveness; persistent IDS state is
+  // shared with the main runs.
+  scan::ScanResult run_extra_scan(int trial, proto::Protocol protocol,
+                                  sim::OriginId origin,
+                                  const scan::ScanOptions& options);
+
+ private:
+  [[nodiscard]] std::size_t index(int trial, std::size_t protocol_index,
+                                  sim::OriginId origin) const;
+
+  ExperimentConfig config_;
+  sim::World world_;
+  sim::PersistentState persistent_;
+  std::vector<scan::ScanResult> results_;
+};
+
+}  // namespace originscan::core

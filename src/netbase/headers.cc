@@ -1,0 +1,173 @@
+#include "netbase/headers.h"
+
+#include "netbase/byteio.h"
+
+namespace originscan::net {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t seed) {
+  std::uint64_t sum = seed;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += std::uint32_t{data[i]} << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint32_t tcp_pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst,
+                                    std::uint16_t tcp_length) {
+  std::uint32_t sum = 0;
+  sum += src.value() >> 16;
+  sum += src.value() & 0xFFFF;
+  sum += dst.value() >> 16;
+  sum += dst.value() & 0xFFFF;
+  sum += 6;  // protocol = TCP
+  sum += tcp_length;
+  return sum;
+}
+
+std::uint8_t TcpFlags::to_byte() const {
+  std::uint8_t byte = 0;
+  if (fin) byte |= 0x01;
+  if (syn) byte |= 0x02;
+  if (rst) byte |= 0x04;
+  if (psh) byte |= 0x08;
+  if (ack) byte |= 0x10;
+  return byte;
+}
+
+TcpFlags TcpFlags::from_byte(std::uint8_t byte) {
+  return TcpFlags{
+      .fin = (byte & 0x01) != 0,
+      .syn = (byte & 0x02) != 0,
+      .rst = (byte & 0x04) != 0,
+      .psh = (byte & 0x08) != 0,
+      .ack = (byte & 0x10) != 0,
+  };
+}
+
+void Ipv4Header::serialize(std::vector<std::uint8_t>& out) const {
+  const std::size_t start = out.size();
+  ByteWriter w(out);
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(0);     // DSCP/ECN
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(0x4000);  // flags: DF, fragment offset 0
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value());
+  w.u32(dst.value());
+  const std::uint16_t checksum = internet_checksum(
+      std::span(out).subspan(start, kSize));
+  w.patch_u16(start + 10, checksum);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  if (internet_checksum(data.first(kSize)) != 0) return std::nullopt;
+  ByteReader r(data);
+  const std::uint8_t version_ihl = r.u8();
+  if ((version_ihl >> 4) != 4 || (version_ihl & 0x0F) != 5) {
+    return std::nullopt;
+  }
+  r.skip(1);  // DSCP/ECN
+  Ipv4Header header;
+  header.total_length = r.u16();
+  header.identification = r.u16();
+  r.skip(2);  // flags/fragment
+  header.ttl = r.u8();
+  header.protocol = r.u8();
+  r.skip(2);  // checksum (already verified)
+  header.src = Ipv4Addr(r.u32());
+  header.dst = Ipv4Addr(r.u32());
+  if (!r.ok()) return std::nullopt;
+  return header;
+}
+
+void TcpHeader::serialize(Ipv4Addr src, Ipv4Addr dst,
+                          std::span<const std::uint8_t> payload,
+                          std::vector<std::uint8_t>& out) const {
+  const std::size_t start = out.size();
+  ByteWriter w(out);
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(0x50);  // data offset 5 words
+  w.u8(flags.to_byte());
+  w.u16(window);
+  w.u16(0);  // checksum placeholder
+  w.u16(0);  // urgent pointer
+  w.bytes(payload);
+  const auto tcp_length =
+      static_cast<std::uint16_t>(kSize + payload.size());
+  const std::uint16_t checksum = internet_checksum(
+      std::span(out).subspan(start, tcp_length),
+      tcp_pseudo_header_sum(src, dst, tcp_length));
+  w.patch_u16(start + 16, checksum);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  ByteReader r(data);
+  TcpHeader header;
+  header.src_port = r.u16();
+  header.dst_port = r.u16();
+  header.seq = r.u32();
+  header.ack = r.u32();
+  const std::uint8_t offset = r.u8();
+  if ((offset >> 4) != 5) return std::nullopt;  // options unsupported
+  header.flags = TcpFlags::from_byte(r.u8());
+  header.window = r.u16();
+  r.skip(4);  // checksum + urgent pointer
+  if (!r.ok()) return std::nullopt;
+  return header;
+}
+
+bool TcpHeader::verify_checksum(Ipv4Addr src, Ipv4Addr dst,
+                                std::span<const std::uint8_t> segment) {
+  if (segment.size() < kSize) return false;
+  const auto tcp_length = static_cast<std::uint16_t>(segment.size());
+  return internet_checksum(segment,
+                           tcp_pseudo_header_sum(src, dst, tcp_length)) == 0;
+}
+
+std::vector<std::uint8_t> TcpPacket::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(Ipv4Header::kSize + TcpHeader::kSize + payload.size());
+  Ipv4Header ip_copy = ip;
+  ip_copy.total_length = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + TcpHeader::kSize + payload.size());
+  ip_copy.serialize(out);
+  tcp.serialize(ip.src, ip.dst, payload, out);
+  return out;
+}
+
+std::optional<TcpPacket> TcpPacket::parse(std::span<const std::uint8_t> data) {
+  auto ip = Ipv4Header::parse(data);
+  if (!ip) return std::nullopt;
+  if (ip->total_length > data.size() ||
+      ip->total_length < Ipv4Header::kSize + TcpHeader::kSize) {
+    return std::nullopt;
+  }
+  auto segment = data.subspan(Ipv4Header::kSize,
+                              ip->total_length - Ipv4Header::kSize);
+  if (!TcpHeader::verify_checksum(ip->src, ip->dst, segment)) {
+    return std::nullopt;
+  }
+  auto tcp = TcpHeader::parse(segment);
+  if (!tcp) return std::nullopt;
+  TcpPacket packet;
+  packet.ip = *ip;
+  packet.tcp = *tcp;
+  auto payload = segment.subspan(TcpHeader::kSize);
+  packet.payload.assign(payload.begin(), payload.end());
+  return packet;
+}
+
+}  // namespace originscan::net

@@ -1,0 +1,91 @@
+// IPv4 and TCP header value types with on-the-wire serialization.
+//
+// The scanner builds real packet bytes for its probes (the validation MAC
+// is encoded in the sequence number and source port exactly as ZMap does),
+// and the simulated hosts parse those bytes back — so the probe path is
+// packet-level end to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace originscan::net {
+
+// Internet checksum (RFC 1071) over a byte span; `seed` carries the
+// pseudo-header sum for TCP.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t seed = 0);
+
+// Sum of the TCP pseudo-header fields, to seed internet_checksum().
+std::uint32_t tcp_pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst,
+                                    std::uint16_t tcp_length);
+
+struct TcpFlags {
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+
+  [[nodiscard]] std::uint8_t to_byte() const;
+  static TcpFlags from_byte(std::uint8_t byte);
+
+  friend bool operator==(const TcpFlags&, const TcpFlags&) = default;
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // no options
+
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;  // TCP
+  std::uint16_t identification = 0;
+  std::uint16_t total_length = kSize;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<Ipv4Header> parse(std::span<const std::uint8_t> data);
+
+  friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;  // no options
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 65535;
+
+  // Serializes with a correct checksum for the given pseudo-header
+  // endpoints and (possibly empty) payload.
+  void serialize(Ipv4Addr src, Ipv4Addr dst,
+                 std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>& out) const;
+  static std::optional<TcpHeader> parse(std::span<const std::uint8_t> data);
+
+  // Verifies the checksum of a serialized TCP segment (header + payload).
+  static bool verify_checksum(Ipv4Addr src, Ipv4Addr dst,
+                              std::span<const std::uint8_t> segment);
+
+  friend bool operator==(const TcpHeader&, const TcpHeader&) = default;
+};
+
+// A full probe/response packet: IPv4 header + TCP segment, serialized
+// back-to-back. This is what crosses the simulated network on the L4 path.
+struct TcpPacket {
+  Ipv4Header ip;
+  TcpHeader tcp;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<TcpPacket> parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace originscan::net

@@ -1,0 +1,79 @@
+#include "netbase/interval_set.h"
+
+#include <cassert>
+
+namespace originscan::net {
+
+void IntervalSet::add(std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi) return;
+
+  // Find the first interval that could merge with [lo, hi): any interval
+  // whose end >= lo, i.e. starting from the predecessor of lo.
+  auto it = intervals_.upper_bound(lo);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {
+      lo = prev->first;
+      hi = std::max(hi, prev->second);
+      it = intervals_.erase(prev);
+    }
+  }
+  // Absorb all intervals that start within (or adjacent to) [lo, hi].
+  while (it != intervals_.end() && it->first <= hi) {
+    hi = std::max(hi, it->second);
+    it = intervals_.erase(it);
+  }
+  intervals_.emplace(lo, hi);
+}
+
+void IntervalSet::remove(std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi || intervals_.empty()) return;
+
+  auto it = intervals_.upper_bound(lo);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > lo) it = prev;
+  }
+  while (it != intervals_.end() && it->first < hi) {
+    const std::uint64_t start = it->first;
+    const std::uint64_t end = it->second;
+    it = intervals_.erase(it);
+    if (start < lo) intervals_.emplace(start, lo);
+    if (end > hi) {
+      intervals_.emplace(hi, end);
+      break;
+    }
+  }
+}
+
+bool IntervalSet::contains(std::uint64_t value) const {
+  auto it = intervals_.upper_bound(value);
+  if (it == intervals_.begin()) return false;
+  --it;
+  return value >= it->first && value < it->second;
+}
+
+std::uint64_t IntervalSet::cardinality() const {
+  std::uint64_t total = 0;
+  for (const auto& [lo, hi] : intervals_) total += hi - lo;
+  return total;
+}
+
+std::vector<IntervalSet::Interval> IntervalSet::intervals() const {
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  for (const auto& [lo, hi] : intervals_) out.push_back({lo, hi});
+  return out;
+}
+
+std::uint64_t IntervalSet::nth(std::uint64_t k) const {
+  for (const auto& [lo, hi] : intervals_) {
+    const std::uint64_t span = hi - lo;
+    if (k < span) return lo + k;
+    k -= span;
+  }
+  assert(false && "nth: index out of range");
+  return 0;
+}
+
+}  // namespace originscan::net

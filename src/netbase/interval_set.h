@@ -1,0 +1,52 @@
+// A set of uint64 values stored as disjoint, coalesced, half-open
+// intervals [lo, hi). Used for scanner blocklists/allowlists and for
+// address-universe bookkeeping: these sets are tiny relative to the ranges
+// they cover, so interval storage beats bitmaps by orders of magnitude.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace originscan::net {
+
+class IntervalSet {
+ public:
+  struct Interval {
+    std::uint64_t lo = 0;  // inclusive
+    std::uint64_t hi = 0;  // exclusive
+
+    friend bool operator==(const Interval&, const Interval&) = default;
+  };
+
+  // Inserts [lo, hi), merging with any overlapping or adjacent intervals.
+  // Empty ranges (lo >= hi) are ignored.
+  void add(std::uint64_t lo, std::uint64_t hi);
+
+  // Removes [lo, hi), splitting intervals that straddle the boundary.
+  void remove(std::uint64_t lo, std::uint64_t hi);
+
+  [[nodiscard]] bool contains(std::uint64_t value) const;
+
+  // Total number of values covered.
+  [[nodiscard]] std::uint64_t cardinality() const;
+
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  [[nodiscard]] std::size_t interval_count() const { return intervals_.size(); }
+
+  void clear() { intervals_.clear(); }
+
+  // Snapshot of the disjoint intervals in ascending order.
+  [[nodiscard]] std::vector<Interval> intervals() const;
+
+  // The k-th smallest value in the set (0-based). Precondition:
+  // k < cardinality(). Supports uniform sampling from a blocklisted space.
+  [[nodiscard]] std::uint64_t nth(std::uint64_t k) const;
+
+ private:
+  // Key: interval start; value: interval end (exclusive). Invariant:
+  // intervals are disjoint and non-adjacent (gap >= 1 between them).
+  std::map<std::uint64_t, std::uint64_t> intervals_;
+};
+
+}  // namespace originscan::net

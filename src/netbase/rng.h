@@ -1,0 +1,128 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (loss processes, policy
+// detection times, outage schedules, host placement) draws from an
+// explicitly seeded generator, never from global state — the same seed
+// must reproduce a byte-identical experiment.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace originscan::net {
+
+// SplitMix64: used for seed expansion and cheap keyed sub-streams.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless mix of several values into one 64-bit hash; handy for deriving
+// per-(origin, AS, trial) substream seeds without storing generators.
+constexpr std::uint64_t mix_u64(std::uint64_t a, std::uint64_t b = 0,
+                                std::uint64_t c = 0, std::uint64_t d = 0) {
+  std::uint64_t state = a;
+  std::uint64_t out = splitmix64(state);
+  state ^= b + 0x9E3779B97F4A7C15ULL;
+  out ^= splitmix64(state);
+  state ^= c + 0xC2B2AE3D27D4EB4FULL;
+  out ^= splitmix64(state);
+  state ^= d + 0x165667B19E3779F9ULL;
+  out ^= splitmix64(state);
+  return out;
+}
+
+// xoshiro256**: the workhorse generator. Satisfies (most of) the
+// UniformRandomBitGenerator requirements so it composes with <random>,
+// but the distribution helpers below avoid <random>'s
+// implementation-defined algorithms for cross-platform reproducibility.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection-free would bias; use simple rejection on the top range.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  // Small-mean Poisson via inversion (used for outage counts per window).
+  std::uint32_t poisson(double mean) {
+    if (mean <= 0) return 0;
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    std::uint32_t count = 0;
+    do {
+      product *= uniform();
+      if (product <= limit) break;
+      ++count;
+    } while (count < 10'000);
+    return count;
+  }
+
+  // Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+  // Log-normal sized draws, e.g. AS host counts (heavy-tailed like the
+  // real AS size distribution).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace originscan::net

@@ -1,0 +1,108 @@
+#include "netbase/siphash.h"
+
+#include <bit>
+#include <cstring>
+
+namespace originscan::net {
+namespace {
+
+constexpr std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+struct State {
+  std::uint64_t v0, v1, v2, v3;
+
+  void round() {
+    v0 += v1;
+    v1 = std::rotl(v1, 13);
+    v1 ^= v0;
+    v0 = std::rotl(v0, 32);
+    v2 += v3;
+    v3 = std::rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = std::rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = std::rotl(v1, 17);
+    v1 ^= v2;
+    v2 = std::rotl(v2, 32);
+  }
+};
+
+}  // namespace
+
+SipHash::SipHash(const Key& key)
+    : k0_(load_le64(key.data())), k1_(load_le64(key.data() + 8)) {}
+
+std::uint64_t SipHash::hash(std::span<const std::uint8_t> data) const {
+  State s{
+      k0_ ^ 0x736f6d6570736575ULL,
+      k1_ ^ 0x646f72616e646f6dULL,
+      k0_ ^ 0x6c7967656e657261ULL,
+      k1_ ^ 0x7465646279746573ULL,
+  };
+
+  const std::size_t full = data.size() / 8 * 8;
+  for (std::size_t i = 0; i < full; i += 8) {
+    const std::uint64_t m = load_le64(data.data() + i);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  std::uint64_t last = std::uint64_t{data.size() & 0xFF} << 56;
+  for (std::size_t i = 0; i < data.size() - full; ++i) {
+    last |= std::uint64_t{data[full + i]} << (8 * i);
+  }
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xFF;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t SipHash::hash_u64(std::uint64_t value) const {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  return hash(buf);
+}
+
+std::uint64_t SipHash::hash_u64_pair(std::uint64_t a, std::uint64_t b) const {
+  std::uint8_t buf[16];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(a >> (8 * i));
+  for (int i = 0; i < 8; ++i) {
+    buf[8 + i] = static_cast<std::uint8_t>(b >> (8 * i));
+  }
+  return hash(buf);
+}
+
+SipHash::Key SipHash::key_from_seed(std::uint64_t seed) {
+  // SplitMix64 expansion of the seed into 16 key bytes.
+  Key key{};
+  std::uint64_t state = seed;
+  for (int half = 0; half < 2; ++half) {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    for (int i = 0; i < 8; ++i) {
+      key[static_cast<std::size_t>(half * 8 + i)] =
+          static_cast<std::uint8_t>(z >> (8 * i));
+    }
+  }
+  return key;
+}
+
+}  // namespace originscan::net

@@ -1,0 +1,36 @@
+// SipHash-2-4 keyed PRF. ZMap validates responses by recomputing a MAC
+// over (saddr, daddr, ports) and checking it against fields echoed by the
+// destination host; we use the same construction so forged or mis-routed
+// responses are rejected exactly as in the real tool.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace originscan::net {
+
+class SipHash {
+ public:
+  using Key = std::array<std::uint8_t, 16>;
+
+  explicit SipHash(const Key& key);
+
+  // One-shot MAC of `data`.
+  [[nodiscard]] std::uint64_t hash(std::span<const std::uint8_t> data) const;
+
+  // Convenience for fixed-width integer messages (most scanner uses).
+  [[nodiscard]] std::uint64_t hash_u64(std::uint64_t value) const;
+  [[nodiscard]] std::uint64_t hash_u64_pair(std::uint64_t a,
+                                            std::uint64_t b) const;
+
+  // Derives a key deterministically from a 64-bit seed (for reproducible
+  // scans; real deployments would use random keys).
+  static Key key_from_seed(std::uint64_t seed);
+
+ private:
+  std::uint64_t k0_ = 0;
+  std::uint64_t k1_ = 0;
+};
+
+}  // namespace originscan::net

@@ -1,0 +1,177 @@
+#include "proto/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace originscan::proto {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+// Splits off the next CRLF-terminated line; returns nullopt when no CRLF
+// remains.
+std::optional<std::string_view> next_line(std::string_view& text) {
+  const auto pos = text.find(kCrlf);
+  if (pos == std::string_view::npos) return std::nullopt;
+  auto line = text.substr(0, pos);
+  text.remove_prefix(pos + kCrlf.size());
+  return line;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+// Parses "Name: value" header lines until the blank line; returns false
+// on malformed input.
+bool parse_headers(std::string_view& text,
+                   std::map<std::string, std::string>& headers) {
+  for (;;) {
+    auto line = next_line(text);
+    if (!line) return false;
+    if (line->empty()) return true;  // end of headers
+    const auto colon = line->find(':');
+    if (colon == std::string_view::npos) return false;
+    headers[lower(trim(line->substr(0, colon)))] =
+        std::string(trim(line->substr(colon + 1)));
+  }
+}
+
+}  // namespace
+
+std::string HttpRequest::serialize() const {
+  std::string out;
+  out.reserve(128);
+  out += method;
+  out += ' ';
+  out += target;
+  out += " HTTP/1.1\r\nHost: ";
+  out += host.empty() ? "-" : host;
+  out += "\r\nUser-Agent: ";
+  out += user_agent;
+  out += "\r\nAccept: */*\r\nConnection: close\r\n\r\n";
+  return out;
+}
+
+std::optional<HttpRequest> HttpRequest::parse(std::string_view text) {
+  auto line = next_line(text);
+  if (!line) return std::nullopt;
+  const auto first_space = line->find(' ');
+  const auto second_space = line->rfind(' ');
+  if (first_space == std::string_view::npos || second_space <= first_space) {
+    return std::nullopt;
+  }
+  HttpRequest request;
+  request.method = std::string(line->substr(0, first_space));
+  request.target = std::string(
+      line->substr(first_space + 1, second_space - first_space - 1));
+  if (line->substr(second_space + 1) != "HTTP/1.1" &&
+      line->substr(second_space + 1) != "HTTP/1.0") {
+    return std::nullopt;
+  }
+  std::map<std::string, std::string> headers;
+  if (!parse_headers(text, headers)) return std::nullopt;
+  if (auto it = headers.find("host"); it != headers.end()) {
+    request.host = it->second;
+  }
+  if (auto it = headers.find("user-agent"); it != headers.end()) {
+    request.user_agent = it->second;
+  }
+  return request;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string body = "<html><head><title>" + title +
+                     "</title></head><body>" + title + "</body></html>";
+  std::string out;
+  out.reserve(256 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status_code);
+  out += ' ';
+  out += reason;
+  out += kCrlf;
+  if (!server.empty()) {
+    out += "Server: ";
+    out += server;
+    out += kCrlf;
+  }
+  for (const auto& [name, value] : extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += kCrlf;
+  }
+  out += "Content-Type: text/html\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<HttpResponse> HttpResponse::parse(std::string_view text) {
+  auto line = next_line(text);
+  if (!line) return std::nullopt;
+  if (!line->starts_with("HTTP/1.")) return std::nullopt;
+  const auto first_space = line->find(' ');
+  if (first_space == std::string_view::npos) return std::nullopt;
+  auto rest = line->substr(first_space + 1);
+  int status = 0;
+  auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + rest.size(), status);
+  if (ec != std::errc{} || status < 100 || status > 599) return std::nullopt;
+
+  HttpResponse response;
+  response.status_code = status;
+  const auto reason_start = rest.find(' ');
+  if (reason_start != std::string_view::npos) {
+    response.reason = std::string(rest.substr(reason_start + 1));
+  }
+  std::map<std::string, std::string> headers;
+  if (!parse_headers(text, headers)) return std::nullopt;
+  if (auto it = headers.find("server"); it != headers.end()) {
+    response.server = it->second;
+  }
+  // Body framing: trust Content-Length when present, else take the rest.
+  std::string_view body = text;
+  if (auto it = headers.find("content-length"); it != headers.end()) {
+    std::size_t length = 0;
+    auto [p, e] = std::from_chars(it->second.data(),
+                                  it->second.data() + it->second.size(), length);
+    if (e == std::errc{} && p == it->second.data() + it->second.size() &&
+        length <= body.size()) {
+      body = body.substr(0, length);
+    }
+  }
+  response.title = extract_title(body);
+  for (auto& [name, value] : headers) {
+    if (name != "server" && name != "content-length" &&
+        name != "content-type" && name != "connection") {
+      response.extra_headers.emplace(name, std::move(value));
+    }
+  }
+  return response;
+}
+
+std::string extract_title(std::string_view html) {
+  const auto open = html.find("<title>");
+  if (open == std::string_view::npos) return {};
+  const auto start = open + 7;
+  const auto close = html.find("</title>", start);
+  if (close == std::string_view::npos) return {};
+  return std::string(html.substr(start, close - start));
+}
+
+}  // namespace originscan::proto

@@ -1,0 +1,46 @@
+// Minimal HTTP/1.1 request/response codec — exactly what a ZGrab
+// `http` module sends (GET / with Host and User-Agent) and what the
+// simulated servers answer with. Parsing is strict about the pieces the
+// scanner relies on (status line, Content-Length framing) and tolerant
+// about everything else, mirroring real scanner behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace originscan::proto {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string host;        // Host header
+  std::string user_agent = "Mozilla/5.0 zgrab/0.x (originscan)";
+
+  [[nodiscard]] std::string serialize() const;
+  static std::optional<HttpRequest> parse(std::string_view text);
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  std::string server;  // Server header, may be empty
+  std::string title;   // body is "<html><title>{title}</title>..."
+  std::map<std::string, std::string> extra_headers;
+
+  [[nodiscard]] std::string serialize() const;
+  static std::optional<HttpResponse> parse(std::string_view text);
+
+  // True when the status line parsed and the handshake counts as an
+  // L7 success for the study (any syntactically valid response does —
+  // the paper counts completed GETs, not 200s).
+  [[nodiscard]] bool valid() const { return status_code >= 100; }
+};
+
+// Extracts the <title> from an HTML body (used by the geographic-bias
+// analysis to recognize "Blocked Site" pages, Section 4.4).
+std::string extract_title(std::string_view html);
+
+}  // namespace originscan::proto

@@ -1,0 +1,43 @@
+// The three protocols the study scans, with their well-known ports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace originscan::proto {
+
+enum class Protocol : std::uint8_t { kHttp = 0, kHttps = 1, kSsh = 2 };
+
+inline constexpr std::array<Protocol, 3> kAllProtocols = {
+    Protocol::kHttp, Protocol::kHttps, Protocol::kSsh};
+
+constexpr std::uint16_t port_of(Protocol p) {
+  switch (p) {
+    case Protocol::kHttp:
+      return 80;
+    case Protocol::kHttps:
+      return 443;
+    case Protocol::kSsh:
+      return 22;
+  }
+  return 0;
+}
+
+constexpr std::string_view name_of(Protocol p) {
+  switch (p) {
+    case Protocol::kHttp:
+      return "HTTP";
+    case Protocol::kHttps:
+      return "HTTPS";
+    case Protocol::kSsh:
+      return "SSH";
+  }
+  return "?";
+}
+
+constexpr std::size_t index_of(Protocol p) {
+  return static_cast<std::size_t>(p);
+}
+
+}  // namespace originscan::proto

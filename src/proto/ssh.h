@@ -1,0 +1,69 @@
+// SSH-2 transport-layer codec for the pieces a ZGrab SSH banner grab
+// touches: the identification string exchange (RFC 4253 §4.2) — the study
+// terminates after this — plus KEXINIT build/parse so the library can also
+// model clients that go one message further. Also models the
+// "ssh_exchange_identification: Connection closed by remote host" refusal
+// that OpenSSH's MaxStartups produces (Section 6 of the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace originscan::proto {
+
+struct SshIdentification {
+  std::string protocol_version = "2.0";
+  std::string software_version = "OpenSSH_7.4";
+  std::string comment;  // optional trailing comment
+
+  // "SSH-2.0-OpenSSH_7.4[ comment]\r\n"
+  [[nodiscard]] std::string serialize() const;
+  static std::optional<SshIdentification> parse(std::string_view line);
+};
+
+// OpenSSH MaxStartups start:rate:full triple (sshd_config(5)): once
+// `start` unauthenticated connections are open, refuse new ones with
+// probability ramping linearly from rate% to 100% at `full`.
+struct MaxStartups {
+  int start = 10;
+  int rate = 30;  // percent
+  int full = 100;
+
+  // Refusal probability given the current number of open unauthenticated
+  // connections (0 below start, 1 at/above full).
+  [[nodiscard]] double refusal_probability(int unauthenticated) const;
+
+  static std::optional<MaxStartups> parse(std::string_view text);  // "10:30:100"
+  [[nodiscard]] std::string to_string() const;
+};
+
+// SSH binary packet framing (RFC 4253 §6, unencrypted): carries KEXINIT.
+struct SshPacket {
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      std::uint64_t padding_seed) const;
+  static std::optional<SshPacket> parse(std::span<const std::uint8_t> data);
+};
+
+struct SshKexInit {
+  static constexpr std::uint8_t kMessageNumber = 20;
+
+  std::array<std::uint8_t, 16> cookie{};
+  std::vector<std::string> kex_algorithms;
+  std::vector<std::string> host_key_algorithms;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;  // packet payload
+  static std::optional<SshKexInit> parse(std::span<const std::uint8_t> payload);
+};
+
+// Default algorithm lists resembling OpenSSH 7.x.
+std::vector<std::string> default_kex_algorithms();
+std::vector<std::string> default_host_key_algorithms();
+
+}  // namespace originscan::proto

@@ -1,0 +1,233 @@
+#include "proto/tls.h"
+
+#include <array>
+
+#include "netbase/byteio.h"
+
+namespace originscan::proto {
+
+using net::ByteReader;
+using net::ByteWriter;
+
+std::span<const std::uint16_t> chrome_cipher_suites() {
+  static constexpr std::array<std::uint16_t, 8> kSuites = {
+      0xC02B,  // ECDHE-ECDSA-AES128-GCM-SHA256
+      0xC02F,  // ECDHE-RSA-AES128-GCM-SHA256
+      0xC02C,  // ECDHE-ECDSA-AES256-GCM-SHA384
+      0xC030,  // ECDHE-RSA-AES256-GCM-SHA384
+      0xCCA9,  // ECDHE-ECDSA-CHACHA20-POLY1305
+      0xCCA8,  // ECDHE-RSA-CHACHA20-POLY1305
+      0x009C,  // RSA-AES128-GCM-SHA256
+      0x009D,  // RSA-AES256-GCM-SHA384
+  };
+  return kSuites;
+}
+
+std::vector<std::uint8_t> TlsRecord::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(5 + fragment.size());
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(content_type));
+  w.u16(version);
+  w.u16(static_cast<std::uint16_t>(fragment.size()));
+  w.bytes(fragment);
+  return out;
+}
+
+std::optional<TlsRecord> TlsRecord::parse(std::span<const std::uint8_t> data,
+                                          std::size_t& consumed) {
+  if (data.size() < 5) return std::nullopt;
+  ByteReader r(data);
+  TlsRecord record;
+  const std::uint8_t type = r.u8();
+  if (type != static_cast<std::uint8_t>(TlsContentType::kAlert) &&
+      type != static_cast<std::uint8_t>(TlsContentType::kHandshake)) {
+    return std::nullopt;
+  }
+  record.content_type = static_cast<TlsContentType>(type);
+  record.version = r.u16();
+  const std::uint16_t length = r.u16();
+  auto fragment = r.bytes(length);
+  if (!r.ok()) return std::nullopt;
+  record.fragment.assign(fragment.begin(), fragment.end());
+  consumed = 5 + static_cast<std::size_t>(length);
+  return record;
+}
+
+std::vector<std::uint8_t> ClientHello::serialize() const {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u16(version);
+  w.bytes(random);
+  w.u8(0);  // session id length
+  w.u16(static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (std::uint16_t suite : cipher_suites) w.u16(suite);
+  w.u8(1);  // compression methods length
+  w.u8(0);  // null compression
+  // Extensions: only SNI when requested.
+  if (server_name.empty()) {
+    w.u16(0);
+  } else {
+    const auto name_length = static_cast<std::uint16_t>(server_name.size());
+    const std::uint16_t sni_list = name_length + 3;
+    const std::uint16_t sni_ext = sni_list + 2;
+    w.u16(sni_ext + 4);  // total extensions length
+    w.u16(0);            // extension type: server_name
+    w.u16(sni_ext);
+    w.u16(sni_list);
+    w.u8(0);  // name type: host_name
+    w.u16(name_length);
+    w.bytes(std::span(reinterpret_cast<const std::uint8_t*>(server_name.data()),
+                      server_name.size()));
+  }
+  return out;
+}
+
+std::optional<ClientHello> ClientHello::parse(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ClientHello hello;
+  hello.version = r.u16();
+  auto random = r.bytes(32);
+  const std::uint8_t session_id_length = r.u8();
+  r.skip(session_id_length);
+  const std::uint16_t suites_length = r.u16();
+  if (suites_length % 2 != 0) return std::nullopt;
+  for (int i = 0; i < suites_length / 2; ++i) {
+    hello.cipher_suites.push_back(r.u16());
+  }
+  const std::uint8_t compression_length = r.u8();
+  r.skip(compression_length);
+  if (!r.ok()) return std::nullopt;
+  std::copy(random.begin(), random.end(), hello.random.begin());
+  if (r.remaining() >= 2) {
+    std::uint16_t extensions_length = r.u16();
+    while (r.ok() && extensions_length >= 4) {
+      const std::uint16_t ext_type = r.u16();
+      const std::uint16_t ext_length = r.u16();
+      auto ext = r.bytes(ext_length);
+      if (!r.ok()) return std::nullopt;
+      extensions_length =
+          static_cast<std::uint16_t>(extensions_length - 4 - ext_length);
+      if (ext_type == 0 && ext.size() >= 5) {
+        ByteReader sni(ext);
+        sni.skip(2);  // list length
+        sni.skip(1);  // name type
+        const std::uint16_t name_length = sni.u16();
+        auto name = sni.bytes(name_length);
+        if (sni.ok()) {
+          hello.server_name.assign(name.begin(), name.end());
+        }
+      }
+    }
+  }
+  return hello;
+}
+
+std::vector<std::uint8_t> ServerHello::serialize() const {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u16(version);
+  w.bytes(random);
+  w.u8(0);  // session id length
+  w.u16(cipher_suite);
+  w.u8(0);  // null compression
+  w.u16(0); // no extensions
+  return out;
+}
+
+std::optional<ServerHello> ServerHello::parse(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ServerHello hello;
+  hello.version = r.u16();
+  auto random = r.bytes(32);
+  const std::uint8_t session_id_length = r.u8();
+  r.skip(session_id_length);
+  hello.cipher_suite = r.u16();
+  r.skip(1);  // compression
+  if (!r.ok()) return std::nullopt;
+  std::copy(random.begin(), random.end(), hello.random.begin());
+  return hello;
+}
+
+std::vector<std::uint8_t> Certificate::serialize() const {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  std::size_t total = 0;
+  for (const auto& der : chain) total += 3 + der.size();
+  // 24-bit chain length.
+  w.u8(static_cast<std::uint8_t>(total >> 16));
+  w.u16(static_cast<std::uint16_t>(total));
+  for (const auto& der : chain) {
+    w.u8(static_cast<std::uint8_t>(der.size() >> 16));
+    w.u16(static_cast<std::uint16_t>(der.size()));
+    w.bytes(der);
+  }
+  return out;
+}
+
+std::optional<Certificate> Certificate::parse(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  std::uint32_t chain_length = std::uint32_t{r.u8()} << 16;
+  chain_length |= r.u16();
+  Certificate cert;
+  std::uint32_t remaining = chain_length;
+  while (r.ok() && remaining >= 3) {
+    std::uint32_t der_length = std::uint32_t{r.u8()} << 16;
+    der_length |= r.u16();
+    auto der = r.bytes(der_length);
+    if (!r.ok()) return std::nullopt;
+    cert.chain.emplace_back(der.begin(), der.end());
+    remaining -= 3 + der_length;
+  }
+  if (!r.ok() || remaining != 0) return std::nullopt;
+  return cert;
+}
+
+std::vector<std::uint8_t> TlsAlert::serialize() const {
+  return {static_cast<std::uint8_t>(fatal ? 2 : 1),
+          static_cast<std::uint8_t>(description)};
+}
+
+std::optional<TlsAlert> TlsAlert::parse(std::span<const std::uint8_t> body) {
+  if (body.size() != 2) return std::nullopt;
+  TlsAlert alert;
+  if (body[0] != 1 && body[0] != 2) return std::nullopt;
+  alert.fatal = body[0] == 2;
+  alert.description = static_cast<TlsAlertDescription>(body[1]);
+  return alert;
+}
+
+std::vector<std::uint8_t> wrap_handshake(TlsHandshakeType type,
+                                         std::span<const std::uint8_t> body) {
+  TlsRecord record;
+  record.content_type = TlsContentType::kHandshake;
+  ByteWriter w(record.fragment);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(static_cast<std::uint8_t>(body.size() >> 16));
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.bytes(body);
+  return record.serialize();
+}
+
+std::optional<std::vector<HandshakeMessage>> split_handshakes(
+    std::span<const std::uint8_t> fragment) {
+  std::vector<HandshakeMessage> out;
+  ByteReader r(fragment);
+  while (r.ok() && r.remaining() >= 4) {
+    HandshakeMessage msg;
+    msg.type = static_cast<TlsHandshakeType>(r.u8());
+    std::uint32_t length = std::uint32_t{r.u8()} << 16;
+    length |= r.u16();
+    auto body = r.bytes(length);
+    if (!r.ok()) return std::nullopt;
+    msg.body.assign(body.begin(), body.end());
+    out.push_back(std::move(msg));
+  }
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return out;
+}
+
+}  // namespace originscan::proto

@@ -1,0 +1,101 @@
+// TLS 1.2 handshake codec — the subset a ZGrab TLS banner grab exercises:
+// ClientHello (with the cipher suites modern Chrome offers, per the
+// paper's methodology), ServerHello, Certificate, ServerHelloDone, and
+// Alert. Record framing and handshake framing follow RFC 5246; key
+// exchange and encryption are intentionally out of scope because the
+// study terminates the handshake once the server's flight arrives.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace originscan::proto {
+
+enum class TlsContentType : std::uint8_t {
+  kAlert = 21,
+  kHandshake = 22,
+};
+
+enum class TlsHandshakeType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kCertificate = 11,
+  kServerHelloDone = 14,
+};
+
+enum class TlsAlertDescription : std::uint8_t {
+  kCloseNotify = 0,
+  kUnexpectedMessage = 10,
+  kHandshakeFailure = 40,
+  kAccessDenied = 49,
+  kInternalError = 80,
+};
+
+// The TLS 1.2 cipher suites offered by modern Chrome at the time of the
+// study (ECDHE suites with AES-GCM / ChaCha20).
+std::span<const std::uint16_t> chrome_cipher_suites();
+
+struct TlsRecord {
+  TlsContentType content_type = TlsContentType::kHandshake;
+  std::uint16_t version = 0x0303;  // TLS 1.2
+  std::vector<std::uint8_t> fragment;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  // Parses one record from the front of `data`; advances `consumed`.
+  static std::optional<TlsRecord> parse(std::span<const std::uint8_t> data,
+                                        std::size_t& consumed);
+};
+
+struct ClientHello {
+  std::uint16_t version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  std::vector<std::uint16_t> cipher_suites;
+  std::string server_name;  // SNI extension; empty = omitted
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;  // handshake body
+  static std::optional<ClientHello> parse(std::span<const std::uint8_t> body);
+};
+
+struct ServerHello {
+  std::uint16_t version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  std::uint16_t cipher_suite = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<ServerHello> parse(std::span<const std::uint8_t> body);
+};
+
+struct Certificate {
+  // DER blobs, leaf first. The simulation carries opaque synthetic DER.
+  std::vector<std::vector<std::uint8_t>> chain;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<Certificate> parse(std::span<const std::uint8_t> body);
+};
+
+struct TlsAlert {
+  bool fatal = true;
+  TlsAlertDescription description = TlsAlertDescription::kHandshakeFailure;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;  // 2-byte body
+  static std::optional<TlsAlert> parse(std::span<const std::uint8_t> body);
+};
+
+// Wraps a handshake message body in handshake framing + a TLS record.
+std::vector<std::uint8_t> wrap_handshake(TlsHandshakeType type,
+                                         std::span<const std::uint8_t> body);
+
+struct HandshakeMessage {
+  TlsHandshakeType type{};
+  std::vector<std::uint8_t> body;
+};
+
+// Splits a record fragment into the handshake messages it contains.
+std::optional<std::vector<HandshakeMessage>> split_handshakes(
+    std::span<const std::uint8_t> fragment);
+
+}  // namespace originscan::proto

@@ -1,0 +1,78 @@
+#include "report/chart.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace originscan::report {
+
+std::string bar(double value, double max, int width) {
+  if (max <= 0) max = 1;
+  const int fill = static_cast<int>(
+      std::clamp(value / max, 0.0, 1.0) * width + 0.5);
+  std::string out(static_cast<std::size_t>(fill), '#');
+  out.append(static_cast<std::size_t>(width - fill), ' ');
+  return out;
+}
+
+std::string bar_chart(const std::vector<BarRow>& rows, int width,
+                      int value_precision) {
+  double max = 0;
+  std::size_t label_width = 0;
+  for (const auto& row : rows) {
+    max = std::max(max, row.value);
+    label_width = std::max(label_width, row.label.size());
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    out += row.label;
+    out.append(label_width - row.label.size(), ' ');
+    out += " |";
+    out += bar(row.value, max, width);
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "| %.*f\n", value_precision,
+                  row.value);
+    out += buffer;
+  }
+  return out;
+}
+
+std::string cdf_plot(const stats::Ecdf& ecdf, int width, int height,
+                     const std::string& x_label) {
+  if (ecdf.empty()) return "(no data)\n";
+  const auto points = ecdf.points();
+  const double x_min = points.front().value;
+  const double x_max = std::max(points.back().value, x_min + 1e-12);
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height),
+      std::string(static_cast<std::size_t>(width), ' '));
+  for (int col = 0; col < width; ++col) {
+    const double x =
+        x_min + (x_max - x_min) * static_cast<double>(col) / (width - 1);
+    const double y = ecdf.at(x);
+    const int row =
+        std::clamp(static_cast<int>(y * (height - 1) + 0.5), 0, height - 1);
+    grid[static_cast<std::size_t>(height - 1 - row)]
+        [static_cast<std::size_t>(col)] = '*';
+  }
+
+  std::string out;
+  for (int r = 0; r < height; ++r) {
+    const double y = 1.0 - static_cast<double>(r) / (height - 1);
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%4.2f |", y);
+    out += buffer;
+    out += grid[static_cast<std::size_t>(r)];
+    out += "\n";
+  }
+  out += "     +";
+  out.append(static_cast<std::size_t>(width), '-');
+  out += "\n      ";
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%-10.4g%*s%10.4g  (%s)\n", x_min,
+                width - 20, "", x_max, x_label.c_str());
+  out += buffer;
+  return out;
+}
+
+}  // namespace originscan::report

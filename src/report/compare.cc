@@ -1,0 +1,16 @@
+#include "report/compare.h"
+
+#include "report/table.h"
+
+namespace originscan::report {
+
+std::string Comparison::to_string() const {
+  Table table({"metric", "paper", "measured", "note"},
+              {Align::kLeft, Align::kRight, Align::kRight, Align::kLeft});
+  for (const auto& row : rows_) {
+    table.add_row({row.metric, row.paper, row.measured, row.note});
+  }
+  return "== paper vs measured: " + title_ + " ==\n" + table.to_string();
+}
+
+}  // namespace originscan::report

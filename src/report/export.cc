@@ -1,0 +1,110 @@
+#include "report/export.h"
+
+#include <cstdio>
+
+namespace originscan::report {
+namespace {
+
+const char* class_name(core::HostClass cls) {
+  switch (cls) {
+    case core::HostClass::kAccessible:
+      return "accessible";
+    case core::HostClass::kTransient:
+      return "transient";
+    case core::HostClass::kLongTerm:
+      return "long-term";
+    case core::HostClass::kUnknown:
+      return "unknown";
+    case core::HostClass::kNotInGroundTruth:
+      return "absent";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_line(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ',';
+    out += csv_escape(cells[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+std::string scan_result_csv(const scan::ScanResult& result) {
+  std::string out = csv_line({"addr", "origin", "protocol", "trial",
+                              "synack_probes", "rst_probes", "l7_outcome",
+                              "explicit_close", "probe_second"});
+  for (const auto& record : result.records) {
+    out += csv_line(
+        {record.addr.to_string(), result.origin_code,
+         std::string(proto::name_of(result.protocol)),
+         std::to_string(result.trial + 1),
+         std::to_string(__builtin_popcount(record.synack_mask)),
+         std::to_string(__builtin_popcount(record.rst_mask)),
+         std::string(sim::to_string(record.l7)),
+         record.explicit_close ? "1" : "0",
+         std::to_string(record.probe_second)});
+  }
+  return out;
+}
+
+std::string coverage_csv(const core::CoverageTable& coverage) {
+  std::string out =
+      csv_line({"origin", "trial", "two_probe", "single_probe"});
+  for (std::size_t t = 0; t < coverage.two_probe.size(); ++t) {
+    for (std::size_t o = 0; o < coverage.origin_codes.size(); ++o) {
+      char two[32], one[32];
+      std::snprintf(two, sizeof(two), "%.6f", coverage.two_probe[t][o]);
+      std::snprintf(one, sizeof(one), "%.6f", coverage.single_probe[t][o]);
+      out += csv_line({coverage.origin_codes[o], std::to_string(t + 1), two,
+                       one});
+    }
+  }
+  return out;
+}
+
+std::string classification_csv(const core::Classification& classification,
+                               const sim::Topology& topology) {
+  const auto& matrix = classification.matrix();
+  std::string out = csv_line({"addr", "as", "country", "origin", "class"});
+  for (core::HostIdx h = 0; h < matrix.host_count(); ++h) {
+    const auto as = matrix.host_as(h);
+    const std::string as_name =
+        as == sim::kNoAs ? "(unrouted)" : topology.as_info(as).name;
+    for (std::size_t o = 0; o < matrix.origins(); ++o) {
+      const auto cls = classification.host_class(o, h);
+      if (cls == core::HostClass::kAccessible) continue;  // keep files small
+      out += csv_line({matrix.host_addr(h).to_string(), as_name,
+                       matrix.host_country(h).to_string(),
+                       matrix.origin_codes()[o], class_name(cls)});
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  const int close_result = std::fclose(file);
+  return written == content.size() && close_result == 0;
+}
+
+}  // namespace originscan::report

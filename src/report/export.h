@@ -1,0 +1,38 @@
+// CSV export of scan results and analysis products, so downstream users
+// can plot with their own tooling. Fields containing commas/quotes are
+// quoted per RFC 4180.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/access_matrix.h"
+#include "core/analysis/coverage.h"
+#include "core/classify.h"
+#include "scanner/orchestrator.h"
+
+namespace originscan::report {
+
+// One CSV cell, escaped as needed.
+std::string csv_escape(const std::string& field);
+
+// Joins cells into one CSV line (with trailing newline).
+std::string csv_line(const std::vector<std::string>& cells);
+
+// Raw per-host scan records:
+//   addr,origin,protocol,trial,synack_probes,rst_probes,l7_outcome,
+//   explicit_close,probe_second
+std::string scan_result_csv(const scan::ScanResult& result);
+
+// Coverage matrix: origin,trial,two_probe,single_probe.
+std::string coverage_csv(const core::CoverageTable& coverage);
+
+// Per-(origin, host) classification:
+//   addr,as,country,origin,class
+std::string classification_csv(const core::Classification& classification,
+                               const sim::Topology& topology);
+
+// Writes `content` to `path`; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace originscan::report

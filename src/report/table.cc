@@ -1,0 +1,67 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace originscan::report {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> alignment)
+    : headers_(std::move(headers)), alignment_(std::move(alignment)) {
+  if (alignment_.empty()) {
+    alignment_.assign(headers_.size(), Align::kRight);
+    if (!alignment_.empty()) alignment_[0] = Align::kLeft;
+  }
+  assert(alignment_.size() == headers_.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::percent(double fraction, int precision) {
+  return num(100.0 * fraction, precision) + "%";
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += "  ";
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (alignment_[c] == Align::kRight) line.append(pad, ' ');
+      line += cells[c];
+      if (alignment_[c] == Align::kLeft) line.append(pad, ' ');
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  std::size_t rule_width = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(rule_width, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace originscan::report

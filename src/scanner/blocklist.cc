@@ -1,0 +1,53 @@
+#include "scanner/blocklist.h"
+
+namespace originscan::scan {
+
+void Blocklist::block(net::Prefix prefix) {
+  set_.add(prefix.first().value(),
+           static_cast<std::uint64_t>(prefix.last().value()) + 1);
+}
+
+bool Blocklist::block(std::string_view cidr) {
+  auto prefix = net::Prefix::parse(cidr);
+  if (!prefix) return false;
+  block(*prefix);
+  return true;
+}
+
+std::optional<std::size_t> Blocklist::load(std::string_view body) {
+  std::size_t added = 0;
+  while (!body.empty()) {
+    auto newline = body.find('\n');
+    std::string_view line = body.substr(0, newline);
+    body = newline == std::string_view::npos ? std::string_view{}
+                                             : body.substr(newline + 1);
+    if (auto comment = line.find('#'); comment != std::string_view::npos) {
+      line = line.substr(0, comment);
+    }
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+    if (!block(line)) return std::nullopt;
+    ++added;
+  }
+  return added;
+}
+
+bool Blocklist::is_blocked(net::Ipv4Addr addr) const {
+  return set_.contains(addr.value());
+}
+
+std::uint64_t Blocklist::blocked_count() const { return set_.cardinality(); }
+
+void Blocklist::merge(const Blocklist& other) {
+  for (const auto& interval : other.set_.intervals()) {
+    set_.add(interval.lo, interval.hi);
+  }
+}
+
+}  // namespace originscan::scan

@@ -1,0 +1,39 @@
+// Scanner blocklist/allowlist, mirroring ZMap's -b/-w options: a set of
+// CIDR ranges that are never probed. The paper's origins synchronized
+// their blocklists (the union of all exclusion requests, 0.5% of IPv4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/interval_set.h"
+#include "netbase/ipv4.h"
+
+namespace originscan::scan {
+
+class Blocklist {
+ public:
+  void block(net::Prefix prefix);
+  // Parses "a.b.c.d/len" (or bare address); returns false on bad syntax.
+  bool block(std::string_view cidr);
+
+  // Parses a blocklist file body: one CIDR per line, '#' comments,
+  // blank lines ignored. Returns the number of entries added, or
+  // nullopt on the first malformed line.
+  std::optional<std::size_t> load(std::string_view file_body);
+
+  [[nodiscard]] bool is_blocked(net::Ipv4Addr addr) const;
+  [[nodiscard]] std::uint64_t blocked_count() const;
+  [[nodiscard]] bool empty() const { return set_.empty(); }
+
+  // Merges another blocklist into this one (origin synchronization).
+  void merge(const Blocklist& other);
+
+ private:
+  net::IntervalSet set_;
+};
+
+}  // namespace originscan::scan

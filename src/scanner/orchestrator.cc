@@ -1,0 +1,90 @@
+#include "scanner/orchestrator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "netbase/rng.h"
+
+namespace originscan::scan {
+
+ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
+                    proto::Protocol protocol, const ScanOptions& options) {
+  const sim::World& world = internet.world();
+
+  ZMapConfig zmap_config;
+  // One permutation seed per trial, shared by every synchronized origin.
+  zmap_config.seed = net::mix_u64(internet.context().experiment_seed,
+                                  internet.context().trial, 0x5EEDAULL);
+  zmap_config.universe_size = world.universe_size;
+  zmap_config.protocol = protocol;
+  zmap_config.probes = options.probes;
+  zmap_config.probe_interval = options.probe_interval;
+  zmap_config.scan_duration = options.scan_duration;
+  zmap_config.source_ips = world.origins[origin].source_ips;
+  zmap_config.blocklist = options.blocklist;
+  zmap_config.allowlist = options.target_prefix;
+
+  ZMapScanner zmap(zmap_config, &internet, origin);
+
+  ZGrabConfig zgrab_config;
+  zgrab_config.protocol = protocol;
+  zgrab_config.max_retries = options.l7_retries;
+  ZGrabEngine zgrab(zgrab_config, &internet, origin);
+
+  ScanResult result;
+  result.origin_code = world.origins[origin].code;
+  result.protocol = protocol;
+  result.trial = internet.context().trial;
+
+  result.l4_stats = zmap.run([&](const L4Result& l4) {
+    ScanRecord record;
+    record.addr = l4.addr;
+    record.synack_mask = l4.synack_mask;
+    record.rst_mask = l4.rst_mask;
+    record.probe_second =
+        static_cast<std::uint32_t>(l4.probe_time.seconds());
+
+    std::string banner;
+    if (l4.any_synack()) {
+      // ZGrab connects as soon as the first SYN-ACK arrives: one RTT
+      // after whichever probe was answered first (delayed second probes
+      // shift the handshake with them), plus a small turnaround.
+      const auto as = world.topology.as_of(l4.addr);
+      net::VirtualTime connect_time = l4.probe_time;
+      const int first_answered = __builtin_ctz(l4.synack_mask);
+      connect_time += net::VirtualTime::from_micros(
+          options.probe_interval.micros() * first_answered);
+      if (as) connect_time += internet.rtt(origin, *as);
+      connect_time += net::VirtualTime::from_millis(5);
+
+      const L7Result l7 = zgrab.grab(l4.source_ip, l4.addr, connect_time);
+      record.l7 = l7.outcome;
+      record.explicit_close = l7.explicit_close;
+      banner = l7.banner;
+    }
+    result.records.push_back(record);
+    if (options.keep_banners) result.banners.push_back(std::move(banner));
+  });
+
+  // Sort records (and any parallel banners) by address.
+  std::vector<std::size_t> order(result.records.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.records[a].addr < result.records[b].addr;
+  });
+  std::vector<ScanRecord> sorted_records;
+  sorted_records.reserve(result.records.size());
+  std::vector<std::string> sorted_banners;
+  sorted_banners.reserve(result.banners.size());
+  for (std::size_t i : order) {
+    sorted_records.push_back(result.records[i]);
+    if (options.keep_banners) {
+      sorted_banners.push_back(std::move(result.banners[i]));
+    }
+  }
+  result.records = std::move(sorted_records);
+  result.banners = std::move(sorted_banners);
+  return result;
+}
+
+}  // namespace originscan::scan

@@ -1,0 +1,73 @@
+// Runs one complete ZMap + ZGrab scan (one origin x protocol x trial)
+// against a simulated Internet and produces the per-host records that the
+// analysis layer consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/vtime.h"
+#include "proto/protocol.h"
+#include "scanner/zgrab.h"
+#include "scanner/zmap.h"
+#include "sim/internet.h"
+
+namespace originscan::scan {
+
+// One responsive target, as recorded by a scan. Kept POD-small: a full
+// experiment holds tens of millions of these.
+struct ScanRecord {
+  net::Ipv4Addr addr;
+  std::uint8_t synack_mask = 0;  // which of the back-to-back probes answered
+  std::uint8_t rst_mask = 0;
+  sim::L7Outcome l7 = sim::L7Outcome::kNotAttempted;
+  bool explicit_close = false;
+  std::uint32_t probe_second = 0;  // probe time, seconds from scan start
+
+  [[nodiscard]] bool l7_completed() const {
+    return l7 == sim::L7Outcome::kCompleted;
+  }
+  [[nodiscard]] std::uint32_t probe_hour() const {
+    return probe_second / 3600;
+  }
+};
+
+struct ScanResult {
+  std::string origin_code;
+  proto::Protocol protocol{};
+  int trial = 0;
+  std::vector<ScanRecord> records;  // sorted by address
+  // Parallel to `records` when ScanOptions::keep_banners was set;
+  // empty otherwise.
+  std::vector<std::string> banners;
+  ZMapScanner::Stats l4_stats;
+
+  [[nodiscard]] std::size_t completed_count() const {
+    std::size_t count = 0;
+    for (const auto& record : records) {
+      if (record.l7_completed()) ++count;
+    }
+    return count;
+  }
+};
+
+struct ScanOptions {
+  int probes = 2;
+  // Spacing between probes to one target (see ZMapConfig::probe_interval).
+  net::VirtualTime probe_interval;
+  int l7_retries = 0;
+  Blocklist blocklist;
+  net::VirtualTime scan_duration = net::VirtualTime::from_hours(21);
+  // Restrict the sweep to one prefix (Section-6 retry experiment).
+  std::optional<net::Prefix> target_prefix;
+  // Record L7 banners (page titles / TLS suites / SSH versions).
+  bool keep_banners = false;
+};
+
+// Scans the Internet's whole universe from `origin`.
+ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
+                    proto::Protocol protocol, const ScanOptions& options = {});
+
+}  // namespace originscan::scan

@@ -1,0 +1,137 @@
+#include "scanner/permutation.h"
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "netbase/rng.h"
+
+namespace originscan::scan {
+
+std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t powmod_u64(std::uint64_t base, std::uint64_t exp,
+                         std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod_u64(result, base, m);
+    base = mulmod_u64(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic Miller-Rabin witness set for 64-bit integers.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = powmod_u64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 1; i < r; ++i) {
+      x = mulmod_u64(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime_above(std::uint64_t n) {
+  std::uint64_t candidate = n + 1;
+  if (candidate <= 2) return 2;
+  if ((candidate & 1) == 0) ++candidate;
+  while (!is_prime_u64(candidate)) candidate += 2;
+  return candidate;
+}
+
+namespace {
+
+// Prime factorization by trial division — fine for the p-1 values that
+// arise from scan-space-sized primes (p <= 2^33 in practice, and the
+// loop is O(sqrt(p)) once).
+std::vector<std::uint64_t> prime_factors(std::uint64_t n) {
+  std::vector<std::uint64_t> factors;
+  for (std::uint64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+    if (n % p == 0) {
+      factors.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+bool is_generator(std::uint64_t g, std::uint64_t prime,
+                  const std::vector<std::uint64_t>& factors) {
+  for (std::uint64_t q : factors) {
+    if (powmod_u64(g, (prime - 1) / q, prime) == 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CyclicGroup CyclicGroup::for_size(std::uint64_t size, std::uint64_t seed) {
+  assert(size >= 1);
+  const std::uint64_t prime = next_prime_above(size < 2 ? 2 : size);
+  const auto factors = prime_factors(prime - 1);
+
+  net::Rng rng(net::mix_u64(seed, prime, 0x6E4ULL));
+  std::uint64_t generator = 0;
+  for (;;) {
+    const std::uint64_t candidate = 2 + rng.below(prime - 3);
+    if (is_generator(candidate, prime, factors)) {
+      generator = candidate;
+      break;
+    }
+  }
+  const std::uint64_t start = 1 + rng.below(prime - 1);
+  return CyclicGroup(prime, generator, start, size);
+}
+
+CyclicGroup::Iterator CyclicGroup::shard(std::uint32_t shard_index,
+                                         std::uint32_t shard_count) const {
+  assert(shard_count >= 1 && shard_index < shard_count);
+  const std::uint64_t shard_start =
+      mulmod_u64(start_, powmod_u64(generator_, shard_index, prime_), prime_);
+  const std::uint64_t step = powmod_u64(generator_, shard_count, prime_);
+  // Positions 0 .. p-2 of the full sequence; this shard owns those
+  // congruent to shard_index mod shard_count.
+  const std::uint64_t total = prime_ - 1;
+  const std::uint64_t count =
+      shard_index < total ? (total - 1 - shard_index) / shard_count + 1 : 0;
+  return Iterator(shard_start, step, prime_, size_, count);
+}
+
+std::optional<std::uint64_t> CyclicGroup::Iterator::next() {
+  while (remaining_ > 0) {
+    const std::uint64_t value = current_;
+    current_ = mulmod_u64(current_, step_, prime_);
+    --remaining_;
+    // Group elements are [1, p-1]; addresses are [0, size). Skip the
+    // elements that fall outside the scan space.
+    if (value <= size_) return value - 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace originscan::scan

@@ -1,0 +1,78 @@
+// ZMap's address randomization: iterate a cyclic multiplicative group of
+// integers modulo a prime p slightly larger than the scan space. The
+// iteration x -> x * g (mod p) visits every element of [1, p-1] exactly
+// once per cycle; values above the scan-space size are skipped. A scan
+// can be split into shards that partition the sequence (every k-th
+// element), exactly as ZMap's --shards option does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace originscan::scan {
+
+// Deterministic Miller-Rabin for 64-bit integers.
+bool is_prime_u64(std::uint64_t n);
+
+// Smallest prime strictly greater than n.
+std::uint64_t next_prime_above(std::uint64_t n);
+
+// (a * b) mod m without overflow.
+std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+std::uint64_t powmod_u64(std::uint64_t base, std::uint64_t exp,
+                         std::uint64_t m);
+
+class CyclicGroup {
+ public:
+  // Builds the group for a scan space of `size` addresses (values emitted
+  // are in [0, size)). The generator and starting point are derived from
+  // `seed`, so the same seed reproduces the same scan order — the
+  // property the paper relies on to synchronize scanners.
+  static CyclicGroup for_size(std::uint64_t size, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t prime() const { return prime_; }
+  [[nodiscard]] std::uint64_t generator() const { return generator_; }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  // Iterates one shard's subsequence. Shard i of k takes the positions
+  // of the full sequence congruent to i mod k (start at start * g^i,
+  // step by g^k, emit ceil((p-1-i)/k) elements); together the shards
+  // partition [1, p-1] regardless of gcd(k, p-1).
+  class Iterator {
+   public:
+    // Returns the next address in [0, size), or nullopt at end of shard.
+    std::optional<std::uint64_t> next();
+
+   private:
+    friend class CyclicGroup;
+    Iterator(std::uint64_t start, std::uint64_t step, std::uint64_t prime,
+             std::uint64_t size, std::uint64_t count)
+        : current_(start),
+          step_(step),
+          prime_(prime),
+          size_(size),
+          remaining_(count) {}
+
+    std::uint64_t current_;
+    std::uint64_t step_;
+    std::uint64_t prime_;
+    std::uint64_t size_;
+    std::uint64_t remaining_;
+  };
+
+  [[nodiscard]] Iterator shard(std::uint32_t shard_index,
+                               std::uint32_t shard_count) const;
+  [[nodiscard]] Iterator all() const { return shard(0, 1); }
+
+ private:
+  CyclicGroup(std::uint64_t prime, std::uint64_t generator,
+              std::uint64_t start, std::uint64_t size)
+      : prime_(prime), generator_(generator), start_(start), size_(size) {}
+
+  std::uint64_t prime_;
+  std::uint64_t generator_;
+  std::uint64_t start_;
+  std::uint64_t size_;
+};
+
+}  // namespace originscan::scan

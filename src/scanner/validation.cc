@@ -1,0 +1,31 @@
+#include "scanner/validation.h"
+
+namespace originscan::scan {
+
+ProbeValidator::ProbeValidator(const net::SipHash::Key& key,
+                               std::uint16_t port_base,
+                               std::uint16_t port_count)
+    : hasher_(key), port_base_(port_base), port_count_(port_count) {}
+
+ProbeValidator::ProbeFields ProbeValidator::fields_for(
+    net::Ipv4Addr src_ip, net::Ipv4Addr dst, std::uint16_t dst_port) const {
+  const std::uint64_t mac = hasher_.hash_u64_pair(
+      (std::uint64_t{src_ip.value()} << 32) | dst.value(), dst_port);
+  ProbeFields fields;
+  fields.seq = static_cast<std::uint32_t>(mac);
+  fields.src_port = static_cast<std::uint16_t>(
+      port_base_ + (mac >> 32) % port_count_);
+  return fields;
+}
+
+bool ProbeValidator::validate(const net::TcpPacket& response) const {
+  // The response comes from the probed host (response.ip.src) back to our
+  // source IP (response.ip.dst); its src_port is the service port.
+  const ProbeFields expected =
+      fields_for(response.ip.dst, response.ip.src, response.tcp.src_port);
+  if (response.tcp.dst_port != expected.src_port) return false;
+  // SYN-ACK and RST-to-SYN both acknowledge seq+1.
+  return response.tcp.ack == expected.seq + 1;
+}
+
+}  // namespace originscan::scan

@@ -1,0 +1,47 @@
+// ZMap response validation. The scanner is stateless: instead of keeping
+// a table of outstanding probes, it encodes a SipHash MAC of the probe's
+// invariants into fields the destination must echo (the TCP sequence
+// number, returned as ack-1, and the source port, returned as the
+// destination port). Responses that fail the MAC are forged, stale, or
+// misdirected and are discarded.
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/headers.h"
+#include "netbase/ipv4.h"
+#include "netbase/siphash.h"
+
+namespace originscan::scan {
+
+class ProbeValidator {
+ public:
+  // `port_base`/`port_count` define the ephemeral source-port range the
+  // scanner cycles through (ZMap defaults to 32768-61000).
+  ProbeValidator(const net::SipHash::Key& key, std::uint16_t port_base,
+                 std::uint16_t port_count);
+
+  struct ProbeFields {
+    std::uint32_t seq = 0;
+    std::uint16_t src_port = 0;
+  };
+
+  // MAC-derived fields for a probe from src_ip to (dst, dst_port).
+  [[nodiscard]] ProbeFields fields_for(net::Ipv4Addr src_ip,
+                                       net::Ipv4Addr dst,
+                                       std::uint16_t dst_port) const;
+
+  // Checks that a response packet is a genuine reply to a probe this
+  // scanner sent: the echoed ack/port fields must match the recomputed
+  // MAC for (response.src -> probed host, response.dst -> our source IP).
+  // RSTs that acknowledge the probe are also accepted (they carry ack
+  // = seq+1 when responding to a SYN).
+  [[nodiscard]] bool validate(const net::TcpPacket& response) const;
+
+ private:
+  net::SipHash hasher_;
+  std::uint16_t port_base_;
+  std::uint16_t port_count_;
+};
+
+}  // namespace originscan::scan

@@ -1,0 +1,217 @@
+#include "scanner/zgrab.h"
+
+#include <cstdio>
+
+#include "proto/http.h"
+#include "proto/ssh.h"
+#include "proto/tls.h"
+
+namespace originscan::scan {
+namespace {
+
+std::string bytes_to_string(const std::vector<std::uint8_t>& bytes) {
+  return {bytes.begin(), bytes.end()};
+}
+
+std::vector<std::uint8_t> string_to_bytes(const std::string& text) {
+  return {text.begin(), text.end()};
+}
+
+// Classifies a connection that produced no usable data.
+sim::L7Outcome silent_outcome(const sim::Connection& connection,
+                              bool got_any_bytes) {
+  if (connection.peer_reset()) return sim::L7Outcome::kResetAfterAccept;
+  if (connection.peer_closed()) {
+    return got_any_bytes ? sim::L7Outcome::kClosedMidHandshake
+                         : sim::L7Outcome::kClosedBeforeData;
+  }
+  return sim::L7Outcome::kReadTimeout;
+}
+
+}  // namespace
+
+bool is_retryable(sim::L7Outcome outcome) {
+  switch (outcome) {
+    case sim::L7Outcome::kConnectTimeout:
+    case sim::L7Outcome::kResetAfterAccept:
+    case sim::L7Outcome::kClosedBeforeData:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ZGrabEngine::ZGrabEngine(const ZGrabConfig& config, sim::Internet* internet,
+                         sim::OriginId origin)
+    : config_(config), internet_(internet), origin_(origin) {}
+
+L7Result ZGrabEngine::grab(net::Ipv4Addr src_ip, net::Ipv4Addr dst,
+                           net::VirtualTime t) {
+  L7Result result;
+  for (int i = 0; i <= config_.max_retries; ++i) {
+    result = attempt(src_ip, dst, t, i);
+    result.attempts = i + 1;
+    if (result.outcome == sim::L7Outcome::kCompleted ||
+        !is_retryable(result.outcome)) {
+      break;
+    }
+    // Back off briefly between retries (a second of virtual time).
+    t += net::VirtualTime::from_seconds(1.0);
+  }
+  return result;
+}
+
+L7Result ZGrabEngine::attempt(net::Ipv4Addr src_ip, net::Ipv4Addr dst,
+                              net::VirtualTime t, int attempt_index) {
+  auto connection = internet_->connect(origin_, src_ip, dst,
+                                       config_.protocol, t, attempt_index);
+  L7Result result;
+  if (connection == nullptr) {
+    result.outcome = sim::L7Outcome::kConnectTimeout;
+    return result;
+  }
+  switch (config_.protocol) {
+    case proto::Protocol::kHttp:
+      return run_http(*connection);
+    case proto::Protocol::kHttps:
+      return run_tls(*connection);
+    case proto::Protocol::kSsh:
+      return run_ssh(*connection);
+  }
+  return result;
+}
+
+L7Result ZGrabEngine::run_http(sim::Connection& connection) {
+  L7Result result;
+  if (connection.peer_reset()) {
+    result.outcome = sim::L7Outcome::kResetAfterAccept;
+    result.explicit_close = true;
+    return result;
+  }
+
+  proto::HttpRequest request;
+  connection.send(string_to_bytes(request.serialize()));
+  const auto bytes = connection.read();
+  if (bytes.empty()) {
+    result.outcome = silent_outcome(connection, false);
+    result.explicit_close = connection.peer_reset() || connection.peer_closed();
+    return result;
+  }
+  auto response = proto::HttpResponse::parse(bytes_to_string(bytes));
+  if (!response || !response->valid()) {
+    result.outcome = sim::L7Outcome::kProtocolError;
+    result.explicit_close = connection.peer_closed();
+    return result;
+  }
+  result.outcome = sim::L7Outcome::kCompleted;
+  result.banner = response->title;
+  return result;
+}
+
+L7Result ZGrabEngine::run_tls(sim::Connection& connection) {
+  L7Result result;
+  if (connection.peer_reset()) {
+    result.outcome = sim::L7Outcome::kResetAfterAccept;
+    result.explicit_close = true;
+    return result;
+  }
+
+  proto::ClientHello hello;
+  hello.cipher_suites.assign(proto::chrome_cipher_suites().begin(),
+                             proto::chrome_cipher_suites().end());
+  connection.send(proto::wrap_handshake(proto::TlsHandshakeType::kClientHello,
+                                        hello.serialize()));
+  const auto bytes = connection.read();
+  if (bytes.empty()) {
+    result.outcome = silent_outcome(connection, false);
+    result.explicit_close = connection.peer_reset() || connection.peer_closed();
+    return result;
+  }
+
+  // Walk the records in the server's flight; we need ServerHello,
+  // Certificate, and ServerHelloDone to declare the grab complete.
+  bool saw_server_hello = false;
+  bool saw_certificate = false;
+  bool saw_done = false;
+  std::uint16_t suite = 0;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    std::size_t consumed = 0;
+    auto record = proto::TlsRecord::parse(
+        std::span(bytes).subspan(offset), consumed);
+    if (!record) break;
+    offset += consumed;
+    if (record->content_type == proto::TlsContentType::kAlert) {
+      result.outcome = sim::L7Outcome::kClosedMidHandshake;
+      result.explicit_close = true;
+      return result;
+    }
+    auto messages = proto::split_handshakes(record->fragment);
+    if (!messages) break;
+    for (const auto& message : *messages) {
+      switch (message.type) {
+        case proto::TlsHandshakeType::kServerHello: {
+          auto server_hello = proto::ServerHello::parse(message.body);
+          if (server_hello) {
+            saw_server_hello = true;
+            suite = server_hello->cipher_suite;
+          }
+          break;
+        }
+        case proto::TlsHandshakeType::kCertificate:
+          saw_certificate = proto::Certificate::parse(message.body).has_value();
+          break;
+        case proto::TlsHandshakeType::kServerHelloDone:
+          saw_done = true;
+          break;
+        case proto::TlsHandshakeType::kClientHello:
+          break;
+      }
+    }
+  }
+  if (saw_server_hello && saw_certificate && saw_done) {
+    result.outcome = sim::L7Outcome::kCompleted;
+    char buffer[8];
+    std::snprintf(buffer, sizeof(buffer), "0x%04X", suite);
+    result.banner = buffer;
+    return result;
+  }
+  result.outcome = sim::L7Outcome::kProtocolError;
+  return result;
+}
+
+L7Result ZGrabEngine::run_ssh(sim::Connection& connection) {
+  L7Result result;
+  if (connection.peer_reset()) {
+    result.outcome = sim::L7Outcome::kResetAfterAccept;
+    result.explicit_close = true;
+    return result;
+  }
+
+  // The server speaks first; its identification string should already be
+  // waiting.
+  const auto banner_bytes = connection.read();
+  if (banner_bytes.empty()) {
+    result.outcome = silent_outcome(connection, false);
+    result.explicit_close = connection.peer_reset() || connection.peer_closed();
+    return result;
+  }
+  const std::string banner_line = bytes_to_string(banner_bytes);
+  auto server_id = proto::SshIdentification::parse(banner_line);
+  if (!server_id) {
+    result.outcome = sim::L7Outcome::kProtocolError;
+    return result;
+  }
+
+  // Send our identification; the study's partial handshake terminates
+  // after the version exchange (Section 2).
+  proto::SshIdentification client_id;
+  client_id.software_version = "OpenSSH_7.9 originscan";
+  connection.send(string_to_bytes(client_id.serialize()));
+
+  result.outcome = sim::L7Outcome::kCompleted;
+  result.banner = server_id->software_version;
+  return result;
+}
+
+}  // namespace originscan::scan

@@ -1,0 +1,59 @@
+// The application-layer handshake engine (ZGrab analog): drives the
+// client half of HTTP, TLS, or SSH over a simulated TCP connection and
+// classifies the outcome. Supports the retry ladder used by the paper's
+// Section-6 experiment (re-trying failed SSH handshakes recovers
+// MaxStartups-refused hosts).
+#pragma once
+
+#include <string>
+
+#include "netbase/ipv4.h"
+#include "netbase/vtime.h"
+#include "proto/protocol.h"
+#include "sim/internet.h"
+#include "sim/types.h"
+
+namespace originscan::scan {
+
+struct ZGrabConfig {
+  proto::Protocol protocol = proto::Protocol::kHttp;
+  // Total handshake attempts = 1 + max_retries. Only retryable failures
+  // (connect timeouts, resets, pre-banner closes) consume retries.
+  int max_retries = 0;
+};
+
+struct L7Result {
+  sim::L7Outcome outcome = sim::L7Outcome::kNotAttempted;
+  // HTTP: page title; TLS: negotiated suite as hex string; SSH: server
+  // software version.
+  std::string banner;
+  bool explicit_close = false;  // peer RST/FIN rather than silence
+  int attempts = 0;
+};
+
+class ZGrabEngine {
+ public:
+  ZGrabEngine(const ZGrabConfig& config, sim::Internet* internet,
+              sim::OriginId origin);
+
+  // Performs the handshake (with retries) starting at virtual time `t`.
+  L7Result grab(net::Ipv4Addr src_ip, net::Ipv4Addr dst, net::VirtualTime t);
+
+ private:
+  L7Result attempt(net::Ipv4Addr src_ip, net::Ipv4Addr dst,
+                   net::VirtualTime t, int attempt_index);
+
+  L7Result run_http(sim::Connection& connection);
+  L7Result run_tls(sim::Connection& connection);
+  L7Result run_ssh(sim::Connection& connection);
+
+  ZGrabConfig config_;
+  sim::Internet* internet_;
+  sim::OriginId origin_;
+};
+
+// Whether a failed attempt is worth retrying (the connection was refused
+// or reset, as opposed to e.g. a protocol mismatch).
+bool is_retryable(sim::L7Outcome outcome);
+
+}  // namespace originscan::scan

@@ -1,0 +1,109 @@
+#include "scanner/zmap.h"
+
+#include <cassert>
+
+#include "netbase/headers.h"
+#include "netbase/rng.h"
+
+namespace originscan::scan {
+
+ZMapScanner::ZMapScanner(const ZMapConfig& config, sim::Internet* internet,
+                         sim::OriginId origin)
+    : config_(config),
+      internet_(internet),
+      origin_(origin),
+      validator_(net::SipHash::key_from_seed(
+                     net::mix_u64(config.seed, 0x2A9u, origin)),
+                 config.source_port_base, config.source_port_count) {
+  assert(!config_.source_ips.empty());
+  assert(config_.universe_size > 0);
+}
+
+net::Ipv4Addr ZMapScanner::source_ip_for(net::Ipv4Addr dst) const {
+  if (config_.source_ips.size() == 1) return config_.source_ips.front();
+  const std::uint64_t index =
+      net::mix_u64(dst.value(), 0x5AC1Fu) % config_.source_ips.size();
+  return config_.source_ips[index];
+}
+
+ZMapScanner::Stats ZMapScanner::run(
+    const std::function<void(const L4Result&)>& on_result) {
+  Stats stats;
+  auto group = CyclicGroup::for_size(config_.universe_size, config_.seed);
+  auto iterator = group.shard(config_.shard_index, config_.shard_count);
+
+  const double pps = config_.effective_pps(config_.universe_size);
+  const double seconds_per_packet = 1.0 / pps;
+  const std::uint16_t dst_port = proto::port_of(config_.protocol);
+
+  std::vector<std::uint8_t> packet_buffer;
+  double clock_s = 0.0;
+
+  while (auto value = iterator.next()) {
+    const net::Ipv4Addr dst(static_cast<std::uint32_t>(*value));
+    if (config_.allowlist && !config_.allowlist->contains(dst)) continue;
+    if (config_.blocklist.is_blocked(dst)) {
+      ++stats.blocklisted_skipped;
+      continue;
+    }
+    ++stats.targets_probed;
+
+    const net::Ipv4Addr src_ip = source_ip_for(dst);
+    const auto fields = validator_.fields_for(src_ip, dst, dst_port);
+
+    L4Result result;
+    result.addr = dst;
+    result.source_ip = src_ip;
+    result.probe_time = net::VirtualTime::from_seconds(clock_s);
+
+    for (int probe = 0; probe < config_.probes; ++probe) {
+      net::VirtualTime t = net::VirtualTime::from_seconds(clock_s);
+      if (probe > 0) {
+        // A delayed follow-up probe is emitted later in the sweep; the
+        // rate limiter accounts only for the send itself.
+        t += net::VirtualTime::from_micros(
+            config_.probe_interval.micros() * probe);
+      }
+      clock_s += seconds_per_packet;
+
+      net::TcpPacket syn;
+      syn.ip.src = src_ip;
+      syn.ip.dst = dst;
+      syn.ip.ttl = 255;
+      syn.tcp.src_port = fields.src_port;
+      syn.tcp.dst_port = dst_port;
+      syn.tcp.seq = fields.seq;
+      syn.tcp.flags.syn = true;
+      packet_buffer = syn.serialize();
+      ++stats.packets_sent;
+
+      auto response_bytes =
+          internet_->handle_probe(origin_, packet_buffer, t, probe);
+      if (!response_bytes) continue;
+      auto response = net::TcpPacket::parse(*response_bytes);
+      if (!response) {
+        ++stats.validation_failures;
+        continue;
+      }
+      if (response->ip.src != dst || response->ip.dst != src_ip ||
+          !validator_.validate(*response)) {
+        ++stats.validation_failures;
+        continue;
+      }
+      if (response->tcp.flags.syn && response->tcp.flags.ack) {
+        result.synack_mask |= static_cast<std::uint8_t>(1u << probe);
+        ++stats.synacks;
+      } else if (response->tcp.flags.rst) {
+        result.rst_mask |= static_cast<std::uint8_t>(1u << probe);
+        ++stats.rsts;
+      }
+    }
+
+    if (result.synack_mask != 0 || result.rst_mask != 0) {
+      on_result(result);
+    }
+  }
+  return stats;
+}
+
+}  // namespace originscan::scan

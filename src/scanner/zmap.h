@@ -1,0 +1,96 @@
+// The stateless SYN scanner: iterates the address permutation, emits
+// `probes` back-to-back SYN packets per target at a configured rate,
+// validates responses with the probe MAC, and reports per-target L4
+// results (which probes were answered and how).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/siphash.h"
+#include "netbase/vtime.h"
+#include "proto/protocol.h"
+#include "scanner/blocklist.h"
+#include "scanner/permutation.h"
+#include "scanner/validation.h"
+#include "sim/internet.h"
+
+namespace originscan::scan {
+
+struct ZMapConfig {
+  std::uint64_t seed = 0;          // shared across synchronized origins
+  std::uint32_t universe_size = 0;  // scan space [0, universe_size)
+  proto::Protocol protocol = proto::Protocol::kHttp;
+  int probes = 2;                   // back-to-back SYNs per target
+  // Delay between the probes to one target. Zero reproduces ZMap's
+  // back-to-back retransmission; Bano et al. propose spacing them so a
+  // Bad period cannot swallow both.
+  net::VirtualTime probe_interval;
+  double packets_per_second = 0;    // 0 = derive from scan_duration
+  net::VirtualTime scan_duration = net::VirtualTime::from_hours(21);
+  std::vector<net::Ipv4Addr> source_ips;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  Blocklist blocklist;
+  // When set, only addresses inside this prefix are probed (the
+  // Section-6 per-subnet retry experiment); others are skipped silently.
+  std::optional<net::Prefix> allowlist;
+  std::uint16_t source_port_base = 32768;
+  std::uint16_t source_port_count = 28232;
+
+  [[nodiscard]] double effective_pps(std::uint64_t targets) const {
+    if (packets_per_second > 0) return packets_per_second;
+    const double total =
+        static_cast<double>(targets) * static_cast<double>(probes);
+    return total / scan_duration.seconds();
+  }
+};
+
+// L4 view of one responsive target.
+struct L4Result {
+  net::Ipv4Addr addr;
+  std::uint8_t synack_mask = 0;  // bit i: probe i answered with SYN-ACK
+  std::uint8_t rst_mask = 0;     // bit i: probe i answered with RST
+  net::VirtualTime probe_time;   // when the first probe was sent
+  net::Ipv4Addr source_ip;       // which of our IPs probed it
+
+  [[nodiscard]] bool any_synack() const { return synack_mask != 0; }
+  [[nodiscard]] int synack_count() const {
+    return __builtin_popcount(synack_mask);
+  }
+};
+
+class ZMapScanner {
+ public:
+  ZMapScanner(const ZMapConfig& config, sim::Internet* internet,
+              sim::OriginId origin);
+
+  struct Stats {
+    std::uint64_t targets_probed = 0;
+    std::uint64_t packets_sent = 0;
+    std::uint64_t blocklisted_skipped = 0;
+    std::uint64_t synacks = 0;
+    std::uint64_t rsts = 0;
+    std::uint64_t validation_failures = 0;
+  };
+
+  // Runs the sweep; invokes `on_result` for every target that produced at
+  // least one (validated) response. Results arrive in probe order.
+  Stats run(const std::function<void(const L4Result&)>& on_result);
+
+  // The source IP used for a destination: stable per target so that both
+  // probes (and retries) come from the same address, and so that a
+  // 64-IP origin spreads targets evenly across its block.
+  [[nodiscard]] net::Ipv4Addr source_ip_for(net::Ipv4Addr dst) const;
+
+ private:
+  ZMapConfig config_;
+  sim::Internet* internet_;
+  sim::OriginId origin_;
+  ProbeValidator validator_;
+};
+
+}  // namespace originscan::scan

@@ -1,0 +1,97 @@
+// Two-letter country codes packed into a 16-bit value type. The paper's
+// geographic analyses (Table 2/5, Fig 6/7/16) only need a consistent
+// country assignment per network, which the scenario builder provides in
+// place of MaxMind GeoIP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace originscan::sim {
+
+class CountryCode {
+ public:
+  constexpr CountryCode() = default;
+  constexpr explicit CountryCode(std::uint16_t packed) : packed_(packed) {}
+  constexpr CountryCode(char a, char b)
+      : packed_(static_cast<std::uint16_t>(
+            (static_cast<std::uint8_t>(a) << 8) |
+            static_cast<std::uint8_t>(b))) {}
+
+  static constexpr CountryCode from(std::string_view code) {
+    return code.size() == 2 ? CountryCode(code[0], code[1]) : CountryCode();
+  }
+
+  [[nodiscard]] constexpr std::uint16_t packed() const { return packed_; }
+  [[nodiscard]] constexpr bool valid() const { return packed_ != 0; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (!valid()) return "??";
+    return {static_cast<char>(packed_ >> 8),
+            static_cast<char>(packed_ & 0xFF)};
+  }
+
+  friend constexpr bool operator==(CountryCode, CountryCode) = default;
+  friend constexpr auto operator<=>(CountryCode, CountryCode) = default;
+
+ private:
+  std::uint16_t packed_ = 0;
+};
+
+// Codes referenced by the paper's tables, as named constants so scenario
+// and analysis code never spells raw strings.
+namespace country {
+inline constexpr CountryCode kUS('U', 'S');
+inline constexpr CountryCode kCN('C', 'N');
+inline constexpr CountryCode kHK('H', 'K');
+inline constexpr CountryCode kRU('R', 'U');
+inline constexpr CountryCode kDE('D', 'E');
+inline constexpr CountryCode kJP('J', 'P');
+inline constexpr CountryCode kAU('A', 'U');
+inline constexpr CountryCode kBR('B', 'R');
+inline constexpr CountryCode kIT('I', 'T');
+inline constexpr CountryCode kGB('G', 'B');
+inline constexpr CountryCode kZA('Z', 'A');
+inline constexpr CountryCode kAR('A', 'R');
+inline constexpr CountryCode kAT('A', 'T');
+inline constexpr CountryCode kVE('V', 'E');
+inline constexpr CountryCode kBD('B', 'D');
+inline constexpr CountryCode kEC('E', 'C');
+inline constexpr CountryCode kAM('A', 'M');
+inline constexpr CountryCode kEE('E', 'E');
+inline constexpr CountryCode kAL('A', 'L');
+inline constexpr CountryCode kBF('B', 'F');
+inline constexpr CountryCode kLY('L', 'Y');
+inline constexpr CountryCode kMN('M', 'N');
+inline constexpr CountryCode kMW('M', 'W');
+inline constexpr CountryCode kSD('S', 'D');
+inline constexpr CountryCode kKZ('K', 'Z');
+inline constexpr CountryCode kUA('U', 'A');
+inline constexpr CountryCode kRO('R', 'O');
+inline constexpr CountryCode kKR('K', 'R');
+inline constexpr CountryCode kNL('N', 'L');
+inline constexpr CountryCode kFR('F', 'R');
+inline constexpr CountryCode kES('E', 'S');
+inline constexpr CountryCode kPL('P', 'L');
+inline constexpr CountryCode kIN('I', 'N');
+inline constexpr CountryCode kCA('C', 'A');
+inline constexpr CountryCode kSE('S', 'E');
+inline constexpr CountryCode kSG('S', 'G');
+inline constexpr CountryCode kTW('T', 'W');
+inline constexpr CountryCode kVN('V', 'N');
+inline constexpr CountryCode kID('I', 'D');
+inline constexpr CountryCode kTR('T', 'R');
+inline constexpr CountryCode kMX('M', 'X');
+inline constexpr CountryCode kCO('C', 'O');
+inline constexpr CountryCode kCL('C', 'L');
+inline constexpr CountryCode kEG('E', 'G');
+inline constexpr CountryCode kNG('N', 'G');
+inline constexpr CountryCode kTH('T', 'H');
+inline constexpr CountryCode kCZ('C', 'Z');
+inline constexpr CountryCode kCH('C', 'H');
+inline constexpr CountryCode kUY('U', 'Y');
+inline constexpr CountryCode kPE('P', 'E');
+}  // namespace country
+
+}  // namespace originscan::sim

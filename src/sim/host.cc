@@ -1,0 +1,52 @@
+#include "sim/host.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "netbase/rng.h"
+
+namespace originscan::sim {
+
+void HostTable::freeze() {
+  assert(!frozen_);
+  std::sort(hosts_.begin(), hosts_.end(),
+            [](const Host& a, const Host& b) { return a.addr < b.addr; });
+  for (std::size_t i = 1; i < hosts_.size(); ++i) {
+    if (hosts_[i].addr == hosts_[i - 1].addr) {
+      std::fprintf(stderr, "HostTable::freeze: duplicate host %s\n",
+                   hosts_[i].addr.to_string().c_str());
+      std::abort();
+    }
+  }
+  frozen_ = true;
+}
+
+const Host* HostTable::find(net::Ipv4Addr addr) const {
+  assert(frozen_);
+  auto it = std::lower_bound(
+      hosts_.begin(), hosts_.end(), addr,
+      [](const Host& h, net::Ipv4Addr a) { return h.addr < a; });
+  if (it == hosts_.end() || it->addr != addr) return nullptr;
+  return &*it;
+}
+
+bool HostTable::live_in_trial(const Host& host, int trial,
+                              std::uint64_t experiment_seed) {
+  if (host.live_percent >= 100) return true;
+  const std::uint64_t h = net::mix_u64(host.seed, experiment_seed,
+                                       static_cast<std::uint64_t>(trial) + 1,
+                                       0x1157ULL);
+  return (h % 100) < host.live_percent;
+}
+
+std::size_t HostTable::count_running(proto::Protocol p) const {
+  std::size_t count = 0;
+  for (const auto& host : hosts_) {
+    if (host.runs(p)) ++count;
+  }
+  return count;
+}
+
+}  // namespace originscan::sim

@@ -1,0 +1,299 @@
+#include "sim/internet.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "netbase/rng.h"
+
+namespace originscan::sim {
+namespace {
+
+// Probability that a TCP connect (SYN + kernel retransmits within the
+// ZGrab timeout) fails outright, given the instantaneous path loss p.
+// Two effective attempts fit in the timeout window.
+double connect_failure_probability(double loss) { return loss * loss; }
+
+double hash01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Connection::read() {
+  return std::exchange(pending_, {});
+}
+
+void Connection::send(std::span<const std::uint8_t> data) {
+  if (peer_closed_ || peer_reset_ || hung_ || server_ == nullptr) return;
+  ServerAction action = server_->on_bytes(data);
+  pending_.insert(pending_.end(), action.bytes.begin(), action.bytes.end());
+  if (action.reset) peer_reset_ = true;
+  if (action.close) peer_closed_ = true;
+}
+
+Internet::Internet(const World* world, const TrialContext& context,
+                   PersistentState* persistent)
+    : world_(world),
+      context_(context),
+      policy_engine_(&world->policies, &world->origins, persistent,
+                     context.trial,
+                     net::mix_u64(context.experiment_seed, context.trial,
+                                  0x7121A1ULL),
+                     context.scan_duration) {
+  assert(world_->topology.frozen());
+}
+
+const PathLossModel& Internet::loss_model(OriginId origin, AsId as,
+                                          proto::Protocol protocol) {
+  const std::uint64_t key =
+      (std::uint64_t{origin} << 40) | (std::uint64_t{as} << 8) |
+      proto::index_of(protocol);
+  auto it = loss_cache_.find(key);
+  if (it == loss_cache_.end()) {
+    PathProfile profile = world_->paths.profile(origin, as);
+    if (world_->uniform_random_loss) {
+      // Same long-run loss, no burst structure.
+      profile.good_loss = profile.stationary_loss();
+      profile.bad_fraction = 0;
+    }
+    // Colocated origins (same first-hop data center) share Good/Bad
+    // timelines: seed the renewal process by group, not by origin.
+    const int group = world_->origins[origin].colocation_group;
+    const std::uint64_t timeline_actor =
+        group >= 0 ? 0x9000000ULL + static_cast<std::uint64_t>(group)
+                   : std::uint64_t{origin};
+    const std::uint64_t timeline_key =
+        (timeline_actor << 40) | (std::uint64_t{as} << 8) |
+        proto::index_of(protocol);
+    const std::uint64_t stream_seed =
+        net::mix_u64(world_->seed, timeline_key, context_.trial, 0x105Eu);
+    it = loss_cache_
+             .emplace(key, std::make_unique<PathLossModel>(
+                               profile, stream_seed, context_.scan_duration))
+             .first;
+  }
+  return *it->second;
+}
+
+const OutageSchedule& Internet::outage_schedule(OriginId origin,
+                                                proto::Protocol protocol) {
+  const std::uint64_t key =
+      (std::uint64_t{origin} << 8) | proto::index_of(protocol);
+  auto it = outage_cache_.find(key);
+  if (it == outage_cache_.end()) {
+    const std::uint64_t stream_seed =
+        net::mix_u64(world_->seed, key, context_.trial, 0x07A6Eu);
+    it = outage_cache_
+             .emplace(key, std::make_unique<OutageSchedule>(
+                               world_->outages, origin,
+                               world_->topology.as_count(), stream_seed,
+                               context_.scan_duration))
+             .first;
+  }
+  return *it->second;
+}
+
+net::VirtualTime Internet::rtt(OriginId origin, AsId as) const {
+  const PathProfile profile = world_->paths.profile(origin, as);
+  return net::VirtualTime::from_micros(
+      static_cast<std::int64_t>(profile.latency_ms * 1000.0));
+}
+
+std::optional<std::vector<std::uint8_t>> Internet::handle_probe(
+    OriginId origin, std::span<const std::uint8_t> packet, net::VirtualTime t,
+    int probe_index) {
+  auto parsed = net::TcpPacket::parse(packet);
+  if (!parsed || !parsed->tcp.flags.syn || parsed->tcp.flags.ack) {
+    return std::nullopt;  // malformed or not a SYN: dropped on the floor
+  }
+  const net::Ipv4Addr dst = parsed->ip.dst;
+  const proto::Protocol* protocol = nullptr;
+  proto::Protocol proto_value{};
+  for (proto::Protocol p : proto::kAllProtocols) {
+    if (proto::port_of(p) == parsed->tcp.dst_port) {
+      proto_value = p;
+      protocol = &proto_value;
+      break;
+    }
+  }
+  if (protocol == nullptr) return std::nullopt;  // port outside the study
+
+  const auto as = world_->topology.as_of(dst);
+  if (!as) return std::nullopt;  // unrouted space
+
+  if (outage_schedule(origin, *protocol).in_outage(*as, t)) {
+    return std::nullopt;
+  }
+
+  const PathLossModel& loss = loss_model(origin, *as, *protocol);
+  // Forward direction.
+  if (loss.drop(t, net::mix_u64(dst.value(), probe_index, origin, 0xF0D0u))) {
+    return std::nullopt;
+  }
+
+  const Host* host = world_->hosts.find(dst);
+  if (host == nullptr ||
+      !HostTable::live_in_trial(*host, context_.trial,
+                                context_.experiment_seed)) {
+    return std::nullopt;  // nothing listening: silence
+  }
+  if (host->flaky && flaky_miss(*host, origin)) {
+    return std::nullopt;  // marginal host: dark for this origin this trial
+  }
+
+  if (policy_engine_.on_probe(origin, parsed->ip.src, *as, dst, *protocol,
+                              t) == PolicyEngine::L4Decision::kDrop) {
+    return std::nullopt;
+  }
+
+  const bool answers = host->middlebox || host->runs(*protocol);
+
+  net::TcpPacket response;
+  response.ip.src = dst;
+  response.ip.dst = parsed->ip.src;
+  response.tcp.src_port = parsed->tcp.dst_port;
+  response.tcp.dst_port = parsed->tcp.src_port;
+  response.tcp.ack = parsed->tcp.seq + 1;
+  if (answers) {
+    response.tcp.flags.syn = true;
+    response.tcp.flags.ack = true;
+    response.tcp.seq = static_cast<std::uint32_t>(
+        net::mix_u64(host->seed, context_.trial, probe_index, 0x15Bu));
+  } else {
+    // Live host, closed port: RST.
+    response.tcp.flags.rst = true;
+    response.tcp.flags.ack = true;
+    response.tcp.seq = 0;
+  }
+
+  // Reverse direction.
+  if (loss.drop(t, net::mix_u64(dst.value(), probe_index, origin, 0x0BACu))) {
+    return std::nullopt;
+  }
+  return response.serialize();
+}
+
+bool Internet::flaky_miss(const Host& host, OriginId origin) const {
+  // One coin per (host, origin, trial): the whole scan — both probes and
+  // the follow-up connect — sees the same dark host.
+  const std::uint64_t h = net::mix_u64(host.seed, origin,
+                                       static_cast<std::uint64_t>(
+                                           context_.trial),
+                                       0xF1A6ULL);
+  return hash01(h) < world_->flaky_miss_probability;
+}
+
+bool Internet::maxstartups_refuses(const Host& host, OriginId origin,
+                                   int attempt) const {
+  const MaxStartupsConfig& cfg = world_->maxstartups;
+  const double decay = std::pow(cfg.retry_load_decay, attempt);
+
+  // Background unauthenticated connections (other scanners, brute-force
+  // bots): Poisson, decaying across retries only mildly — background load
+  // is not synchronized with us, so it decays with the same factor used
+  // for origins to keep the model simple but monotone in `attempt`.
+  net::Rng rng(net::mix_u64(host.seed, context_.experiment_seed,
+                            static_cast<std::uint64_t>(context_.trial) << 8 |
+                                origin,
+                            0xA55ULL + static_cast<std::uint64_t>(attempt)));
+  const int background =
+      static_cast<int>(rng.poisson(cfg.background_load_mean * decay));
+
+  // Synchronized origins: each other origin's handshake is still open
+  // with some probability (all scanners hit this host at ~the same time).
+  int concurrent = 0;
+  const double p_open = cfg.concurrent_origin_probability * decay;
+  for (int i = 0; i + 1 < context_.simultaneous_origins; ++i) {
+    if (rng.bernoulli(p_open)) ++concurrent;
+  }
+
+  const double refuse =
+      host.maxstartups.refusal_probability(1 + background + concurrent);
+  return rng.bernoulli(refuse);
+}
+
+std::unique_ptr<Connection> Internet::connect(OriginId origin,
+                                              net::Ipv4Addr src_ip,
+                                              net::Ipv4Addr dst,
+                                              proto::Protocol protocol,
+                                              net::VirtualTime t,
+                                              int attempt) {
+  const auto as = world_->topology.as_of(dst);
+  if (!as) return nullptr;
+
+  if (outage_schedule(origin, protocol).in_outage(*as, t)) return nullptr;
+
+  const PathLossModel& loss = loss_model(origin, *as, protocol);
+  const double p_fail = connect_failure_probability(loss.loss_probability(t));
+  if (p_fail > 0.0 &&
+      hash01(net::mix_u64(world_->seed ^ origin, dst.value(), attempt, 0xC0DEu)) <
+          p_fail) {
+    return nullptr;
+  }
+
+  const Host* host = world_->hosts.find(dst);
+  if (host == nullptr ||
+      !HostTable::live_in_trial(*host, context_.trial,
+                                context_.experiment_seed)) {
+    return nullptr;
+  }
+  if (host->flaky && flaky_miss(*host, origin)) return nullptr;
+
+  // L4 policies also gate the connect's SYN.
+  if (policy_engine_.on_probe(origin, src_ip, *as, dst, protocol, t) ==
+      PolicyEngine::L4Decision::kDrop) {
+    return nullptr;
+  }
+
+  auto connection = std::unique_ptr<Connection>(new Connection());
+
+  switch (policy_engine_.on_connection(origin, src_ip, *as, dst, protocol,
+                                       t)) {
+    case PolicyEngine::L7Decision::kRstAfterAccept:
+      connection->peer_reset_ = true;
+      return connection;
+    case PolicyEngine::L7Decision::kDrop:
+      connection->hung_ = true;
+      return connection;
+    case PolicyEngine::L7Decision::kServeBlockPage: {
+      ServerOptions options;
+      options.forced_page_title = "Blocked Site";
+      connection->server_ = make_server(*host, protocol, options);
+      if (connection->server_ == nullptr) connection->hung_ = true;
+      return connection;
+    }
+    case PolicyEngine::L7Decision::kAllow:
+      break;
+  }
+
+  if (host->middlebox && !host->runs(protocol)) {
+    connection->hung_ = true;  // DDoS frontend: accepts, says nothing
+    return connection;
+  }
+
+  if (protocol == proto::Protocol::kSsh && host->maxstartups_enabled &&
+      maxstartups_refuses(*host, origin, attempt)) {
+    // sshd drops the connection before the identification string; some
+    // hosts RST instead of FIN (stable per host).
+    if (net::mix_u64(host->seed, 0xF17u) % 4 == 0) {
+      connection->peer_reset_ = true;
+    } else {
+      connection->peer_closed_ = true;
+    }
+    return connection;
+  }
+
+  connection->server_ = make_server(*host, protocol);
+  if (connection->server_ == nullptr) {
+    connection->hung_ = true;
+    return connection;
+  }
+  ServerAction action = connection->server_->on_open();
+  connection->pending_ = std::move(action.bytes);
+  if (action.close) connection->peer_closed_ = true;
+  if (action.reset) connection->peer_reset_ = true;
+  return connection;
+}
+
+}  // namespace originscan::sim

@@ -1,0 +1,122 @@
+// The simulated Internet, as seen from a scan origin: inject a SYN probe
+// and (maybe) get response bytes back; open a TCP connection and drive an
+// application-layer exchange against the destination host's server state
+// machine, moderated by path loss, outages, and network policies.
+//
+// One Internet instance models one trial. Different protocols share the
+// instance (host liveness is per-trial), but loss timelines and outage
+// schedules are drawn per (origin, protocol) because the real scans were
+// separate network events. Cross-trial policy state (tripped IDS blocks)
+// lives in PersistentState, owned by the caller.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/headers.h"
+#include "netbase/vtime.h"
+#include "proto/protocol.h"
+#include "sim/policy.h"
+#include "sim/server.h"
+#include "sim/world.h"
+
+namespace originscan::sim {
+
+struct TrialContext {
+  int trial = 0;  // 0-based
+  std::uint64_t experiment_seed = 0;
+  // Origins scanning in lockstep (same ZMap seed, same start time); this
+  // drives the MaxStartups concurrency model.
+  int simultaneous_origins = 1;
+  net::VirtualTime scan_duration = net::VirtualTime::from_hours(21);
+};
+
+// One established TCP connection from a scanner to a host. The ZGrab
+// engine reads/writes bytes; the connection reports how the peer ended it.
+class Connection {
+ public:
+  // Drains bytes the server has sent since the last read.
+  std::vector<std::uint8_t> read();
+
+  // Feeds client bytes to the server. No-op once the peer closed/reset.
+  void send(std::span<const std::uint8_t> data);
+
+  // Peer sent FIN (possibly after data still waiting in read()).
+  [[nodiscard]] bool peer_closed() const { return peer_closed_; }
+  // Peer sent RST.
+  [[nodiscard]] bool peer_reset() const { return peer_reset_; }
+  // Connection is a black hole: no data will ever arrive (policy drop or
+  // middlebox); the client's read timer is the only way out.
+  [[nodiscard]] bool hung() const { return hung_; }
+
+ private:
+  friend class Internet;
+  Connection() = default;
+
+  std::unique_ptr<ProtocolServer> server_;
+  std::vector<std::uint8_t> pending_;
+  bool peer_closed_ = false;
+  bool peer_reset_ = false;
+  bool hung_ = false;
+};
+
+class Internet {
+ public:
+  Internet(const World* world, const TrialContext& context,
+           PersistentState* persistent);
+
+  // ---- Layer 4 -----------------------------------------------------
+  // Processes one probe packet (serialized IPv4+TCP bytes) sent by
+  // `origin` at virtual time `t`; `probe_index` distinguishes the
+  // back-to-back probes of a multi-probe scan. Returns the response
+  // packet bytes (SYN-ACK or RST), or nullopt for silence.
+  std::optional<std::vector<std::uint8_t>> handle_probe(
+      OriginId origin, std::span<const std::uint8_t> packet, net::VirtualTime t,
+      int probe_index);
+
+  // ---- Layer 7 -----------------------------------------------------
+  // Attempts a TCP connection for an application handshake. Returns
+  // nullptr when the connect times out (loss/outage or vanished host).
+  // `attempt` is the retry index (0 = first try) — retries see lower
+  // MaxStartups concurrency.
+  std::unique_ptr<Connection> connect(OriginId origin, net::Ipv4Addr src_ip,
+                                      net::Ipv4Addr dst,
+                                      proto::Protocol protocol,
+                                      net::VirtualTime t, int attempt);
+
+  [[nodiscard]] const World& world() const { return *world_; }
+  [[nodiscard]] const TrialContext& context() const { return context_; }
+  [[nodiscard]] PolicyEngine& policy_engine() { return policy_engine_; }
+
+  // Path RTT for (origin, as); the scan engines use it to schedule the
+  // L7 follow-up after a SYN-ACK.
+  [[nodiscard]] net::VirtualTime rtt(OriginId origin, AsId as) const;
+
+ private:
+  const PathLossModel& loss_model(OriginId origin, AsId as,
+                                  proto::Protocol protocol);
+  const OutageSchedule& outage_schedule(OriginId origin,
+                                        proto::Protocol protocol);
+
+  // Deterministic MaxStartups refusal decision for one attempt.
+  [[nodiscard]] bool maxstartups_refuses(const Host& host, OriginId origin,
+                                         int attempt) const;
+
+  // Whether a flaky host is dark for this (origin, trial).
+  [[nodiscard]] bool flaky_miss(const Host& host, OriginId origin) const;
+
+  const World* world_;
+  TrialContext context_;
+  PolicyEngine policy_engine_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<PathLossModel>>
+      loss_cache_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<OutageSchedule>>
+      outage_cache_;
+};
+
+}  // namespace originscan::sim

@@ -1,0 +1,52 @@
+// Scan-origin descriptions: where a vantage point is, which source
+// addresses it scans from, and the reputation attributes that the
+// simulated policies react to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "sim/country.h"
+#include "sim/types.h"
+
+namespace originscan::sim {
+
+enum class OriginKind : std::uint8_t { kAcademic, kCommercial, kCloud };
+
+struct OriginSpec {
+  std::string code;          // short label, e.g. "AU", "US64", "CEN"
+  std::string display_name;  // e.g. "Australia"
+  CountryCode country;
+  OriginKind kind = OriginKind::kAcademic;
+
+  // Source addresses used round-robin across probes. Must lie outside the
+  // scanned universe. One entry for every origin except US64's block.
+  std::vector<net::Ipv4Addr> source_ips;
+
+  // How heavily this origin's address space has scanned before; drives
+  // the static-blocklist archetypes (Censys ~ 1.0, fresh IPs ~ 0.0).
+  double scan_reputation = 0.0;
+
+  // Multiplier on path loss (bad-state fraction); Australia > 1.
+  double loss_multiplier = 1.0;
+
+  // Origins in the same non-negative group are colocated (the Equinix
+  // CHI4 follow-up): they share Good/Bad loss timelines per destination
+  // AS because their traffic largely rides the same paths.
+  int colocation_group = -1;
+
+  [[nodiscard]] bool single_ip() const { return source_ips.size() == 1; }
+};
+
+// A bitmask over OriginId (experiments have <= 32 origins).
+using OriginMask = std::uint32_t;
+
+constexpr OriginMask origin_bit(OriginId id) { return OriginMask{1} << id; }
+constexpr bool mask_has(OriginMask mask, OriginId id) {
+  return (mask & origin_bit(id)) != 0;
+}
+inline constexpr OriginMask kAllOrigins = ~OriginMask{0};
+
+}  // namespace originscan::sim

@@ -1,0 +1,73 @@
+#include "sim/outage.h"
+
+#include <algorithm>
+
+#include "netbase/rng.h"
+
+namespace originscan::sim {
+
+OutageSchedule::OutageSchedule(const OutageConfig& config, OriginId origin,
+                               std::size_t as_count,
+                               std::uint64_t stream_seed,
+                               net::VirtualTime horizon)
+    : per_as_(as_count), wide_event_members_(as_count, false) {
+  const double horizon_s = horizon.seconds();
+  double rate = config.pair_rate;
+  if (origin < config.origin_rate_multiplier.size()) {
+    rate *= config.origin_rate_multiplier[origin];
+  }
+
+  for (std::size_t as = 0; as < as_count; ++as) {
+    net::Rng rng(net::mix_u64(stream_seed, as, 0x07A6EULL));
+    const std::uint32_t count = rng.poisson(rate);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const double duration = rng.uniform(config.pair_min_duration_s,
+                                          config.pair_max_duration_s);
+      const double start = rng.uniform(0.0, horizon_s);
+      per_as_[as].push_back(
+          {static_cast<std::int64_t>(start * 1e6),
+           static_cast<std::int64_t>(std::min(start + duration, horizon_s) *
+                                     1e6)});
+    }
+    std::sort(per_as_[as].begin(), per_as_[as].end(),
+              [](const Window& a, const Window& b) {
+                return a.start_us < b.start_us;
+              });
+  }
+
+  net::Rng wide_rng(net::mix_u64(stream_seed, 0x3157, 0x91DEULL));
+  if (wide_rng.bernoulli(config.wide_event_probability)) {
+    const double start =
+        wide_rng.uniform(0.0, std::max(1.0, horizon_s -
+                                                config.wide_event_duration_s));
+    wide_event_ = {static_cast<std::int64_t>(start * 1e6),
+                   static_cast<std::int64_t>(
+                       (start + config.wide_event_duration_s) * 1e6)};
+    for (std::size_t as = 0; as < as_count; ++as) {
+      wide_event_members_[as] =
+          wide_rng.bernoulli(config.wide_event_as_fraction);
+    }
+  }
+}
+
+bool OutageSchedule::in_outage(AsId as, net::VirtualTime t) const {
+  const std::int64_t us = t.micros();
+  if (wide_event_.end_us > 0 && as < wide_event_members_.size() &&
+      wide_event_members_[as] && us >= wide_event_.start_us &&
+      us < wide_event_.end_us) {
+    return true;
+  }
+  if (as >= per_as_.size()) return false;
+  for (const auto& window : per_as_[as]) {
+    if (us < window.start_us) break;
+    if (us < window.end_us) return true;
+  }
+  return false;
+}
+
+const std::vector<OutageSchedule::Window>& OutageSchedule::pair_windows(
+    AsId as) const {
+  return per_as_[as];
+}
+
+}  // namespace originscan::sim

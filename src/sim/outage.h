@@ -1,0 +1,59 @@
+// Short-lived localized outages (Section 5.3): windows during which one
+// origin loses all connectivity to one destination AS. Two kinds:
+//   * pair outages  — independent Poisson events per (origin, AS) scan,
+//   * wide events   — rare origin-level incidents that simultaneously
+//     affect a large random subset of ASes (the paper's Brazil HTTPS
+//     trial-3 hour that touched 39% of scanned ASes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/vtime.h"
+#include "sim/types.h"
+
+namespace originscan::sim {
+
+struct OutageConfig {
+  // Expected pair outages per (origin, AS) per scan.
+  double pair_rate = 0.02;
+  double pair_min_duration_s = 600;   // 10 min
+  double pair_max_duration_s = 3600;  // 1 h
+
+  // Probability that an origin suffers one wide event in a scan.
+  double wide_event_probability = 0.04;
+  double wide_event_duration_s = 3000;
+  double wide_event_as_fraction = 0.35;  // fraction of ASes affected
+
+  // Per-origin multiplier on pair_rate (Australia is burst-prone).
+  // Indexed by OriginId; missing entries default to 1.0.
+  std::vector<double> origin_rate_multiplier;
+};
+
+class OutageSchedule {
+ public:
+  // Builds the schedule for one scan (one origin x protocol x trial),
+  // deterministically from the stream seed.
+  OutageSchedule(const OutageConfig& config, OriginId origin,
+                 std::size_t as_count, std::uint64_t stream_seed,
+                 net::VirtualTime horizon);
+
+  [[nodiscard]] bool in_outage(AsId as, net::VirtualTime t) const;
+
+  struct Window {
+    std::int64_t start_us = 0;
+    std::int64_t end_us = 0;
+  };
+
+  // For tests/diagnostics.
+  [[nodiscard]] const std::vector<Window>& pair_windows(AsId as) const;
+  [[nodiscard]] bool has_wide_event() const { return wide_event_.end_us > 0; }
+  [[nodiscard]] Window wide_event() const { return wide_event_; }
+
+ private:
+  std::vector<std::vector<Window>> per_as_;  // indexed by AsId
+  Window wide_event_{};
+  std::vector<bool> wide_event_members_;  // ASes hit by the wide event
+};
+
+}  // namespace originscan::sim

@@ -1,0 +1,54 @@
+// Server-side protocol behaviour for simulated hosts. Each server is a
+// small state machine fed client bytes and producing server bytes —
+// the same byte streams a real ZGrab peer would see.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/protocol.h"
+#include "sim/host.h"
+#include "sim/types.h"
+
+namespace originscan::sim {
+
+// The result of feeding bytes to (or opening) a server.
+struct ServerAction {
+  std::vector<std::uint8_t> bytes;  // bytes the server sends back
+  bool close = false;               // server closes (FIN) after `bytes`
+  bool reset = false;               // server resets the connection
+};
+
+class ProtocolServer {
+ public:
+  virtual ~ProtocolServer() = default;
+
+  // Called once when the TCP connection is established; lets
+  // server-speaks-first protocols (SSH) emit their banner.
+  virtual ServerAction on_open() { return {}; }
+
+  // Called with each chunk of client bytes.
+  virtual ServerAction on_bytes(std::span<const std::uint8_t> data) = 0;
+};
+
+struct ServerOptions {
+  // When set, the HTTP server serves this page title regardless of the
+  // host's own content (used by the ServeBlockPage policy).
+  std::string forced_page_title;
+};
+
+// Creates the server state machine a given host runs for a protocol.
+// Returns nullptr when the host does not serve the protocol. The host's
+// seed makes banners/certificates deterministic per host.
+std::unique_ptr<ProtocolServer> make_server(const Host& host,
+                                            proto::Protocol protocol,
+                                            const ServerOptions& options = {});
+
+// Banner helpers exposed for tests and the scenario builder.
+std::string http_server_software(std::uint64_t host_seed);
+std::string ssh_server_software(std::uint64_t host_seed);
+
+}  // namespace originscan::sim

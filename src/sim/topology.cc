@@ -1,0 +1,82 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace originscan::sim {
+
+AsId Topology::add_as(std::string name, CountryCode country) {
+  assert(!frozen_);
+  AsInfo info;
+  info.id = static_cast<AsId>(ases_.size());
+  info.name = std::move(name);
+  info.country = country;
+  ases_.push_back(std::move(info));
+  return ases_.back().id;
+}
+
+void Topology::add_prefix(AsId as, net::Prefix prefix,
+                          std::optional<CountryCode> geo) {
+  assert(!frozen_);
+  assert(as < ases_.size());
+  ases_[as].prefixes.push_back(
+      PrefixEntry{prefix, geo.value_or(ases_[as].country)});
+}
+
+void Topology::freeze() {
+  assert(!frozen_);
+  index_.clear();
+  for (const auto& as : ases_) {
+    for (const auto& entry : as.prefixes) {
+      index_.push_back(Entry{entry.prefix.first().value(),
+                             entry.prefix.last().value(), as.id,
+                             entry.country});
+    }
+  }
+  std::sort(index_.begin(), index_.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < index_.size(); ++i) {
+    if (index_[i].first <= index_[i - 1].last) {
+      std::fprintf(stderr,
+                   "Topology::freeze: overlapping prefixes between AS %u "
+                   "and AS %u\n",
+                   index_[i - 1].as, index_[i].as);
+      std::abort();
+    }
+  }
+  frozen_ = true;
+}
+
+const Topology::Entry* Topology::lookup(net::Ipv4Addr addr) const {
+  assert(frozen_);
+  const std::uint32_t value = addr.value();
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), value,
+      [](std::uint32_t v, const Entry& e) { return v < e.first; });
+  if (it == index_.begin()) return nullptr;
+  --it;
+  if (value >= it->first && value <= it->last) return &*it;
+  return nullptr;
+}
+
+std::optional<AsId> Topology::as_of(net::Ipv4Addr addr) const {
+  const Entry* entry = lookup(addr);
+  if (entry == nullptr) return std::nullopt;
+  return entry->as;
+}
+
+CountryCode Topology::country_of(net::Ipv4Addr addr) const {
+  const Entry* entry = lookup(addr);
+  return entry == nullptr ? CountryCode() : entry->country;
+}
+
+AsId Topology::find_as(std::string_view name) const {
+  for (const auto& as : ases_) {
+    if (as.name == name) return as.id;
+  }
+  return kNoAs;
+}
+
+}  // namespace originscan::sim

@@ -1,0 +1,79 @@
+// The routed topology: autonomous systems, their prefixes, and the
+// address -> AS / address -> country mappings (the stand-ins for the
+// routing-table snapshot and the MaxMind GeoIP database the paper uses).
+//
+// Country is tracked per prefix, not only per AS: several of the paper's
+// key networks are registered in one country but announce space that
+// geolocates elsewhere (DXTL's Bangladesh/South-Africa space, Gateway
+// Inc.'s Japan-registered US-geolocating hosts, Cloudflare anycast).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "sim/country.h"
+#include "sim/types.h"
+
+namespace originscan::sim {
+
+struct PrefixEntry {
+  net::Prefix prefix;
+  CountryCode country;  // geolocation of this prefix
+};
+
+struct AsInfo {
+  AsId id = kNoAs;
+  std::string name;
+  CountryCode country;  // registration country of the AS
+  std::vector<PrefixEntry> prefixes;
+
+  [[nodiscard]] std::uint64_t address_count() const {
+    std::uint64_t total = 0;
+    for (const auto& entry : prefixes) total += entry.prefix.size();
+    return total;
+  }
+};
+
+class Topology {
+ public:
+  // Registers a new AS and returns its id. Attach prefixes with
+  // add_prefix, then call freeze() once all prefixes are in.
+  AsId add_as(std::string name, CountryCode country);
+
+  // Adds a prefix; `geo` defaults to the AS registration country.
+  void add_prefix(AsId as, net::Prefix prefix,
+                  std::optional<CountryCode> geo = std::nullopt);
+
+  // Builds the address-lookup index. Prefixes must be disjoint across
+  // ASes; freeze() verifies this and aborts on overlap (a scenario bug).
+  void freeze();
+
+  [[nodiscard]] std::optional<AsId> as_of(net::Ipv4Addr addr) const;
+  [[nodiscard]] CountryCode country_of(net::Ipv4Addr addr) const;
+  [[nodiscard]] const AsInfo& as_info(AsId id) const { return ases_[id]; }
+  [[nodiscard]] std::size_t as_count() const { return ases_.size(); }
+  [[nodiscard]] const std::vector<AsInfo>& ases() const { return ases_; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  // Finds an AS by (unique) name; kNoAs when absent.
+  [[nodiscard]] AsId find_as(std::string_view name) const;
+
+ private:
+  struct Entry {
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;  // inclusive
+    AsId as = kNoAs;
+    CountryCode country;
+  };
+
+  [[nodiscard]] const Entry* lookup(net::Ipv4Addr addr) const;
+
+  std::vector<AsInfo> ases_;
+  std::vector<Entry> index_;  // sorted by first, disjoint
+  bool frozen_ = false;
+};
+
+}  // namespace originscan::sim

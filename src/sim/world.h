@@ -1,0 +1,60 @@
+// The immutable product of scenario construction: everything about the
+// simulated Internet that does not change between trials.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/ssh.h"
+#include "sim/host.h"
+#include "sim/origin.h"
+#include "sim/outage.h"
+#include "sim/path.h"
+#include "sim/policy.h"
+#include "sim/topology.h"
+
+namespace originscan::sim {
+
+struct MaxStartupsConfig {
+  // Expected number of *background* unauthenticated connections open on a
+  // MaxStartups host when a scanner arrives (Poisson mean).
+  double background_load_mean = 6.0;
+  // Probability that another synchronized origin's connection is still
+  // open ("concurrent") when this origin's attempt lands.
+  double concurrent_origin_probability = 0.85;
+  // Per-retry decay of concurrency: retries happen after the synchronized
+  // burst has passed, so each retry sees fewer open connections.
+  double retry_load_decay = 0.55;
+};
+
+struct World {
+  Topology topology;
+  HostTable hosts;
+  std::vector<OriginSpec> origins;
+  PathTable paths;
+  PolicyConfig policies;
+  OutageConfig outages;
+  MaxStartupsConfig maxstartups;
+
+  // Probability that a flaky host ignores one origin for one trial.
+  double flaky_miss_probability = 0.30;
+
+  // Ablation: replace every Gilbert-Elliott process by uniform random
+  // loss with the same stationary rate (the assumption behind ZMap's
+  // original coverage estimate, which the paper refutes).
+  bool uniform_random_loss = false;
+
+  std::uint64_t seed = 0;
+  // Scanned addresses are [0, universe_size); origin source IPs must lie
+  // outside this range.
+  std::uint32_t universe_size = 0;
+
+  [[nodiscard]] OriginId origin_id(std::string_view code) const {
+    for (std::size_t i = 0; i < origins.size(); ++i) {
+      if (origins[i].code == code) return static_cast<OriginId>(i);
+    }
+    return ~OriginId{0};
+  }
+};
+
+}  // namespace originscan::sim

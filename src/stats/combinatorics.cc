@@ -1,0 +1,38 @@
+#include "stats/combinatorics.h"
+
+namespace originscan::stats {
+
+std::vector<std::vector<std::size_t>> k_subsets(std::size_t n,
+                                                std::size_t k) {
+  std::vector<std::vector<std::size_t>> out;
+  if (k > n) return out;
+  std::vector<std::size_t> current(k);
+  for (std::size_t i = 0; i < k; ++i) current[i] = i;
+  for (;;) {
+    out.push_back(current);
+    // Advance to the next combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (current[i] != i + n - k) {
+        ++current[i];
+        for (std::size_t j = i + 1; j < k; ++j) current[j] = current[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return out;
+    }
+    if (k == 0) return out;
+  }
+}
+
+std::size_t binomial_coefficient(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::size_t result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+}  // namespace originscan::stats

@@ -1,0 +1,17 @@
+// Enumeration of k-element subsets of {0..n-1}, used by the multi-origin
+// coverage analysis (Fig 15/17/18: every pair and triad of origins).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace originscan::stats {
+
+// All k-subsets in lexicographic order. Intended for the small n (<= ~10
+// origins) this library deals in; the count is C(n, k).
+std::vector<std::vector<std::size_t>> k_subsets(std::size_t n, std::size_t k);
+
+// C(n, k) without overflow for the small arguments used here.
+std::size_t binomial_coefficient(std::size_t n, std::size_t k);
+
+}  // namespace originscan::stats

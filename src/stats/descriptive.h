@@ -1,0 +1,41 @@
+// Descriptive statistics over double samples. The analysis layer reports
+// medians/variances of coverage across origin combinations (Fig 15/17/18)
+// and loss-rate summaries; everything funnels through these helpers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace originscan::stats {
+
+double mean(std::span<const double> xs);
+
+// Sample variance (n-1 denominator); 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+// Linear-interpolated quantile, q in [0, 1]. Copies and sorts internally.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// Average ranks (1-based, ties get the mean of their positions), the
+// building block for Spearman correlation.
+std::vector<double> ranks(std::span<const double> xs);
+
+}  // namespace originscan::stats

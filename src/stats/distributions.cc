@@ -1,0 +1,141 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace originscan::stats {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+constexpr double kTiny = 1e-300;
+
+// Series expansion of P(a, x), valid for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+// Continued fraction for Q(a, x), valid for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+}
+
+// Continued fraction for the incomplete beta (Lentz's algorithm).
+double beta_continued_fraction(double x, double a, double b) {
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double log_gamma(double x) { return std::lgamma(x); }
+
+double regularized_gamma_p(double a, double x) {
+  if (x <= 0.0 || a <= 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double regularized_beta(double x, double a, double b) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(x, a, b) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(1.0 - x, b, a) / b;
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double chi_square_cdf(double x, double k) {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(k / 2.0, x / 2.0);
+}
+
+double chi_square_sf(double x, double k) {
+  return std::clamp(1.0 - chi_square_cdf(x, k), 0.0, 1.0);
+}
+
+double student_t_cdf(double t, double v) {
+  if (v <= 0.0) return 0.5;
+  const double x = v / (v + t * t);
+  const double tail = 0.5 * regularized_beta(x, v / 2.0, 0.5);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_two_sided_p(double t, double v) {
+  const double x = v / (v + t * t);
+  return std::clamp(regularized_beta(x, v / 2.0, 0.5), 0.0, 1.0);
+}
+
+double binomial_two_sided_p(int k, int n) {
+  if (n <= 0) return 1.0;
+  // Symmetric p = 0.5 case: P(min tail) doubled, capped at 1.
+  const int lo = std::min(k, n - k);
+  double tail = 0.0;
+  const double log_half_n = -n * std::log(2.0);
+  for (int i = 0; i <= lo; ++i) {
+    const double log_choose =
+        log_gamma(n + 1.0) - log_gamma(i + 1.0) - log_gamma(n - i + 1.0);
+    tail += std::exp(log_choose + log_half_n);
+  }
+  return std::min(1.0, 2.0 * tail);
+}
+
+}  // namespace originscan::stats

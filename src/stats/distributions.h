@@ -1,0 +1,39 @@
+// Cumulative distribution functions needed by the hypothesis tests:
+// standard normal, chi-square (via the regularized incomplete gamma), and
+// Student's t (via the regularized incomplete beta). Implemented from
+// standard continued-fraction / series forms (Numerical Recipes style) —
+// accurate to ~1e-10 over the ranges the tests use.
+#pragma once
+
+namespace originscan::stats {
+
+// Standard normal CDF.
+double normal_cdf(double z);
+
+// P(X <= x) for chi-square with k degrees of freedom.
+double chi_square_cdf(double x, double k);
+
+// Upper-tail p-value for a chi-square statistic.
+double chi_square_sf(double x, double k);
+
+// P(T <= t) for Student's t with v degrees of freedom.
+double student_t_cdf(double t, double v);
+
+// Two-sided p-value for a t statistic.
+double student_t_two_sided_p(double t, double v);
+
+// Regularized lower incomplete gamma P(a, x).
+double regularized_gamma_p(double a, double x);
+
+// Regularized incomplete beta I_x(a, b).
+double regularized_beta(double x, double a, double b);
+
+// log Gamma(x) for x > 0.
+double log_gamma(double x);
+
+// Exact binomial two-sided test: probability of a result at least as
+// extreme as `k` successes in `n` trials with success probability 0.5.
+// Used by the exact McNemar test when discordant pairs are few.
+double binomial_two_sided_p(int k, int n);
+
+}  // namespace originscan::stats

@@ -1,0 +1,58 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace originscan::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : Ecdf(samples, std::vector<double>(samples.size(), 1.0)) {}
+
+Ecdf::Ecdf(std::span<const double> samples, std::span<const double> weights) {
+  assert(samples.size() == weights.size());
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return samples[a] < samples[b];
+  });
+  values_.reserve(samples.size());
+  cumulative_weight_.reserve(samples.size());
+  double running = 0.0;
+  for (std::size_t idx : order) {
+    running += weights[idx];
+    values_.push_back(samples[idx]);
+    cumulative_weight_.push_back(running);
+  }
+  total_weight_ = running;
+}
+
+double Ecdf::at(double x) const {
+  if (values_.empty() || total_weight_ <= 0.0) return 0.0;
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  if (it == values_.begin()) return 0.0;
+  const auto idx = static_cast<std::size_t>(it - values_.begin()) - 1;
+  return cumulative_weight_[idx] / total_weight_;
+}
+
+double Ecdf::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  const double target = std::clamp(q, 0.0, 1.0) * total_weight_;
+  const auto it = std::lower_bound(cumulative_weight_.begin(),
+                                   cumulative_weight_.end(), target);
+  if (it == cumulative_weight_.end()) return values_.back();
+  return values_[static_cast<std::size_t>(it - cumulative_weight_.begin())];
+}
+
+std::vector<Ecdf::Point> Ecdf::points() const {
+  std::vector<Point> out;
+  if (total_weight_ <= 0.0) return out;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    // Collapse duplicate values to their final cumulative weight.
+    if (i + 1 < values_.size() && values_[i + 1] == values_[i]) continue;
+    out.push_back({values_[i], cumulative_weight_[i] / total_weight_});
+  }
+  return out;
+}
+
+}  // namespace originscan::stats

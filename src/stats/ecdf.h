@@ -1,0 +1,42 @@
+// Empirical CDFs, optionally weighted — Fig 4 (inaccessible hosts by AS),
+// Fig 9 (transient-loss differences, plain and AS-size weighted) and the
+// report-layer CDF charts are all built on this.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace originscan::stats {
+
+class Ecdf {
+ public:
+  // Unweighted: each sample has weight 1.
+  explicit Ecdf(std::span<const double> samples);
+
+  // Weighted: P(X <= x) computed over total weight.
+  Ecdf(std::span<const double> samples, std::span<const double> weights);
+
+  // Fraction of total weight at or below x, in [0, 1].
+  [[nodiscard]] double at(double x) const;
+
+  // Smallest sample value v with at(v) >= q.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t sample_count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  // Evaluation points for plotting: (value, cumulative fraction) pairs at
+  // each distinct sample value.
+  struct Point {
+    double value = 0;
+    double fraction = 0;
+  };
+  [[nodiscard]] std::vector<Point> points() const;
+
+ private:
+  std::vector<double> values_;           // sorted
+  std::vector<double> cumulative_weight_;  // prefix sums aligned to values_
+  double total_weight_ = 0;
+};
+
+}  // namespace originscan::stats

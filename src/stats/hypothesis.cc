@@ -1,0 +1,127 @@
+#include "stats/hypothesis.h"
+
+#include <cassert>
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace originscan::stats {
+
+McNemarResult mcnemar_test(std::uint64_t /*a*/, std::uint64_t b,
+                           std::uint64_t c, std::uint64_t /*d*/) {
+  McNemarResult result;
+  result.b = b;
+  result.c = c;
+  const std::uint64_t n = b + c;
+  if (n == 0) return result;  // no discordance: p = 1
+
+  // Standard practice: exact binomial when the discordant count is small,
+  // chi-square with Edwards' continuity correction otherwise.
+  if (n < 25) {
+    result.exact = true;
+    result.p_value =
+        binomial_two_sided_p(static_cast<int>(b), static_cast<int>(n));
+    return result;
+  }
+  const double diff = std::abs(static_cast<double>(b) - static_cast<double>(c));
+  const double corrected = std::max(0.0, diff - 1.0);
+  result.statistic = corrected * corrected / static_cast<double>(n);
+  result.p_value = chi_square_sf(result.statistic, 1.0);
+  return result;
+}
+
+McNemarResult mcnemar_test(std::span<const bool> x, std::span<const bool> y) {
+  assert(x.size() == y.size());
+  std::uint64_t a = 0, b = 0, c = 0, d = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] && y[i]) {
+      ++a;
+    } else if (x[i] && !y[i]) {
+      ++b;
+    } else if (!x[i] && y[i]) {
+      ++c;
+    } else {
+      ++d;
+    }
+  }
+  return mcnemar_test(a, b, c, d);
+}
+
+CochranQResult cochran_q(const std::vector<std::vector<bool>>& table) {
+  CochranQResult result;
+  if (table.empty() || table.front().empty()) return result;
+  const std::size_t n = table.size();
+  const std::size_t k = table.front().size();
+
+  std::vector<double> column_totals(k, 0.0);
+  double grand_total = 0.0;
+  double row_square_sum = 0.0;
+  for (const auto& row : table) {
+    assert(row.size() == k);
+    double row_total = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (row[j]) {
+        row_total += 1.0;
+        column_totals[j] += 1.0;
+      }
+    }
+    grand_total += row_total;
+    row_square_sum += row_total * row_total;
+  }
+
+  double column_square_sum = 0.0;
+  for (double total : column_totals) column_square_sum += total * total;
+
+  const double kf = static_cast<double>(k);
+  const double denominator = kf * grand_total - row_square_sum;
+  result.degrees_of_freedom = kf - 1.0;
+  if (denominator <= 0.0) return result;  // all rows constant
+  result.statistic = (kf - 1.0) *
+                     (kf * column_square_sum - grand_total * grand_total) /
+                     denominator;
+  result.p_value = chi_square_sf(result.statistic, result.degrees_of_freedom);
+  (void)n;
+  return result;
+}
+
+std::vector<double> bonferroni(std::span<const double> p_values) {
+  std::vector<double> adjusted;
+  adjusted.reserve(p_values.size());
+  const double m = static_cast<double>(p_values.size());
+  for (double p : p_values) adjusted.push_back(std::min(1.0, p * m));
+  return adjusted;
+}
+
+SpearmanResult spearman(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  SpearmanResult result;
+  result.n = x.size();
+  if (x.size() < 3) return result;
+
+  const auto rx = ranks(x);
+  const auto ry = ranks(y);
+
+  // Pearson correlation of the ranks (handles ties correctly).
+  const double mx = mean(rx);
+  const double my = mean(ry);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    const double dx = rx[i] - mx;
+    const double dy = ry[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return result;  // constant input
+  result.rho = sxy / std::sqrt(sxx * syy);
+
+  const double n = static_cast<double>(x.size());
+  const double rho = std::clamp(result.rho, -0.9999999, 0.9999999);
+  const double t = rho * std::sqrt((n - 2.0) / (1.0 - rho * rho));
+  result.p_value = student_t_two_sided_p(t, n - 2.0);
+  return result;
+}
+
+}  // namespace originscan::stats

@@ -1,0 +1,58 @@
+// Hypothesis tests used in the paper's Section 3 methodology:
+//   * McNemar's test on paired host visibility between two origins
+//     (chi-square with continuity correction; exact binomial fallback when
+//     discordant pairs are few),
+//   * Cochran's Q (the k-group extension the paper deliberately avoids —
+//     implemented so the comparison can be reproduced),
+//   * Bonferroni correction for the multiple pairwise comparisons,
+//   * Spearman rank correlation with a t-approximation p-value
+//     (used for host-count vs inaccessibility, and loss correlations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace originscan::stats {
+
+struct McNemarResult {
+  // Discordant counts: b = yes/no, c = no/yes.
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  double statistic = 0;  // chi-square statistic (0 for the exact branch)
+  double p_value = 1.0;
+  bool exact = false;  // true when the exact binomial test was used
+};
+
+// McNemar's test from a 2x2 paired table. `a` (yes/yes) and `d` (no/no)
+// are accepted for completeness but only the discordant cells matter.
+McNemarResult mcnemar_test(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                           std::uint64_t d);
+
+// Convenience: run McNemar directly on two aligned boolean visibility
+// vectors (host i visible from origin X / origin Y).
+McNemarResult mcnemar_test(std::span<const bool> x, std::span<const bool> y);
+
+struct CochranQResult {
+  double statistic = 0;
+  double degrees_of_freedom = 0;
+  double p_value = 1.0;
+};
+
+// Cochran's Q over k treatments x n subjects. `table[subject][treatment]`.
+CochranQResult cochran_q(const std::vector<std::vector<bool>>& table);
+
+// Bonferroni-adjusted p-values (clamped to 1).
+std::vector<double> bonferroni(std::span<const double> p_values);
+
+struct SpearmanResult {
+  double rho = 0;
+  double p_value = 1.0;
+  std::size_t n = 0;
+};
+
+// Spearman rank correlation; p-value from the t-distribution
+// approximation (valid for n >= ~10, the regime all our uses are in).
+SpearmanResult spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace originscan::stats

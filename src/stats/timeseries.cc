@@ -1,0 +1,73 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+
+namespace originscan::stats {
+
+std::vector<double> rolling_mean(std::span<const double> xs,
+                                 std::size_t window) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  window = std::max<std::size_t>(1, window);
+  const std::size_t half = window / 2;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(xs.size(), i + window - half);
+    double sum = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) sum += xs[j];
+    out[i] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+std::vector<double> noise_component(std::span<const double> xs,
+                                    std::size_t window) {
+  auto smoothed = rolling_mean(xs, window);
+  for (std::size_t i = 0; i < xs.size(); ++i) smoothed[i] = xs[i] - smoothed[i];
+  return smoothed;
+}
+
+BurstDetection detect_bursts(std::span<const double> xs, std::size_t window,
+                             double sigma_multiplier) {
+  BurstDetection result;
+  result.noise = noise_component(xs, window);
+  result.noise_stddev = stddev(result.noise);
+  result.threshold = sigma_multiplier * result.noise_stddev;
+  if (result.threshold <= 0.0) return result;
+  for (std::size_t i = 0; i < result.noise.size(); ++i) {
+    if (result.noise[i] > result.threshold) result.burst_indices.push_back(i);
+  }
+  return result;
+}
+
+std::size_t best_smoothing_window(std::span<const double> xs,
+                                  std::size_t min_window,
+                                  std::size_t max_window) {
+  min_window = std::max<std::size_t>(1, min_window);
+  max_window = std::max(min_window, max_window);
+  std::size_t best = min_window;
+  double best_mse = std::numeric_limits<double>::infinity();
+  for (std::size_t w = min_window; w <= max_window; ++w) {
+    const auto smoothed = rolling_mean(xs, w);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double err = xs[i] - smoothed[i];
+      mse += err * err;
+    }
+    if (!xs.empty()) mse /= static_cast<double>(xs.size());
+    // Penalize degenerate window=1 (zero error by construction) by
+    // requiring real smoothing: skip windows that reproduce the series.
+    if (w == 1) continue;
+    if (mse < best_mse) {
+      best_mse = mse;
+      best = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace originscan::stats

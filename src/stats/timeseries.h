@@ -1,0 +1,42 @@
+// Time-series utilities implementing the paper's burst-outage detection
+// (Section 5.3): smooth the hourly loss series with a centered rolling
+// mean, subtract to get the noise component, and flag hours whose noise
+// exceeds two standard deviations of the expected noise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace originscan::stats {
+
+// Centered rolling mean with the given window (shrinks at the edges).
+std::vector<double> rolling_mean(std::span<const double> xs,
+                                 std::size_t window);
+
+// Noise component: xs - rolling_mean(xs, window).
+std::vector<double> noise_component(std::span<const double> xs,
+                                    std::size_t window);
+
+struct BurstDetection {
+  std::vector<std::size_t> burst_indices;  // hours flagged as bursts
+  std::vector<double> noise;               // full noise component
+  double noise_stddev = 0;
+  double threshold = 0;  // sigma_multiplier * noise_stddev
+};
+
+// Flags indices where the positive noise deviation exceeds
+// `sigma_multiplier` standard deviations of the noise (default: the
+// paper's two sigma). Only positive excursions count — a burst is a spike
+// in *missing* hosts.
+BurstDetection detect_bursts(std::span<const double> xs, std::size_t window,
+                             double sigma_multiplier = 2.0);
+
+// Chooses the rolling-window size in [min_window, max_window] that
+// minimizes the mean squared error between the smoothed and the original
+// series' one-step-behind values (the paper picks ~4 hours this way).
+std::size_t best_smoothing_window(std::span<const double> xs,
+                                  std::size_t min_window,
+                                  std::size_t max_window);
+
+}  // namespace originscan::stats

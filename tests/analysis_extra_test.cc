@@ -1,0 +1,298 @@
+// Unit tests for the analysis modules not covered by core_test:
+// transient spread, stability, bursts, country tables, AS distribution,
+// and the SSH cause inference — all on controlled mini-world experiments.
+#include <gtest/gtest.h>
+
+#include "core/access_matrix.h"
+#include "core/analysis/as_distribution.h"
+#include "core/analysis/bursts.h"
+#include "core/analysis/country.h"
+#include "core/analysis/ssh.h"
+#include "core/analysis/stability.h"
+#include "core/analysis/transient.h"
+#include "core/classify.h"
+#include "core/experiment.h"
+#include "tests/test_world.h"
+
+namespace originscan::core {
+namespace {
+
+using originscan::testing::MiniWorldOptions;
+using originscan::testing::make_mini_world;
+
+Experiment run_experiment(sim::World world,
+                          std::vector<proto::Protocol> protocols = {
+                              proto::Protocol::kHttp}) {
+  ExperimentConfig config;
+  config.scenario.seed = world.seed;
+  config.protocols = std::move(protocols);
+  Experiment experiment(config, std::move(world));
+  experiment.run();
+  return experiment;
+}
+
+// ---------------------------------------------------------- transient ----
+
+TEST(TransientAnalysis, SpreadReflectsAsymmetricBlocking) {
+  auto world = make_mini_world();
+  // Alpha blocks origin 0 in trials 1-2 only -> transient for origin 0,
+  // zero for the others: spread = origin-0's transient rate.
+  sim::BlockRule rule;
+  rule.origins = sim::origin_bit(0);
+  rule.mode = sim::BlockMode::kL4Drop;
+  rule.start_trial = 1;
+  const sim::AsId alpha = world.topology.find_as("Alpha");
+  world.policies.edit(alpha).blocks.push_back(rule);
+
+  const auto experiment = run_experiment(std::move(world));
+  const auto matrix =
+      AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  const Classification classification(matrix);
+  const auto by_as =
+      transient_by_as(classification, experiment.world().topology, 2);
+
+  ASSERT_EQ(by_as.size(), 3u);
+  const auto* alpha_entry = &by_as[0];
+  for (const auto& entry : by_as) {
+    if (entry.name == "Alpha") alpha_entry = &entry;
+  }
+  EXPECT_EQ(alpha_entry->name, "Alpha");
+  EXPECT_DOUBLE_EQ(alpha_entry->max_rate(), 1.0);  // all hosts transient
+  EXPECT_DOUBLE_EQ(alpha_entry->min_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(alpha_entry->delta_percent(), 100.0);
+  EXPECT_EQ(alpha_entry->diff_hosts(), 256u);
+
+  const auto spread = transient_spread(by_as);
+  ASSERT_EQ(spread.differences.size(), 3u);
+  const auto top = largest_transient_spread(by_as, 100, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top.front().name, "Alpha");
+}
+
+// ---------------------------------------------------------- stability ----
+
+TEST(Stability, DetectsConsistentWorstOrigin) {
+  MiniWorldOptions options;
+  options.blocks_per_as = 1;
+  auto world = make_mini_world(options);
+  // Origin 0 has a persistently terrible path to Alpha (heavy random
+  // loss, no blocking): it transiently misses a big slice of the AS in
+  // every trial while the other origins stay clean, making it the unique
+  // consistent-worst origin there. (Stability deliberately ignores
+  // long-term blocking — Section 5.1 ranks by transient loss.)
+  sim::PathProfile lossy;
+  lossy.good_loss = 0.25;
+  lossy.bad_fraction = 0;
+  const sim::AsId alpha = world.topology.find_as("Alpha");
+  world.paths.set_pair_override(0, alpha, lossy);
+
+  const auto experiment = run_experiment(std::move(world));
+  const auto matrix =
+      AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  const Classification classification(matrix);
+  const auto stability = compute_stability(classification, 10);
+
+  EXPECT_EQ(stability.ases_considered, 1u);  // only Alpha has misses
+  EXPECT_EQ(stability.consistent_worst_ases, 1u);
+  EXPECT_EQ(stability.consistent_worst_by_origin[0], 1u);
+  EXPECT_EQ(stability.flip_ases, 0u);
+}
+
+// -------------------------------------------------------------- bursts ----
+
+TEST(Bursts, FlagsOutageWindowLoss) {
+  MiniWorldOptions options;
+  options.blocks_per_as = 8;  // enough hosts per AS for the hour series
+  auto world = make_mini_world(options);
+  // One guaranteed outage per (origin, AS) pair, ~45 minutes long.
+  world.outages.pair_rate = 1.0;
+  world.outages.pair_min_duration_s = 2400;
+  world.outages.pair_max_duration_s = 3000;
+
+  const auto experiment = run_experiment(std::move(world));
+  const auto matrix =
+      AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  const Classification classification(matrix);
+
+  BurstOptions burst_options;
+  burst_options.min_as_hosts = 100;
+  const auto report = detect_burst_outages(classification, burst_options);
+
+  EXPECT_GT(report.transient_loss_total, 0u);
+  EXPECT_GT(report.transient_loss_in_bursts, 0u);
+  EXPECT_GT(report.burst_loss_fraction(), 0.1);
+  EXPECT_GT(report.ases_with_bursts, 0u);
+  EXPECT_LE(report.ases_with_bursts, report.ases_with_transients);
+}
+
+TEST(Bursts, QuietNetworkHasNone) {
+  const auto experiment = run_experiment(make_mini_world());
+  const auto matrix =
+      AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  const Classification classification(matrix);
+  const auto report = detect_burst_outages(classification, {});
+  EXPECT_EQ(report.transient_loss_total, 0u);
+  EXPECT_EQ(report.transient_loss_in_bursts, 0u);
+}
+
+// -------------------------------------------------------------- country ---
+
+TEST(CountryAnalysis, TableReflectsGeoBlocking) {
+  auto world = make_mini_world();
+  // Beta (JP) blocks origin 0 (US) permanently.
+  sim::BlockRule rule;
+  rule.origins = sim::origin_bit(0);
+  rule.mode = sim::BlockMode::kL4Drop;
+  world.policies.edit(world.topology.find_as("Beta")).blocks.push_back(rule);
+
+  const auto experiment = run_experiment(std::move(world));
+  const auto matrix =
+      AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  const Classification classification(matrix);
+  const auto table =
+      compute_country_table(classification, experiment.world().topology);
+
+  ASSERT_EQ(table.rows.size(), 3u);  // US, JP, CN
+  for (const auto& row : table.rows) {
+    if (row.country == sim::country::kJP) {
+      EXPECT_DOUBLE_EQ(row.inaccessible_percent[0], 100.0);
+      EXPECT_DOUBLE_EQ(row.inaccessible_percent[1], 0.0);
+      EXPECT_EQ(row.dominating_ases, 1);
+    } else {
+      EXPECT_DOUBLE_EQ(row.inaccessible_percent[0], 0.0);
+    }
+  }
+}
+
+// ------------------------------------------------------ as distribution --
+
+TEST(AsDistribution, CountsFullyInaccessibleAses) {
+  auto world = make_mini_world();
+  sim::BlockRule rule;
+  rule.origins = sim::origin_bit(1);
+  rule.mode = sim::BlockMode::kL4Drop;
+  world.policies.edit(world.topology.find_as("Gamma")).blocks.push_back(rule);
+
+  const auto experiment = run_experiment(std::move(world));
+  const auto matrix =
+      AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  const Classification classification(matrix);
+
+  const auto shares =
+      longterm_by_as(classification, experiment.world().topology);
+  ASSERT_EQ(shares[1].size(), 1u);
+  EXPECT_EQ(shares[1].front().name, "Gamma");
+  EXPECT_DOUBLE_EQ(shares[1].front().share_of_origin_misses, 1.0);
+  EXPECT_TRUE(shares[0].empty());
+
+  const auto counts =
+      inaccessible_as_counts(classification, experiment.world().topology, 2);
+  EXPECT_EQ(counts[1].fully, 1u);
+  EXPECT_EQ(counts[1].at_least_50, 1u);
+  EXPECT_EQ(counts[0].fully, 0u);
+}
+
+// ------------------------------------------------------------------ ssh ---
+
+TEST(SshAnalysis, AttributesTemporalAndProbabilisticCauses) {
+  MiniWorldOptions options;
+  options.maxstartups = proto::MaxStartups{1, 60, 40};
+  auto world = make_mini_world(options);
+  // Gamma runs an Alibaba-style detector that trips mid-scan for
+  // single-IP origins.
+  sim::TemporalRstRule rst;
+  rst.min_detect_fraction = 0.4;
+  rst.max_detect_fraction = 0.6;
+  world.policies.edit(world.topology.find_as("Gamma")).temporal_rst = rst;
+  world.maxstartups.background_load_mean = 10;
+
+  const auto experiment =
+      run_experiment(std::move(world), {proto::Protocol::kSsh});
+  const auto matrix = AccessMatrix::build(experiment, proto::Protocol::kSsh);
+  const Classification classification(matrix);
+
+  const auto blockers =
+      find_temporal_blockers(matrix, experiment.world().topology, 0.2, 20);
+  ASSERT_FALSE(blockers.empty());
+  EXPECT_EQ(blockers.front().name, "Gamma");
+
+  const auto breakdown = ssh_miss_breakdown(classification);
+  std::uint64_t temporal = 0, probabilistic = 0;
+  for (std::size_t o = 0; o < matrix.origins(); ++o) {
+    temporal += breakdown.temporal_blocking[o];
+    probabilistic += breakdown.probabilistic_blocking[o];
+  }
+  EXPECT_GT(temporal, 0u);
+  EXPECT_GT(probabilistic, 0u);
+  // The 4-IP origin evades the temporal detector entirely.
+  EXPECT_EQ(breakdown.temporal_blocking[2], 0u);
+}
+
+TEST(SshAnalysis, RetryCurveComputation) {
+  std::vector<scan::ScanResult> ladder(2);
+  for (int i = 0; i < 4; ++i) {
+    scan::ScanRecord record;
+    record.addr = net::Ipv4Addr(static_cast<std::uint32_t>(i));
+    record.synack_mask = 0b11;
+    record.l7 = i < 1 ? sim::L7Outcome::kCompleted
+                      : sim::L7Outcome::kClosedBeforeData;
+    ladder[0].records.push_back(record);
+    record.l7 = i < 3 ? sim::L7Outcome::kCompleted
+                      : sim::L7Outcome::kClosedBeforeData;
+    ladder[1].records.push_back(record);
+  }
+  const auto curve = retry_success_curve(ladder);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.25);
+  EXPECT_DOUBLE_EQ(curve[1], 0.75);
+}
+
+// ------------------------------------------------------------ experiment --
+
+TEST(Experiment, UniformLossFlagPropagates) {
+  ExperimentConfig config;
+  config.scenario = sim::ScenarioConfig::test_scale();
+  config.uniform_random_loss = true;
+  config.trials = 1;
+  config.protocols = {proto::Protocol::kHttp};
+  Experiment experiment(config);
+  EXPECT_TRUE(experiment.world().uniform_random_loss);
+}
+
+TEST(Experiment, ProbeIntervalDecorrelatesLoss) {
+  // With one giant Bad period covering most of the scan, back-to-back
+  // probes die together while widely spaced probes often split fates.
+  auto make = [](net::VirtualTime interval) {
+    auto world = make_mini_world();
+    sim::PathProfile lossy;
+    lossy.good_loss = 0.0;
+    lossy.bad_loss = 0.9;
+    lossy.bad_fraction = 0.5;
+    lossy.mean_bad_duration_s = 1200;
+    world.paths.set_default_profile(lossy);
+
+    ExperimentConfig config;
+    config.scenario.seed = world.seed;
+    config.trials = 1;
+    config.protocols = {proto::Protocol::kHttp};
+    config.probe_interval = interval;
+    Experiment experiment(config, std::move(world));
+    experiment.run();
+    const auto matrix =
+        AccessMatrix::build(experiment, proto::Protocol::kHttp);
+    // singles = hosts answering exactly one probe.
+    std::uint64_t singles = 0;
+    for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+      const auto mask = matrix.synack_mask(0, 0, h);
+      if (mask == 0b01 || mask == 0b10) ++singles;
+    }
+    return singles;
+  };
+
+  const auto back_to_back = make(net::VirtualTime{});
+  const auto spaced = make(net::VirtualTime::from_seconds(3600));
+  EXPECT_GT(spaced, back_to_back * 2);
+}
+
+}  // namespace
+}  // namespace originscan::core

@@ -1,0 +1,183 @@
+// Robustness ("poor man's fuzz") tests: every wire-format parser in the
+// library must survive random bytes and random mutations of valid
+// messages without crashing, and round-trip anything it accepts.
+#include <gtest/gtest.h>
+
+#include "netbase/headers.h"
+#include "netbase/rng.h"
+#include "proto/http.h"
+#include "proto/ssh.h"
+#include "proto/tls.h"
+#include "core/store.h"
+
+namespace originscan {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(net::Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.below(max_len + 1));
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+// Flip a few random bits/bytes of a valid message.
+std::vector<std::uint8_t> mutate(net::Rng& rng,
+                                 std::vector<std::uint8_t> bytes) {
+  if (bytes.empty()) return bytes;
+  const int mutations = 1 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < mutations; ++i) {
+    switch (rng.below(3)) {
+      case 0:  // flip a bit
+        bytes[rng.below(bytes.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+        break;
+      case 1:  // truncate
+        bytes.resize(rng.below(bytes.size() + 1));
+        break;
+      default:  // append garbage
+        bytes.push_back(static_cast<std::uint8_t>(rng()));
+        break;
+    }
+    if (bytes.empty()) break;
+  }
+  return bytes;
+}
+
+TEST(Fuzz, TcpPacketParserSurvivesGarbage) {
+  net::Rng rng(101);
+  for (int i = 0; i < 5000; ++i) {
+    const auto bytes = random_bytes(rng, 120);
+    auto parsed = net::TcpPacket::parse(bytes);
+    // Random bytes essentially never carry two valid checksums.
+    EXPECT_FALSE(parsed.has_value());
+  }
+}
+
+TEST(Fuzz, TcpPacketParserSurvivesMutations) {
+  net::Rng rng(102);
+  net::TcpPacket packet;
+  packet.ip.src = net::Ipv4Addr(10, 0, 0, 1);
+  packet.ip.dst = net::Ipv4Addr(10, 0, 0, 2);
+  packet.tcp.flags.syn = true;
+  packet.payload = {1, 2, 3};
+  const auto valid = packet.serialize();
+  for (int i = 0; i < 5000; ++i) {
+    const auto mutated = mutate(rng, valid);
+    auto parsed = net::TcpPacket::parse(mutated);  // must not crash
+    if (parsed && mutated == valid) {
+      EXPECT_EQ(parsed->tcp.seq, packet.tcp.seq);
+    }
+  }
+}
+
+TEST(Fuzz, TlsRecordAndHandshakeParsers) {
+  net::Rng rng(103);
+  proto::ClientHello hello;
+  hello.cipher_suites.assign(proto::chrome_cipher_suites().begin(),
+                             proto::chrome_cipher_suites().end());
+  hello.server_name = "fuzz.example";
+  const auto valid = proto::wrap_handshake(
+      proto::TlsHandshakeType::kClientHello, hello.serialize());
+
+  for (int i = 0; i < 5000; ++i) {
+    const auto bytes = i % 2 == 0 ? random_bytes(rng, 200)
+                                  : mutate(rng, valid);
+    std::size_t consumed = 0;
+    auto record = proto::TlsRecord::parse(bytes, consumed);
+    if (!record) continue;
+    EXPECT_LE(consumed, bytes.size());
+    auto messages = proto::split_handshakes(record->fragment);
+    if (!messages) continue;
+    for (const auto& message : *messages) {
+      // Sub-parsers must tolerate arbitrary bodies.
+      (void)proto::ClientHello::parse(message.body);
+      (void)proto::ServerHello::parse(message.body);
+      (void)proto::Certificate::parse(message.body);
+    }
+  }
+}
+
+TEST(Fuzz, SshParsers) {
+  net::Rng rng(104);
+  proto::SshKexInit kex;
+  kex.kex_algorithms = proto::default_kex_algorithms();
+  kex.host_key_algorithms = proto::default_host_key_algorithms();
+  proto::SshPacket packet;
+  packet.payload = kex.serialize();
+  const auto valid = packet.serialize(9);
+
+  for (int i = 0; i < 5000; ++i) {
+    const auto bytes = i % 2 == 0 ? random_bytes(rng, 200)
+                                  : mutate(rng, valid);
+    auto parsed = proto::SshPacket::parse(bytes);
+    if (parsed) {
+      (void)proto::SshKexInit::parse(parsed->payload);
+    }
+    // Identification-line parser on random text.
+    const std::string line(bytes.begin(), bytes.end());
+    (void)proto::SshIdentification::parse(line);
+  }
+}
+
+TEST(Fuzz, HttpParsers) {
+  net::Rng rng(105);
+  const std::string valid_request = proto::HttpRequest{}.serialize();
+  proto::HttpResponse response;
+  response.title = "t";
+  const std::string valid_response = response.serialize();
+
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<std::uint8_t> base(
+        i % 2 == 0 ? std::vector<std::uint8_t>(valid_request.begin(),
+                                               valid_request.end())
+                   : std::vector<std::uint8_t>(valid_response.begin(),
+                                               valid_response.end()));
+    const auto bytes = i % 3 == 0 ? random_bytes(rng, 300)
+                                  : mutate(rng, std::move(base));
+    const std::string text(bytes.begin(), bytes.end());
+    (void)proto::HttpRequest::parse(text);
+    (void)proto::HttpResponse::parse(text);
+    (void)proto::extract_title(text);
+  }
+}
+
+TEST(Fuzz, StoreParserSurvivesMutations) {
+  net::Rng rng(106);
+  std::vector<scan::ScanResult> results(2);
+  results[0].origin_code = "AU";
+  results[1].origin_code = "CEN";
+  results[1].trial = 1;
+  for (int i = 0; i < 20; ++i) {
+    scan::ScanRecord record;
+    record.addr = net::Ipv4Addr(static_cast<std::uint32_t>(i * 7));
+    results[i % 2].records.push_back(record);
+  }
+  const auto valid = core::serialize_results(results);
+  for (int i = 0; i < 5000; ++i) {
+    const auto bytes = i % 2 == 0 ? random_bytes(rng, 400)
+                                  : mutate(rng, valid);
+    (void)core::parse_results(bytes);  // must neither crash nor overalloc
+  }
+}
+
+TEST(Fuzz, Ipv4AndPrefixParsers) {
+  net::Rng rng(107);
+  const char alphabet[] = "0123456789./abcx -";
+  for (int i = 0; i < 20000; ++i) {
+    std::string text;
+    const std::size_t length = rng.below(24);
+    for (std::size_t j = 0; j < length; ++j) {
+      text.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    const auto addr = net::Ipv4Addr::parse(text);
+    if (addr) {
+      EXPECT_EQ(net::Ipv4Addr::parse(addr->to_string()), addr);
+    }
+    const auto prefix = net::Prefix::parse(text);
+    if (prefix) {
+      EXPECT_EQ(net::Prefix::parse(prefix->to_string()), prefix);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace originscan

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "proto/http.h"
+#include "proto/protocol.h"
+#include "proto/ssh.h"
+#include "proto/tls.h"
+
+namespace originscan::proto {
+namespace {
+
+// -------------------------------------------------------------- protocol --
+
+TEST(Protocol, PortsAndNames) {
+  EXPECT_EQ(port_of(Protocol::kHttp), 80);
+  EXPECT_EQ(port_of(Protocol::kHttps), 443);
+  EXPECT_EQ(port_of(Protocol::kSsh), 22);
+  EXPECT_EQ(name_of(Protocol::kSsh), "SSH");
+}
+
+// ------------------------------------------------------------------ HTTP --
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest request;
+  request.host = "example.org";
+  const auto text = request.serialize();
+  auto parsed = HttpRequest::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->target, "/");
+  EXPECT_EQ(parsed->host, "example.org");
+}
+
+TEST(Http, RequestRejectsGarbage) {
+  EXPECT_FALSE(HttpRequest::parse("not http\r\n\r\n").has_value());
+  EXPECT_FALSE(HttpRequest::parse("GET /\r\n\r\n").has_value());
+  EXPECT_FALSE(HttpRequest::parse("GET / HTTP/1.1").has_value());  // no CRLF
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse response;
+  response.status_code = 301;
+  response.reason = "Moved Permanently";
+  response.server = "nginx/1.14.0";
+  response.title = "Blocked Site";
+  const auto text = response.serialize();
+  auto parsed = HttpResponse::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status_code, 301);
+  EXPECT_EQ(parsed->server, "nginx/1.14.0");
+  EXPECT_EQ(parsed->title, "Blocked Site");
+  EXPECT_TRUE(parsed->valid());
+}
+
+TEST(Http, ResponseRejectsBadStatusLine) {
+  EXPECT_FALSE(HttpResponse::parse("HTTP/1.1 999 Nope\r\n\r\n").has_value());
+  EXPECT_FALSE(HttpResponse::parse("SIP/2.0 200 OK\r\n\r\n").has_value());
+}
+
+TEST(Http, ExtractTitle) {
+  EXPECT_EQ(extract_title("<html><title>Hi</title></html>"), "Hi");
+  EXPECT_EQ(extract_title("<html><body>none</body></html>"), "");
+  EXPECT_EQ(extract_title("<title>unterminated"), "");
+}
+
+// ------------------------------------------------------------------- TLS --
+
+TEST(Tls, RecordRoundTrip) {
+  TlsRecord record;
+  record.content_type = TlsContentType::kHandshake;
+  record.fragment = {1, 2, 3, 4};
+  const auto bytes = record.serialize();
+  std::size_t consumed = 0;
+  auto parsed = TlsRecord::parse(bytes, consumed);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(parsed->fragment, record.fragment);
+}
+
+TEST(Tls, RecordRejectsUnknownContentType) {
+  std::vector<std::uint8_t> bytes = {99, 3, 3, 0, 0};
+  std::size_t consumed = 0;
+  EXPECT_FALSE(TlsRecord::parse(bytes, consumed).has_value());
+}
+
+TEST(Tls, ClientHelloRoundTripWithSni) {
+  ClientHello hello;
+  hello.cipher_suites.assign(chrome_cipher_suites().begin(),
+                             chrome_cipher_suites().end());
+  hello.server_name = "scanned.example";
+  for (std::size_t i = 0; i < hello.random.size(); ++i) {
+    hello.random[i] = static_cast<std::uint8_t>(i);
+  }
+  auto parsed = ClientHello::parse(hello.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cipher_suites, hello.cipher_suites);
+  EXPECT_EQ(parsed->server_name, "scanned.example");
+  EXPECT_EQ(parsed->random, hello.random);
+}
+
+TEST(Tls, ClientHelloWithoutSni) {
+  ClientHello hello;
+  hello.cipher_suites = {0xC02F};
+  auto parsed = ClientHello::parse(hello.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->server_name.empty());
+}
+
+TEST(Tls, ServerHelloRoundTrip) {
+  ServerHello hello;
+  hello.cipher_suite = 0xCCA8;
+  auto parsed = ServerHello::parse(hello.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cipher_suite, 0xCCA8);
+}
+
+TEST(Tls, CertificateChainRoundTrip) {
+  Certificate cert;
+  cert.chain.push_back({0x30, 0x82, 1, 2, 3});
+  cert.chain.push_back({0x30, 0x82, 9});
+  auto parsed = Certificate::parse(cert.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->chain.size(), 2u);
+  EXPECT_EQ(parsed->chain[0], cert.chain[0]);
+  EXPECT_EQ(parsed->chain[1], cert.chain[1]);
+}
+
+TEST(Tls, AlertRoundTrip) {
+  TlsAlert alert;
+  alert.fatal = true;
+  alert.description = TlsAlertDescription::kAccessDenied;
+  auto parsed = TlsAlert::parse(alert.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fatal);
+  EXPECT_EQ(parsed->description, TlsAlertDescription::kAccessDenied);
+}
+
+TEST(Tls, SplitHandshakesWalksFlight) {
+  ServerHello hello;
+  hello.cipher_suite = 0xC02F;
+  auto record_bytes =
+      wrap_handshake(TlsHandshakeType::kServerHello, hello.serialize());
+  std::size_t consumed = 0;
+  auto record = TlsRecord::parse(record_bytes, consumed);
+  ASSERT_TRUE(record.has_value());
+  auto messages = split_handshakes(record->fragment);
+  ASSERT_TRUE(messages.has_value());
+  ASSERT_EQ(messages->size(), 1u);
+  EXPECT_EQ(messages->front().type, TlsHandshakeType::kServerHello);
+}
+
+TEST(Tls, ChromeSuitesIncludeEcdheGcm) {
+  bool found = false;
+  for (std::uint16_t suite : chrome_cipher_suites()) {
+    if (suite == 0xC02F) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------------------------- SSH --
+
+TEST(Ssh, IdentificationRoundTrip) {
+  SshIdentification id;
+  id.software_version = "OpenSSH_7.4";
+  EXPECT_EQ(id.serialize(), "SSH-2.0-OpenSSH_7.4\r\n");
+  auto parsed = SshIdentification::parse(id.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->software_version, "OpenSSH_7.4");
+  EXPECT_EQ(parsed->protocol_version, "2.0");
+}
+
+TEST(Ssh, IdentificationWithComment) {
+  auto parsed = SshIdentification::parse("SSH-2.0-OpenSSH_8.0 Ubuntu-6\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->software_version, "OpenSSH_8.0");
+  EXPECT_EQ(parsed->comment, "Ubuntu-6");
+}
+
+TEST(Ssh, IdentificationRejectsBadVersions) {
+  EXPECT_FALSE(SshIdentification::parse("SSH-1.5-old\r\n").has_value());
+  EXPECT_FALSE(SshIdentification::parse("HTTP/1.1 200 OK\r\n").has_value());
+  EXPECT_FALSE(SshIdentification::parse("SSH-2.0-\r\n").has_value());
+}
+
+TEST(Ssh, MaxStartupsParse) {
+  auto triple = MaxStartups::parse("10:30:100");
+  ASSERT_TRUE(triple.has_value());
+  EXPECT_EQ(triple->start, 10);
+  EXPECT_EQ(triple->rate, 30);
+  EXPECT_EQ(triple->full, 100);
+  EXPECT_EQ(triple->to_string(), "10:30:100");
+
+  EXPECT_FALSE(MaxStartups::parse("10:30").has_value());
+  EXPECT_FALSE(MaxStartups::parse("10:101:100").has_value());
+  EXPECT_FALSE(MaxStartups::parse("100:30:10").has_value());  // full < start
+  EXPECT_FALSE(MaxStartups::parse("a:b:c").has_value());
+}
+
+TEST(Ssh, MaxStartupsRefusalCurve) {
+  const MaxStartups triple{10, 30, 100};
+  EXPECT_DOUBLE_EQ(triple.refusal_probability(0), 0.0);
+  EXPECT_DOUBLE_EQ(triple.refusal_probability(9), 0.0);
+  EXPECT_DOUBLE_EQ(triple.refusal_probability(10), 0.30);
+  EXPECT_DOUBLE_EQ(triple.refusal_probability(100), 1.0);
+  EXPECT_DOUBLE_EQ(triple.refusal_probability(1000), 1.0);
+  // Monotone in between.
+  double previous = 0;
+  for (int n = 0; n <= 120; ++n) {
+    const double p = triple.refusal_probability(n);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(Ssh, PacketRoundTripAndPadding) {
+  SshPacket packet;
+  packet.payload = {20, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto bytes = packet.serialize(/*padding_seed=*/42);
+  EXPECT_EQ(bytes.size() % 8, 0u);
+  auto parsed = SshPacket::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, packet.payload);
+}
+
+TEST(Ssh, PacketRejectsTruncated) {
+  SshPacket packet;
+  packet.payload = {1, 2, 3};
+  auto bytes = packet.serialize(1);
+  bytes.pop_back();
+  EXPECT_FALSE(SshPacket::parse(bytes).has_value());
+}
+
+TEST(Ssh, KexInitRoundTrip) {
+  SshKexInit kex;
+  kex.kex_algorithms = default_kex_algorithms();
+  kex.host_key_algorithms = default_host_key_algorithms();
+  for (std::size_t i = 0; i < kex.cookie.size(); ++i) {
+    kex.cookie[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  auto parsed = SshKexInit::parse(kex.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kex_algorithms, kex.kex_algorithms);
+  EXPECT_EQ(parsed->host_key_algorithms, kex.host_key_algorithms);
+  EXPECT_EQ(parsed->cookie, kex.cookie);
+}
+
+}  // namespace
+}  // namespace originscan::proto

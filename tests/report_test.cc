@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "report/chart.h"
+#include "report/compare.h"
+#include "report/export.h"
+#include "report/table.h"
+
+namespace originscan::report {
+namespace {
+
+// ----------------------------------------------------------------- table --
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"}, {Align::kLeft, Align::kRight});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "23"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("a           1"), std::string::npos);
+  EXPECT_NE(out.find("longer     23"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::percent(0.1234, 1), "12.3%");
+}
+
+TEST(Table, DefaultAlignmentFirstLeftRestRight) {
+  Table table({"k", "v"});
+  table.add_row({"row", "9"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("row"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- chart --
+
+TEST(Chart, BarScalesToMax) {
+  EXPECT_EQ(bar(10, 10, 4), "####");
+  EXPECT_EQ(bar(5, 10, 4), "##  ");
+  EXPECT_EQ(bar(0, 10, 4), "    ");
+  EXPECT_EQ(bar(20, 10, 4), "####");  // clamped
+}
+
+TEST(Chart, BarChartContainsLabelsAndValues) {
+  const std::string out =
+      bar_chart({{"alpha", 10.0}, {"beta", 5.0}}, 10, 1);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10.0"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(Chart, CdfPlotHandlesData) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const stats::Ecdf ecdf(xs);
+  const std::string out = cdf_plot(ecdf, 30, 8, "x");
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+
+  const stats::Ecdf empty{std::vector<double>{}};
+  EXPECT_EQ(cdf_plot(empty), "(no data)\n");
+}
+
+// ------------------------------------------------------------ comparison --
+
+TEST(Comparison, RendersRows) {
+  Comparison comparison("test");
+  comparison.add("coverage", "97.9%", "96.3%", "shape match");
+  const std::string out = comparison.to_string();
+  EXPECT_NE(out.find("paper vs measured: test"), std::string::npos);
+  EXPECT_NE(out.find("97.9%"), std::string::npos);
+  EXPECT_NE(out.find("96.3%"), std::string::npos);
+  EXPECT_NE(out.find("shape match"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- export --
+
+TEST(Export, CsvEscaping) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_line({"a", "b,c"}), "a,\"b,c\"\n");
+}
+
+TEST(Export, ScanResultCsvHasHeaderAndRows) {
+  scan::ScanResult result;
+  result.origin_code = "US1";
+  result.protocol = proto::Protocol::kHttp;
+  result.trial = 0;
+  scan::ScanRecord record;
+  record.addr = net::Ipv4Addr(1, 2, 3, 4);
+  record.synack_mask = 0b11;
+  record.l7 = sim::L7Outcome::kCompleted;
+  record.probe_second = 77;
+  result.records.push_back(record);
+
+  const std::string csv = scan_result_csv(result);
+  EXPECT_NE(csv.find("addr,origin,protocol"), std::string::npos);
+  EXPECT_NE(csv.find("1.2.3.4,US1,HTTP,1,2,0,completed,0,77"),
+            std::string::npos);
+}
+
+TEST(Export, CoverageCsv) {
+  core::CoverageTable coverage;
+  coverage.origin_codes = {"AU", "DE"};
+  coverage.two_probe = {{0.5, 0.75}};
+  coverage.single_probe = {{0.25, 0.5}};
+  const std::string csv = coverage_csv(coverage);
+  EXPECT_NE(csv.find("AU,1,0.500000,0.250000"), std::string::npos);
+  EXPECT_NE(csv.find("DE,1,0.750000,0.500000"), std::string::npos);
+}
+
+TEST(Export, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/osn_export_test.csv";
+  ASSERT_TRUE(write_file(path, "a,b\n1,2\n"));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[32] = {};
+  const std::size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  EXPECT_EQ(std::string(buffer, read), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Export, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(write_file("/nonexistent-dir-xyz/file.csv", "x"));
+}
+
+}  // namespace
+}  // namespace originscan::report

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "scanner/blocklist.h"
+#include "scanner/orchestrator.h"
+#include "scanner/validation.h"
+#include "scanner/zmap.h"
+#include "tests/test_world.h"
+
+namespace originscan::scan {
+namespace {
+
+using originscan::testing::MiniWorldOptions;
+using originscan::testing::make_mini_world;
+
+sim::TrialContext context_for(const sim::World& world, int trial = 0) {
+  sim::TrialContext context;
+  context.trial = trial;
+  context.experiment_seed = world.seed;
+  context.simultaneous_origins = static_cast<int>(world.origins.size());
+  return context;
+}
+
+// ------------------------------------------------------------ validation --
+
+TEST(Validation, AcceptsGenuineResponse) {
+  ProbeValidator validator(net::SipHash::key_from_seed(5), 32768, 28232);
+  const net::Ipv4Addr src(10, 0, 0, 1);
+  const net::Ipv4Addr dst(1, 2, 3, 4);
+  const auto fields = validator.fields_for(src, dst, 443);
+
+  net::TcpPacket response;
+  response.ip.src = dst;
+  response.ip.dst = src;
+  response.tcp.src_port = 443;
+  response.tcp.dst_port = fields.src_port;
+  response.tcp.ack = fields.seq + 1;
+  response.tcp.flags.syn = true;
+  response.tcp.flags.ack = true;
+  EXPECT_TRUE(validator.validate(response));
+}
+
+TEST(Validation, RejectsForgedAndForeign) {
+  ProbeValidator validator(net::SipHash::key_from_seed(5), 32768, 28232);
+  const net::Ipv4Addr src(10, 0, 0, 1);
+  const net::Ipv4Addr dst(1, 2, 3, 4);
+  const auto fields = validator.fields_for(src, dst, 443);
+
+  net::TcpPacket response;
+  response.ip.src = dst;
+  response.ip.dst = src;
+  response.tcp.src_port = 443;
+  response.tcp.dst_port = fields.src_port;
+  response.tcp.ack = fields.seq + 2;  // wrong ack
+  EXPECT_FALSE(validator.validate(response));
+
+  response.tcp.ack = fields.seq + 1;
+  response.tcp.dst_port = static_cast<std::uint16_t>(fields.src_port + 1);
+  EXPECT_FALSE(validator.validate(response));
+
+  // Response from a different host than probed (MAC mismatch).
+  response.tcp.dst_port = fields.src_port;
+  response.ip.src = net::Ipv4Addr(9, 9, 9, 9);
+  EXPECT_FALSE(validator.validate(response));
+
+  // A different scanner's key must reject our echoes.
+  ProbeValidator other(net::SipHash::key_from_seed(6), 32768, 28232);
+  response.ip.src = dst;
+  EXPECT_FALSE(other.validate(response));
+}
+
+// ------------------------------------------------------------- blocklist --
+
+TEST(Blocklist, BlocksCidrRanges) {
+  Blocklist blocklist;
+  EXPECT_TRUE(blocklist.block("10.0.0.0/24"));
+  EXPECT_TRUE(blocklist.block("10.0.2.5"));
+  EXPECT_TRUE(blocklist.is_blocked(net::Ipv4Addr(10, 0, 0, 200)));
+  EXPECT_TRUE(blocklist.is_blocked(net::Ipv4Addr(10, 0, 2, 5)));
+  EXPECT_FALSE(blocklist.is_blocked(net::Ipv4Addr(10, 0, 1, 0)));
+  EXPECT_EQ(blocklist.blocked_count(), 257u);
+}
+
+TEST(Blocklist, LoadsFileBody) {
+  Blocklist blocklist;
+  const auto added = blocklist.load(
+      "# exclusions\n10.1.0.0/16\n\n  192.168.0.0/24 # lab\n");
+  ASSERT_TRUE(added.has_value());
+  EXPECT_EQ(*added, 2u);
+  EXPECT_TRUE(blocklist.is_blocked(net::Ipv4Addr(10, 1, 200, 7)));
+  EXPECT_FALSE(blocklist.load("bogus line\n").has_value());
+}
+
+TEST(Blocklist, MergeUnions) {
+  Blocklist a, b;
+  a.block("1.0.0.0/24");
+  b.block("2.0.0.0/24");
+  a.merge(b);
+  EXPECT_TRUE(a.is_blocked(net::Ipv4Addr(2, 0, 0, 9)));
+  EXPECT_EQ(a.blocked_count(), 512u);
+}
+
+// ------------------------------------------------------------------ zmap --
+
+TEST(ZMap, FindsEveryHostOnCleanNetwork) {
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  ZMapConfig config;
+  config.seed = 77;
+  config.universe_size = world.universe_size;
+  config.protocol = proto::Protocol::kHttp;
+  config.source_ips = world.origins[0].source_ips;
+
+  ZMapScanner scanner(config, &internet, 0);
+  std::set<std::uint32_t> seen;
+  const auto stats = scanner.run([&](const L4Result& result) {
+    EXPECT_EQ(result.synack_mask, 0b11);  // both probes answered
+    seen.insert(result.addr.value());
+  });
+
+  EXPECT_EQ(seen.size(), world.hosts.size());
+  EXPECT_EQ(stats.targets_probed, world.universe_size);
+  EXPECT_EQ(stats.packets_sent, 2ull * world.universe_size);
+  EXPECT_EQ(stats.synacks, 2ull * world.hosts.size());
+  EXPECT_EQ(stats.validation_failures, 0u);
+}
+
+TEST(ZMap, RespectsBlocklist) {
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  ZMapConfig config;
+  config.seed = 77;
+  config.universe_size = world.universe_size;
+  config.protocol = proto::Protocol::kHttp;
+  config.source_ips = world.origins[0].source_ips;
+  config.blocklist.block(net::Prefix(net::Ipv4Addr(0), 24));  // first /24
+
+  ZMapScanner scanner(config, &internet, 0);
+  std::set<std::uint32_t> seen;
+  const auto stats = scanner.run(
+      [&](const L4Result& result) { seen.insert(result.addr.value()); });
+
+  EXPECT_EQ(stats.blocklisted_skipped, 256u);
+  for (std::uint32_t addr : seen) EXPECT_GE(addr, 256u);
+}
+
+TEST(ZMap, SpreadsSourceIpsByDestination) {
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  ZMapConfig config;
+  config.seed = 77;
+  config.universe_size = world.universe_size;
+  config.protocol = proto::Protocol::kHttp;
+  config.source_ips = world.origins[2].source_ips;  // the 4-IP origin
+  ASSERT_EQ(config.source_ips.size(), 4u);
+
+  ZMapScanner scanner(config, &internet, 2);
+  std::map<std::uint32_t, int> usage;
+  scanner.run([&](const L4Result& result) {
+    ++usage[result.source_ip.value()];
+    // Stable: the same destination always maps to the same source.
+    EXPECT_EQ(result.source_ip, scanner.source_ip_for(result.addr));
+  });
+  EXPECT_EQ(usage.size(), 4u);
+  for (const auto& [ip, count] : usage) {
+    EXPECT_GT(count, static_cast<int>(world.hosts.size()) / 8);
+  }
+}
+
+TEST(ZMap, RstForClosedPortHosts) {
+  MiniWorldOptions options;
+  options.all_services = false;  // hosts run HTTP only
+  auto world = make_mini_world(options);
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  ZMapConfig config;
+  config.seed = 77;
+  config.universe_size = world.universe_size;
+  config.protocol = proto::Protocol::kSsh;  // nobody listens
+  config.source_ips = world.origins[0].source_ips;
+
+  ZMapScanner scanner(config, &internet, 0);
+  std::uint64_t rst_results = 0;
+  const auto stats = scanner.run([&](const L4Result& result) {
+    EXPECT_EQ(result.synack_mask, 0);
+    EXPECT_EQ(result.rst_mask, 0b11);
+    ++rst_results;
+  });
+  EXPECT_EQ(rst_results, world.hosts.size());
+  EXPECT_EQ(stats.synacks, 0u);
+}
+
+// ----------------------------------------------------------- orchestrator --
+
+TEST(Orchestrator, CompletesL7OnCleanNetwork) {
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  for (proto::Protocol protocol : proto::kAllProtocols) {
+    const auto result = run_scan(internet, 0, protocol);
+    EXPECT_EQ(result.completed_count(), world.hosts.size())
+        << proto::name_of(protocol);
+  }
+}
+
+TEST(Orchestrator, KeepsBannersWhenAsked) {
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  ScanOptions options;
+  options.keep_banners = true;
+  const auto result = run_scan(internet, 0, proto::Protocol::kSsh, options);
+  ASSERT_EQ(result.banners.size(), result.records.size());
+  ASSERT_FALSE(result.banners.empty());
+  bool saw_openssh = false;
+  for (const auto& banner : result.banners) {
+    if (banner.find("OpenSSH") != std::string::npos) saw_openssh = true;
+  }
+  EXPECT_TRUE(saw_openssh);
+}
+
+TEST(Orchestrator, TargetPrefixRestrictsSweep) {
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  ScanOptions options;
+  options.target_prefix = net::Prefix(net::Ipv4Addr(256), 24);  // 2nd /24
+  const auto result = run_scan(internet, 0, proto::Protocol::kHttp, options);
+  EXPECT_EQ(result.records.size(), 256u);
+  for (const auto& record : result.records) {
+    EXPECT_TRUE(options.target_prefix->contains(record.addr));
+  }
+}
+
+TEST(Orchestrator, RecordsAreSortedByAddress) {
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+  const auto result = run_scan(internet, 1, proto::Protocol::kHttp);
+  for (std::size_t i = 1; i < result.records.size(); ++i) {
+    EXPECT_LT(result.records[i - 1].addr, result.records[i].addr);
+  }
+}
+
+}  // namespace
+}  // namespace originscan::scan

@@ -1,0 +1,219 @@
+// Direct tests of the simulated servers' protocol behaviour: the byte
+// streams they emit must satisfy the same codecs a real peer would use.
+#include <gtest/gtest.h>
+
+#include "proto/http.h"
+#include "proto/ssh.h"
+#include "proto/tls.h"
+#include "sim/server.h"
+
+namespace originscan::sim {
+namespace {
+
+Host make_host(std::uint64_t seed = 42) {
+  Host host;
+  host.addr = net::Ipv4Addr(10, 1, 2, 3);
+  host.services = 0b111;
+  host.seed = seed;
+  return host;
+}
+
+std::vector<std::uint8_t> to_bytes(const std::string& text) {
+  return {text.begin(), text.end()};
+}
+
+std::string to_string(const std::vector<std::uint8_t>& bytes) {
+  return {bytes.begin(), bytes.end()};
+}
+
+// ------------------------------------------------------------------ HTTP --
+
+TEST(HttpServerBehavior, AnswersGetWithParseableResponse) {
+  const Host host = make_host();
+  auto server = make_server(host, proto::Protocol::kHttp);
+  ASSERT_NE(server, nullptr);
+  EXPECT_TRUE(server->on_open().bytes.empty());  // client speaks first
+
+  const auto action =
+      server->on_bytes(to_bytes(proto::HttpRequest{}.serialize()));
+  ASSERT_FALSE(action.bytes.empty());
+  EXPECT_TRUE(action.close);  // Connection: close semantics
+
+  auto response = proto::HttpResponse::parse(to_string(action.bytes));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->valid());
+  EXPECT_FALSE(response->server.empty());
+}
+
+TEST(HttpServerBehavior, StatusVariantsAreDeterministicPerHost) {
+  // Different hosts serve 200/301/403 variants; the same host always
+  // serves the same one.
+  std::map<int, int> statuses;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Host host = make_host(seed);
+    auto server = make_server(host, proto::Protocol::kHttp);
+    const auto action =
+        server->on_bytes(to_bytes(proto::HttpRequest{}.serialize()));
+    auto response = proto::HttpResponse::parse(to_string(action.bytes));
+    ASSERT_TRUE(response.has_value());
+    ++statuses[response->status_code];
+
+    auto again = make_server(host, proto::Protocol::kHttp);
+    const auto action2 =
+        again->on_bytes(to_bytes(proto::HttpRequest{}.serialize()));
+    auto response2 = proto::HttpResponse::parse(to_string(action2.bytes));
+    EXPECT_EQ(response2->status_code, response->status_code);
+  }
+  EXPECT_GT(statuses[200], 120);  // most hosts serve a plain page
+  EXPECT_GT(statuses[301] + statuses[403], 10);
+}
+
+TEST(HttpServerBehavior, ForcedBlockPageTitle) {
+  const Host host = make_host();
+  ServerOptions options;
+  options.forced_page_title = "Blocked Site";
+  auto server = make_server(host, proto::Protocol::kHttp, options);
+  const auto action =
+      server->on_bytes(to_bytes(proto::HttpRequest{}.serialize()));
+  auto response = proto::HttpResponse::parse(to_string(action.bytes));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->title, "Blocked Site");
+}
+
+TEST(HttpServerBehavior, RejectsGarbageWith400) {
+  const Host host = make_host();
+  auto server = make_server(host, proto::Protocol::kHttp);
+  const auto action = server->on_bytes(to_bytes("NONSENSE\r\n\r\n"));
+  auto response = proto::HttpResponse::parse(to_string(action.bytes));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 400);
+}
+
+TEST(HttpServerBehavior, BuffersPartialRequests) {
+  const Host host = make_host();
+  auto server = make_server(host, proto::Protocol::kHttp);
+  EXPECT_TRUE(server->on_bytes(to_bytes("GET / HT")).bytes.empty());
+  const auto action = server->on_bytes(
+      to_bytes("TP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_FALSE(action.bytes.empty());
+}
+
+// ------------------------------------------------------------------- TLS --
+
+TEST(TlsServerBehavior, FullServerFlightParses) {
+  const Host host = make_host();
+  auto server = make_server(host, proto::Protocol::kHttps);
+  ASSERT_NE(server, nullptr);
+
+  proto::ClientHello hello;
+  hello.cipher_suites.assign(proto::chrome_cipher_suites().begin(),
+                             proto::chrome_cipher_suites().end());
+  const auto action = server->on_bytes(proto::wrap_handshake(
+      proto::TlsHandshakeType::kClientHello, hello.serialize()));
+  ASSERT_FALSE(action.bytes.empty());
+
+  bool saw_hello = false, saw_cert = false, saw_done = false;
+  std::size_t offset = 0;
+  while (offset < action.bytes.size()) {
+    std::size_t consumed = 0;
+    auto record = proto::TlsRecord::parse(
+        std::span(action.bytes).subspan(offset), consumed);
+    ASSERT_TRUE(record.has_value());
+    offset += consumed;
+    auto messages = proto::split_handshakes(record->fragment);
+    ASSERT_TRUE(messages.has_value());
+    for (const auto& message : *messages) {
+      if (message.type == proto::TlsHandshakeType::kServerHello) {
+        auto server_hello = proto::ServerHello::parse(message.body);
+        ASSERT_TRUE(server_hello.has_value());
+        // The chosen suite must be one the client offered.
+        EXPECT_NE(std::find(hello.cipher_suites.begin(),
+                            hello.cipher_suites.end(),
+                            server_hello->cipher_suite),
+                  hello.cipher_suites.end());
+        saw_hello = true;
+      } else if (message.type == proto::TlsHandshakeType::kCertificate) {
+        auto cert = proto::Certificate::parse(message.body);
+        ASSERT_TRUE(cert.has_value());
+        EXPECT_FALSE(cert->chain.empty());
+        saw_cert = true;
+      } else if (message.type ==
+                 proto::TlsHandshakeType::kServerHelloDone) {
+        saw_done = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_hello && saw_cert && saw_done);
+  EXPECT_EQ(offset, action.bytes.size());
+}
+
+TEST(TlsServerBehavior, AlertsOnNoCommonSuite) {
+  const Host host = make_host();
+  auto server = make_server(host, proto::Protocol::kHttps);
+  proto::ClientHello hello;
+  hello.cipher_suites = {0x1301};  // TLS 1.3 suite we don't "support"
+  const auto action = server->on_bytes(proto::wrap_handshake(
+      proto::TlsHandshakeType::kClientHello, hello.serialize()));
+  ASSERT_FALSE(action.bytes.empty());
+  EXPECT_TRUE(action.close);
+  std::size_t consumed = 0;
+  auto record = proto::TlsRecord::parse(action.bytes, consumed);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->content_type, proto::TlsContentType::kAlert);
+  auto alert = proto::TlsAlert::parse(record->fragment);
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->description,
+            proto::TlsAlertDescription::kHandshakeFailure);
+}
+
+TEST(TlsServerBehavior, AlertsOnNonHandshakeRecord) {
+  const Host host = make_host();
+  auto server = make_server(host, proto::Protocol::kHttps);
+  proto::TlsRecord bogus;
+  bogus.content_type = proto::TlsContentType::kAlert;
+  bogus.fragment = {1, 0};
+  const auto action = server->on_bytes(bogus.serialize());
+  EXPECT_TRUE(action.close);
+}
+
+// ------------------------------------------------------------------- SSH --
+
+TEST(SshServerBehavior, BannerThenKexInit) {
+  const Host host = make_host();
+  auto server = make_server(host, proto::Protocol::kSsh);
+  ASSERT_NE(server, nullptr);
+
+  const auto banner = server->on_open();
+  auto id = proto::SshIdentification::parse(to_string(banner.bytes));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->software_version, ssh_server_software(host.seed));
+
+  proto::SshIdentification client;
+  client.software_version = "TestClient_1.0";
+  const auto reply = server->on_bytes(to_bytes(client.serialize()));
+  ASSERT_FALSE(reply.bytes.empty());
+  auto packet = proto::SshPacket::parse(reply.bytes);
+  ASSERT_TRUE(packet.has_value());
+  auto kex = proto::SshKexInit::parse(packet->payload);
+  ASSERT_TRUE(kex.has_value());
+  EXPECT_FALSE(kex->kex_algorithms.empty());
+}
+
+TEST(SshServerBehavior, ClosesOnProtocolMismatch) {
+  const Host host = make_host();
+  auto server = make_server(host, proto::Protocol::kSsh);
+  (void)server->on_open();
+  const auto action = server->on_bytes(to_bytes("GET / HTTP/1.1\r\n"));
+  EXPECT_TRUE(action.close);
+}
+
+TEST(SshServerBehavior, BannerVariesAcrossHosts) {
+  std::set<std::string> versions;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    versions.insert(ssh_server_software(seed));
+  }
+  EXPECT_GE(versions.size(), 3u);
+}
+
+}  // namespace
+}  // namespace originscan::sim

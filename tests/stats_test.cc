@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netbase/rng.h"
+#include "stats/combinatorics.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/ecdf.h"
+#include "stats/hypothesis.h"
+#include "stats/timeseries.h"
+
+namespace originscan::stats {
+namespace {
+
+// ----------------------------------------------------------- descriptive --
+
+TEST(Descriptive, BasicMoments) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(median(xs), 4.5);
+  EXPECT_DOUBLE_EQ(min_value(xs), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 9.0);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Descriptive, EmptyInputsAreZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(median(empty), 0.0);
+  EXPECT_EQ(summarize(empty).count, 0u);
+}
+
+TEST(Descriptive, RanksHandleTies) {
+  const std::vector<double> xs = {10, 20, 20, 30};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+// ---------------------------------------------------------- distributions --
+
+TEST(Distributions, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.158655, 1e-5);
+}
+
+TEST(Distributions, ChiSquareKnownValues) {
+  // chi2(3.841, df=1) upper tail = 0.05.
+  EXPECT_NEAR(chi_square_sf(3.841459, 1.0), 0.05, 1e-5);
+  EXPECT_NEAR(chi_square_cdf(4.605170, 2.0), 0.9, 1e-5);
+}
+
+TEST(Distributions, StudentTKnownValues) {
+  // t = 2.228 at df = 10 gives two-sided p = 0.05.
+  EXPECT_NEAR(student_t_two_sided_p(2.228139, 10.0), 0.05, 1e-4);
+  EXPECT_NEAR(student_t_cdf(0.0, 7.0), 0.5, 1e-12);
+}
+
+TEST(Distributions, BinomialTwoSided) {
+  // 1 success in 10 fair trials: p = 2 * (C(10,0)+C(10,1)) / 2^10.
+  EXPECT_NEAR(binomial_two_sided_p(1, 10), 2.0 * 11.0 / 1024.0, 1e-12);
+  // Balanced outcome has p = 1 (capped).
+  EXPECT_DOUBLE_EQ(binomial_two_sided_p(5, 10), 1.0);
+}
+
+TEST(Distributions, RegularizedGammaMonotone) {
+  double previous = 0.0;
+  for (double x = 0.5; x <= 10.0; x += 0.5) {
+    const double value = regularized_gamma_p(2.5, x);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+  EXPECT_NEAR(regularized_gamma_p(2.5, 100.0), 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------- hypothesis --
+
+TEST(McNemar, KnownChiSquare) {
+  // Classic example: b=59, c=6 discordant pairs.
+  const auto result = mcnemar_test(101, 59, 6, 33);
+  EXPECT_FALSE(result.exact);
+  EXPECT_NEAR(result.statistic, std::pow(59.0 - 6.0 - 1.0, 2) / 65.0, 1e-9);
+  EXPECT_LT(result.p_value, 1e-9);
+}
+
+TEST(McNemar, ExactBranchForFewDiscordants) {
+  const auto result = mcnemar_test(50, 3, 1, 40);
+  EXPECT_TRUE(result.exact);
+  EXPECT_NEAR(result.p_value, 0.625, 1e-9);  // 2*(C(4,0)+C(4,1))/16
+}
+
+TEST(McNemar, NoDiscordanceIsInsignificant) {
+  const auto result = mcnemar_test(100, 0, 0, 100);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(McNemar, VectorOverloadCountsCells) {
+  const bool x[] = {true, true, false, false, true};
+  const bool y[] = {true, false, true, false, false};
+  const auto result = mcnemar_test(std::span<const bool>(x),
+                                   std::span<const bool>(y));
+  EXPECT_EQ(result.b, 2u);  // x yes, y no
+  EXPECT_EQ(result.c, 1u);
+}
+
+TEST(CochranQ, ConstantRowsGiveNoSignal) {
+  std::vector<std::vector<bool>> table(10, std::vector<bool>{true, true, true});
+  const auto result = cochran_q(table);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(CochranQ, DetectsDifferingTreatment) {
+  // Treatment 3 fails where 1 and 2 succeed, in 20 subjects.
+  std::vector<std::vector<bool>> table;
+  for (int i = 0; i < 20; ++i) {
+    table.push_back({true, true, i % 4 == 0});
+  }
+  const auto result = cochran_q(table);
+  EXPECT_EQ(result.degrees_of_freedom, 2.0);
+  EXPECT_LT(result.p_value, 0.001);
+}
+
+TEST(Bonferroni, MultipliesAndClamps) {
+  const std::vector<double> ps = {0.01, 0.4, 0.001};
+  const auto adjusted = bonferroni(ps);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+  EXPECT_DOUBLE_EQ(adjusted[1], 1.0);
+  EXPECT_DOUBLE_EQ(adjusted[2], 0.003);
+}
+
+TEST(Spearman, PerfectMonotoneIsOne) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> y;
+  for (double v : x) y.push_back(v * v + 3);
+  const auto result = spearman(x, y);
+  EXPECT_NEAR(result.rho, 1.0, 1e-12);
+  EXPECT_LT(result.p_value, 0.001);
+}
+
+TEST(Spearman, ReversedIsMinusOne) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(spearman(x, y).rho, -1.0, 1e-12);
+}
+
+TEST(Spearman, IndependentIsNearZero) {
+  net::Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 3000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  const auto result = spearman(x, y);
+  EXPECT_NEAR(result.rho, 0.0, 0.05);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(Spearman, ConstantInputIsZero) {
+  const std::vector<double> x = {1, 1, 1, 1};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(spearman(x, y).rho, 0.0);
+}
+
+// ------------------------------------------------------------- timeseries --
+
+TEST(Timeseries, RollingMeanOfConstantIsConstant) {
+  const std::vector<double> xs(20, 5.0);
+  for (double v : rolling_mean(xs, 4)) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(Timeseries, DetectsInjectedBurst) {
+  // Low noise baseline with one huge spike.
+  std::vector<double> xs(48, 2.0);
+  net::Rng rng(9);
+  for (auto& v : xs) v += rng.uniform();
+  xs[20] = 60.0;
+  const auto detection = detect_bursts(xs, 4, 2.0);
+  ASSERT_FALSE(detection.burst_indices.empty());
+  EXPECT_EQ(detection.burst_indices.front(), 20u);
+}
+
+TEST(Timeseries, NoBurstInFlatSeries) {
+  const std::vector<double> xs(48, 3.0);
+  EXPECT_TRUE(detect_bursts(xs, 4, 2.0).burst_indices.empty());
+}
+
+TEST(Timeseries, BestWindowSkipsDegenerate) {
+  std::vector<double> xs;
+  net::Rng rng(2);
+  for (int i = 0; i < 60; ++i) xs.push_back(10 + rng.normal(0, 1));
+  const std::size_t window = best_smoothing_window(xs, 1, 8);
+  EXPECT_GE(window, 2u);
+  EXPECT_LE(window, 8u);
+}
+
+// ------------------------------------------------------------------ ecdf --
+
+TEST(Ecdf, UnweightedFractions) {
+  const std::vector<double> xs = {1, 2, 2, 3};
+  const Ecdf ecdf(xs);
+  EXPECT_DOUBLE_EQ(ecdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 2.0);
+}
+
+TEST(Ecdf, WeightedFractions) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ws = {1, 3};
+  const Ecdf ecdf(xs, ws);
+  EXPECT_DOUBLE_EQ(ecdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.at(2.0), 1.0);
+}
+
+TEST(Ecdf, PointsCollapseDuplicates) {
+  const std::vector<double> xs = {5, 5, 5, 7};
+  const auto points = Ecdf(xs).points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(points[0].fraction, 0.75);
+}
+
+// --------------------------------------------------------- combinatorics --
+
+TEST(Combinatorics, KSubsetsEnumeratesAll) {
+  const auto subsets = k_subsets(5, 3);
+  EXPECT_EQ(subsets.size(), 10u);
+  EXPECT_EQ(subsets.front(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(subsets.back(), (std::vector<std::size_t>{2, 3, 4}));
+  // All distinct.
+  for (std::size_t i = 1; i < subsets.size(); ++i) {
+    EXPECT_NE(subsets[i - 1], subsets[i]);
+  }
+}
+
+TEST(Combinatorics, EdgeCases) {
+  EXPECT_EQ(k_subsets(4, 0).size(), 1u);   // the empty subset
+  EXPECT_EQ(k_subsets(4, 4).size(), 1u);
+  EXPECT_EQ(k_subsets(3, 5).size(), 0u);
+  EXPECT_EQ(binomial_coefficient(7, 2), 21u);
+  EXPECT_EQ(binomial_coefficient(7, 0), 1u);
+  EXPECT_EQ(binomial_coefficient(3, 5), 0u);
+}
+
+// Property: k_subsets matches binomial coefficient for a sweep of (n, k).
+class SubsetCountTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SubsetCountTest, CountMatchesBinomial) {
+  const auto [n, k] = GetParam();
+  EXPECT_EQ(k_subsets(n, k).size(), binomial_coefficient(n, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SubsetCountTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{6, 2},
+                      std::pair<std::size_t, std::size_t>{7, 3},
+                      std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{9, 1},
+                      std::pair<std::size_t, std::size_t>{10, 5}));
+
+}  // namespace
+}  // namespace originscan::stats

@@ -1,0 +1,94 @@
+// A tiny, fully controlled world for unit tests: deterministic hosts, no
+// path loss, no outages, no policies unless a test adds them.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netbase/rng.h"
+#include "proto/ssh.h"
+#include "sim/world.h"
+
+namespace originscan::testing {
+
+struct MiniWorldOptions {
+  // /24s per AS; the mini world has three ASes: "Alpha" (US), "Beta"
+  // (JP), "Gamma" (CN).
+  int blocks_per_as = 1;
+  double density = 1.0;  // every address hosts
+  bool all_services = true;
+  std::uint64_t seed = 7;
+  // When set, every host's SSH daemon runs MaxStartups with this triple.
+  std::optional<proto::MaxStartups> maxstartups;
+};
+
+inline sim::World make_mini_world(const MiniWorldOptions& options = {}) {
+  sim::World world;
+  world.seed = options.seed;
+  world.universe_size =
+      static_cast<std::uint32_t>(3 * options.blocks_per_as * 256);
+
+  // Two single-IP origins and one 4-IP origin.
+  auto make = [&](const char* code, sim::CountryCode country, int ips,
+                  int index) {
+    sim::OriginSpec spec;
+    spec.code = code;
+    spec.display_name = code;
+    spec.country = country;
+    for (int i = 0; i < ips; ++i) {
+      spec.source_ips.emplace_back(world.universe_size +
+                                   static_cast<std::uint32_t>(256 * index + i +
+                                                              10));
+    }
+    return spec;
+  };
+  world.origins.push_back(make("ONE", sim::country::kUS, 1, 0));
+  world.origins.push_back(make("TWO", sim::country::kJP, 1, 1));
+  world.origins.push_back(make("FOUR", sim::country::kDE, 4, 2));
+
+  const char* names[3] = {"Alpha", "Beta", "Gamma"};
+  const sim::CountryCode countries[3] = {
+      sim::country::kUS, sim::country::kJP, sim::country::kCN};
+  std::uint32_t block = 0;
+  for (int a = 0; a < 3; ++a) {
+    const sim::AsId as = world.topology.add_as(names[a], countries[a]);
+    for (int b = 0; b < options.blocks_per_as; ++b) {
+      world.topology.add_prefix(
+          as, net::Prefix(net::Ipv4Addr(block * 256), 24));
+      ++block;
+    }
+  }
+  world.topology.freeze();
+
+  for (std::uint32_t addr = 0; addr < world.universe_size; ++addr) {
+    std::uint64_t h = net::mix_u64(options.seed, addr, 0xDE57u);
+    if (options.density < 1.0 &&
+        static_cast<double>(h >> 11) * 0x1.0p-53 >= options.density) {
+      continue;
+    }
+    sim::Host host;
+    host.addr = net::Ipv4Addr(addr);
+    host.as = *world.topology.as_of(host.addr);
+    host.services = options.all_services ? 0b111 : 0b001;
+    host.seed = net::mix_u64(options.seed, addr, 0x5EEDu);
+    if (options.maxstartups) {
+      host.maxstartups_enabled = true;
+      host.maxstartups = *options.maxstartups;
+    }
+    world.hosts.add(host);
+  }
+  world.hosts.freeze();
+
+  // Perfectly clean paths: tests opt into loss explicitly.
+  sim::PathProfile clean;
+  clean.good_loss = 0;
+  clean.bad_loss = 0;
+  clean.bad_fraction = 0;
+  world.paths.set_default_profile(clean);
+
+  world.outages.pair_rate = 0;
+  world.outages.wide_event_probability = 0;
+  return world;
+}
+
+}  // namespace originscan::testing

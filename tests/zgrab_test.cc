@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "scanner/zgrab.h"
+#include "sim/scenario.h"
+#include "tests/test_world.h"
+
+namespace originscan::scan {
+namespace {
+
+using originscan::testing::make_mini_world;
+
+sim::TrialContext context_for(const sim::World& world) {
+  sim::TrialContext context;
+  context.experiment_seed = world.seed;
+  context.simultaneous_origins = static_cast<int>(world.origins.size());
+  return context;
+}
+
+class ZGrabTest : public ::testing::Test {
+ protected:
+  ZGrabTest() : world_(make_mini_world()) {}
+
+  sim::Internet internet() {
+    return sim::Internet(&world_, context_for(world_), &persistent_);
+  }
+
+  sim::World world_;
+  sim::PersistentState persistent_;
+};
+
+TEST_F(ZGrabTest, HttpCompletesWithTitleBanner) {
+  auto net = internet();
+  ZGrabEngine engine({.protocol = proto::Protocol::kHttp}, &net, 0);
+  const auto result =
+      engine.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(5), {});
+  EXPECT_EQ(result.outcome, sim::L7Outcome::kCompleted);
+  EXPECT_FALSE(result.banner.empty());
+  EXPECT_EQ(result.attempts, 1);
+}
+
+TEST_F(ZGrabTest, TlsCompletesWithNegotiatedSuite) {
+  auto net = internet();
+  ZGrabEngine engine({.protocol = proto::Protocol::kHttps}, &net, 0);
+  const auto result =
+      engine.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(5), {});
+  EXPECT_EQ(result.outcome, sim::L7Outcome::kCompleted);
+  EXPECT_EQ(result.banner.rfind("0x", 0), 0u) << result.banner;
+}
+
+TEST_F(ZGrabTest, SshCompletesWithVersionBanner) {
+  auto net = internet();
+  ZGrabEngine engine({.protocol = proto::Protocol::kSsh}, &net, 0);
+  const auto result =
+      engine.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(5), {});
+  EXPECT_EQ(result.outcome, sim::L7Outcome::kCompleted);
+  EXPECT_FALSE(result.banner.empty());
+}
+
+TEST_F(ZGrabTest, ReportsResetAfterAccept) {
+  const sim::AsId alpha = world_.topology.find_as("Alpha");
+  sim::BlockRule rule;
+  rule.origins = sim::origin_bit(0);
+  rule.mode = sim::BlockMode::kRstAfterAccept;
+  world_.policies.edit(alpha).blocks.push_back(rule);
+
+  auto net = internet();
+  ZGrabEngine engine({.protocol = proto::Protocol::kSsh}, &net, 0);
+  const auto result =
+      engine.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(5), {});
+  EXPECT_EQ(result.outcome, sim::L7Outcome::kResetAfterAccept);
+  EXPECT_TRUE(result.explicit_close);
+}
+
+TEST_F(ZGrabTest, ReportsReadTimeoutOnHungConnection) {
+  const sim::AsId alpha = world_.topology.find_as("Alpha");
+  sim::BlockRule rule;
+  rule.origins = sim::origin_bit(0);
+  rule.mode = sim::BlockMode::kL7Drop;
+  world_.policies.edit(alpha).blocks.push_back(rule);
+
+  auto net = internet();
+  ZGrabEngine engine({.protocol = proto::Protocol::kHttp}, &net, 0);
+  const auto result =
+      engine.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(5), {});
+  EXPECT_EQ(result.outcome, sim::L7Outcome::kReadTimeout);
+  EXPECT_FALSE(result.explicit_close);
+}
+
+TEST_F(ZGrabTest, BlockPagePolicyStillCompletes) {
+  const sim::AsId alpha = world_.topology.find_as("Alpha");
+  sim::BlockRule rule;
+  rule.origins = sim::origin_bit(0);
+  rule.mode = sim::BlockMode::kServeBlockPage;
+  rule.protocol = proto::Protocol::kHttp;
+  world_.policies.edit(alpha).blocks.push_back(rule);
+
+  auto net = internet();
+  ZGrabEngine engine({.protocol = proto::Protocol::kHttp}, &net, 0);
+  const auto result =
+      engine.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(5), {});
+  EXPECT_EQ(result.outcome, sim::L7Outcome::kCompleted);
+  EXPECT_EQ(result.banner, "Blocked Site");
+}
+
+TEST_F(ZGrabTest, RetriesRecoverMaxStartupsRefusals) {
+  // All hosts run an extremely aggressive MaxStartups daemon; with a
+  // heavy synchronized load almost every first attempt is refused, and
+  // retries recover most hosts (Fig 13's mechanism).
+  originscan::testing::MiniWorldOptions options;
+  options.maxstartups = proto::MaxStartups{1, 80, 200};
+  world_ = make_mini_world(options);
+  world_.maxstartups.background_load_mean = 30;
+  world_.maxstartups.concurrent_origin_probability = 0.9;
+
+  auto net = internet();
+  int failed_first = 0, recovered = 0;
+  constexpr int kHosts = 120;
+  ZGrabEngine no_retry({.protocol = proto::Protocol::kSsh, .max_retries = 0},
+                       &net, 0);
+  ZGrabEngine with_retry(
+      {.protocol = proto::Protocol::kSsh, .max_retries = 8}, &net, 0);
+  for (int i = 0; i < kHosts; ++i) {
+    const net::Ipv4Addr dst(static_cast<std::uint32_t>(i));
+    const auto once =
+        no_retry.grab(world_.origins[0].source_ips[0], dst, {});
+    if (once.outcome == sim::L7Outcome::kCompleted) continue;
+    ++failed_first;
+    EXPECT_TRUE(is_retryable(once.outcome))
+        << to_string(once.outcome);
+    const auto retried =
+        with_retry.grab(world_.origins[0].source_ips[0], dst, {});
+    if (retried.outcome == sim::L7Outcome::kCompleted) ++recovered;
+  }
+  ASSERT_GT(failed_first, kHosts / 4);
+  EXPECT_GT(recovered, failed_first / 2);
+}
+
+TEST(ZGrabRetryable, Classification) {
+  EXPECT_TRUE(is_retryable(sim::L7Outcome::kConnectTimeout));
+  EXPECT_TRUE(is_retryable(sim::L7Outcome::kResetAfterAccept));
+  EXPECT_TRUE(is_retryable(sim::L7Outcome::kClosedBeforeData));
+  EXPECT_FALSE(is_retryable(sim::L7Outcome::kCompleted));
+  EXPECT_FALSE(is_retryable(sim::L7Outcome::kProtocolError));
+  EXPECT_FALSE(is_retryable(sim::L7Outcome::kReadTimeout));
+}
+
+}  // namespace
+}  // namespace originscan::scan

@@ -1,0 +1,302 @@
+// originscan — command-line front end for the library.
+//
+// Subcommands:
+//   experiment  run the paper experiment and export coverage +
+//               classification CSVs
+//   scan        run one origin x protocol scan and export raw records
+//   topology    print the simulated world's AS/country inventory
+//   origins     print the vantage-point roster
+//
+// Common flags:
+//   --scale N     universe exponent (default 16; addresses = 2^N)
+//   --seed N      scenario seed (default 0x05CA9)
+//   --out DIR     output directory for CSVs (default ".")
+//
+// scan flags:
+//   --origin CODE (default US1)   --protocol http|https|ssh (default http)
+//   --trial N     (default 1)     --retries N (default 0)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/access_matrix.h"
+#include "core/analysis/coverage.h"
+#include "core/classify.h"
+#include "core/experiment.h"
+#include "core/store.h"
+#include "report/export.h"
+#include "report/table.h"
+
+using namespace originscan;
+
+namespace {
+
+struct Args {
+  std::string command;
+  int scale = 16;
+  std::uint64_t seed = 0x05CA9;
+  std::string out = ".";
+  std::string origin = "US1";
+  std::string protocol = "http";
+  int trial = 1;
+  int retries = 0;
+  std::string save;  // experiment: also write raw results here
+  std::string in;    // analyze: load raw results from here
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: originscan <experiment|analyze|scan|topology|origins> [options]\n"
+      "  --scale N      universe exponent, 12..22 (default 16)\n"
+      "  --seed N       scenario seed\n"
+      "  --out DIR      CSV output directory (default .)\n"
+      "  --origin CODE  scan: AU BR DE JP US1 US64 CEN (default US1)\n"
+      "  --protocol P   scan: http|https|ssh (default http)\n"
+      "  --trial N      scan: trial number 1..3 (default 1)\n"
+      "  --retries N    scan: L7 retry budget (default 0)\n"
+      "  --save FILE    experiment: also save raw results (binary)\n"
+      "  --in FILE      analyze: load raw results saved by experiment\n"
+      "\n"
+      "  analyze re-runs the coverage analysis on saved results; use the\n"
+      "  same --scale/--seed the experiment ran with.\n");
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; i += 2) {
+    if (i + 1 >= argc) return false;
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--scale") {
+      args.scale = std::atoi(value.c_str());
+    } else if (flag == "--seed") {
+      args.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (flag == "--out") {
+      args.out = value;
+    } else if (flag == "--origin") {
+      args.origin = value;
+    } else if (flag == "--protocol") {
+      args.protocol = value;
+    } else if (flag == "--trial") {
+      args.trial = std::atoi(value.c_str());
+    } else if (flag == "--retries") {
+      args.retries = std::atoi(value.c_str());
+    } else if (flag == "--save") {
+      args.save = value;
+    } else if (flag == "--in") {
+      args.in = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args.scale < 12 || args.scale > 22) {
+    std::fprintf(stderr, "--scale must be in [12, 22]\n");
+    return false;
+  }
+  if (args.trial < 1 || args.trial > 3) {
+    std::fprintf(stderr, "--trial must be in [1, 3]\n");
+    return false;
+  }
+  return true;
+}
+
+std::optional<proto::Protocol> protocol_from(const std::string& name) {
+  if (name == "http") return proto::Protocol::kHttp;
+  if (name == "https") return proto::Protocol::kHttps;
+  if (name == "ssh") return proto::Protocol::kSsh;
+  return std::nullopt;
+}
+
+core::ExperimentConfig base_config(const Args& args) {
+  core::ExperimentConfig config;
+  config.scenario.universe_size = 1u << args.scale;
+  config.scenario.seed = args.seed;
+  return config;
+}
+
+int cmd_experiment(const Args& args) {
+  auto config = base_config(args);
+  std::printf("running 3 trials x 3 protocols x 7 origins over %u "
+              "addresses...\n",
+              config.scenario.universe_size);
+  core::Experiment experiment(config);
+  experiment.run([](std::string_view line) {
+    std::printf("  %.*s\n", static_cast<int>(line.size()), line.data());
+  });
+  if (!args.save.empty()) {
+    if (!core::save_results(args.save, experiment.all_results())) {
+      std::fprintf(stderr, "failed to save results to %s\n",
+                   args.save.c_str());
+      return 1;
+    }
+    std::printf("saved raw results to %s\n", args.save.c_str());
+  }
+
+  for (proto::Protocol protocol : proto::kAllProtocols) {
+    const auto matrix = core::AccessMatrix::build(experiment, protocol);
+    const auto coverage = core::compute_coverage(matrix);
+    const core::Classification classification(matrix);
+    const std::string stem =
+        args.out + "/" + std::string(proto::name_of(protocol));
+
+    if (!report::write_file(stem + "_coverage.csv",
+                            report::coverage_csv(coverage)) ||
+        !report::write_file(
+            stem + "_classification.csv",
+            report::classification_csv(classification,
+                                       experiment.world().topology))) {
+      std::fprintf(stderr, "failed to write CSVs under %s\n",
+                   args.out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s_coverage.csv and %s_classification.csv\n",
+                stem.c_str(), stem.c_str());
+
+    report::Table table({"origin", "mean 2-probe", "mean 1-probe"});
+    for (std::size_t o = 0; o < matrix.origins(); ++o) {
+      table.add_row({matrix.origin_codes()[o],
+                     report::Table::percent(coverage.mean_two_probe(o)),
+                     report::Table::percent(coverage.mean_single_probe(o))});
+    }
+    std::printf("\n%s summary:\n%s",
+                std::string(proto::name_of(protocol)).c_str(),
+                table.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_scan(const Args& args) {
+  const auto protocol = protocol_from(args.protocol);
+  if (!protocol) {
+    std::fprintf(stderr, "unknown protocol: %s\n", args.protocol.c_str());
+    return 1;
+  }
+  auto config = base_config(args);
+  config.protocols = {*protocol};
+  core::Experiment experiment(config);
+  const auto origin = experiment.origin_id(args.origin);
+  if (origin == ~sim::OriginId{0}) {
+    std::fprintf(stderr, "unknown origin: %s\n", args.origin.c_str());
+    return 1;
+  }
+
+  std::printf("scanning %s from %s (trial %d, retries %d)...\n",
+              args.protocol.c_str(), args.origin.c_str(), args.trial,
+              args.retries);
+  scan::ScanOptions options;
+  options.l7_retries = args.retries;
+  options.keep_banners = true;
+  const auto result = experiment.run_extra_scan(args.trial - 1, *protocol,
+                                                origin, options);
+
+  const std::string path = args.out + "/scan_" + args.origin + "_" +
+                           args.protocol + "_t" + std::to_string(args.trial) +
+                           ".csv";
+  if (!report::write_file(path, report::scan_result_csv(result))) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, int> outcomes;
+  for (const auto& record : result.records) {
+    ++outcomes[std::string(sim::to_string(record.l7))];
+  }
+  std::printf("responsive targets: %zu, completed handshakes: %zu\n",
+              result.records.size(), result.completed_count());
+  for (const auto& [outcome, count] : outcomes) {
+    std::printf("  %-22s %d\n", outcome.c_str(), count);
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.in.empty()) {
+    std::fprintf(stderr, "analyze requires --in FILE\n");
+    return 1;
+  }
+  auto results = core::load_results(args.in);
+  if (!results) {
+    std::fprintf(stderr, "could not parse %s\n", args.in.c_str());
+    return 1;
+  }
+  auto config = base_config(args);
+  core::Experiment experiment(config);
+  if (!experiment.adopt_results(std::move(*results))) {
+    std::fprintf(stderr,
+                 "results in %s do not match this experiment's shape; "
+                 "pass the original --scale/--seed\n",
+                 args.in.c_str());
+    return 1;
+  }
+  for (proto::Protocol protocol : proto::kAllProtocols) {
+    const auto matrix = core::AccessMatrix::build(experiment, protocol);
+    const auto coverage = core::compute_coverage(matrix);
+    report::Table table({"origin", "mean 2-probe", "mean 1-probe"});
+    for (std::size_t o = 0; o < matrix.origins(); ++o) {
+      table.add_row({matrix.origin_codes()[o],
+                     report::Table::percent(coverage.mean_two_probe(o)),
+                     report::Table::percent(coverage.mean_single_probe(o))});
+    }
+    std::printf("\n%s (from saved results):\n%s",
+                std::string(proto::name_of(protocol)).c_str(),
+                table.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_topology(const Args& args) {
+  auto config = base_config(args);
+  const auto world = sim::build_world(
+      config.scenario, sim::paper_origins(config.scenario.universe_size));
+  report::Table table({"AS", "country", "/24s", "addresses"});
+  std::size_t shown = 0;
+  for (const auto& as : world.topology.ases()) {
+    if (shown++ >= 40) break;
+    table.add_row({as.name, as.country.to_string(),
+                   std::to_string(as.prefixes.size()),
+                   std::to_string(as.address_count())});
+  }
+  std::printf("%zu ASes, %zu hosts over %u addresses; first 40 ASes:\n%s",
+              world.topology.as_count(), world.hosts.size(),
+              world.universe_size, table.to_string().c_str());
+  return 0;
+}
+
+int cmd_origins(const Args& args) {
+  auto config = base_config(args);
+  const auto origins = sim::paper_origins(config.scenario.universe_size);
+  report::Table table({"code", "name", "country", "source IPs",
+                       "reputation", "loss multiplier"});
+  for (const auto& origin : origins) {
+    table.add_row({origin.code, origin.display_name,
+                   origin.country.to_string(),
+                   std::to_string(origin.source_ips.size()),
+                   report::Table::num(origin.scan_reputation, 2),
+                   report::Table::num(origin.loss_multiplier, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  if (args.command == "experiment") return cmd_experiment(args);
+  if (args.command == "analyze") return cmd_analyze(args);
+  if (args.command == "scan") return cmd_scan(args);
+  if (args.command == "topology") return cmd_topology(args);
+  if (args.command == "origins") return cmd_origins(args);
+  usage();
+  return 2;
+}
