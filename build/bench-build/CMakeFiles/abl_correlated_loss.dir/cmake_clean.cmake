@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_correlated_loss"
+  "../bench/abl_correlated_loss.pdb"
+  "CMakeFiles/abl_correlated_loss.dir/abl_correlated_loss.cc.o"
+  "CMakeFiles/abl_correlated_loss.dir/abl_correlated_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_correlated_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_probe_delay"
+  "../bench/abl_probe_delay.pdb"
+  "CMakeFiles/abl_probe_delay.dir/abl_probe_delay.cc.o"
+  "CMakeFiles/abl_probe_delay.dir/abl_probe_delay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_probe_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

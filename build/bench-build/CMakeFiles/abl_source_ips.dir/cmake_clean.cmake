@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_source_ips"
+  "../bench/abl_source_ips.pdb"
+  "CMakeFiles/abl_source_ips.dir/abl_source_ips.cc.o"
+  "CMakeFiles/abl_source_ips.dir/abl_source_ips.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_source_ips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_trials_vs_origins"
+  "../bench/abl_trials_vs_origins.pdb"
+  "CMakeFiles/abl_trials_vs_origins.dir/abl_trials_vs_origins.cc.o"
+  "CMakeFiles/abl_trials_vs_origins.dir/abl_trials_vs_origins.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_trials_vs_origins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig01_coverage.cc" "bench-build/CMakeFiles/fig01_coverage.dir/fig01_coverage.cc.o" "gcc" "bench-build/CMakeFiles/fig01_coverage.dir/fig01_coverage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/osn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/osn_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/osn_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/osn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/osn_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/osn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_coverage"
+  "../bench/fig01_coverage.pdb"
+  "CMakeFiles/fig01_coverage.dir/fig01_coverage.cc.o"
+  "CMakeFiles/fig01_coverage.dir/fig01_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_longterm_overlap"
+  "../bench/fig03_longterm_overlap.pdb"
+  "CMakeFiles/fig03_longterm_overlap.dir/fig03_longterm_overlap.cc.o"
+  "CMakeFiles/fig03_longterm_overlap.dir/fig03_longterm_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_longterm_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_inaccessible_ases"
+  "../bench/fig05_inaccessible_ases.pdb"
+  "CMakeFiles/fig05_inaccessible_ases.dir/fig05_inaccessible_ases.cc.o"
+  "CMakeFiles/fig05_inaccessible_ases.dir/fig05_inaccessible_ases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_inaccessible_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_exclusive_country"
+  "../bench/fig06_exclusive_country.pdb"
+  "CMakeFiles/fig06_exclusive_country.dir/fig06_exclusive_country.cc.o"
+  "CMakeFiles/fig06_exclusive_country.dir/fig06_exclusive_country.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_exclusive_country.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

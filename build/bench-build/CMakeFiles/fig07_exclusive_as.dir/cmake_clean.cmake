@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_exclusive_as"
+  "../bench/fig07_exclusive_as.pdb"
+  "CMakeFiles/fig07_exclusive_as.dir/fig07_exclusive_as.cc.o"
+  "CMakeFiles/fig07_exclusive_as.dir/fig07_exclusive_as.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_exclusive_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_transient_overlap"
+  "../bench/fig08_transient_overlap.pdb"
+  "CMakeFiles/fig08_transient_overlap.dir/fig08_transient_overlap.cc.o"
+  "CMakeFiles/fig08_transient_overlap.dir/fig08_transient_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_transient_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

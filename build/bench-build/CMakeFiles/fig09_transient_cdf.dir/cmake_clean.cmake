@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_transient_cdf"
+  "../bench/fig09_transient_cdf.pdb"
+  "CMakeFiles/fig09_transient_cdf.dir/fig09_transient_cdf.cc.o"
+  "CMakeFiles/fig09_transient_cdf.dir/fig09_transient_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_transient_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_loss_correlation"
+  "../bench/fig10_loss_correlation.pdb"
+  "CMakeFiles/fig10_loss_correlation.dir/fig10_loss_correlation.cc.o"
+  "CMakeFiles/fig10_loss_correlation.dir/fig10_loss_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_loss_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

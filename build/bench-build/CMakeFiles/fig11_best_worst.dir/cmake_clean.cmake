@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_best_worst"
+  "../bench/fig11_best_worst.pdb"
+  "CMakeFiles/fig11_best_worst.dir/fig11_best_worst.cc.o"
+  "CMakeFiles/fig11_best_worst.dir/fig11_best_worst.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_best_worst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_alibaba_blocking"
+  "../bench/fig12_alibaba_blocking.pdb"
+  "CMakeFiles/fig12_alibaba_blocking.dir/fig12_alibaba_blocking.cc.o"
+  "CMakeFiles/fig12_alibaba_blocking.dir/fig12_alibaba_blocking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_alibaba_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

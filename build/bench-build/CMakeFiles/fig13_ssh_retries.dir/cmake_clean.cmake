@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ssh_retries"
+  "../bench/fig13_ssh_retries.pdb"
+  "CMakeFiles/fig13_ssh_retries.dir/fig13_ssh_retries.cc.o"
+  "CMakeFiles/fig13_ssh_retries.dir/fig13_ssh_retries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ssh_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

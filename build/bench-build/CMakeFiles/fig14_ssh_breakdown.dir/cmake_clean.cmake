@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_ssh_breakdown"
+  "../bench/fig14_ssh_breakdown.pdb"
+  "CMakeFiles/fig14_ssh_breakdown.dir/fig14_ssh_breakdown.cc.o"
+  "CMakeFiles/fig14_ssh_breakdown.dir/fig14_ssh_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ssh_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

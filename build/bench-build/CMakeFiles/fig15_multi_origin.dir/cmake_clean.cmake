@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_multi_origin"
+  "../bench/fig15_multi_origin.pdb"
+  "CMakeFiles/fig15_multi_origin.dir/fig15_multi_origin.cc.o"
+  "CMakeFiles/fig15_multi_origin.dir/fig15_multi_origin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_multi_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_multi_origin_all"
+  "../bench/fig17_multi_origin_all.pdb"
+  "CMakeFiles/fig17_multi_origin_all.dir/fig17_multi_origin_all.cc.o"
+  "CMakeFiles/fig17_multi_origin_all.dir/fig17_multi_origin_all.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_multi_origin_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

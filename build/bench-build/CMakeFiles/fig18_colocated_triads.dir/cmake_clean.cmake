@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_colocated_triads"
+  "../bench/fig18_colocated_triads.pdb"
+  "CMakeFiles/fig18_colocated_triads.dir/fig18_colocated_triads.cc.o"
+  "CMakeFiles/fig18_colocated_triads.dir/fig18_colocated_triads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_colocated_triads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

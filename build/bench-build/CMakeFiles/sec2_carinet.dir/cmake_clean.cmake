@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec2_carinet"
+  "../bench/sec2_carinet.pdb"
+  "CMakeFiles/sec2_carinet.dir/sec2_carinet.cc.o"
+  "CMakeFiles/sec2_carinet.dir/sec2_carinet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_carinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec3_mcnemar"
+  "../bench/sec3_mcnemar.pdb"
+  "CMakeFiles/sec3_mcnemar.dir/sec3_mcnemar.cc.o"
+  "CMakeFiles/sec3_mcnemar.dir/sec3_mcnemar.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_mcnemar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec52_packet_loss"
+  "../bench/sec52_packet_loss.pdb"
+  "CMakeFiles/sec52_packet_loss.dir/sec52_packet_loss.cc.o"
+  "CMakeFiles/sec52_packet_loss.dir/sec52_packet_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_packet_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_exclusivity"
+  "../bench/tab01_exclusivity.pdb"
+  "CMakeFiles/tab01_exclusivity.dir/tab01_exclusivity.cc.o"
+  "CMakeFiles/tab01_exclusivity.dir/tab01_exclusivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_exclusivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_countries_http"
+  "../bench/tab02_countries_http.pdb"
+  "CMakeFiles/tab02_countries_http.dir/tab02_countries_http.cc.o"
+  "CMakeFiles/tab02_countries_http.dir/tab02_countries_http.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_countries_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_transient_ases"
+  "../bench/tab03_transient_ases.pdb"
+  "CMakeFiles/tab03_transient_ases.dir/tab03_transient_ases.cc.o"
+  "CMakeFiles/tab03_transient_ases.dir/tab03_transient_ases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_transient_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

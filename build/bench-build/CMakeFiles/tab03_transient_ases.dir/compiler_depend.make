@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab03_transient_ases.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab04_ground_truth"
+  "../bench/tab04_ground_truth.pdb"
+  "CMakeFiles/tab04_ground_truth.dir/tab04_ground_truth.cc.o"
+  "CMakeFiles/tab04_ground_truth.dir/tab04_ground_truth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_ground_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

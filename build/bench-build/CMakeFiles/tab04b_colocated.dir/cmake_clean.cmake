@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab04b_colocated"
+  "../bench/tab04b_colocated.pdb"
+  "CMakeFiles/tab04b_colocated.dir/tab04b_colocated.cc.o"
+  "CMakeFiles/tab04b_colocated.dir/tab04b_colocated.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04b_colocated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

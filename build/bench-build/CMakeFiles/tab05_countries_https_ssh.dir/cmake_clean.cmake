@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_countries_https_ssh"
+  "../bench/tab05_countries_https_ssh.pdb"
+  "CMakeFiles/tab05_countries_https_ssh.dir/tab05_countries_https_ssh.cc.o"
+  "CMakeFiles/tab05_countries_https_ssh.dir/tab05_countries_https_ssh.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_countries_https_ssh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

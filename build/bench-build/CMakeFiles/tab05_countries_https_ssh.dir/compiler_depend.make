@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab05_countries_https_ssh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_forensics.dir/burst_forensics.cpp.o"
+  "CMakeFiles/burst_forensics.dir/burst_forensics.cpp.o.d"
+  "burst_forensics"
+  "burst_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/country_bias.dir/country_bias.cpp.o"
+  "CMakeFiles/country_bias.dir/country_bias.cpp.o.d"
+  "country_bias"
+  "country_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/country_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_scanner.dir/custom_scanner.cpp.o"
+  "CMakeFiles/custom_scanner.dir/custom_scanner.cpp.o.d"
+  "custom_scanner"
+  "custom_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

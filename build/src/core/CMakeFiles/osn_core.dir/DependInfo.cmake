@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_matrix.cc" "src/core/CMakeFiles/osn_core.dir/access_matrix.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/access_matrix.cc.o.d"
+  "/root/repo/src/core/analysis/as_distribution.cc" "src/core/CMakeFiles/osn_core.dir/analysis/as_distribution.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/as_distribution.cc.o.d"
+  "/root/repo/src/core/analysis/bursts.cc" "src/core/CMakeFiles/osn_core.dir/analysis/bursts.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/bursts.cc.o.d"
+  "/root/repo/src/core/analysis/country.cc" "src/core/CMakeFiles/osn_core.dir/analysis/country.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/country.cc.o.d"
+  "/root/repo/src/core/analysis/coverage.cc" "src/core/CMakeFiles/osn_core.dir/analysis/coverage.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/coverage.cc.o.d"
+  "/root/repo/src/core/analysis/exclusivity.cc" "src/core/CMakeFiles/osn_core.dir/analysis/exclusivity.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/exclusivity.cc.o.d"
+  "/root/repo/src/core/analysis/multi_origin.cc" "src/core/CMakeFiles/osn_core.dir/analysis/multi_origin.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/multi_origin.cc.o.d"
+  "/root/repo/src/core/analysis/overlap.cc" "src/core/CMakeFiles/osn_core.dir/analysis/overlap.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/overlap.cc.o.d"
+  "/root/repo/src/core/analysis/packet_loss.cc" "src/core/CMakeFiles/osn_core.dir/analysis/packet_loss.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/packet_loss.cc.o.d"
+  "/root/repo/src/core/analysis/significance.cc" "src/core/CMakeFiles/osn_core.dir/analysis/significance.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/significance.cc.o.d"
+  "/root/repo/src/core/analysis/ssh.cc" "src/core/CMakeFiles/osn_core.dir/analysis/ssh.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/ssh.cc.o.d"
+  "/root/repo/src/core/analysis/stability.cc" "src/core/CMakeFiles/osn_core.dir/analysis/stability.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/stability.cc.o.d"
+  "/root/repo/src/core/analysis/transient.cc" "src/core/CMakeFiles/osn_core.dir/analysis/transient.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/analysis/transient.cc.o.d"
+  "/root/repo/src/core/classify.cc" "src/core/CMakeFiles/osn_core.dir/classify.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/classify.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/osn_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/store.cc" "src/core/CMakeFiles/osn_core.dir/store.cc.o" "gcc" "src/core/CMakeFiles/osn_core.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scanner/CMakeFiles/osn_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/osn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/osn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/osn_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

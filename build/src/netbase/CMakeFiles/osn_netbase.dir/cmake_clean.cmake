@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osn_netbase.dir/headers.cc.o"
+  "CMakeFiles/osn_netbase.dir/headers.cc.o.d"
+  "CMakeFiles/osn_netbase.dir/interval_set.cc.o"
+  "CMakeFiles/osn_netbase.dir/interval_set.cc.o.d"
+  "CMakeFiles/osn_netbase.dir/ipv4.cc.o"
+  "CMakeFiles/osn_netbase.dir/ipv4.cc.o.d"
+  "CMakeFiles/osn_netbase.dir/siphash.cc.o"
+  "CMakeFiles/osn_netbase.dir/siphash.cc.o.d"
+  "libosn_netbase.a"
+  "libosn_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osn_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/http.cc" "src/proto/CMakeFiles/osn_proto.dir/http.cc.o" "gcc" "src/proto/CMakeFiles/osn_proto.dir/http.cc.o.d"
+  "/root/repo/src/proto/ssh.cc" "src/proto/CMakeFiles/osn_proto.dir/ssh.cc.o" "gcc" "src/proto/CMakeFiles/osn_proto.dir/ssh.cc.o.d"
+  "/root/repo/src/proto/tls.cc" "src/proto/CMakeFiles/osn_proto.dir/tls.cc.o" "gcc" "src/proto/CMakeFiles/osn_proto.dir/tls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/osn_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

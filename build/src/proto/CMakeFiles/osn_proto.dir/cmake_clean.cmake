@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osn_proto.dir/http.cc.o"
+  "CMakeFiles/osn_proto.dir/http.cc.o.d"
+  "CMakeFiles/osn_proto.dir/ssh.cc.o"
+  "CMakeFiles/osn_proto.dir/ssh.cc.o.d"
+  "CMakeFiles/osn_proto.dir/tls.cc.o"
+  "CMakeFiles/osn_proto.dir/tls.cc.o.d"
+  "libosn_proto.a"
+  "libosn_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osn_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

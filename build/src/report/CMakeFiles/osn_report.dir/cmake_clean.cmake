@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osn_report.dir/chart.cc.o"
+  "CMakeFiles/osn_report.dir/chart.cc.o.d"
+  "CMakeFiles/osn_report.dir/compare.cc.o"
+  "CMakeFiles/osn_report.dir/compare.cc.o.d"
+  "CMakeFiles/osn_report.dir/export.cc.o"
+  "CMakeFiles/osn_report.dir/export.cc.o.d"
+  "CMakeFiles/osn_report.dir/table.cc.o"
+  "CMakeFiles/osn_report.dir/table.cc.o.d"
+  "libosn_report.a"
+  "libosn_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osn_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanner/blocklist.cc" "src/scanner/CMakeFiles/osn_scanner.dir/blocklist.cc.o" "gcc" "src/scanner/CMakeFiles/osn_scanner.dir/blocklist.cc.o.d"
+  "/root/repo/src/scanner/orchestrator.cc" "src/scanner/CMakeFiles/osn_scanner.dir/orchestrator.cc.o" "gcc" "src/scanner/CMakeFiles/osn_scanner.dir/orchestrator.cc.o.d"
+  "/root/repo/src/scanner/permutation.cc" "src/scanner/CMakeFiles/osn_scanner.dir/permutation.cc.o" "gcc" "src/scanner/CMakeFiles/osn_scanner.dir/permutation.cc.o.d"
+  "/root/repo/src/scanner/validation.cc" "src/scanner/CMakeFiles/osn_scanner.dir/validation.cc.o" "gcc" "src/scanner/CMakeFiles/osn_scanner.dir/validation.cc.o.d"
+  "/root/repo/src/scanner/zgrab.cc" "src/scanner/CMakeFiles/osn_scanner.dir/zgrab.cc.o" "gcc" "src/scanner/CMakeFiles/osn_scanner.dir/zgrab.cc.o.d"
+  "/root/repo/src/scanner/zmap.cc" "src/scanner/CMakeFiles/osn_scanner.dir/zmap.cc.o" "gcc" "src/scanner/CMakeFiles/osn_scanner.dir/zmap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/osn_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/osn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osn_scanner.dir/blocklist.cc.o"
+  "CMakeFiles/osn_scanner.dir/blocklist.cc.o.d"
+  "CMakeFiles/osn_scanner.dir/orchestrator.cc.o"
+  "CMakeFiles/osn_scanner.dir/orchestrator.cc.o.d"
+  "CMakeFiles/osn_scanner.dir/permutation.cc.o"
+  "CMakeFiles/osn_scanner.dir/permutation.cc.o.d"
+  "CMakeFiles/osn_scanner.dir/validation.cc.o"
+  "CMakeFiles/osn_scanner.dir/validation.cc.o.d"
+  "CMakeFiles/osn_scanner.dir/zgrab.cc.o"
+  "CMakeFiles/osn_scanner.dir/zgrab.cc.o.d"
+  "CMakeFiles/osn_scanner.dir/zmap.cc.o"
+  "CMakeFiles/osn_scanner.dir/zmap.cc.o.d"
+  "libosn_scanner.a"
+  "libosn_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osn_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/host.cc" "src/sim/CMakeFiles/osn_sim.dir/host.cc.o" "gcc" "src/sim/CMakeFiles/osn_sim.dir/host.cc.o.d"
+  "/root/repo/src/sim/internet.cc" "src/sim/CMakeFiles/osn_sim.dir/internet.cc.o" "gcc" "src/sim/CMakeFiles/osn_sim.dir/internet.cc.o.d"
+  "/root/repo/src/sim/outage.cc" "src/sim/CMakeFiles/osn_sim.dir/outage.cc.o" "gcc" "src/sim/CMakeFiles/osn_sim.dir/outage.cc.o.d"
+  "/root/repo/src/sim/path.cc" "src/sim/CMakeFiles/osn_sim.dir/path.cc.o" "gcc" "src/sim/CMakeFiles/osn_sim.dir/path.cc.o.d"
+  "/root/repo/src/sim/policy.cc" "src/sim/CMakeFiles/osn_sim.dir/policy.cc.o" "gcc" "src/sim/CMakeFiles/osn_sim.dir/policy.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/osn_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/osn_sim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/server.cc" "src/sim/CMakeFiles/osn_sim.dir/server.cc.o" "gcc" "src/sim/CMakeFiles/osn_sim.dir/server.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/sim/CMakeFiles/osn_sim.dir/topology.cc.o" "gcc" "src/sim/CMakeFiles/osn_sim.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/osn_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/osn_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osn_sim.dir/host.cc.o"
+  "CMakeFiles/osn_sim.dir/host.cc.o.d"
+  "CMakeFiles/osn_sim.dir/internet.cc.o"
+  "CMakeFiles/osn_sim.dir/internet.cc.o.d"
+  "CMakeFiles/osn_sim.dir/outage.cc.o"
+  "CMakeFiles/osn_sim.dir/outage.cc.o.d"
+  "CMakeFiles/osn_sim.dir/path.cc.o"
+  "CMakeFiles/osn_sim.dir/path.cc.o.d"
+  "CMakeFiles/osn_sim.dir/policy.cc.o"
+  "CMakeFiles/osn_sim.dir/policy.cc.o.d"
+  "CMakeFiles/osn_sim.dir/scenario.cc.o"
+  "CMakeFiles/osn_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/osn_sim.dir/server.cc.o"
+  "CMakeFiles/osn_sim.dir/server.cc.o.d"
+  "CMakeFiles/osn_sim.dir/topology.cc.o"
+  "CMakeFiles/osn_sim.dir/topology.cc.o.d"
+  "libosn_sim.a"
+  "libosn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

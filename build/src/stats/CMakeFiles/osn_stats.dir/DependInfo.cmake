@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/combinatorics.cc" "src/stats/CMakeFiles/osn_stats.dir/combinatorics.cc.o" "gcc" "src/stats/CMakeFiles/osn_stats.dir/combinatorics.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/osn_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/osn_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/osn_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/osn_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/osn_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/osn_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/stats/CMakeFiles/osn_stats.dir/hypothesis.cc.o" "gcc" "src/stats/CMakeFiles/osn_stats.dir/hypothesis.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/stats/CMakeFiles/osn_stats.dir/timeseries.cc.o" "gcc" "src/stats/CMakeFiles/osn_stats.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

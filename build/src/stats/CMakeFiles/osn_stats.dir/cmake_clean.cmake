@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osn_stats.dir/combinatorics.cc.o"
+  "CMakeFiles/osn_stats.dir/combinatorics.cc.o.d"
+  "CMakeFiles/osn_stats.dir/descriptive.cc.o"
+  "CMakeFiles/osn_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/osn_stats.dir/distributions.cc.o"
+  "CMakeFiles/osn_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/osn_stats.dir/ecdf.cc.o"
+  "CMakeFiles/osn_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/osn_stats.dir/hypothesis.cc.o"
+  "CMakeFiles/osn_stats.dir/hypothesis.cc.o.d"
+  "CMakeFiles/osn_stats.dir/timeseries.cc.o"
+  "CMakeFiles/osn_stats.dir/timeseries.cc.o.d"
+  "libosn_stats.a"
+  "libosn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_matrix_test.dir/access_matrix_test.cc.o"
+  "CMakeFiles/access_matrix_test.dir/access_matrix_test.cc.o.d"
+  "access_matrix_test"
+  "access_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

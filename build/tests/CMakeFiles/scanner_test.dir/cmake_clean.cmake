@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_test.dir/scanner_test.cc.o"
+  "CMakeFiles/scanner_test.dir/scanner_test.cc.o.d"
+  "scanner_test"
+  "scanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

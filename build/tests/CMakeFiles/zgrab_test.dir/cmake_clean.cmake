@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zgrab_test.dir/zgrab_test.cc.o"
+  "CMakeFiles/zgrab_test.dir/zgrab_test.cc.o.d"
+  "zgrab_test"
+  "zgrab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zgrab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/originscan_cli.dir/originscan_cli.cc.o"
+  "CMakeFiles/originscan_cli.dir/originscan_cli.cc.o.d"
+  "originscan"
+  "originscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/originscan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
