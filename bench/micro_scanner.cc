@@ -70,6 +70,25 @@ static void BM_PacketSerializeParse(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketSerializeParse);
 
+static void BM_PacketSerializeInto(benchmark::State& state) {
+  // The scanner's send-loop variant: serialize_into reuses one buffer,
+  // so the steady state is allocation-free (compare against
+  // BM_PacketSerializeParse, which allocates per probe).
+  net::TcpPacket packet;
+  packet.ip.src = net::Ipv4Addr(10, 0, 0, 1);
+  packet.ip.dst = net::Ipv4Addr(1, 2, 3, 4);
+  packet.tcp.src_port = 40000;
+  packet.tcp.dst_port = 443;
+  packet.tcp.flags.syn = true;
+  std::vector<std::uint8_t> buffer;
+  for (auto _ : state) {
+    packet.serialize_into(buffer);
+    auto parsed = net::TcpPacket::parse(buffer);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_PacketSerializeInto);
+
 static void BM_BlocklistLookup(benchmark::State& state) {
   scan::Blocklist blocklist;
   // A realistic exclusion list: a few hundred scattered ranges.

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Records the repository's performance baselines:
+#   BENCH_micro.json — google-benchmark microbenchmarks (hot paths)
+#   BENCH_wall.json  — serial vs parallel executor wall clock (and the
+#                      bit-identity check; wall_clock exits non-zero if
+#                      the parallel output ever diverges)
+#
+# Usage: bench/record.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -x "$BUILD_DIR/bench/micro_scanner" || ! -x "$BUILD_DIR/bench/wall_clock" ]]; then
+  echo "bench binaries missing — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench/micro_scanner" --benchmark_format=json > BENCH_micro.json
+echo "wrote BENCH_micro.json"
+
+"$BUILD_DIR/bench/wall_clock" > BENCH_wall.json
+echo "wrote BENCH_wall.json"
+cat BENCH_wall.json

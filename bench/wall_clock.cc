@@ -1,0 +1,132 @@
+// Wall-clock comparison of the serial and parallel scan executors.
+//
+// Runs the paper experiment grid (3 trials x 3 protocols x 7 origins)
+// and one single HTTP scan twice each — jobs=1 and jobs=N — over the
+// same seeded world, verifies the outputs are identical, and emits one
+// JSON object (BENCH_wall.json via bench/record.sh) with the timings.
+//
+// Environment:
+//   OSN_BENCH_SCALE  universe exponent (default 15, the acceptance size)
+//   OSN_BENCH_JOBS   parallel worker count (default 4)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+#include "core/parallel.h"
+
+using namespace originscan;
+
+namespace {
+
+std::uint32_t universe_size() {
+  if (const char* env = std::getenv("OSN_BENCH_SCALE")) {
+    const int exponent = std::atoi(env);
+    if (exponent >= 12 && exponent <= 24) return 1u << exponent;
+  }
+  return 1u << 15;
+}
+
+int parallel_jobs() {
+  if (const char* env = std::getenv("OSN_BENCH_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs >= 1) return jobs;
+  }
+  return 4;
+}
+
+core::ExperimentConfig config_for(std::uint32_t universe, int jobs) {
+  core::ExperimentConfig config;
+  config.scenario.universe_size = universe;
+  config.scenario.seed = 0x05CA9;
+  config.jobs = jobs;
+  return config;
+}
+
+double run_timed(core::Experiment& experiment) {
+  const auto start = std::chrono::steady_clock::now();
+  experiment.run();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+bool results_identical(const std::vector<scan::ScanResult>& a,
+                       const std::vector<scan::ScanResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].origin_code != b[i].origin_code || a[i].trial != b[i].trial ||
+        a[i].protocol != b[i].protocol || a[i].records != b[i].records ||
+        a[i].banners != b[i].banners ||
+        !(a[i].l4_stats == b[i].l4_stats)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t universe = universe_size();
+  const int jobs = parallel_jobs();
+
+  // Full experiment grid: serial, then parallel over the same world.
+  core::Experiment serial(config_for(universe, 1));
+  const double experiment_serial_s = run_timed(serial);
+  core::Experiment parallel(config_for(universe, jobs));
+  const double experiment_parallel_s = run_timed(parallel);
+  const bool experiment_identical =
+      results_identical(serial.all_results(), parallel.all_results());
+
+  // Single scan: the sharded executor inside one (origin, protocol) cell.
+  scan::ScanOptions scan_options;
+  scan_options.keep_banners = true;
+  core::Experiment scan_serial_host(config_for(universe, 1));
+  const auto scan_origin = scan_serial_host.origin_id("US1");
+  auto scan_start = std::chrono::steady_clock::now();
+  const auto scan_serial = scan_serial_host.run_extra_scan(
+      0, proto::Protocol::kHttp, scan_origin, scan_options);
+  const double scan_serial_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scan_start)
+          .count();
+
+  scan_options.jobs = jobs;
+  core::Experiment scan_parallel_host(config_for(universe, 1));
+  scan_start = std::chrono::steady_clock::now();
+  const auto scan_parallel = scan_parallel_host.run_extra_scan(
+      0, proto::Protocol::kHttp, scan_origin, scan_options);
+  const double scan_parallel_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scan_start)
+          .count();
+  const bool scan_identical =
+      scan_serial.records == scan_parallel.records &&
+      scan_serial.banners == scan_parallel.banners &&
+      scan_serial.l4_stats == scan_parallel.l4_stats;
+
+  std::printf(
+      "{\n"
+      "  \"universe_size\": %u,\n"
+      "  \"jobs\": %d,\n"
+      "  \"hardware_jobs\": %d,\n"
+      "  \"experiment_serial_s\": %.3f,\n"
+      "  \"experiment_parallel_s\": %.3f,\n"
+      "  \"experiment_speedup\": %.2f,\n"
+      "  \"experiment_identical\": %s,\n"
+      "  \"scan_serial_s\": %.3f,\n"
+      "  \"scan_parallel_s\": %.3f,\n"
+      "  \"scan_speedup\": %.2f,\n"
+      "  \"scan_identical\": %s\n"
+      "}\n",
+      universe, jobs, core::hardware_jobs(), experiment_serial_s,
+      experiment_parallel_s, experiment_serial_s / experiment_parallel_s,
+      experiment_identical ? "true" : "false", scan_serial_s,
+      scan_parallel_s, scan_serial_s / scan_parallel_s,
+      scan_identical ? "true" : "false");
+
+  // Determinism is part of the contract: a fast-but-different parallel
+  // run is a failure, not a result.
+  return experiment_identical && scan_identical ? 0 : 1;
+}

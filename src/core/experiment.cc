@@ -1,8 +1,13 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+
+#include "core/parallel.h"
 
 namespace originscan::core {
 namespace {
@@ -45,6 +50,11 @@ void Experiment::run(const std::function<void(std::string_view)>& progress) {
   results_.resize(static_cast<std::size_t>(config_.trials) *
                   config_.protocols.size() * world_.origins.size());
 
+  // One Internet per trial, created up front: the PolicyEngine
+  // constructors pre-insert the persistent IDS map entries serially,
+  // before any worker thread can touch them.
+  std::vector<std::unique_ptr<sim::Internet>> internets;
+  internets.reserve(static_cast<std::size_t>(config_.trials));
   for (int trial = 0; trial < config_.trials; ++trial) {
     sim::TrialContext context;
     context.trial = trial;
@@ -52,29 +62,61 @@ void Experiment::run(const std::function<void(std::string_view)>& progress) {
     context.simultaneous_origins =
         static_cast<int>(world_.origins.size());
     context.scan_duration = config_.scan_duration;
-    sim::Internet internet(&world_, context, &persistent_);
+    internets.push_back(
+        std::make_unique<sim::Internet>(&world_, context, &persistent_));
+  }
 
-    for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
-      for (sim::OriginId origin = 0; origin < world_.origins.size();
-           ++origin) {
-        scan::ScanOptions options;
-        options.probes = config_.probes;
-        options.probe_interval = config_.probe_interval;
-        options.l7_retries = config_.l7_retries;
-        options.blocklist = config_.blocklist;
-        options.scan_duration = config_.scan_duration;
-        auto result =
-            scan::run_scan(internet, origin, config_.protocols[p], options);
-        if (progress) {
-          progress("trial " + std::to_string(trial + 1) + " " +
-                   std::string(proto::name_of(config_.protocols[p])) + " " +
-                   result.origin_code + ": " +
-                   std::to_string(result.completed_count()) + " hosts");
+  std::mutex progress_mutex;
+  const auto run_cell = [&](int trial, std::size_t p, sim::OriginId origin) {
+    scan::ScanOptions options;
+    options.probes = config_.probes;
+    options.probe_interval = config_.probe_interval;
+    options.l7_retries = config_.l7_retries;
+    options.blocklist = config_.blocklist;
+    options.scan_duration = config_.scan_duration;
+    auto result = scan::run_scan(*internets[static_cast<std::size_t>(trial)],
+                                 origin, config_.protocols[p], options);
+    if (progress) {
+      std::scoped_lock lock(progress_mutex);
+      progress("trial " + std::to_string(trial + 1) + " " +
+               std::string(proto::name_of(config_.protocols[p])) + " " +
+               result.origin_code + ": " +
+               std::to_string(result.completed_count()) + " hosts");
+    }
+    results_[index(trial, p, origin)] = std::move(result);
+  };
+
+  const int jobs = std::max(1, config_.jobs);
+  if (jobs == 1) {
+    for (int trial = 0; trial < config_.trials; ++trial) {
+      for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
+        for (sim::OriginId origin = 0; origin < world_.origins.size();
+             ++origin) {
+          run_cell(trial, p, origin);
         }
-        results_[index(trial, p, origin)] = std::move(result);
       }
     }
+    return;
   }
+
+  // Parallel fan-out: one serial chain per origin, each running its
+  // cells in (trial, protocol) order. An origin's IDS counter keys are
+  // its own source IPs, so per-key mutation order — the only thing the
+  // simulation's outputs can observe — matches the serial schedule no
+  // matter how the chains interleave. Scans inside a chain stay
+  // single-threaded (no nested pools).
+  std::vector<std::function<void()>> chains;
+  chains.reserve(world_.origins.size());
+  for (sim::OriginId origin = 0; origin < world_.origins.size(); ++origin) {
+    chains.push_back([this, &run_cell, origin] {
+      for (int trial = 0; trial < config_.trials; ++trial) {
+        for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
+          run_cell(trial, p, origin);
+        }
+      }
+    });
+  }
+  run_parallel(jobs, std::move(chains));
 }
 
 bool Experiment::adopt_results(std::vector<scan::ScanResult> results) {

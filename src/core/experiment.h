@@ -38,6 +38,12 @@ struct ExperimentConfig {
   bool uniform_random_loss = false;
   scan::Blocklist blocklist;  // synchronized across all origins
   net::VirtualTime scan_duration = net::VirtualTime::from_hours(21);
+  // Worker threads for Experiment::run. With jobs > 1 the (trial,
+  // protocol, origin) cells fan out as one serial chain per origin —
+  // origins own disjoint source IPs, so their IDS trajectories cannot
+  // interact — and the results are bit-identical to jobs == 1 (see
+  // "Parallel execution" in DESIGN.md).
+  int jobs = 1;
 };
 
 class Experiment {

@@ -1,0 +1,89 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace originscan::core {
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::scoped_lock lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+int hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void run_parallel(int jobs, std::vector<std::function<void()>> tasks) {
+  if (jobs <= 1 || tasks.size() <= 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+
+  // Each slot captures its task's exception; after the pool drains, the
+  // lowest-indexed failure is rethrown — the same error a serial run
+  // would have hit first.
+  std::vector<std::exception_ptr> errors(tasks.size());
+  ThreadPool pool(std::min<int>(jobs, static_cast<int>(tasks.size())));
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    pool.submit([&tasks, &errors, i] {
+      try {
+        tasks[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace originscan::core

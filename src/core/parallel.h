@@ -1,0 +1,66 @@
+// Deterministic parallel execution primitives for the scan executor: a
+// small fixed-size thread pool plus a run-to-completion helper.
+//
+// Parallelism in this codebase never changes *what* is computed, only
+// *when*: callers partition work into tasks whose outputs land in
+// disjoint slots, and any cross-task state is either content-addressed
+// (seeded caches) or explicitly ordered by the task structure (the
+// per-origin scan chains, the order-sensitive IDS lane). See the
+// "Parallel execution & determinism contract" section of DESIGN.md.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace originscan::core {
+
+// A fixed-size pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks start in submission order but complete in any
+  // order. Must not be called concurrently with the destructor.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void wait();
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: task or stop
+  std::condition_variable idle_cv_;  // signals wait(): queue drained
+  std::size_t in_flight_ = 0;        // tasks currently executing
+  bool stop_ = false;
+};
+
+// Number of useful worker threads on this machine (>= 1).
+int hardware_jobs();
+
+// Runs `tasks` to completion on up to `jobs` worker threads. With
+// jobs <= 1 (or fewer than two tasks) everything runs inline on the
+// calling thread, in order — the serial paths pay no threading cost.
+// If tasks throw, the exception of the lowest-indexed failing task is
+// rethrown after all tasks have finished, so error reporting does not
+// depend on scheduling.
+void run_parallel(int jobs, std::vector<std::function<void()>> tasks);
+
+}  // namespace originscan::core

@@ -139,13 +139,18 @@ bool TcpHeader::verify_checksum(Ipv4Addr src, Ipv4Addr dst,
 
 std::vector<std::uint8_t> TcpPacket::serialize() const {
   std::vector<std::uint8_t> out;
+  serialize_into(out);
+  return out;
+}
+
+void TcpPacket::serialize_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
   out.reserve(Ipv4Header::kSize + TcpHeader::kSize + payload.size());
   Ipv4Header ip_copy = ip;
   ip_copy.total_length = static_cast<std::uint16_t>(
       Ipv4Header::kSize + TcpHeader::kSize + payload.size());
   ip_copy.serialize(out);
   tcp.serialize(ip.src, ip.dst, payload, out);
-  return out;
 }
 
 std::optional<TcpPacket> TcpPacket::parse(std::span<const std::uint8_t> data) {

@@ -85,6 +85,10 @@ struct TcpPacket {
   std::vector<std::uint8_t> payload;
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  // Serializes into `out` (cleared first), reusing its capacity — the
+  // scanner's send loop calls this once per probe, so the steady state
+  // is allocation-free.
+  void serialize_into(std::vector<std::uint8_t>& out) const;
   static std::optional<TcpPacket> parse(std::span<const std::uint8_t> data);
 };
 

@@ -2,41 +2,34 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
+#include <utility>
 
+#include "core/parallel.h"
 #include "netbase/rng.h"
 
 namespace originscan::scan {
+namespace {
 
-ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
-                    proto::Protocol protocol, const ScanOptions& options) {
+// One lane's share of a parallel scan: records and banners accumulate
+// independently, then merge into the final ScanResult.
+struct LaneOutput {
+  std::vector<ScanRecord> records;
+  std::vector<std::string> banners;
+  ZMapScanner::Stats stats;
+};
+
+// Builds the L4 callback: record the probe result and, if a SYN-ACK
+// arrived, schedule the ZGrab follow-up. Shared verbatim by the serial
+// sweep and every parallel lane so their per-record behavior cannot
+// diverge.
+std::function<void(const L4Result&)> make_collector(
+    sim::Internet& internet, sim::OriginId origin, ZGrabEngine& zgrab,
+    const ScanOptions& options, std::vector<ScanRecord>& records,
+    std::vector<std::string>& banners) {
   const sim::World& world = internet.world();
-
-  ZMapConfig zmap_config;
-  // One permutation seed per trial, shared by every synchronized origin.
-  zmap_config.seed = net::mix_u64(internet.context().experiment_seed,
-                                  internet.context().trial, 0x5EEDAULL);
-  zmap_config.universe_size = world.universe_size;
-  zmap_config.protocol = protocol;
-  zmap_config.probes = options.probes;
-  zmap_config.probe_interval = options.probe_interval;
-  zmap_config.scan_duration = options.scan_duration;
-  zmap_config.source_ips = world.origins[origin].source_ips;
-  zmap_config.blocklist = options.blocklist;
-  zmap_config.allowlist = options.target_prefix;
-
-  ZMapScanner zmap(zmap_config, &internet, origin);
-
-  ZGrabConfig zgrab_config;
-  zgrab_config.protocol = protocol;
-  zgrab_config.max_retries = options.l7_retries;
-  ZGrabEngine zgrab(zgrab_config, &internet, origin);
-
-  ScanResult result;
-  result.origin_code = world.origins[origin].code;
-  result.protocol = protocol;
-  result.trial = internet.context().trial;
-
-  result.l4_stats = zmap.run([&](const L4Result& l4) {
+  return [&internet, &zgrab, &options, &records, &banners, &world,
+          origin](const L4Result& l4) {
     ScanRecord record;
     record.addr = l4.addr;
     record.synack_mask = l4.synack_mask;
@@ -62,11 +55,23 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
       record.explicit_close = l7.explicit_close;
       banner = l7.banner;
     }
-    result.records.push_back(record);
-    if (options.keep_banners) result.banners.push_back(std::move(banner));
-  });
+    records.push_back(record);
+    if (options.keep_banners) banners.push_back(std::move(banner));
+  };
+}
 
-  // Sort records (and any parallel banners) by address.
+// Sorts records (and any parallel banners) by address. The banner vector
+// must stay pair-aligned with the records — an empty banner vector means
+// "banners not kept", anything else must match exactly, or a merged
+// result would silently associate banners with the wrong hosts.
+void finalize(ScanResult& result, bool keep_banners) {
+  if (!result.banners.empty() &&
+      result.banners.size() != result.records.size()) {
+    throw std::logic_error(
+        "ScanResult banner/record misalignment: " +
+        std::to_string(result.banners.size()) + " banners vs " +
+        std::to_string(result.records.size()) + " records");
+  }
   std::vector<std::size_t> order(result.records.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -78,12 +83,104 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   sorted_banners.reserve(result.banners.size());
   for (std::size_t i : order) {
     sorted_records.push_back(result.records[i]);
-    if (options.keep_banners) {
+    if (keep_banners && !result.banners.empty()) {
       sorted_banners.push_back(std::move(result.banners[i]));
     }
   }
   result.records = std::move(sorted_records);
   result.banners = std::move(sorted_banners);
+}
+
+}  // namespace
+
+ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
+                    proto::Protocol protocol, const ScanOptions& options) {
+  const sim::World& world = internet.world();
+
+  ZMapConfig zmap_config;
+  // One permutation seed per trial, shared by every synchronized origin.
+  zmap_config.seed = net::mix_u64(internet.context().experiment_seed,
+                                  internet.context().trial, 0x5EEDAULL);
+  zmap_config.universe_size = world.universe_size;
+  zmap_config.protocol = protocol;
+  zmap_config.probes = options.probes;
+  zmap_config.probe_interval = options.probe_interval;
+  zmap_config.scan_duration = options.scan_duration;
+  zmap_config.source_ips = world.origins[origin].source_ips;
+  zmap_config.blocklist = options.blocklist;
+  zmap_config.allowlist = options.target_prefix;
+
+  ZGrabConfig zgrab_config;
+  zgrab_config.protocol = protocol;
+  zgrab_config.max_retries = options.l7_retries;
+
+  ScanResult result;
+  result.origin_code = world.origins[origin].code;
+  result.protocol = protocol;
+  result.trial = internet.context().trial;
+
+  const int jobs = std::max(1, options.jobs);
+  if (jobs == 1) {
+    ZMapScanner zmap(zmap_config, &internet, origin);
+    ZGrabEngine zgrab(zgrab_config, &internet, origin);
+    result.l4_stats = zmap.run(make_collector(
+        internet, origin, zgrab, options, result.records, result.banners));
+    finalize(result, options.keep_banners);
+    return result;
+  }
+
+  // Parallel path: split the sweep into `jobs` shard lanes plus one
+  // serial lane for rate-IDS networks (the only order-sensitive state in
+  // the simulation — see DESIGN.md). Every lane stamps probes from the
+  // same global virtual clock, so the merged, address-sorted result is
+  // bit-identical to the serial sweep.
+  const sim::PolicyEngine& policy = internet.policy_engine();
+  const auto defer = [&world, &policy, protocol](net::Ipv4Addr dst) {
+    const auto as = world.topology.as_of(dst);
+    return as && policy.rate_ids_applies(*as, protocol);
+  };
+  const ScanSchedule schedule = ZMapScanner::build_schedule(
+      zmap_config, static_cast<std::uint32_t>(jobs), defer);
+
+  // Build the loss/outage caches up front so the lanes never contend on
+  // the cache writer lock.
+  internet.prewarm(origin, protocol);
+
+  std::vector<LaneOutput> lanes(schedule.shards.size() + 1);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(lanes.size());
+  const auto make_lane_task = [&](std::span<const ScheduledTarget> targets,
+                                  LaneOutput& lane) {
+    return [&internet, origin, &zmap_config, &zgrab_config, &options,
+            targets, &lane] {
+      ZMapScanner zmap(zmap_config, &internet, origin);
+      ZGrabEngine zgrab(zgrab_config, &internet, origin);
+      lane.stats = zmap.run_scheduled(
+          targets, make_collector(internet, origin, zgrab, options,
+                                  lane.records, lane.banners));
+    };
+  };
+  // The deferred lane goes first: it is the one lane that cannot be
+  // split, so it should never sit behind shard lanes in the queue.
+  tasks.push_back(make_lane_task(schedule.deferred, lanes.back()));
+  for (std::size_t i = 0; i < schedule.shards.size(); ++i) {
+    tasks.push_back(make_lane_task(schedule.shards[i], lanes[i]));
+  }
+  core::run_parallel(jobs, std::move(tasks));
+
+  result.l4_stats.blocklisted_skipped = schedule.blocklisted_skipped;
+  std::size_t total_records = 0;
+  for (const LaneOutput& lane : lanes) total_records += lane.records.size();
+  result.records.reserve(total_records);
+  for (LaneOutput& lane : lanes) {
+    result.l4_stats += lane.stats;
+    result.records.insert(result.records.end(), lane.records.begin(),
+                          lane.records.end());
+    result.banners.insert(result.banners.end(),
+                          std::make_move_iterator(lane.banners.begin()),
+                          std::make_move_iterator(lane.banners.end()));
+  }
+  finalize(result, options.keep_banners);
   return result;
 }
 

@@ -32,6 +32,8 @@ struct ScanRecord {
   [[nodiscard]] std::uint32_t probe_hour() const {
     return probe_second / 3600;
   }
+
+  friend bool operator==(const ScanRecord&, const ScanRecord&) = default;
 };
 
 struct ScanResult {
@@ -64,6 +66,11 @@ struct ScanOptions {
   std::optional<net::Prefix> target_prefix;
   // Record L7 banners (page titles / TLS suites / SSH versions).
   bool keep_banners = false;
+  // Worker threads for this one scan. With jobs > 1 the sweep is split
+  // into shard lanes that run concurrently and merge into the canonical
+  // address-sorted result; the output is bit-identical to jobs == 1 (see
+  // "Parallel execution" in DESIGN.md).
+  int jobs = 1;
 };
 
 // Scans the Internet's whole universe from `origin`.

@@ -119,7 +119,8 @@ CyclicGroup::Iterator CyclicGroup::shard(std::uint32_t shard_index,
   const std::uint64_t total = prime_ - 1;
   const std::uint64_t count =
       shard_index < total ? (total - 1 - shard_index) / shard_count + 1 : 0;
-  return Iterator(shard_start, step, prime_, size_, count);
+  return Iterator(shard_start, step, prime_, size_, count, shard_index,
+                  shard_count);
 }
 
 std::optional<std::uint64_t> CyclicGroup::Iterator::next() {
@@ -127,6 +128,7 @@ std::optional<std::uint64_t> CyclicGroup::Iterator::next() {
     const std::uint64_t value = current_;
     current_ = mulmod_u64(current_, step_, prime_);
     --remaining_;
+    ++consumed_;
     // Group elements are [1, p-1]; addresses are [0, size). Skip the
     // elements that fall outside the scan space.
     if (value <= size_) return value - 1;

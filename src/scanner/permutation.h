@@ -43,21 +43,37 @@ class CyclicGroup {
     // Returns the next address in [0, size), or nullopt at end of shard.
     std::optional<std::uint64_t> next();
 
+    // Position in the *full* sequence (0-based over [0, p-2]) of the
+    // address most recently returned by next(). Shard i of k emits only
+    // positions congruent to i mod k, so interleaving shards by position
+    // reconstructs the serial scan order — the property the parallel
+    // executor's schedule builder relies on. Undefined before the first
+    // successful next().
+    [[nodiscard]] std::uint64_t last_position() const {
+      return first_position_ + (consumed_ - 1) * position_stride_;
+    }
+
    private:
     friend class CyclicGroup;
     Iterator(std::uint64_t start, std::uint64_t step, std::uint64_t prime,
-             std::uint64_t size, std::uint64_t count)
+             std::uint64_t size, std::uint64_t count,
+             std::uint64_t first_position, std::uint64_t position_stride)
         : current_(start),
           step_(step),
           prime_(prime),
           size_(size),
-          remaining_(count) {}
+          remaining_(count),
+          first_position_(first_position),
+          position_stride_(position_stride) {}
 
     std::uint64_t current_;
     std::uint64_t step_;
     std::uint64_t prime_;
     std::uint64_t size_;
     std::uint64_t remaining_;
+    std::uint64_t first_position_;
+    std::uint64_t position_stride_;
+    std::uint64_t consumed_ = 0;  // sequence slots stepped past, incl. skips
   };
 
   [[nodiscard]] Iterator shard(std::uint32_t shard_index,

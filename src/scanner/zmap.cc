@@ -19,11 +19,90 @@ ZMapScanner::ZMapScanner(const ZMapConfig& config, sim::Internet* internet,
   assert(config_.universe_size > 0);
 }
 
+ZMapScanner::Stats& ZMapScanner::Stats::operator+=(const Stats& other) {
+  targets_probed += other.targets_probed;
+  packets_sent += other.packets_sent;
+  blocklisted_skipped += other.blocklisted_skipped;
+  synacks += other.synacks;
+  rsts += other.rsts;
+  validation_failures += other.validation_failures;
+  return *this;
+}
+
 net::Ipv4Addr ZMapScanner::source_ip_for(net::Ipv4Addr dst) const {
   if (config_.source_ips.size() == 1) return config_.source_ips.front();
   const std::uint64_t index =
       net::mix_u64(dst.value(), 0x5AC1Fu) % config_.source_ips.size();
   return config_.source_ips[index];
+}
+
+void ZMapScanner::probe_target(
+    net::Ipv4Addr dst, std::uint64_t first_slot, std::uint64_t slot_stride,
+    double seconds_per_packet, std::uint16_t dst_port,
+    std::vector<std::uint8_t>& packet_buffer, Stats& stats,
+    const std::function<void(const L4Result&)>& on_result) {
+  ++stats.targets_probed;
+
+  const net::Ipv4Addr src_ip = source_ip_for(dst);
+  const auto fields = validator_.fields_for(src_ip, dst, dst_port);
+
+  L4Result result;
+  result.addr = dst;
+  result.source_ip = src_ip;
+  result.probe_time = net::VirtualTime::from_seconds(
+      static_cast<double>(first_slot) * seconds_per_packet);
+
+  for (int probe = 0; probe < config_.probes; ++probe) {
+    // The virtual clock is a pure function of the packet's slot in the
+    // global send schedule, so a shard executing a subset of slots stamps
+    // its packets exactly as the serial sweep does.
+    const std::uint64_t slot =
+        first_slot + static_cast<std::uint64_t>(probe) * slot_stride;
+    net::VirtualTime t = net::VirtualTime::from_seconds(
+        static_cast<double>(slot) * seconds_per_packet);
+    if (probe > 0) {
+      // A delayed follow-up probe is emitted later in the sweep; the
+      // rate limiter accounts only for the send itself.
+      t += net::VirtualTime::from_micros(
+          config_.probe_interval.micros() * probe);
+    }
+
+    net::TcpPacket syn;
+    syn.ip.src = src_ip;
+    syn.ip.dst = dst;
+    syn.ip.ttl = 255;
+    syn.tcp.src_port = fields.src_port;
+    syn.tcp.dst_port = dst_port;
+    syn.tcp.seq = fields.seq;
+    syn.tcp.flags.syn = true;
+    syn.serialize_into(packet_buffer);
+    ++stats.packets_sent;
+
+    auto response_bytes =
+        internet_->handle_probe(origin_, packet_buffer, t, probe);
+    if (!response_bytes) continue;
+    auto response = net::TcpPacket::parse(*response_bytes);
+    if (!response) {
+      ++stats.validation_failures;
+      continue;
+    }
+    if (response->ip.src != dst || response->ip.dst != src_ip ||
+        !validator_.validate(*response)) {
+      ++stats.validation_failures;
+      continue;
+    }
+    if (response->tcp.flags.syn && response->tcp.flags.ack) {
+      result.synack_mask |= static_cast<std::uint8_t>(1u << probe);
+      ++stats.synacks;
+    } else if (response->tcp.flags.rst) {
+      result.rst_mask |= static_cast<std::uint8_t>(1u << probe);
+      ++stats.rsts;
+    }
+  }
+
+  if (result.synack_mask != 0 || result.rst_mask != 0) {
+    on_result(result);
+  }
 }
 
 ZMapScanner::Stats ZMapScanner::run(
@@ -32,12 +111,12 @@ ZMapScanner::Stats ZMapScanner::run(
   auto group = CyclicGroup::for_size(config_.universe_size, config_.seed);
   auto iterator = group.shard(config_.shard_index, config_.shard_count);
 
-  const double pps = config_.effective_pps(config_.universe_size);
-  const double seconds_per_packet = 1.0 / pps;
+  const double seconds_per_packet =
+      1.0 / config_.effective_pps(config_.universe_size);
   const std::uint16_t dst_port = proto::port_of(config_.protocol);
 
   std::vector<std::uint8_t> packet_buffer;
-  double clock_s = 0.0;
+  std::uint64_t targets_sent = 0;
 
   while (auto value = iterator.next()) {
     const net::Ipv4Addr dst(static_cast<std::uint32_t>(*value));
@@ -46,64 +125,67 @@ ZMapScanner::Stats ZMapScanner::run(
       ++stats.blocklisted_skipped;
       continue;
     }
-    ++stats.targets_probed;
-
-    const net::Ipv4Addr src_ip = source_ip_for(dst);
-    const auto fields = validator_.fields_for(src_ip, dst, dst_port);
-
-    L4Result result;
-    result.addr = dst;
-    result.source_ip = src_ip;
-    result.probe_time = net::VirtualTime::from_seconds(clock_s);
-
-    for (int probe = 0; probe < config_.probes; ++probe) {
-      net::VirtualTime t = net::VirtualTime::from_seconds(clock_s);
-      if (probe > 0) {
-        // A delayed follow-up probe is emitted later in the sweep; the
-        // rate limiter accounts only for the send itself.
-        t += net::VirtualTime::from_micros(
-            config_.probe_interval.micros() * probe);
-      }
-      clock_s += seconds_per_packet;
-
-      net::TcpPacket syn;
-      syn.ip.src = src_ip;
-      syn.ip.dst = dst;
-      syn.ip.ttl = 255;
-      syn.tcp.src_port = fields.src_port;
-      syn.tcp.dst_port = dst_port;
-      syn.tcp.seq = fields.seq;
-      syn.tcp.flags.syn = true;
-      packet_buffer = syn.serialize();
-      ++stats.packets_sent;
-
-      auto response_bytes =
-          internet_->handle_probe(origin_, packet_buffer, t, probe);
-      if (!response_bytes) continue;
-      auto response = net::TcpPacket::parse(*response_bytes);
-      if (!response) {
-        ++stats.validation_failures;
-        continue;
-      }
-      if (response->ip.src != dst || response->ip.dst != src_ip ||
-          !validator_.validate(*response)) {
-        ++stats.validation_failures;
-        continue;
-      }
-      if (response->tcp.flags.syn && response->tcp.flags.ack) {
-        result.synack_mask |= static_cast<std::uint8_t>(1u << probe);
-        ++stats.synacks;
-      } else if (response->tcp.flags.rst) {
-        result.rst_mask |= static_cast<std::uint8_t>(1u << probe);
-        ++stats.rsts;
-      }
-    }
-
-    if (result.synack_mask != 0 || result.rst_mask != 0) {
-      on_result(result);
-    }
+    // Shard i of k owns virtual-clock slots congruent to i mod k; this
+    // target's first probe is the shard's (targets_sent * probes)-th
+    // packet.
+    const std::uint64_t first_slot =
+        config_.shard_index + targets_sent *
+                                  static_cast<std::uint64_t>(config_.probes) *
+                                  config_.shard_count;
+    probe_target(dst, first_slot, config_.shard_count, seconds_per_packet,
+                 dst_port, packet_buffer, stats, on_result);
+    ++targets_sent;
   }
   return stats;
+}
+
+ZMapScanner::Stats ZMapScanner::run_scheduled(
+    std::span<const ScheduledTarget> targets,
+    const std::function<void(const L4Result&)>& on_result) {
+  Stats stats;
+  const double seconds_per_packet =
+      1.0 / config_.effective_pps(config_.universe_size);
+  const std::uint16_t dst_port = proto::port_of(config_.protocol);
+  std::vector<std::uint8_t> packet_buffer;
+  for (const auto& target : targets) {
+    // Slot stride 1: a target's probes occupy consecutive slots of the
+    // global schedule, matching the serial sweep's back-to-back sends.
+    probe_target(target.addr, target.first_packet, 1, seconds_per_packet,
+                 dst_port, packet_buffer, stats, on_result);
+  }
+  return stats;
+}
+
+ScanSchedule ZMapScanner::build_schedule(
+    const ZMapConfig& config, std::uint32_t shard_count,
+    const std::function<bool(net::Ipv4Addr)>& defer) {
+  if (shard_count == 0) shard_count = 1;
+  ScanSchedule schedule;
+  schedule.shards.resize(shard_count);
+
+  auto group = CyclicGroup::for_size(config.universe_size, config.seed);
+  auto iterator = group.all();
+  std::uint64_t emitted = 0;
+  while (auto value = iterator.next()) {
+    const net::Ipv4Addr dst(static_cast<std::uint32_t>(*value));
+    if (config.allowlist && !config.allowlist->contains(dst)) continue;
+    if (config.blocklist.is_blocked(dst)) {
+      ++schedule.blocklisted_skipped;
+      continue;
+    }
+    const ScheduledTarget target{
+        dst, emitted * static_cast<std::uint64_t>(config.probes)};
+    ++emitted;
+    if (defer && defer(dst)) {
+      // Order-sensitive targets keep their serial slots but execute on
+      // the single deferred lane, in global permutation order.
+      schedule.deferred.push_back(target);
+    } else {
+      schedule.shards[iterator.last_position() % shard_count].push_back(
+          target);
+    }
+  }
+  return schedule;
 }
 
 }  // namespace originscan::scan

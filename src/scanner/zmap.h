@@ -2,11 +2,19 @@
 // `probes` back-to-back SYN packets per target at a configured rate,
 // validates responses with the probe MAC, and reports per-target L4
 // results (which probes were answered and how).
+//
+// Probe timestamps come from a *virtual clock*: packet n of the global
+// send schedule goes out at t = n / pps, a pure function of the packet's
+// schedule slot. A shard therefore stamps its packets exactly as the
+// serial sweep would — shard i of k owns slots congruent to i mod k —
+// which is what lets a sharded scan merge into a bit-identical result
+// (see ScanSchedule and orchestrator.h).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "netbase/ipv4.h"
@@ -63,6 +71,31 @@ struct L4Result {
   }
 };
 
+// One entry of a precomputed send schedule: a target plus the global
+// packet slot of its first probe (its follow-up probes occupy the next
+// `probes - 1` slots, exactly as in the serial sweep).
+struct ScheduledTarget {
+  net::Ipv4Addr addr;
+  std::uint64_t first_packet = 0;
+};
+
+// A full scan, partitioned for parallel execution. `shards` follow the
+// CyclicGroup::shard partition (sequence position mod shard_count) and
+// may run concurrently in any order; `deferred` holds the targets the
+// caller marked order-sensitive (rate-IDS networks), in global
+// permutation order, to be executed serially.
+struct ScanSchedule {
+  std::vector<std::vector<ScheduledTarget>> shards;
+  std::vector<ScheduledTarget> deferred;
+  std::uint64_t blocklisted_skipped = 0;
+
+  [[nodiscard]] std::uint64_t target_count() const {
+    std::uint64_t count = deferred.size();
+    for (const auto& shard : shards) count += shard.size();
+    return count;
+  }
+};
+
 class ZMapScanner {
  public:
   ZMapScanner(const ZMapConfig& config, sim::Internet* internet,
@@ -75,11 +108,32 @@ class ZMapScanner {
     std::uint64_t synacks = 0;
     std::uint64_t rsts = 0;
     std::uint64_t validation_failures = 0;
+
+    Stats& operator+=(const Stats& other);
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
 
   // Runs the sweep; invokes `on_result` for every target that produced at
-  // least one (validated) response. Results arrive in probe order.
+  // least one (validated) response. Results arrive in probe order. Honors
+  // config.shard_index/shard_count: shard i stamps its n-th packet with
+  // virtual-clock slot i + n * shard_count (ZMap's interleaved schedule).
   Stats run(const std::function<void(const L4Result&)>& on_result);
+
+  // Probes exactly the given pre-scheduled targets, stamping each probe
+  // from its recorded global packet slot. Used by the parallel executor;
+  // blocklist/allowlist filtering already happened in build_schedule.
+  Stats run_scheduled(std::span<const ScheduledTarget> targets,
+                      const std::function<void(const L4Result&)>& on_result);
+
+  // Walks the full permutation once (cheap: no simulation work) and
+  // partitions the surviving targets into `shard_count` concurrent lanes
+  // plus one order-sensitive lane (targets for which `defer` returns
+  // true). Packet slots recorded in the schedule are identical to the
+  // serial sweep's virtual clock, so executing the lanes in any
+  // interleaving reproduces serial timestamps exactly.
+  static ScanSchedule build_schedule(
+      const ZMapConfig& config, std::uint32_t shard_count,
+      const std::function<bool(net::Ipv4Addr)>& defer = {});
 
   // The source IP used for a destination: stable per target so that both
   // probes (and retries) come from the same address, and so that a
@@ -87,6 +141,15 @@ class ZMapScanner {
   [[nodiscard]] net::Ipv4Addr source_ip_for(net::Ipv4Addr dst) const;
 
  private:
+  // Emits the `probes` SYNs for one target whose probe p occupies global
+  // schedule slot first_slot + p * slot_stride, and reports the L4Result
+  // if anything answered.
+  void probe_target(net::Ipv4Addr dst, std::uint64_t first_slot,
+                    std::uint64_t slot_stride, double seconds_per_packet,
+                    std::uint16_t dst_port,
+                    std::vector<std::uint8_t>& packet_buffer, Stats& stats,
+                    const std::function<void(const L4Result&)>& on_result);
+
   ZMapConfig config_;
   sim::Internet* internet_;
   sim::OriginId origin_;

@@ -49,30 +49,35 @@ const PathLossModel& Internet::loss_model(OriginId origin, AsId as,
   const std::uint64_t key =
       (std::uint64_t{origin} << 40) | (std::uint64_t{as} << 8) |
       proto::index_of(protocol);
-  auto it = loss_cache_.find(key);
-  if (it == loss_cache_.end()) {
-    PathProfile profile = world_->paths.profile(origin, as);
-    if (world_->uniform_random_loss) {
-      // Same long-run loss, no burst structure.
-      profile.good_loss = profile.stationary_loss();
-      profile.bad_fraction = 0;
-    }
-    // Colocated origins (same first-hop data center) share Good/Bad
-    // timelines: seed the renewal process by group, not by origin.
-    const int group = world_->origins[origin].colocation_group;
-    const std::uint64_t timeline_actor =
-        group >= 0 ? 0x9000000ULL + static_cast<std::uint64_t>(group)
-                   : std::uint64_t{origin};
-    const std::uint64_t timeline_key =
-        (timeline_actor << 40) | (std::uint64_t{as} << 8) |
-        proto::index_of(protocol);
-    const std::uint64_t stream_seed =
-        net::mix_u64(world_->seed, timeline_key, context_.trial, 0x105Eu);
-    it = loss_cache_
-             .emplace(key, std::make_unique<PathLossModel>(
-                               profile, stream_seed, context_.scan_duration))
-             .first;
+  {
+    std::shared_lock lock(cache_mutex_);
+    auto it = loss_cache_.find(key);
+    if (it != loss_cache_.end()) return *it->second;
   }
+  // Build outside the lock: the model is a pure function of the key and
+  // the world seed, so a racing builder produces an identical model and
+  // try_emplace simply discards the loser.
+  PathProfile profile = world_->paths.profile(origin, as);
+  if (world_->uniform_random_loss) {
+    // Same long-run loss, no burst structure.
+    profile.good_loss = profile.stationary_loss();
+    profile.bad_fraction = 0;
+  }
+  // Colocated origins (same first-hop data center) share Good/Bad
+  // timelines: seed the renewal process by group, not by origin.
+  const int group = world_->origins[origin].colocation_group;
+  const std::uint64_t timeline_actor =
+      group >= 0 ? 0x9000000ULL + static_cast<std::uint64_t>(group)
+                 : std::uint64_t{origin};
+  const std::uint64_t timeline_key =
+      (timeline_actor << 40) | (std::uint64_t{as} << 8) |
+      proto::index_of(protocol);
+  const std::uint64_t stream_seed =
+      net::mix_u64(world_->seed, timeline_key, context_.trial, 0x105Eu);
+  auto model = std::make_unique<PathLossModel>(profile, stream_seed,
+                                               context_.scan_duration);
+  std::unique_lock lock(cache_mutex_);
+  auto [it, inserted] = loss_cache_.try_emplace(key, std::move(model));
   return *it->second;
 }
 
@@ -80,18 +85,27 @@ const OutageSchedule& Internet::outage_schedule(OriginId origin,
                                                 proto::Protocol protocol) {
   const std::uint64_t key =
       (std::uint64_t{origin} << 8) | proto::index_of(protocol);
-  auto it = outage_cache_.find(key);
-  if (it == outage_cache_.end()) {
-    const std::uint64_t stream_seed =
-        net::mix_u64(world_->seed, key, context_.trial, 0x07A6Eu);
-    it = outage_cache_
-             .emplace(key, std::make_unique<OutageSchedule>(
-                               world_->outages, origin,
-                               world_->topology.as_count(), stream_seed,
-                               context_.scan_duration))
-             .first;
+  {
+    std::shared_lock lock(cache_mutex_);
+    auto it = outage_cache_.find(key);
+    if (it != outage_cache_.end()) return *it->second;
   }
+  const std::uint64_t stream_seed =
+      net::mix_u64(world_->seed, key, context_.trial, 0x07A6Eu);
+  auto schedule = std::make_unique<OutageSchedule>(
+      world_->outages, origin, world_->topology.as_count(), stream_seed,
+      context_.scan_duration);
+  std::unique_lock lock(cache_mutex_);
+  auto [it, inserted] = outage_cache_.try_emplace(key, std::move(schedule));
   return *it->second;
+}
+
+void Internet::prewarm(OriginId origin, proto::Protocol protocol) {
+  outage_schedule(origin, protocol);
+  const auto as_count = static_cast<AsId>(world_->topology.as_count());
+  for (AsId as = 0; as < as_count; ++as) {
+    loss_model(origin, as, protocol);
+  }
 }
 
 net::VirtualTime Internet::rtt(OriginId origin, AsId as) const {

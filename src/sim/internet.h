@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -91,6 +92,16 @@ class Internet {
   [[nodiscard]] const World& world() const { return *world_; }
   [[nodiscard]] const TrialContext& context() const { return context_; }
   [[nodiscard]] PolicyEngine& policy_engine() { return policy_engine_; }
+  [[nodiscard]] const PolicyEngine& policy_engine() const {
+    return policy_engine_;
+  }
+
+  // Builds the outage schedule and every per-AS loss model for
+  // (origin, protocol) up front. Purely an optimization: the cached
+  // content is a pure function of (world seed, key, trial), so lazy
+  // concurrent construction yields the same models — prewarming just
+  // keeps the parallel hot path off the cache's writer lock.
+  void prewarm(OriginId origin, proto::Protocol protocol);
 
   // Path RTT for (origin, as); the scan engines use it to schedule the
   // L7 follow-up after a SYN-ACK.
@@ -113,6 +124,10 @@ class Internet {
   TrialContext context_;
   PolicyEngine policy_engine_;
 
+  // Guards the two lazy caches below (shared = lookup, exclusive =
+  // insert). Cached values are behind unique_ptr, so references handed
+  // out remain stable across concurrent inserts.
+  std::shared_mutex cache_mutex_;
   std::unordered_map<std::uint64_t, std::unique_ptr<PathLossModel>>
       loss_cache_;
   std::unordered_map<std::uint64_t, std::unique_ptr<OutageSchedule>>

@@ -16,7 +16,23 @@ PolicyEngine::PolicyEngine(const PolicyConfig* config,
       persistent_(persistent),
       trial_(trial),
       trial_seed_(trial_seed),
-      scan_duration_(scan_duration) {}
+      scan_duration_(scan_duration) {
+  // Pre-insert the IDS entry for every rate-IDS AS so the outer map is
+  // never structurally mutated while scans run concurrently (see the
+  // PersistentState thread-safety contract).
+  if (config_ != nullptr && persistent_ != nullptr) {
+    for (const auto& [as, policies] : config_->all()) {
+      if (policies.rate_ids) persistent_->ids.try_emplace(as);
+    }
+  }
+}
+
+bool PolicyEngine::rate_ids_applies(AsId as, proto::Protocol protocol) const {
+  const AsPolicies* policies = config_->find(as);
+  if (policies == nullptr || !policies->rate_ids) return false;
+  const RateIdsRule& rule = *policies->rate_ids;
+  return !rule.protocol || *rule.protocol == protocol;
+}
 
 bool PolicyEngine::host_selected(AsId as, net::Ipv4Addr dst, double fraction,
                                  std::uint64_t rule_tag) const {
@@ -62,10 +78,14 @@ PolicyEngine::L4Decision PolicyEngine::on_probe(OriginId origin,
     }
   }
 
-  // Rate IDS: count the probe, then check the block list.
+  // Rate IDS: count the probe, then check the block list. The inner
+  // counters are shared across concurrent scans from *different* source
+  // IPs (per-IP trajectories are order-independent); the sharded lock
+  // only serializes the map accesses themselves.
   if (policies->rate_ids) {
     const RateIdsRule& rule = *policies->rate_ids;
     if (!rule.protocol || *rule.protocol == protocol) {
+      std::scoped_lock lock(persistent_->ids_lock(as));
       auto& counters = persistent_->ids[as];
       if (auto it = counters.blocked_ips.find(src_ip.value());
           it != counters.blocked_ips.end()) {

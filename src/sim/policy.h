@@ -20,8 +20,11 @@
 // by the experiment, not the per-trial Internet.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
@@ -97,6 +100,14 @@ class PolicyConfig {
 };
 
 // Mutable cross-trial state: IDS probe counters and tripped blocks.
+//
+// Thread-safety contract: the outer `ids` map is populated once, serially
+// (PolicyEngine's constructor pre-inserts an entry per rate-IDS AS), and
+// never structurally mutated afterwards. The *inner* counters are guarded
+// by a small array of sharded mutexes keyed by AS, so scans from origins
+// with disjoint source IPs may feed the IDS concurrently. The locks live
+// behind a unique_ptr so the struct stays movable (moving is only done
+// while no scan is running).
 struct PersistentState {
   struct IdsCounters {
     // probes seen per source IP for one AS
@@ -105,6 +116,14 @@ struct PersistentState {
     std::map<std::uint32_t, int> blocked_ips;
   };
   std::map<AsId, IdsCounters> ids;
+
+  [[nodiscard]] std::mutex& ids_lock(AsId as) {
+    return (*ids_locks)[as % ids_locks->size()];
+  }
+
+ private:
+  std::unique_ptr<std::array<std::mutex, 16>> ids_locks =
+      std::make_unique<std::array<std::mutex, 16>>();
 };
 
 // Per-scan policy evaluator. Consulted by the Internet on every probe and
@@ -138,6 +157,12 @@ class PolicyEngine {
   // AS has a TemporalRstRule that applies to the origin.
   [[nodiscard]] std::optional<net::VirtualTime> temporal_rst_time(
       AsId as, OriginId origin, proto::Protocol protocol) const;
+
+  // Whether probes to `as` feed a rate-IDS counter for this protocol —
+  // i.e. whether on_probe touches order-sensitive shared state. The
+  // parallel executor routes such targets to its serial lane.
+  [[nodiscard]] bool rate_ids_applies(AsId as,
+                                      proto::Protocol protocol) const;
 
  private:
   // Whether `dst` falls in the rule's affected host fraction

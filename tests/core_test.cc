@@ -219,5 +219,53 @@ TEST(LossEstimate, RateFormula) {
   EXPECT_DOUBLE_EQ(LossEstimate{}.rate(), 0.0);
 }
 
+// ------------------------------------------------------ parallel runs --
+
+// The determinism contract of the parallel executor: the full experiment
+// grid run with jobs=4 must produce byte-identical results to jobs=1,
+// including cross-trial IDS carry-over and bursty-loss timestamps.
+TEST(Experiment, ParallelRunIsBitIdenticalToSerial) {
+  const auto run_with_jobs = [](int jobs) {
+    auto world = make_mini_world();
+    // Bursty loss: records depend on exact probe timestamps.
+    sim::PathProfile lossy;
+    lossy.good_loss = 0.02;
+    lossy.bad_loss = 0.6;
+    lossy.bad_fraction = 0.15;
+    world.paths.set_default_profile(lossy);
+    // A rate IDS that trips during trial 0 and stays tripped: trial 1
+    // results depend on trial 0's exact counter trajectory.
+    sim::RateIdsRule ids;
+    ids.probe_threshold = 200;
+    world.policies.edit(world.topology.find_as("Alpha")).rate_ids = ids;
+
+    ExperimentConfig config;
+    config.scenario.seed = world.seed;
+    config.protocols = {proto::Protocol::kHttp, proto::Protocol::kSsh};
+    config.trials = 2;
+    config.jobs = jobs;
+    Experiment experiment(config, std::move(world));
+    experiment.run();
+    return experiment.all_results();
+  };
+
+  const auto serial = run_with_jobs(1);
+  const auto parallel = run_with_jobs(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_FALSE(serial.empty());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].origin_code, parallel[i].origin_code);
+    EXPECT_EQ(serial[i].protocol, parallel[i].protocol);
+    EXPECT_EQ(serial[i].trial, parallel[i].trial);
+    EXPECT_TRUE(serial[i].l4_stats == parallel[i].l4_stats)
+        << serial[i].origin_code << " trial " << serial[i].trial;
+    ASSERT_EQ(serial[i].records.size(), parallel[i].records.size())
+        << serial[i].origin_code << " trial " << serial[i].trial;
+    EXPECT_TRUE(serial[i].records == parallel[i].records)
+        << serial[i].origin_code << " trial " << serial[i].trial;
+    EXPECT_EQ(serial[i].banners, parallel[i].banners);
+  }
+}
+
 }  // namespace
 }  // namespace originscan::core

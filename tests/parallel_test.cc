@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace originscan::core {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitBlocksUntilInFlightTasksFinish) {
+  std::atomic<bool> done{false};
+  ThreadPool pool(2);
+  pool.submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done = true;
+  });
+  pool.wait();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(RunParallel, SingleJobRunsInlineInOrder) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&order, caller, i] {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      order.push_back(i);
+    });
+  }
+  run_parallel(1, std::move(tasks));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RunParallel, ExecutesEveryTaskWithManyJobs) {
+  constexpr int kTasks = 64;
+  std::vector<int> hits(kTasks, 0);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&hits, i] { hits[static_cast<std::size_t>(i)] += 1; });
+  }
+  run_parallel(8, std::move(tasks));
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), kTasks);
+  for (int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+TEST(RunParallel, RethrowsLowestIndexedFailure) {
+  // Error reporting must not depend on thread scheduling: whichever task
+  // a serial run would have failed on first is the one reported.
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("task 1"); });
+  tasks.push_back([] { throw std::runtime_error("task 2"); });
+  try {
+    run_parallel(4, std::move(tasks));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 1");
+  }
+}
+
+TEST(RunParallel, LaterTasksStillRunWhenOneThrows) {
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 7; ++i) {
+    tasks.push_back([&counter] { ++counter; });
+  }
+  EXPECT_THROW(run_parallel(4, std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(counter.load(), 7);
+}
+
+TEST(RunParallel, HardwareJobsIsPositive) {
+  EXPECT_GE(hardware_jobs(), 1);
+}
+
+}  // namespace
+}  // namespace originscan::core

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -81,6 +82,63 @@ TEST_P(ShardPartition, ShardsArePairwiseDisjointAndComplete) {
 
 INSTANTIATE_TEST_SUITE_P(Counts, ShardPartition,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 64));
+
+// Property: the union of shard(i, N) over all i is exactly the full
+// universe — every address exactly once — for the shard counts the
+// parallel executor actually uses.
+class ShardUnion : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ShardUnion, UnionIsExactlyTheUniverse) {
+  const std::uint32_t shards = GetParam();
+  constexpr std::uint64_t kSize = 4096;
+  const auto group = CyclicGroup::for_size(kSize, /*seed=*/0x5CA9);
+
+  std::multiset<std::uint64_t> emitted;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    auto it = group.shard(s, shards);
+    while (auto value = it.next()) emitted.insert(*value);
+  }
+  ASSERT_EQ(emitted.size(), kSize);
+  std::uint64_t expected = 0;
+  for (std::uint64_t value : emitted) {
+    EXPECT_EQ(value, expected) << "duplicate or gap at " << expected;
+    ++expected;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ShardUnion, ::testing::Values(2, 3, 8));
+
+// Property: Iterator::last_position reports each address's slot in the
+// full sequence — interleaving shard outputs by position reconstructs
+// the serial order exactly. The parallel executor's schedule builder
+// rests on this.
+TEST(Permutation, PositionsInterleaveToSerialOrder) {
+  constexpr std::uint64_t kSize = 3000;
+  const auto group = CyclicGroup::for_size(kSize, /*seed=*/42);
+
+  std::vector<std::uint64_t> serial;
+  auto all = group.all();
+  while (auto value = all.next()) serial.push_back(*value);
+
+  for (std::uint32_t shards : {2u, 3u, 8u}) {
+    std::map<std::uint64_t, std::uint64_t> by_position;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      auto it = group.shard(s, shards);
+      while (auto value = it.next()) {
+        const std::uint64_t position = it.last_position();
+        EXPECT_EQ(position % shards, s);
+        ASSERT_TRUE(by_position.emplace(position, *value).second)
+            << "position " << position << " claimed twice";
+      }
+    }
+    std::vector<std::uint64_t> interleaved;
+    interleaved.reserve(by_position.size());
+    for (const auto& [position, value] : by_position) {
+      interleaved.push_back(value);
+    }
+    EXPECT_EQ(interleaved, serial) << "shard count " << shards;
+  }
+}
 
 TEST(Permutation, SameSeedSameOrder) {
   const auto a = CyclicGroup::for_size(5000, 7);

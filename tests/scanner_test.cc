@@ -254,5 +254,81 @@ TEST(Orchestrator, RecordsAreSortedByAddress) {
   }
 }
 
+// ------------------------------------------------------- parallel scans --
+
+// A world that exercises every order-sensitive corner of the executor:
+// bursty loss (probe outcomes depend on exact timestamps) and a rate IDS
+// that trips mid-scan (counter trajectories depend on probe order).
+sim::World make_adversarial_world() {
+  MiniWorldOptions options;
+  options.blocks_per_as = 2;  // 1536 addresses
+  auto world = make_mini_world(options);
+
+  sim::PathProfile lossy;
+  lossy.good_loss = 0.02;
+  lossy.bad_loss = 0.6;
+  lossy.bad_fraction = 0.15;
+  world.paths.set_default_profile(lossy);
+
+  sim::RateIdsRule ids;
+  ids.probe_threshold = 300;  // well below Alpha's 512 addresses x 2 probes
+  world.policies.edit(world.topology.find_as("Alpha")).rate_ids = ids;
+  return world;
+}
+
+ScanResult scan_with_jobs(int jobs, sim::PersistentState& persistent) {
+  auto world = make_adversarial_world();
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  ScanOptions options;
+  options.keep_banners = true;
+  options.l7_retries = 1;
+  options.probe_interval = net::VirtualTime::from_millis(500);
+  options.blocklist.block(net::Prefix(net::Ipv4Addr(0, 0, 1, 0), 24));
+  options.jobs = jobs;
+  return run_scan(internet, 0, proto::Protocol::kHttp, options);
+}
+
+TEST(Orchestrator, ParallelScanIsBitIdenticalToSerial) {
+  sim::PersistentState serial_state;
+  const auto serial = scan_with_jobs(1, serial_state);
+  sim::PersistentState parallel_state;
+  const auto parallel = scan_with_jobs(3, parallel_state);
+
+  ASSERT_FALSE(serial.records.empty());
+  EXPECT_TRUE(serial.l4_stats == parallel.l4_stats);
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  EXPECT_TRUE(serial.records == parallel.records);
+  EXPECT_EQ(serial.banners, parallel.banners);
+
+  // The IDS must have tripped (otherwise this test exercises nothing)
+  // and its cross-trial state must match exactly.
+  ASSERT_EQ(serial_state.ids.size(), parallel_state.ids.size());
+  bool tripped = false;
+  for (const auto& [as, counters] : serial_state.ids) {
+    const auto it = parallel_state.ids.find(as);
+    ASSERT_NE(it, parallel_state.ids.end());
+    EXPECT_EQ(counters.probe_counts, it->second.probe_counts);
+    EXPECT_EQ(counters.blocked_ips, it->second.blocked_ips);
+    if (!counters.blocked_ips.empty()) tripped = true;
+  }
+  EXPECT_TRUE(tripped);
+}
+
+TEST(Orchestrator, ParallelScanHonorsTargetPrefix) {
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  ScanOptions options;
+  options.target_prefix = net::Prefix(net::Ipv4Addr(0, 0, 1, 0), 24);
+  options.jobs = 4;
+  const auto result = run_scan(internet, 0, proto::Protocol::kHttp, options);
+  EXPECT_EQ(result.records.size(), 256u);
+  for (const auto& record : result.records) {
+    EXPECT_TRUE(options.target_prefix->contains(record.addr));
+  }
+}
+
 }  // namespace
 }  // namespace originscan::scan

@@ -42,6 +42,7 @@ struct Args {
   std::string protocol = "http";
   int trial = 1;
   int retries = 0;
+  int jobs = 1;      // worker threads; output is identical for any value
   std::string save;  // experiment: also write raw results here
   std::string in;    // analyze: load raw results from here
 };
@@ -57,6 +58,8 @@ void usage() {
       "  --protocol P   scan: http|https|ssh (default http)\n"
       "  --trial N      scan: trial number 1..3 (default 1)\n"
       "  --retries N    scan: L7 retry budget (default 0)\n"
+      "  --jobs N       worker threads for experiment/scan (default 1;\n"
+      "                 results are bit-identical for any value)\n"
       "  --save FILE    experiment: also save raw results (binary)\n"
       "  --in FILE      analyze: load raw results saved by experiment\n"
       "\n"
@@ -85,6 +88,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.trial = std::atoi(value.c_str());
     } else if (flag == "--retries") {
       args.retries = std::atoi(value.c_str());
+    } else if (flag == "--jobs") {
+      args.jobs = std::atoi(value.c_str());
     } else if (flag == "--save") {
       args.save = value;
     } else if (flag == "--in") {
@@ -102,6 +107,10 @@ bool parse_args(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "--trial must be in [1, 3]\n");
     return false;
   }
+  if (args.jobs < 1) {
+    std::fprintf(stderr, "--jobs must be >= 1\n");
+    return false;
+  }
   return true;
 }
 
@@ -116,6 +125,7 @@ core::ExperimentConfig base_config(const Args& args) {
   core::ExperimentConfig config;
   config.scenario.universe_size = 1u << args.scale;
   config.scenario.seed = args.seed;
+  config.jobs = args.jobs;
   return config;
 }
 
@@ -191,6 +201,7 @@ int cmd_scan(const Args& args) {
   scan::ScanOptions options;
   options.l7_retries = args.retries;
   options.keep_banners = true;
+  options.jobs = args.jobs;
   const auto result = experiment.run_extra_scan(args.trial - 1, *protocol,
                                                 origin, options);
 
