@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Local/CI pipeline. Stages:
+#
+#   unit      fast pre-commit lane: build + `ctest -L unit`
+#   full      build + the whole suite (unit, property, differential, slow)
+#   tsan      ORIGINSCAN_SANITIZE=thread build; runs the suites that
+#             exercise the parallel executor and the fault-injected
+#             differential harness under thread sanitizer
+#   coverage  -DOSN_COVERAGE=ON build, full suite, gcov aggregation
+#   all       unit + full + tsan (default; coverage stays opt-in)
+#
+# Usage: ./ci.sh [unit|full|tsan|coverage|all]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+STAGE=${1:-all}
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+configure_and_build() { # <dir> [cmake args...]
+  local dir=$1
+  shift
+  cmake -S . -B "$dir" "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_unit() {
+  configure_and_build build
+  (cd build && ctest -L unit --output-on-failure)
+}
+
+run_full() {
+  configure_and_build build
+  (cd build && ctest --output-on-failure)
+}
+
+run_tsan() {
+  configure_and_build build-tsan -DORIGINSCAN_SANITIZE=thread
+  (cd build-tsan &&
+    ctest -R 'parallel_test|scanner_test|sim_test|core_test|differential_test' \
+      --output-on-failure)
+}
+
+run_coverage() {
+  configure_and_build build-coverage -DOSN_COVERAGE=ON \
+    -DCMAKE_BUILD_TYPE=Debug
+  (cd build-coverage && ctest --output-on-failure)
+  tools/coverage.sh build-coverage
+}
+
+case "$STAGE" in
+  unit) run_unit ;;
+  full) run_full ;;
+  tsan) run_tsan ;;
+  coverage) run_coverage ;;
+  all)
+    run_unit
+    run_full
+    run_tsan
+    ;;
+  *)
+    echo "usage: $0 [unit|full|tsan|coverage|all]" >&2
+    exit 2
+    ;;
+esac

@@ -64,6 +64,7 @@ void Experiment::run(const std::function<void(std::string_view)>& progress) {
     context.scan_duration = config_.scan_duration;
     internets.push_back(
         std::make_unique<sim::Internet>(&world_, context, &persistent_));
+    internets.back()->set_fault_injector(config_.faults);
   }
 
   std::mutex progress_mutex;
@@ -74,6 +75,8 @@ void Experiment::run(const std::function<void(std::string_view)>& progress) {
     options.l7_retries = config_.l7_retries;
     options.blocklist = config_.blocklist;
     options.scan_duration = config_.scan_duration;
+    options.retry_banner_failures = config_.retry_banner_failures;
+    options.faults = config_.faults;
     auto result = scan::run_scan(*internets[static_cast<std::size_t>(trial)],
                                  origin, config_.protocols[p], options);
     if (progress) {
@@ -171,6 +174,7 @@ scan::ScanResult Experiment::run_extra_scan(int trial,
   context.simultaneous_origins = 1;
   context.scan_duration = options.scan_duration;
   sim::Internet internet(&world_, context, &persistent_);
+  internet.set_fault_injector(config_.faults);
   return scan::run_scan(internet, origin, protocol, options);
 }
 

@@ -44,6 +44,13 @@ struct ExperimentConfig {
   // interact — and the results are bit-identical to jobs == 1 (see
   // "Parallel execution" in DESIGN.md).
   int jobs = 1;
+  // Extend the L7 retry ladder to banner-level failures (see
+  // scan::RetryPolicy::retry_banner_failures).
+  bool retry_banner_failures = false;
+  // Deterministic fault injection, attached to every per-trial Internet
+  // and threaded into the scan engines. Null = no faults. The injector
+  // must outlive the experiment run.
+  const fault::FaultInjector* faults = nullptr;
 };
 
 class Experiment {

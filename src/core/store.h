@@ -14,9 +14,18 @@
 #include <string>
 #include <vector>
 
+#include "faultinject/faultinject.h"
 #include "scanner/orchestrator.h"
 
 namespace originscan::core {
+
+// Diagnostics from one checkpointed save (see the fault-aware
+// save_results overload).
+struct SaveStats {
+  std::uint64_t writes = 0;            // physical write attempts issued
+  std::uint64_t transient_errors = 0;  // writes that failed with EIO
+  std::uint64_t resumes = 0;           // reopen-and-seek recoveries
+};
 
 // Serializes results to the on-disk format.
 std::vector<std::uint8_t> serialize_results(
@@ -30,6 +39,18 @@ std::optional<std::vector<scan::ScanResult>> parse_results(
 // File convenience wrappers.
 bool save_results(const std::string& path,
                   const std::vector<scan::ScanResult>& results);
+
+// Checkpointing save: writes in 64 KiB chunks, tracking the committed
+// offset after every successful chunk. A transient write error — real,
+// or injected through `faults` (store_eio fault point, keyed by the
+// physical write-attempt index) — triggers a reopen of the file and a
+// seek back to the last committed offset, then the write resumes. The
+// resulting file is byte-identical to an error-free save. `stats`
+// (optional) reports the recovery work done.
+bool save_results(const std::string& path,
+                  const std::vector<scan::ScanResult>& results,
+                  const fault::FaultInjector* faults,
+                  SaveStats* stats = nullptr);
 std::optional<std::vector<scan::ScanResult>> load_results(
     const std::string& path);
 

@@ -1,0 +1,548 @@
+#include "faultinject/faultinject.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "netbase/rng.h"
+
+namespace originscan::fault {
+namespace {
+
+constexpr Point kAllPoints[kPointCount] = {
+    Point::kProbeDrop,     Point::kOutage,       Point::kSendFail,
+    Point::kMacCorrupt,    Point::kConnectRst,   Point::kBannerTruncate,
+    Point::kBannerStall,   Point::kStoreWriteError,
+};
+
+double hash01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Per-point salts for the fault decision hashes, so clauses at different
+// points never share a random stream.
+constexpr std::uint64_t salt_of(Point point) {
+  return 0xFA017000ULL + static_cast<std::uint64_t>(point);
+}
+
+// The clause keyword as written in spec strings. Distinct from
+// point_name(), the registry's diagnostic name — to_string() must emit
+// these so every rendered plan reparses.
+constexpr std::string_view spec_keyword(Point point) {
+  switch (point) {
+    case Point::kProbeDrop:
+      return "drop";
+    case Point::kOutage:
+      return "outage";
+    case Point::kSendFail:
+      return "send_fail";
+    case Point::kMacCorrupt:
+      return "mac_corrupt";
+    case Point::kConnectRst:
+      return "rst";
+    case Point::kBannerTruncate:
+      return "banner_trunc";
+    case Point::kBannerStall:
+      return "banner_stall";
+    case Point::kStoreWriteError:
+      return "store_eio";
+  }
+  return "?";
+}
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+// Parses a u64, rejecting empty fields, junk, and overflow ("overflow
+// slots must error, never crash").
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+bool parse_double01(std::string_view text, double& out) {
+  if (text.empty() || text.size() > 24) return false;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*s",
+                static_cast<int>(text.size()), text.data());
+  char* end = nullptr;
+  const double value = std::strtod(buffer, &end);
+  if (end != buffer + text.size()) return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;
+  out = value;
+  return true;
+}
+
+// "A..B" (inclusive); single value "A" means A..A.
+bool parse_range(std::string_view text, std::uint64_t& lo,
+                 std::uint64_t& hi) {
+  const std::size_t dots = text.find("..");
+  if (dots == std::string_view::npos) {
+    if (!parse_u64(text, lo)) return false;
+    hi = lo;
+    return true;
+  }
+  if (!parse_u64(text.substr(0, dots), lo)) return false;
+  if (!parse_u64(text.substr(dots + 2), hi)) return false;
+  return lo <= hi;
+}
+
+// "host%M==K"
+bool parse_host_selector(std::string_view text, FaultClause& clause) {
+  if (text.rfind("host%", 0) != 0) return false;
+  text.remove_prefix(5);
+  const std::size_t eq = text.find("==");
+  if (eq == std::string_view::npos) return false;
+  std::uint64_t mod = 0;
+  std::uint64_t rem = 0;
+  if (!parse_u64(text.substr(0, eq), mod)) return false;
+  if (!parse_u64(text.substr(eq + 2), rem)) return false;
+  if (mod == 0 || mod > 0xFFFFFFFFULL) return false;
+  if (rem >= mod) return false;
+  clause.mod = static_cast<std::uint32_t>(mod);
+  clause.rem = static_cast<std::uint32_t>(rem);
+  return true;
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const std::size_t pos = text.find(sep);
+    if (pos == std::string_view::npos) {
+      out.push_back(text);
+      return out;
+    }
+    out.push_back(text.substr(0, pos));
+    text.remove_prefix(pos + 1);
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(
+                              text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+// Windowed clauses: drop, outage, send_fail, mac_corrupt.
+bool parse_window_args(std::span<const std::string_view> args, Point point,
+                       FaultClause& clause, std::string* error) {
+  bool saw_range = false;
+  for (std::string_view arg : args) {
+    if (arg.rfind("slot=", 0) == 0) {
+      clause.unit = FaultClause::Unit::kSlot;
+      if (!parse_range(arg.substr(5), clause.lo, clause.hi)) {
+        return set_error(error, "bad slot range: " + std::string(arg));
+      }
+      saw_range = true;
+    } else if (arg.rfind("sec=", 0) == 0) {
+      clause.unit = FaultClause::Unit::kSeconds;
+      if (!parse_range(arg.substr(4), clause.lo, clause.hi)) {
+        return set_error(error, "bad sec range: " + std::string(arg));
+      }
+      saw_range = true;
+    } else if (arg.rfind("p=", 0) == 0) {
+      if (!parse_double01(arg.substr(2), clause.p)) {
+        return set_error(error,
+                         "probability must be in [0,1]: " + std::string(arg));
+      }
+    } else if (arg.rfind("origin=", 0) == 0) {
+      std::uint64_t origin = 0;
+      if (point != Point::kOutage) {
+        return set_error(error, "origin= is outage-only: " + std::string(arg));
+      }
+      if (!parse_u64(arg.substr(7), origin) || origin > 255) {
+        return set_error(error, "origin must be 0..255: " + std::string(arg));
+      }
+      clause.origin = static_cast<int>(origin);
+    } else {
+      return set_error(error, "unknown argument: " + std::string(arg));
+    }
+  }
+  if (!saw_range) {
+    return set_error(error, std::string("missing slot=/sec= range for ") +
+                                std::string(point_name(point)));
+  }
+  if (point == Point::kOutage && clause.unit != FaultClause::Unit::kSeconds) {
+    return set_error(error, "outage windows are sec= only");
+  }
+  if ((point == Point::kSendFail || point == Point::kMacCorrupt) &&
+      clause.unit != FaultClause::Unit::kSlot) {
+    return set_error(error, std::string(point_name(point)) +
+                                " windows are slot= only");
+  }
+  return true;
+}
+
+// Host clauses: rst, banner_trunc, banner_stall.
+bool parse_host_args(std::span<const std::string_view> args,
+                     FaultClause& clause, std::string* error) {
+  bool saw_selector = false;
+  for (std::string_view arg : args) {
+    if (arg.rfind("host%", 0) == 0) {
+      if (!parse_host_selector(arg, clause)) {
+        return set_error(error, "bad host selector: " + std::string(arg));
+      }
+      saw_selector = true;
+    } else if (arg.rfind("attempts=", 0) == 0) {
+      std::uint64_t attempts = 0;
+      if (!parse_u64(arg.substr(9), attempts) || attempts == 0 ||
+          attempts > 16) {
+        return set_error(error, "attempts must be 1..16: " + std::string(arg));
+      }
+      clause.attempts = static_cast<int>(attempts);
+    } else if (arg.rfind("p=", 0) == 0) {
+      if (!parse_double01(arg.substr(2), clause.p)) {
+        return set_error(error,
+                         "probability must be in [0,1]: " + std::string(arg));
+      }
+    } else {
+      return set_error(error, "unknown argument: " + std::string(arg));
+    }
+  }
+  if (!saw_selector) {
+    return set_error(error, "missing host%M==K selector");
+  }
+  return true;
+}
+
+bool parse_store_args(std::span<const std::string_view> args,
+                      FaultClause& clause, std::string* error) {
+  bool saw_write = false;
+  for (std::string_view arg : args) {
+    if (arg.rfind("write=", 0) == 0) {
+      if (!parse_u64(arg.substr(6), clause.write_index)) {
+        return set_error(error, "bad write index: " + std::string(arg));
+      }
+      saw_write = true;
+    } else if (arg.rfind("count=", 0) == 0) {
+      if (!parse_u64(arg.substr(6), clause.count) || clause.count == 0 ||
+          clause.count > 64) {
+        return set_error(error, "count must be 1..64: " + std::string(arg));
+      }
+    } else {
+      return set_error(error, "unknown argument: " + std::string(arg));
+    }
+  }
+  if (!saw_write) return set_error(error, "missing write= index");
+  return true;
+}
+
+}  // namespace
+
+std::string_view point_name(Point point) {
+  switch (point) {
+    case Point::kProbeDrop:
+      return "probe_drop";
+    case Point::kOutage:
+      return "outage";
+    case Point::kSendFail:
+      return "send_fail";
+    case Point::kMacCorrupt:
+      return "mac_corrupt";
+    case Point::kConnectRst:
+      return "connect_rst";
+    case Point::kBannerTruncate:
+      return "banner_trunc";
+    case Point::kBannerStall:
+      return "banner_stall";
+    case Point::kStoreWriteError:
+      return "store_eio";
+  }
+  return "?";
+}
+
+std::span<const Point> all_points() { return kAllPoints; }
+
+bool FaultClause::recoverable() const {
+  switch (point) {
+    case Point::kSendFail:
+    case Point::kConnectRst:
+    case Point::kBannerTruncate:
+    case Point::kBannerStall:
+    case Point::kStoreWriteError:
+      return true;
+    case Point::kProbeDrop:
+    case Point::kOutage:
+    case Point::kMacCorrupt:
+      return false;
+  }
+  return false;
+}
+
+std::string FaultClause::to_string() const {
+  std::string out(spec_keyword(point));
+  char buffer[96];
+  switch (point) {
+    case Point::kProbeDrop:
+    case Point::kOutage:
+    case Point::kSendFail:
+    case Point::kMacCorrupt:
+      std::snprintf(buffer, sizeof(buffer), ":%s=%llu..%llu,p=%g",
+                    unit == Unit::kSlot ? "slot" : "sec",
+                    static_cast<unsigned long long>(lo),
+                    static_cast<unsigned long long>(hi), p);
+      if (origin >= 0) {
+        const std::size_t used = std::char_traits<char>::length(buffer);
+        std::snprintf(buffer + used, sizeof(buffer) - used, ",origin=%d",
+                      origin);
+      }
+      break;
+    case Point::kConnectRst:
+    case Point::kBannerTruncate:
+    case Point::kBannerStall:
+      std::snprintf(buffer, sizeof(buffer),
+                    ":host%%%u==%u,attempts=%d,p=%g", mod, rem, attempts, p);
+      break;
+    case Point::kStoreWriteError:
+      std::snprintf(buffer, sizeof(buffer), ":write=%llu,count=%llu",
+                    static_cast<unsigned long long>(write_index),
+                    static_cast<unsigned long long>(count));
+      break;
+  }
+  out += buffer;
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
+                                          std::string* error) {
+  FaultPlan plan;
+  if (trim(spec).empty()) {
+    set_error(error, "empty fault spec");
+    return std::nullopt;
+  }
+  for (std::string_view raw_clause : split(spec, ';')) {
+    const std::string_view clause_text = trim(raw_clause);
+    if (clause_text.empty()) {
+      set_error(error, "empty clause in fault spec");
+      return std::nullopt;
+    }
+    const std::size_t colon = clause_text.find(':');
+    const std::string_view name = trim(clause_text.substr(0, colon));
+    std::vector<std::string_view> args;
+    if (colon != std::string_view::npos) {
+      for (std::string_view arg : split(clause_text.substr(colon + 1), ',')) {
+        args.push_back(trim(arg));
+      }
+    }
+
+    FaultClause clause;
+    bool ok = false;
+    if (name == "drop") {
+      clause.point = Point::kProbeDrop;
+      ok = parse_window_args(args, clause.point, clause, error);
+    } else if (name == "outage") {
+      clause.point = Point::kOutage;
+      ok = parse_window_args(args, clause.point, clause, error);
+    } else if (name == "send_fail") {
+      clause.point = Point::kSendFail;
+      ok = parse_window_args(args, clause.point, clause, error);
+    } else if (name == "mac_corrupt") {
+      clause.point = Point::kMacCorrupt;
+      ok = parse_window_args(args, clause.point, clause, error);
+    } else if (name == "rst") {
+      clause.point = Point::kConnectRst;
+      ok = parse_host_args(args, clause, error);
+    } else if (name == "banner_trunc") {
+      clause.point = Point::kBannerTruncate;
+      ok = parse_host_args(args, clause, error);
+    } else if (name == "banner_stall") {
+      clause.point = Point::kBannerStall;
+      ok = parse_host_args(args, clause, error);
+    } else if (name == "store_eio") {
+      clause.point = Point::kStoreWriteError;
+      ok = parse_store_args(args, clause, error);
+    } else {
+      set_error(error, "unknown fault clause: " + std::string(name));
+      return std::nullopt;
+    }
+    if (!ok) return std::nullopt;
+    plan.clauses_.push_back(clause);
+  }
+  return plan;
+}
+
+bool FaultPlan::recoverable() const {
+  return std::all_of(clauses_.begin(), clauses_.end(),
+                     [](const FaultClause& c) { return c.recoverable(); });
+}
+
+int FaultPlan::min_l7_retries() const {
+  int retries = 0;
+  for (const FaultClause& clause : clauses_) {
+    if (clause.point == Point::kConnectRst ||
+        clause.point == Point::kBannerTruncate ||
+        clause.point == Point::kBannerStall) {
+      retries = std::max(retries, clause.attempts);
+    }
+  }
+  return retries;
+}
+
+bool FaultPlan::needs_banner_retry() const {
+  return std::any_of(clauses_.begin(), clauses_.end(),
+                     [](const FaultClause& c) {
+                       return c.point == Point::kBannerTruncate ||
+                              c.point == Point::kBannerStall;
+                     });
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultClause& clause : clauses_) {
+    if (!out.empty()) out += ';';
+    out += clause.to_string();
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {}
+
+bool FaultInjector::window_hit(const FaultClause& clause,
+                               FaultClause::Unit unit, std::uint64_t value,
+                               std::uint64_t stream) const {
+  if (clause.unit != unit) return false;
+  if (value < clause.lo || value > clause.hi) return false;
+  if (clause.p >= 1.0) return true;
+  return hash01(net::mix_u64(seed_, stream, value, salt_of(clause.point))) <
+         clause.p;
+}
+
+bool FaultInjector::drop_at_slot(std::uint64_t slot,
+                                 net::Ipv4Addr dst) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kProbeDrop) continue;
+    if (window_hit(clause, FaultClause::Unit::kSlot, slot, dst.value())) {
+      record(Point::kProbeDrop);
+      return true;
+    }
+  }
+  return false;
+}
+
+int FaultInjector::send_failures(std::uint64_t slot,
+                                 net::Ipv4Addr dst) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kSendFail) continue;
+    if (window_hit(clause, FaultClause::Unit::kSlot, slot, dst.value())) {
+      record(Point::kSendFail);
+      // 1 or 2 consecutive EAGAINs, deterministic per (seed, slot) —
+      // always below the scanner's retry cap, so the send recovers.
+      return 1 + static_cast<int>(
+                     net::mix_u64(seed_, slot, dst.value(), 0x5E4Du) % 2);
+    }
+  }
+  return 0;
+}
+
+bool FaultInjector::corrupt_response(std::uint64_t slot,
+                                     net::Ipv4Addr dst) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kMacCorrupt) continue;
+    if (window_hit(clause, FaultClause::Unit::kSlot, slot, dst.value())) {
+      record(Point::kMacCorrupt);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::drop_at_time(net::VirtualTime t, net::Ipv4Addr dst,
+                                 int probe_index) const {
+  const auto second = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, t.micros() / 1'000'000));
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kProbeDrop) continue;
+    const std::uint64_t stream =
+        net::mix_u64(dst.value(), static_cast<std::uint64_t>(probe_index));
+    if (window_hit(clause, FaultClause::Unit::kSeconds, second, stream)) {
+      record(Point::kProbeDrop);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::outage_at(net::VirtualTime t, int origin) const {
+  const auto second = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, t.micros() / 1'000'000));
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kOutage) continue;
+    if (clause.unit != FaultClause::Unit::kSeconds) continue;
+    if (clause.origin >= 0 && clause.origin != origin) continue;
+    if (second >= clause.lo && second <= clause.hi) {
+      record(Point::kOutage);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::L7Fault FaultInjector::l7_fault(net::Ipv4Addr dst,
+                                               int attempt) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    L7Fault kind = L7Fault::kNone;
+    switch (clause.point) {
+      case Point::kConnectRst:
+        kind = L7Fault::kRst;
+        break;
+      case Point::kBannerTruncate:
+        kind = L7Fault::kTruncate;
+        break;
+      case Point::kBannerStall:
+        kind = L7Fault::kStall;
+        break;
+      default:
+        continue;
+    }
+    if (clause.mod == 0 || dst.value() % clause.mod != clause.rem) continue;
+    if (attempt >= clause.attempts) continue;
+    if (clause.p < 1.0 &&
+        hash01(net::mix_u64(seed_, dst.value(),
+                            static_cast<std::uint64_t>(attempt),
+                            salt_of(clause.point))) >= clause.p) {
+      continue;
+    }
+    record(clause.point);
+    return kind;
+  }
+  return L7Fault::kNone;
+}
+
+bool FaultInjector::store_write_fails(std::uint64_t write_index) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kStoreWriteError) continue;
+    if (write_index >= clause.write_index &&
+        write_index < clause.write_index + clause.count) {
+      record(Point::kStoreWriteError);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::total_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& counter : hits_) {
+    total += counter.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace originscan::fault

@@ -1,0 +1,203 @@
+// Deterministic, seed-driven fault injection for the scan pipeline.
+//
+// A FaultPlan is parsed from a compact spec string, e.g.
+//
+//   "drop:slot=1024..2048,p=0.3;banner_trunc:host%7==0;store_eio:write=3"
+//
+// and bound to a seed by a FaultInjector. Every fault decision is a pure
+// function of (seed, slot | host | write index), never of wall time or
+// execution order, so a fault schedule is exactly replayable: the same
+// plan + seed perturbs the same probes, the same handshakes, and the same
+// store writes no matter how many worker threads execute the scan. This
+// is what lets the golden-trace differential harness (core/goldens.h)
+// use PR 1's byte-identity contract as an oracle — a run that recovers
+// from every injected fault must reproduce the fault-free golden run
+// byte for byte.
+//
+// Injection points (the registry; tests/faultpoint_registry_test.cc
+// asserts every one of these is exercised):
+//
+//   point          layer               spec clause
+//   -------------  ------------------  -----------------------------------
+//   probe_drop     ZMapScanner / sim   drop:slot=A..B,p=P   (slot window)
+//                                      drop:sec=A..B,p=P    (time window)
+//   outage         sim::Internet       outage:sec=A..B[,origin=K]
+//   send_fail      ZMapScanner         send_fail:slot=A..B,p=P
+//   mac_corrupt    ZMapScanner         mac_corrupt:slot=A..B,p=P
+//   connect_rst    ZGrabEngine         rst:host%M==K[,attempts=N][,p=P]
+//   banner_trunc   ZGrabEngine         banner_trunc:host%M==K[,...]
+//   banner_stall   ZGrabEngine         banner_stall:host%M==K[,...]
+//   store_eio      core::save_results  store_eio:write=N[,count=C]
+//
+// Recoverable faults (send_fail, the three ZGrab faults, store_eio) are
+// absorbed by pipeline machinery — the send retry loop, the RetryPolicy
+// ladder, the checkpoint/resume store writer — and leave the output
+// byte-identical to the fault-free run. Degrading faults (probe_drop,
+// outage, mac_corrupt) lose data in ways no retry can recover; the
+// differential harness classifies their damage instead.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/vtime.h"
+
+namespace originscan::fault {
+
+// The injection-point registry. Every enumerator must appear in
+// point_name() and be exercised by at least one test
+// (tests/faultpoint_registry_test.cc enforces the latter).
+enum class Point : int {
+  kProbeDrop = 0,
+  kOutage,
+  kSendFail,
+  kMacCorrupt,
+  kConnectRst,
+  kBannerTruncate,
+  kBannerStall,
+  kStoreWriteError,
+};
+
+inline constexpr int kPointCount = 8;
+
+[[nodiscard]] std::string_view point_name(Point point);
+[[nodiscard]] std::span<const Point> all_points();
+
+// One parsed clause of a fault spec.
+struct FaultClause {
+  Point point = Point::kProbeDrop;
+
+  // Windowed faults (probe_drop, outage, send_fail, mac_corrupt):
+  // inclusive [lo, hi] range of global packet slots or whole seconds of
+  // virtual time, with per-event probability p.
+  enum class Unit { kSlot, kSeconds } unit = Unit::kSlot;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  double p = 1.0;
+
+  // Host-selected faults (connect_rst, banner_trunc, banner_stall):
+  // hosts with addr % mod == rem, on the first `attempts` handshake
+  // attempts.
+  std::uint32_t mod = 0;  // 0 = not a host clause
+  std::uint32_t rem = 0;
+  int attempts = 1;
+
+  // Store faults: physical write operations [write_index,
+  // write_index + count) fail with a transient EIO.
+  std::uint64_t write_index = 0;
+  std::uint64_t count = 1;
+
+  // Outage scope: -1 darkens every origin's view; >= 0 restricts the
+  // window to one origin id — the paper's Section-5.4 burst outages are
+  // exactly such origin-local events.
+  int origin = -1;
+
+  [[nodiscard]] bool recoverable() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+// A parsed fault plan: an ordered list of clauses.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Parses a spec string (clauses separated by ';'). Returns nullopt on
+  // any syntax error — unknown clause, malformed or reversed range,
+  // numeric overflow, probability outside [0, 1], zero modulus, or an
+  // empty spec — and, when `error` is non-null, stores a human-readable
+  // reason.
+  static std::optional<FaultPlan> parse(std::string_view spec,
+                                        std::string* error = nullptr);
+
+  [[nodiscard]] const std::vector<FaultClause>& clauses() const {
+    return clauses_;
+  }
+  [[nodiscard]] bool empty() const { return clauses_.empty(); }
+
+  // True when every clause is absorbed by pipeline recovery machinery,
+  // i.e. a run under this plan must be byte-identical to the fault-free
+  // run (given enough L7 retries; see min_l7_retries).
+  [[nodiscard]] bool recoverable() const;
+
+  // Retry budget needed to absorb the plan's L7 faults: the largest
+  // `attempts` over ZGrab clauses (0 when there are none).
+  [[nodiscard]] int min_l7_retries() const;
+
+  // Whether recovery needs the RetryPolicy to also retry degraded
+  // banners (timeouts / truncations), not just refused connections.
+  [[nodiscard]] bool needs_banner_retry() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<FaultClause> clauses_;
+};
+
+// A plan bound to a seed. Query methods are pure functions of their
+// arguments (plus plan and seed) and are safe to call from any number of
+// threads; hit counters are relaxed atomics used only for diagnostics
+// and the injection-point registry test.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  // ---- ZMap layer ---------------------------------------------------
+  // Probe occupying global schedule slot `slot` is lost in flight.
+  [[nodiscard]] bool drop_at_slot(std::uint64_t slot,
+                                  net::Ipv4Addr dst) const;
+  // Number of consecutive transient send failures for this probe (the
+  // scanner's send loop retries in place; see ZMapScanner::probe_target).
+  [[nodiscard]] int send_failures(std::uint64_t slot,
+                                  net::Ipv4Addr dst) const;
+  // The response to this probe arrives with corrupted bytes.
+  [[nodiscard]] bool corrupt_response(std::uint64_t slot,
+                                      net::Ipv4Addr dst) const;
+
+  // ---- sim layer ----------------------------------------------------
+  // Extra path loss for a probe at virtual time t (sec windows).
+  [[nodiscard]] bool drop_at_time(net::VirtualTime t, net::Ipv4Addr dst,
+                                  int probe_index) const;
+  // Total outage window: probes and connects are silently dropped.
+  // `origin` scopes origin-local outage clauses; -1 (e.g. from contexts
+  // with no origin identity) matches only unscoped clauses.
+  [[nodiscard]] bool outage_at(net::VirtualTime t, int origin = -1) const;
+
+  // ---- ZGrab layer --------------------------------------------------
+  enum class L7Fault { kNone, kRst, kTruncate, kStall };
+  [[nodiscard]] L7Fault l7_fault(net::Ipv4Addr dst, int attempt) const;
+
+  // ---- store layer --------------------------------------------------
+  // Physical write operation `write_index` (0-based, counted across the
+  // whole save including retries) fails with a transient EIO.
+  [[nodiscard]] bool store_write_fails(std::uint64_t write_index) const;
+
+  // Diagnostics: how many times each injection point actually fired.
+  [[nodiscard]] std::uint64_t hits(Point point) const {
+    return hits_[static_cast<int>(point)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_hits() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  [[nodiscard]] bool window_hit(const FaultClause& clause,
+                                FaultClause::Unit unit, std::uint64_t value,
+                                std::uint64_t stream) const;
+  void record(Point point) const {
+    hits_[static_cast<int>(point)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  mutable std::array<std::atomic<std::uint64_t>, kPointCount> hits_{};
+};
+
+}  // namespace originscan::fault

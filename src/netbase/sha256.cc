@@ -1,0 +1,145 @@
+#include "netbase/sha256.h"
+
+#include <cstring>
+
+namespace originscan::net {
+namespace {
+
+constexpr std::uint32_t kInit[8] = {
+    0x6A09E667u, 0xBB67AE85u, 0x3C6EF372u, 0xA54FF53Au,
+    0x510E527Fu, 0x9B05688Cu, 0x1F83D9ABu, 0x5BE0CD19u,
+};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428A2F98u, 0x71374491u, 0xB5C0FBCFu, 0xE9B5DBA5u, 0x3956C25Bu,
+    0x59F111F1u, 0x923F82A4u, 0xAB1C5ED5u, 0xD807AA98u, 0x12835B01u,
+    0x243185BEu, 0x550C7DC3u, 0x72BE5D74u, 0x80DEB1FEu, 0x9BDC06A7u,
+    0xC19BF174u, 0xE49B69C1u, 0xEFBE4786u, 0x0FC19DC6u, 0x240CA1CCu,
+    0x2DE92C6Fu, 0x4A7484AAu, 0x5CB0A9DCu, 0x76F988DAu, 0x983E5152u,
+    0xA831C66Du, 0xB00327C8u, 0xBF597FC7u, 0xC6E00BF3u, 0xD5A79147u,
+    0x06CA6351u, 0x14292967u, 0x27B70A85u, 0x2E1B2138u, 0x4D2C6DFCu,
+    0x53380D13u, 0x650A7354u, 0x766A0ABBu, 0x81C2C92Eu, 0x92722C85u,
+    0xA2BFE8A1u, 0xA81A664Bu, 0xC24B8B70u, 0xC76C51A3u, 0xD192E819u,
+    0xD6990624u, 0xF40E3585u, 0x106AA070u, 0x19A4C116u, 0x1E376C08u,
+    0x2748774Cu, 0x34B0BCB5u, 0x391C0CB3u, 0x4ED8AA4Au, 0x5B9CCA4Fu,
+    0x682E6FF3u, 0x748F82EEu, 0x78A5636Fu, 0x84C87814u, 0x8CC70208u,
+    0x90BEFFFAu, 0xA4506CEBu, 0xBEF9A3F7u, 0xC67178F2u,
+};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+Sha256::Sha256() {
+  for (int i = 0; i < 8; ++i) state_[i] = kInit[i];
+}
+
+void Sha256::compress(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      compress(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    compress(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha256::Digest Sha256::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update({&pad, 1});
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update({&zero, 1});
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  update({length_bytes, 8});
+
+  Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+Sha256::Digest Sha256::of(std::span<const std::uint8_t> data) {
+  Sha256 hasher;
+  hasher.update(data);
+  return hasher.finish();
+}
+
+std::string Sha256::hex(const Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace originscan::net

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), self-contained: golden-trace digests must be
+// stable across platforms and toolchains, so we do not depend on any
+// system crypto library. Performance is irrelevant here — digests are
+// computed once per scan result, not per packet.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace originscan::net {
+
+class Sha256 {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+
+  // Finalizes and returns the digest. The hasher must not be reused
+  // afterwards.
+  [[nodiscard]] Digest finish();
+
+  // One-shot convenience.
+  static Digest of(std::span<const std::uint8_t> data);
+
+  // Lower-case hex encoding of a digest.
+  static std::string hex(const Digest& digest);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace originscan::net

@@ -16,8 +16,25 @@ namespace {
 struct LaneOutput {
   std::vector<ScanRecord> records;
   std::vector<std::string> banners;
+  std::vector<std::uint64_t> attempt_histogram;
   ZMapScanner::Stats stats;
 };
+
+// Bumps the bucket for a grab that took `attempts` handshake attempts.
+void record_attempts(std::vector<std::uint64_t>& histogram, int attempts) {
+  if (attempts <= 0) return;
+  if (histogram.size() < static_cast<std::size_t>(attempts)) {
+    histogram.resize(static_cast<std::size_t>(attempts), 0);
+  }
+  ++histogram[static_cast<std::size_t>(attempts) - 1];
+}
+
+// Element-wise histogram sum (parallel lane merge).
+void merge_histograms(std::vector<std::uint64_t>& into,
+                      const std::vector<std::uint64_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
 
 // Builds the L4 callback: record the probe result and, if a SYN-ACK
 // arrived, schedule the ZGrab follow-up. Shared verbatim by the serial
@@ -26,10 +43,11 @@ struct LaneOutput {
 std::function<void(const L4Result&)> make_collector(
     sim::Internet& internet, sim::OriginId origin, ZGrabEngine& zgrab,
     const ScanOptions& options, std::vector<ScanRecord>& records,
-    std::vector<std::string>& banners) {
+    std::vector<std::string>& banners,
+    std::vector<std::uint64_t>& attempt_histogram) {
   const sim::World& world = internet.world();
-  return [&internet, &zgrab, &options, &records, &banners, &world,
-          origin](const L4Result& l4) {
+  return [&internet, &zgrab, &options, &records, &banners,
+          &attempt_histogram, &world, origin](const L4Result& l4) {
     ScanRecord record;
     record.addr = l4.addr;
     record.synack_mask = l4.synack_mask;
@@ -54,6 +72,7 @@ std::function<void(const L4Result&)> make_collector(
       record.l7 = l7.outcome;
       record.explicit_close = l7.explicit_close;
       banner = l7.banner;
+      record_attempts(attempt_histogram, l7.attempts);
     }
     records.push_back(record);
     if (options.keep_banners) banners.push_back(std::move(banner));
@@ -109,10 +128,13 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   zmap_config.source_ips = world.origins[origin].source_ips;
   zmap_config.blocklist = options.blocklist;
   zmap_config.allowlist = options.target_prefix;
+  zmap_config.faults = options.faults;
 
   ZGrabConfig zgrab_config;
   zgrab_config.protocol = protocol;
-  zgrab_config.max_retries = options.l7_retries;
+  zgrab_config.retry.max_retries = options.l7_retries;
+  zgrab_config.retry.retry_banner_failures = options.retry_banner_failures;
+  zgrab_config.faults = options.faults;
 
   ScanResult result;
   result.origin_code = world.origins[origin].code;
@@ -123,8 +145,9 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   if (jobs == 1) {
     ZMapScanner zmap(zmap_config, &internet, origin);
     ZGrabEngine zgrab(zgrab_config, &internet, origin);
-    result.l4_stats = zmap.run(make_collector(
-        internet, origin, zgrab, options, result.records, result.banners));
+    result.l4_stats = zmap.run(
+        make_collector(internet, origin, zgrab, options, result.records,
+                       result.banners, result.attempt_histogram));
     finalize(result, options.keep_banners);
     return result;
   }
@@ -156,8 +179,9 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
       ZMapScanner zmap(zmap_config, &internet, origin);
       ZGrabEngine zgrab(zgrab_config, &internet, origin);
       lane.stats = zmap.run_scheduled(
-          targets, make_collector(internet, origin, zgrab, options,
-                                  lane.records, lane.banners));
+          targets,
+          make_collector(internet, origin, zgrab, options, lane.records,
+                         lane.banners, lane.attempt_histogram));
     };
   };
   // The deferred lane goes first: it is the one lane that cannot be
@@ -174,6 +198,7 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   result.records.reserve(total_records);
   for (LaneOutput& lane : lanes) {
     result.l4_stats += lane.stats;
+    merge_histograms(result.attempt_histogram, lane.attempt_histogram);
     result.records.insert(result.records.end(), lane.records.begin(),
                           lane.records.end());
     result.banners.insert(result.banners.end(),

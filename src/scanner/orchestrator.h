@@ -45,6 +45,17 @@ struct ScanResult {
   // empty otherwise.
   std::vector<std::string> banners;
   ZMapScanner::Stats l4_stats;
+  // Bucket k counts the L7 grabs that needed exactly k + 1 handshake
+  // attempts (the Section-6 MaxStartups retry analysis reads this).
+  // Side statistics only — deliberately not part of ScanRecord, so the
+  // store format and record-level byte-identity are unaffected.
+  std::vector<std::uint64_t> attempt_histogram;
+
+  [[nodiscard]] std::uint64_t grabs_attempted() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t bucket : attempt_histogram) total += bucket;
+    return total;
+  }
 
   [[nodiscard]] std::size_t completed_count() const {
     std::size_t count = 0;
@@ -71,6 +82,13 @@ struct ScanOptions {
   // address-sorted result; the output is bit-identical to jobs == 1 (see
   // "Parallel execution" in DESIGN.md).
   int jobs = 1;
+  // Extend the L7 retry ladder to banner-level failures (read timeouts,
+  // truncated banners, mid-handshake closes); see RetryPolicy.
+  bool retry_banner_failures = false;
+  // Deterministic fault injection, threaded into both scan engines.
+  // Fault decisions are pure functions of (seed, slot/host), so they
+  // commute with the parallel lanes. Null = no faults.
+  const fault::FaultInjector* faults = nullptr;
 };
 
 // Scans the Internet's whole universe from `origin`.

@@ -41,31 +41,71 @@ bool is_retryable(sim::L7Outcome outcome) {
   }
 }
 
+net::VirtualTime RetryPolicy::backoff_before(int attempt) const {
+  if (attempt <= 0) return {};
+  double micros = static_cast<double>(initial_backoff.micros());
+  for (int i = 1; i < attempt; ++i) micros *= backoff_multiplier;
+  const double cap = static_cast<double>(max_backoff.micros());
+  if (micros > cap) micros = cap;
+  return net::VirtualTime::from_micros(static_cast<std::int64_t>(micros));
+}
+
+bool RetryPolicy::should_retry(sim::L7Outcome outcome) const {
+  if (is_retryable(outcome)) return true;
+  if (!retry_banner_failures) return false;
+  switch (outcome) {
+    case sim::L7Outcome::kReadTimeout:
+    case sim::L7Outcome::kProtocolError:
+    case sim::L7Outcome::kClosedMidHandshake:
+      return true;
+    default:
+      return false;
+  }
+}
+
 ZGrabEngine::ZGrabEngine(const ZGrabConfig& config, sim::Internet* internet,
                          sim::OriginId origin)
     : config_(config), internet_(internet), origin_(origin) {}
 
 L7Result ZGrabEngine::grab(net::Ipv4Addr src_ip, net::Ipv4Addr dst,
                            net::VirtualTime t) {
+  const RetryPolicy& policy = config_.retry;
   L7Result result;
-  for (int i = 0; i <= config_.max_retries; ++i) {
+  int attempts_used = 0;
+  for (int i = 0; i <= policy.max_retries; ++i) {
+    if (i > 0) t += policy.backoff_before(i);
     result = attempt(src_ip, dst, t, i);
-    result.attempts = i + 1;
+    attempts_used = i + 1;
     if (result.outcome == sim::L7Outcome::kCompleted ||
-        !is_retryable(result.outcome)) {
+        !policy.should_retry(result.outcome)) {
       break;
     }
-    // Back off briefly between retries (a second of virtual time).
-    t += net::VirtualTime::from_seconds(1.0);
   }
+  // Attempt accounting happens exactly once, here: a banner received on
+  // the final retry reports attempts == max_retries + 1, never more
+  // (the Section-6 MaxStartups histogram buckets on this value).
+  result.attempts = attempts_used;
   return result;
 }
 
 L7Result ZGrabEngine::attempt(net::Ipv4Addr src_ip, net::Ipv4Addr dst,
                               net::VirtualTime t, int attempt_index) {
+  current_dst_ = dst;
+  current_attempt_ = attempt_index;
+  L7Result result;
+  if (config_.faults != nullptr &&
+      config_.faults->l7_fault(dst, attempt_index) ==
+          fault::FaultInjector::L7Fault::kRst) {
+    // Injected mid-handshake RST: the peer accepts, then tears the
+    // connection down before any application bytes. Preempts the
+    // simulated connect so the fault leaves no trace in the sim's
+    // deterministic draws (a recovered retry replays them untouched).
+    result.outcome = sim::L7Outcome::kResetAfterAccept;
+    result.explicit_close = true;
+    return result;
+  }
   auto connection = internet_->connect(origin_, src_ip, dst,
                                        config_.protocol, t, attempt_index);
-  L7Result result;
   if (connection == nullptr) {
     result.outcome = sim::L7Outcome::kConnectTimeout;
     return result;
@@ -81,6 +121,27 @@ L7Result ZGrabEngine::attempt(net::Ipv4Addr src_ip, net::Ipv4Addr dst,
   return result;
 }
 
+std::vector<std::uint8_t> ZGrabEngine::read_bytes(sim::Connection& connection) {
+  auto bytes = connection.read();
+  if (config_.faults == nullptr || bytes.empty()) return bytes;
+  switch (config_.faults->l7_fault(current_dst_, current_attempt_)) {
+    case fault::FaultInjector::L7Fault::kStall:
+      // The server's flight never arrives; the read timer is our only
+      // way out.
+      bytes.clear();
+      break;
+    case fault::FaultInjector::L7Fault::kTruncate:
+      // Connection damaged mid-flight: only a prefix of the banner gets
+      // through, which the protocol parsers must reject (not crash on).
+      bytes.resize(bytes.size() / 2);
+      break;
+    case fault::FaultInjector::L7Fault::kRst:
+    case fault::FaultInjector::L7Fault::kNone:
+      break;
+  }
+  return bytes;
+}
+
 L7Result ZGrabEngine::run_http(sim::Connection& connection) {
   L7Result result;
   if (connection.peer_reset()) {
@@ -91,7 +152,7 @@ L7Result ZGrabEngine::run_http(sim::Connection& connection) {
 
   proto::HttpRequest request;
   connection.send(string_to_bytes(request.serialize()));
-  const auto bytes = connection.read();
+  const auto bytes = read_bytes(connection);
   if (bytes.empty()) {
     result.outcome = silent_outcome(connection, false);
     result.explicit_close = connection.peer_reset() || connection.peer_closed();
@@ -121,7 +182,7 @@ L7Result ZGrabEngine::run_tls(sim::Connection& connection) {
                              proto::chrome_cipher_suites().end());
   connection.send(proto::wrap_handshake(proto::TlsHandshakeType::kClientHello,
                                         hello.serialize()));
-  const auto bytes = connection.read();
+  const auto bytes = read_bytes(connection);
   if (bytes.empty()) {
     result.outcome = silent_outcome(connection, false);
     result.explicit_close = connection.peer_reset() || connection.peer_closed();
@@ -190,13 +251,20 @@ L7Result ZGrabEngine::run_ssh(sim::Connection& connection) {
 
   // The server speaks first; its identification string should already be
   // waiting.
-  const auto banner_bytes = connection.read();
+  const auto banner_bytes = read_bytes(connection);
   if (banner_bytes.empty()) {
     result.outcome = silent_outcome(connection, false);
     result.explicit_close = connection.peer_reset() || connection.peer_closed();
     return result;
   }
   const std::string banner_line = bytes_to_string(banner_bytes);
+  if (banner_line.find('\n') == std::string::npos) {
+    // RFC 4253 identification is a line; a flight cut short of the
+    // newline means the banner never completed (any "SSH-2.0-..."
+    // prefix would otherwise parse as a bogus truncated version).
+    result.outcome = sim::L7Outcome::kProtocolError;
+    return result;
+  }
   auto server_id = proto::SshIdentification::parse(banner_line);
   if (!server_id) {
     result.outcome = sim::L7Outcome::kProtocolError;

@@ -76,7 +76,21 @@ void ZMapScanner::probe_target(
     syn.tcp.seq = fields.seq;
     syn.tcp.flags.syn = true;
     syn.serialize_into(packet_buffer);
+
+    if (config_.faults != nullptr) {
+      // Transient send failure (the sendto EAGAIN analog): retry in
+      // place. The injector never reports more consecutive failures
+      // than kSendRetries, so a send_fail plan is always recoverable;
+      // diagnostics live in the injector's hit counters, keeping Stats
+      // byte-identical to a fault-free run.
+      const int failures = config_.faults->send_failures(slot, dst);
+      if (failures > kSendRetries) continue;  // unreachable by contract
+    }
     ++stats.packets_sent;
+
+    if (config_.faults != nullptr && config_.faults->drop_at_slot(slot, dst)) {
+      continue;  // lost in flight; the send itself still counted
+    }
 
     auto response_bytes =
         internet_->handle_probe(origin_, packet_buffer, t, probe);
@@ -85,6 +99,13 @@ void ZMapScanner::probe_target(
     if (!response) {
       ++stats.validation_failures;
       continue;
+    }
+    if (config_.faults != nullptr &&
+        config_.faults->corrupt_response(slot, dst)) {
+      // Corrupt the validation MAC material: flip the low bit of the
+      // acknowledgment number so the SipHash-based validator rejects
+      // the response as not ours.
+      response->tcp.ack ^= 1u;
     }
     if (response->ip.src != dst || response->ip.dst != src_ip ||
         !validator_.validate(*response)) {

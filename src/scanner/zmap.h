@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "faultinject/faultinject.h"
 #include "netbase/ipv4.h"
 #include "netbase/siphash.h"
 #include "netbase/vtime.h"
@@ -48,6 +49,11 @@ struct ZMapConfig {
   std::optional<net::Prefix> allowlist;
   std::uint16_t source_port_base = 32768;
   std::uint16_t source_port_count = 28232;
+  // Deterministic fault injection (core/faultinject layer): transient
+  // send failures are retried in place (up to kSendRetries), slot-window
+  // drops lose the packet in flight, and MAC corruption mangles the
+  // response so validation rejects it. Null = no faults.
+  const fault::FaultInjector* faults = nullptr;
 
   [[nodiscard]] double effective_pps(std::uint64_t targets) const {
     if (packets_per_second > 0) return packets_per_second;
@@ -98,6 +104,11 @@ struct ScanSchedule {
 
 class ZMapScanner {
  public:
+  // Send-layer hardening: a transiently failing send (the sendto
+  // EAGAIN analog, injectable via the send_fail fault point) is retried
+  // in place up to this many times before the probe is abandoned.
+  static constexpr int kSendRetries = 3;
+
   ZMapScanner(const ZMapConfig& config, sim::Internet* internet,
               sim::OriginId origin);
 

@@ -136,6 +136,15 @@ std::optional<std::vector<std::uint8_t>> Internet::handle_probe(
   const auto as = world_->topology.as_of(dst);
   if (!as) return std::nullopt;  // unrouted space
 
+  // Injected faults first: an injected outage or loss spike is a
+  // property of the scan run's environment, just like the scheduled
+  // ones below.
+  if (faults_ != nullptr &&
+      (faults_->outage_at(t, static_cast<int>(origin)) ||
+       faults_->drop_at_time(t, dst, probe_index))) {
+    return std::nullopt;
+  }
+
   if (outage_schedule(origin, *protocol).in_outage(*as, t)) {
     return std::nullopt;
   }
@@ -235,6 +244,10 @@ std::unique_ptr<Connection> Internet::connect(OriginId origin,
                                               int attempt) {
   const auto as = world_->topology.as_of(dst);
   if (!as) return nullptr;
+
+  if (faults_ != nullptr && faults_->outage_at(t, static_cast<int>(origin))) {
+    return nullptr;
+  }
 
   if (outage_schedule(origin, protocol).in_outage(*as, t)) return nullptr;
 

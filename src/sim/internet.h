@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "faultinject/faultinject.h"
 #include "netbase/headers.h"
 #include "netbase/vtime.h"
 #include "proto/protocol.h"
@@ -107,6 +108,18 @@ class Internet {
   // L7 follow-up after a SYN-ACK.
   [[nodiscard]] net::VirtualTime rtt(OriginId origin, AsId as) const;
 
+  // Attaches a deterministic fault injector (core/faultinject layer):
+  // time-windowed extra path loss on probes and total outage windows
+  // that silence both probes and connects. Fault decisions are pure
+  // functions of (seed, host, time), so they commute with parallel
+  // execution. Pass nullptr to detach.
+  void set_fault_injector(const fault::FaultInjector* faults) {
+    faults_ = faults;
+  }
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const {
+    return faults_;
+  }
+
  private:
   const PathLossModel& loss_model(OriginId origin, AsId as,
                                   proto::Protocol protocol);
@@ -123,6 +136,7 @@ class Internet {
   const World* world_;
   TrialContext context_;
   PolicyEngine policy_engine_;
+  const fault::FaultInjector* faults_ = nullptr;
 
   // Guards the two lazy caches below (shared = lookup, exclusive =
   // insert). Cached values are behind unique_ptr, so references handed

@@ -294,5 +294,40 @@ TEST(Experiment, ProbeIntervalDecorrelatesLoss) {
   EXPECT_GT(spaced, back_to_back * 2);
 }
 
+// ---------------------------------------------------------- edge cases ----
+
+// A matrix with a single origin is a degenerate but legal input: ground
+// truth equals that origin's own completions, so nothing can ever be
+// missing and every downstream analysis must return a quiet result
+// instead of dividing by zero or mis-indexing the origin axis.
+TEST(EdgeCases, SingleOriginMatrixIsFullyAccessible) {
+  auto world = make_mini_world();
+  world.origins.resize(1);  // keep only "ONE"
+  const auto experiment = run_experiment(std::move(world));
+
+  const auto matrix = AccessMatrix::build(experiment, proto::Protocol::kHttp);
+  ASSERT_EQ(matrix.origins(), 1u);
+  ASSERT_GT(matrix.host_count(), 0u);
+  const Classification classification(matrix);
+
+  for (HostIdx h = 0; h < matrix.host_count(); ++h) {
+    EXPECT_EQ(classification.host_class(0, h), HostClass::kAccessible);
+  }
+  for (int t = 0; t < matrix.trials(); ++t) {
+    const auto breakdown = classification.breakdown(0, t);
+    EXPECT_EQ(breakdown.total(), 0u);
+  }
+  EXPECT_EQ(classification.longterm_count(0), 0u);
+
+  BurstOptions options;
+  options.min_as_hosts = 1;
+  const auto report = detect_burst_outages(classification, options);
+  EXPECT_EQ(report.transient_loss_total, 0u);
+  EXPECT_EQ(report.ases_with_bursts, 0u);
+  EXPECT_DOUBLE_EQ(report.burst_loss_fraction(), 0.0);
+  ASSERT_EQ(report.simultaneity.size(), 1u);
+  EXPECT_EQ(report.simultaneity[0], 0u);
+}
+
 }  // namespace
 }  // namespace originscan::core

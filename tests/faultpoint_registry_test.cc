@@ -1,0 +1,183 @@
+// The injection-point registry contract: every fault point the library
+// registers must be named, parseable from a spec clause, and — the part
+// that keeps the registry honest — actually fired through an injector by
+// this test suite (hit counters prove it).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "faultinject/faultinject.h"
+
+namespace originscan::fault {
+namespace {
+
+FaultPlan must_parse(std::string_view spec) {
+  std::string error;
+  auto plan = FaultPlan::parse(spec, &error);
+  EXPECT_TRUE(plan.has_value()) << spec << ": " << error;
+  return plan.value_or(FaultPlan{});
+}
+
+// ---------------------------------------------------------- registry ----
+
+TEST(FaultpointRegistry, AllPointsNamedAndDistinct) {
+  const auto points = all_points();
+  ASSERT_EQ(points.size(), static_cast<std::size_t>(kPointCount));
+  std::set<std::string_view> names;
+  for (Point point : points) {
+    const std::string_view name = point_name(point);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(FaultpointRegistry, EveryPointIsExercised) {
+  // One clause per registered point. Host selectors are disjoint mod-3
+  // classes so the single-winner l7_fault lookup cannot shadow a clause.
+  const FaultPlan plan = must_parse(
+      "drop:slot=0..1023,p=1;"
+      "drop:sec=0..59,p=1;"
+      "outage:sec=0..59;"
+      "send_fail:slot=0..1023,p=1;"
+      "mac_corrupt:slot=0..1023,p=1;"
+      "rst:host%3==0;"
+      "banner_trunc:host%3==1;"
+      "banner_stall:host%3==2;"
+      "store_eio:write=0,count=2");
+  const FaultInjector injector(plan, /*seed=*/0xFA57u);
+
+  // ZMap layer.
+  EXPECT_TRUE(injector.drop_at_slot(7, net::Ipv4Addr(42)));
+  EXPECT_GT(injector.send_failures(7, net::Ipv4Addr(42)), 0);
+  EXPECT_TRUE(injector.corrupt_response(7, net::Ipv4Addr(42)));
+  // sim layer.
+  EXPECT_TRUE(injector.drop_at_time(net::VirtualTime::from_seconds(30.0),
+                                    net::Ipv4Addr(42), 0));
+  EXPECT_TRUE(injector.outage_at(net::VirtualTime::from_seconds(30.0)));
+  // ZGrab layer.
+  EXPECT_EQ(injector.l7_fault(net::Ipv4Addr(3), 0),
+            FaultInjector::L7Fault::kRst);
+  EXPECT_EQ(injector.l7_fault(net::Ipv4Addr(4), 0),
+            FaultInjector::L7Fault::kTruncate);
+  EXPECT_EQ(injector.l7_fault(net::Ipv4Addr(5), 0),
+            FaultInjector::L7Fault::kStall);
+  // Store layer.
+  EXPECT_TRUE(injector.store_write_fails(0));
+  EXPECT_TRUE(injector.store_write_fails(1));
+  EXPECT_FALSE(injector.store_write_fails(2));
+
+  // The registry assertion proper: every point fired at least once.
+  for (Point point : all_points()) {
+    EXPECT_GT(injector.hits(point), 0u)
+        << "injection point '" << point_name(point)
+        << "' was never exercised";
+  }
+  EXPECT_GE(injector.total_hits(), static_cast<std::uint64_t>(kPointCount));
+}
+
+TEST(FaultpointRegistry, QueriesArePureFunctions) {
+  const FaultPlan plan = must_parse("drop:slot=0..100,p=0.5;rst:host%2==1");
+  const FaultInjector a(plan, 0x1234u);
+  const FaultInjector b(plan, 0x1234u);
+  const FaultInjector other_seed(plan, 0x9999u);
+
+  int differs_from_other_seed = 0;
+  for (std::uint64_t slot = 0; slot <= 100; ++slot) {
+    const net::Ipv4Addr dst(static_cast<std::uint32_t>(slot * 7));
+    EXPECT_EQ(a.drop_at_slot(slot, dst), b.drop_at_slot(slot, dst));
+    if (a.drop_at_slot(slot, dst) != other_seed.drop_at_slot(slot, dst)) {
+      ++differs_from_other_seed;
+    }
+    EXPECT_EQ(a.l7_fault(dst, 0), b.l7_fault(dst, 0));
+  }
+  EXPECT_GT(differs_from_other_seed, 0);  // the seed actually matters
+}
+
+// ---------------------------------------------------------- semantics ----
+
+TEST(FaultPlanSemantics, RecoverabilityClassification) {
+  EXPECT_TRUE(must_parse("send_fail:slot=0..9,p=1").recoverable());
+  EXPECT_TRUE(must_parse("rst:host%5==0").recoverable());
+  EXPECT_TRUE(must_parse("banner_trunc:host%5==0").recoverable());
+  EXPECT_TRUE(must_parse("banner_stall:host%5==0").recoverable());
+  EXPECT_TRUE(must_parse("store_eio:write=3").recoverable());
+  EXPECT_FALSE(must_parse("drop:slot=0..9,p=1").recoverable());
+  EXPECT_FALSE(must_parse("outage:sec=0..9").recoverable());
+  EXPECT_FALSE(must_parse("mac_corrupt:slot=0..9,p=1").recoverable());
+  // Mixed plan: one degrading clause poisons the whole plan.
+  EXPECT_FALSE(must_parse("rst:host%5==0;drop:slot=0..9,p=1").recoverable());
+}
+
+TEST(FaultPlanSemantics, RetryBudgetAndBannerNeeds) {
+  const auto rst = must_parse("rst:host%5==0,attempts=3");
+  EXPECT_EQ(rst.min_l7_retries(), 3);
+  EXPECT_FALSE(rst.needs_banner_retry());
+
+  const auto trunc = must_parse("banner_trunc:host%5==0,attempts=2");
+  EXPECT_EQ(trunc.min_l7_retries(), 2);
+  EXPECT_TRUE(trunc.needs_banner_retry());
+
+  EXPECT_EQ(must_parse("drop:slot=0..9,p=1").min_l7_retries(), 0);
+}
+
+TEST(FaultPlanSemantics, OriginScopedOutage) {
+  const FaultPlan plan = must_parse("outage:sec=0..59,origin=2");
+  const FaultInjector injector(plan, 0xFA57u);
+  const auto noon = net::VirtualTime::from_seconds(30.0);
+  EXPECT_TRUE(injector.outage_at(noon, 2));
+  EXPECT_FALSE(injector.outage_at(noon, 0));
+  EXPECT_FALSE(injector.outage_at(noon));  // no origin identity
+  // An unscoped outage darkens everyone.
+  const FaultInjector global(must_parse("outage:sec=0..59"), 0xFA57u);
+  EXPECT_TRUE(global.outage_at(noon, 2));
+  EXPECT_TRUE(global.outage_at(noon));
+}
+
+TEST(FaultPlanSemantics, RoundTripsThroughToString) {
+  const char* specs[] = {
+      "drop:slot=1024..2048,p=0.3;banner_trunc:host%7==0;store_eio:write=3",
+      "outage:sec=3600..7200",
+      "send_fail:slot=0..100,p=0.25;rst:host%5==1,attempts=2,p=0.5",
+      "outage:sec=0..600,origin=1",
+  };
+  for (const char* spec : specs) {
+    const FaultPlan plan = must_parse(spec);
+    const FaultPlan reparsed = must_parse(plan.to_string());
+    EXPECT_EQ(plan.to_string(), reparsed.to_string()) << spec;
+    EXPECT_EQ(plan.clauses().size(), reparsed.clauses().size()) << spec;
+  }
+}
+
+TEST(FaultPlanSemantics, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",                            // empty spec
+      ";",                           // empty clause
+      "drop",                        // missing args
+      "drop:slot=9..1,p=1",          // reversed range
+      "drop:slot=0..1,p=1.5",        // probability out of range
+      "drop:slot=0..1,p=-0.1",       // negative probability
+      "drop:sec=abc..1",             // junk number
+      "drop:slot=18446744073709551616..2,p=1",  // u64 overflow
+      "outage:slot=0..1",            // outage is seconds-only
+      "send_fail:sec=0..1,p=1",      // send_fail is slot-only
+      "rst:host%0==0",               // zero modulus
+      "rst:host%4==4",               // remainder >= modulus
+      "rst:host%4==1,attempts=0",    // attempts below 1
+      "rst:host%4==1,attempts=99",   // attempts above cap
+      "store_eio:write=0,count=0",   // zero count
+      "store_eio:write=0,count=65",  // count above cap
+      "nonsense:slot=0..1",          // unknown point
+      "drop:slot=0..1,p=1;;rst:host%2==0",  // empty clause mid-spec
+      "drop:slot=0..1,p=1,origin=0",  // origin scope is outage-only
+      "outage:sec=0..1,origin=256",   // origin id out of range
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(FaultPlan::parse(spec, &error).has_value()) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace originscan::fault

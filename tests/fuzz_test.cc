@@ -3,12 +3,15 @@
 // messages without crashing, and round-trip anything it accepts.
 #include <gtest/gtest.h>
 
+#include "core/store.h"
+#include "faultinject/faultinject.h"
 #include "netbase/headers.h"
 #include "netbase/rng.h"
 #include "proto/http.h"
 #include "proto/ssh.h"
 #include "proto/tls.h"
-#include "core/store.h"
+#include "scanner/blocklist.h"
+#include "scanner/permutation.h"
 
 namespace originscan {
 namespace {
@@ -176,6 +179,116 @@ TEST(Fuzz, Ipv4AndPrefixParsers) {
     if (prefix) {
       EXPECT_EQ(net::Prefix::parse(prefix->to_string()), prefix);
     }
+  }
+}
+
+TEST(Fuzz, FaultSpecParserSurvivesGarbage) {
+  net::Rng rng(108);
+  // Biased toward the spec grammar's alphabet so mutations stay near the
+  // parseable frontier (pure noise rarely reaches the deep code paths).
+  const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789:;,=%._ -drop:slot=p&";
+  for (int i = 0; i < 20000; ++i) {
+    std::string spec;
+    const std::size_t length = rng.below(64);
+    for (std::size_t j = 0; j < length; ++j) {
+      spec.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    std::string error;
+    const auto plan = fault::FaultPlan::parse(spec, &error);
+    if (plan) {
+      // Anything accepted must round-trip through its own rendering.
+      const auto reparsed = fault::FaultPlan::parse(plan->to_string());
+      ASSERT_TRUE(reparsed.has_value()) << plan->to_string();
+      EXPECT_EQ(plan->to_string(), reparsed->to_string());
+    } else {
+      EXPECT_FALSE(error.empty()) << spec;
+    }
+  }
+}
+
+TEST(Fuzz, FaultSpecParserSurvivesMutations) {
+  net::Rng rng(109);
+  const std::string valid =
+      "drop:slot=1024..2048,p=0.3;outage:sec=0..600,origin=1;"
+      "send_fail:slot=0..99,p=1;mac_corrupt:slot=5..6,p=0.5;"
+      "rst:host%7==0,attempts=2;banner_trunc:host%3==1;"
+      "banner_stall:host%5==4,p=0.25;store_eio:write=3,count=2";
+  const std::vector<std::uint8_t> valid_bytes(valid.begin(), valid.end());
+  for (int i = 0; i < 20000; ++i) {
+    const auto mutated = mutate(rng, valid_bytes);
+    const std::string spec(mutated.begin(), mutated.end());
+    const auto plan = fault::FaultPlan::parse(spec);  // must not crash
+    if (plan) {
+      const auto reparsed = fault::FaultPlan::parse(plan->to_string());
+      ASSERT_TRUE(reparsed.has_value()) << plan->to_string();
+    }
+  }
+}
+
+TEST(Fuzz, FaultSpecRejectsOverflowAndEmpty) {
+  // The non-negotiable rejections: overflow slots, inverted ranges, and
+  // empty input must error (with a reason), never crash or accept.
+  const char* bad[] = {
+      "",
+      "   ",
+      ";",
+      "drop:slot=18446744073709551615..18446744073709551616,p=1",
+      "drop:slot=99999999999999999999999999..5,p=1",
+      "drop:slot=7..3,p=1",
+      "outage:sec=100..1",
+      "store_eio:write=18446744073709551616",
+      "rst:host%4294967296==0",
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(fault::FaultPlan::parse(spec, &error).has_value()) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+TEST(Fuzz, BlocklistParserSurvivesGarbage) {
+  net::Rng rng(110);
+  const char alphabet[] = "0123456789./# \nabcdefx-";
+  for (int i = 0; i < 10000; ++i) {
+    std::string body;
+    const std::size_t length = rng.below(120);
+    for (std::size_t j = 0; j < length; ++j) {
+      body.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    scan::Blocklist blocklist;
+    const auto added = blocklist.load(body);  // must not crash
+    if (added.has_value()) {
+      // Whatever loaded must answer membership queries sanely.
+      (void)blocklist.is_blocked(net::Ipv4Addr(rng.below(1u << 16)));
+      EXPECT_LE(*added, 120u);
+    }
+  }
+  // A valid body keeps working after the garbage barrage.
+  scan::Blocklist blocklist;
+  const auto added = blocklist.load("# comment\n10.0.0.0/8\n\n192.168.1.1\n");
+  ASSERT_TRUE(added.has_value());
+  EXPECT_EQ(*added, 2u);
+  EXPECT_TRUE(blocklist.is_blocked(net::Ipv4Addr(10, 1, 2, 3)));
+}
+
+TEST(Fuzz, CyclicGroupHandlesArbitrarySizes) {
+  net::Rng rng(111);
+  // The permutation builder must produce a full, duplicate-free cycle
+  // for any size, including primes, powers of two, and tiny values.
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t size = 1 + rng.below(2000);
+    auto group = scan::CyclicGroup::for_size(size, rng());
+    auto iterator = group.all();
+    std::vector<bool> seen(size, false);
+    std::uint64_t count = 0;
+    while (auto value = iterator.next()) {
+      ASSERT_LT(*value, size);
+      ASSERT_FALSE(seen[*value]) << "duplicate at size " << size;
+      seen[*value] = true;
+      ++count;
+    }
+    EXPECT_EQ(count, size);
   }
 }
 

@@ -128,5 +128,45 @@ TEST(Export, WriteFileFailsOnBadPath) {
   EXPECT_FALSE(write_file("/nonexistent-dir-xyz/file.csv", "x"));
 }
 
+// ------------------------------------------------------------ edge cases --
+// Empty analyses (no transient hosts, no samples) flow into these
+// renderers; they must degrade to sensible output, not divide by the
+// zero maximum or index into empty grids.
+
+TEST(Chart, EmptyBarChartRendersNothing) {
+  EXPECT_EQ(bar_chart({}, 20, 0), "");
+}
+
+TEST(Chart, AllZeroValuesRenderEmptyBars) {
+  const std::vector<BarRow> rows = {{"a", 0.0}, {"b", 0.0}};
+  const std::string out = bar_chart(rows, 10, 0);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);  // no fill from 0/0
+}
+
+TEST(Chart, BarHandlesZeroAndNegativeMax) {
+  EXPECT_EQ(bar(1.0, 0.0, 8), "########");  // max clamps to 1
+  EXPECT_EQ(bar(-1.0, 10.0, 8), "        ");
+}
+
+TEST(Chart, EmptyCdfSaysNoData) {
+  const stats::Ecdf empty{std::vector<double>{}};
+  EXPECT_EQ(cdf_plot(empty, 40, 10, "x"), "(no data)\n");
+}
+
+TEST(Chart, SingleValueCdfPlots) {
+  const stats::Ecdf one{std::vector<double>{3.0}};
+  const std::string out = cdf_plot(one, 40, 10, "hosts");
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("hosts"), std::string::npos);
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly) {
+  Table table({"h1", "h2"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("h1"), std::string::npos);
+  EXPECT_NE(out.find("h2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace originscan::report

@@ -330,5 +330,55 @@ TEST(Orchestrator, ParallelScanHonorsTargetPrefix) {
   }
 }
 
+// ------------------------------------------------- attempt histogram ----
+
+// Pins the histogram feeding the Section-6 MaxStartups analysis: with an
+// injected reset on every first attempt and a one-retry budget, every
+// grab recovers its banner on the *final* retry and must land in bucket
+// 1 exactly once (the double-count bug would inflate grabs_attempted
+// past the number of grabbed hosts).
+TEST(Orchestrator, AttemptHistogramSingleCountsFinalRetrySuccess) {
+  auto world = make_mini_world();
+  auto plan = fault::FaultPlan::parse("rst:host%1==0,attempts=1");
+  ASSERT_TRUE(plan.has_value());
+  const fault::FaultInjector injector(*plan, 0xFA57u);
+
+  ScanOptions options;
+  options.l7_retries = 1;
+  options.faults = &injector;
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+  internet.set_fault_injector(&injector);
+  const auto result = run_scan(internet, 0, proto::Protocol::kHttp, options);
+
+  std::size_t grabbed_hosts = 0;
+  for (const auto& record : result.records) {
+    if (record.synack_mask != 0) ++grabbed_hosts;
+  }
+  ASSERT_GT(grabbed_hosts, 0u);
+  ASSERT_EQ(result.attempt_histogram.size(), 2u);
+  EXPECT_EQ(result.attempt_histogram[0], 0u);
+  EXPECT_EQ(result.attempt_histogram[1], grabbed_hosts);
+  EXPECT_EQ(result.grabs_attempted(), grabbed_hosts);
+
+  // The parallel merge sums lane histograms element-wise to the same
+  // totals.
+  sim::PersistentState parallel_state;
+  sim::Internet parallel_net(&world, context_for(world), &parallel_state);
+  parallel_net.set_fault_injector(&injector);
+  options.jobs = 3;
+  const auto parallel =
+      run_scan(parallel_net, 0, proto::Protocol::kHttp, options);
+  EXPECT_EQ(parallel.attempt_histogram, result.attempt_histogram);
+  EXPECT_TRUE(parallel.records == result.records);
+
+  // Fault-free baseline: everything completes on the first attempt.
+  sim::PersistentState clean_state;
+  sim::Internet clean_net(&world, context_for(world), &clean_state);
+  const auto clean = run_scan(clean_net, 0, proto::Protocol::kHttp, {});
+  ASSERT_EQ(clean.attempt_histogram.size(), 1u);
+  EXPECT_EQ(clean.attempt_histogram[0], grabbed_hosts);
+}
+
 }  // namespace
 }  // namespace originscan::scan

@@ -271,5 +271,72 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, std::size_t>{9, 1},
                       std::pair<std::size_t, std::size_t>{10, 5}));
 
+// ----------------------------------------------------------- edge cases --
+// Degenerate inputs the analysis pipeline can feed these functions —
+// empty hour series, zero-discordance contingency tables, empty sample
+// sets — must produce neutral results, never NaNs or crashes.
+
+TEST(McNemar, ZeroDiscordanceCellsExactly) {
+  const auto result = mcnemar_test(100, 0, 0, 50);
+  EXPECT_EQ(result.b, 0u);
+  EXPECT_EQ(result.c, 0u);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_FALSE(std::isnan(result.statistic));
+}
+
+TEST(McNemar, EmptyVectorsAreNeutral) {
+  const auto result =
+      mcnemar_test(std::span<const bool>{}, std::span<const bool>{});
+  EXPECT_EQ(result.b + result.c, 0u);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(Spearman, EmptyInputIsNeutral) {
+  const std::vector<double> none;
+  const auto result = spearman(none, none);
+  EXPECT_EQ(result.n, 0u);
+  EXPECT_DOUBLE_EQ(result.rho, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(CochranQ, EmptyTableIsNeutral) {
+  const auto result = cochran_q({});
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_FALSE(std::isnan(result.statistic));
+}
+
+TEST(Bonferroni, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(bonferroni(std::vector<double>{}).empty());
+}
+
+TEST(Ecdf, EmptySampleSetIsZeroEverywhere) {
+  const Ecdf ecdf(std::vector<double>{});
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_DOUBLE_EQ(ecdf.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.at(1e9), 0.0);
+  EXPECT_TRUE(ecdf.points().empty());
+}
+
+TEST(Timeseries, EmptySeriesYieldsNoBursts) {
+  const std::vector<double> none;
+  EXPECT_TRUE(rolling_mean(none, 3).empty());
+  EXPECT_TRUE(noise_component(none, 3).empty());
+  const auto detection = detect_bursts(none, 3);
+  EXPECT_TRUE(detection.burst_indices.empty());
+  EXPECT_FALSE(std::isnan(detection.noise_stddev));
+  // Window selection over an empty series must still return a window in
+  // the requested range.
+  const std::size_t window = best_smoothing_window(none, 2, 6);
+  EXPECT_GE(window, 2u);
+  EXPECT_LE(window, 6u);
+}
+
+TEST(Timeseries, SingleSampleSeriesIsQuiet) {
+  const std::vector<double> one = {5.0};
+  const auto detection = detect_bursts(one, 3);
+  EXPECT_TRUE(detection.burst_indices.empty());
+  EXPECT_EQ(rolling_mean(one, 3).size(), 1u);
+}
+
 }  // namespace
 }  // namespace originscan::stats

@@ -115,10 +115,12 @@ TEST_F(ZGrabTest, RetriesRecoverMaxStartupsRefusals) {
   auto net = internet();
   int failed_first = 0, recovered = 0;
   constexpr int kHosts = 120;
-  ZGrabEngine no_retry({.protocol = proto::Protocol::kSsh, .max_retries = 0},
-                       &net, 0);
+  ZGrabEngine no_retry(
+      {.protocol = proto::Protocol::kSsh, .retry = {.max_retries = 0}}, &net,
+      0);
   ZGrabEngine with_retry(
-      {.protocol = proto::Protocol::kSsh, .max_retries = 8}, &net, 0);
+      {.protocol = proto::Protocol::kSsh, .retry = {.max_retries = 8}}, &net,
+      0);
   for (int i = 0; i < kHosts; ++i) {
     const net::Ipv4Addr dst(static_cast<std::uint32_t>(i));
     const auto once =
@@ -142,6 +144,109 @@ TEST(ZGrabRetryable, Classification) {
   EXPECT_FALSE(is_retryable(sim::L7Outcome::kCompleted));
   EXPECT_FALSE(is_retryable(sim::L7Outcome::kProtocolError));
   EXPECT_FALSE(is_retryable(sim::L7Outcome::kReadTimeout));
+}
+
+// ------------------------------------------------------ retry policy ----
+
+TEST(RetryPolicy_, BackoffLadderIsCappedExponential) {
+  const RetryPolicy policy{.max_retries = 5};
+  EXPECT_EQ(policy.backoff_before(0).micros(), 0);
+  EXPECT_EQ(policy.backoff_before(1).micros(),
+            net::VirtualTime::from_seconds(1.0).micros());
+  EXPECT_EQ(policy.backoff_before(2).micros(),
+            net::VirtualTime::from_seconds(2.0).micros());
+  EXPECT_EQ(policy.backoff_before(3).micros(),
+            net::VirtualTime::from_seconds(4.0).micros());
+  EXPECT_EQ(policy.backoff_before(4).micros(),
+            net::VirtualTime::from_seconds(8.0).micros());
+  // Capped from here on.
+  EXPECT_EQ(policy.backoff_before(5).micros(),
+            net::VirtualTime::from_seconds(8.0).micros());
+}
+
+TEST(RetryPolicy_, BannerFailuresRetryOnlyWhenOptedIn) {
+  const RetryPolicy base;
+  EXPECT_TRUE(base.should_retry(sim::L7Outcome::kConnectTimeout));
+  EXPECT_FALSE(base.should_retry(sim::L7Outcome::kReadTimeout));
+  EXPECT_FALSE(base.should_retry(sim::L7Outcome::kProtocolError));
+  EXPECT_FALSE(base.should_retry(sim::L7Outcome::kClosedMidHandshake));
+
+  const RetryPolicy banner{.retry_banner_failures = true};
+  EXPECT_TRUE(banner.should_retry(sim::L7Outcome::kReadTimeout));
+  EXPECT_TRUE(banner.should_retry(sim::L7Outcome::kProtocolError));
+  EXPECT_TRUE(banner.should_retry(sim::L7Outcome::kClosedMidHandshake));
+  EXPECT_FALSE(banner.should_retry(sim::L7Outcome::kCompleted));
+  EXPECT_FALSE(banner.should_retry(sim::L7Outcome::kNotAttempted));
+}
+
+// ------------------------------------------- attempt accounting (§6) ----
+
+fault::FaultInjector rst_on_first_attempts(int attempts) {
+  auto plan = fault::FaultPlan::parse("rst:host%1==0,attempts=" +
+                                      std::to_string(attempts));
+  EXPECT_TRUE(plan.has_value());
+  return fault::FaultInjector(plan.value_or(fault::FaultPlan{}), 0xFA57u);
+}
+
+// The histogram input contract: a banner received on the *final* retry
+// attempt reports attempts == max_retries + 1, counted exactly once —
+// not once per loop iteration, and never max_retries + 2.
+TEST_F(ZGrabTest, BannerOnFinalRetryCountsAttemptsOnce) {
+  auto net = internet();
+  const auto injector = rst_on_first_attempts(2);  // faults attempts 0, 1
+  ZGrabEngine engine({.protocol = proto::Protocol::kHttp,
+                      .retry = {.max_retries = 2},
+                      .faults = &injector},
+                     &net, 0);
+  const auto result =
+      engine.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(5), {});
+  EXPECT_EQ(result.outcome, sim::L7Outcome::kCompleted);
+  EXPECT_FALSE(result.banner.empty());
+  EXPECT_EQ(result.attempts, 3);
+}
+
+TEST_F(ZGrabTest, ExhaustedRetriesReportExactBudget) {
+  auto net = internet();
+  const auto injector = rst_on_first_attempts(3);  // outlasts the budget
+  ZGrabEngine engine({.protocol = proto::Protocol::kHttp,
+                      .retry = {.max_retries = 2},
+                      .faults = &injector},
+                     &net, 0);
+  const auto result =
+      engine.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(5), {});
+  EXPECT_EQ(result.outcome, sim::L7Outcome::kResetAfterAccept);
+  EXPECT_TRUE(result.explicit_close);
+  EXPECT_EQ(result.attempts, 3);  // 1 + max_retries, never more
+}
+
+TEST_F(ZGrabTest, BannerFaultsRecoverUnderBannerRetryPolicy) {
+  auto net = internet();
+  std::string error;
+  auto plan = fault::FaultPlan::parse("banner_trunc:host%1==0", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const fault::FaultInjector injector(*plan, 0xFA57u);
+
+  // Without banner retries the truncated banner is terminal.
+  ZGrabEngine strict({.protocol = proto::Protocol::kSsh,
+                      .retry = {.max_retries = 2},
+                      .faults = &injector},
+                     &net, 0);
+  const auto failed =
+      strict.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(6), {});
+  EXPECT_EQ(failed.outcome, sim::L7Outcome::kProtocolError);
+  EXPECT_EQ(failed.attempts, 1);
+
+  // With them, attempt 1 (fault-free) recovers the full banner.
+  ZGrabEngine lenient(
+      {.protocol = proto::Protocol::kSsh,
+       .retry = {.max_retries = 2, .retry_banner_failures = true},
+       .faults = &injector},
+      &net, 0);
+  const auto recovered =
+      lenient.grab(world_.origins[0].source_ips[0], net::Ipv4Addr(6), {});
+  EXPECT_EQ(recovered.outcome, sim::L7Outcome::kCompleted);
+  EXPECT_FALSE(recovered.banner.empty());
+  EXPECT_EQ(recovered.attempts, 2);
 }
 
 }  // namespace

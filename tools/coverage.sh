@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Aggregates line coverage for src/ from a -DOSN_COVERAGE=ON build after
+# a test run. Prefers gcovr when installed; otherwise falls back to raw
+# gcov JSON output aggregated with python3 (both ship with the gcc
+# toolchain image, so CI needs no extra packages).
+#
+# Usage: tools/coverage.sh <build-dir> [source-root]
+set -euo pipefail
+
+BUILD_DIR=$(cd "${1:?usage: coverage.sh <build-dir> [source-root]}" && pwd)
+SRC_ROOT=$(cd "${2:-$(dirname "$0")/..}" && pwd)
+
+if command -v gcovr >/dev/null 2>&1; then
+  exec gcovr -r "$SRC_ROOT" "$BUILD_DIR" --filter "$SRC_ROOT/src/"
+fi
+
+if ! find "$BUILD_DIR" -name '*.gcda' -print -quit | grep -q .; then
+  echo "coverage.sh: no .gcda files under $BUILD_DIR" >&2
+  echo "  (configure with -DOSN_COVERAGE=ON and run ctest first)" >&2
+  exit 1
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# One gcov JSON per translation unit; duplicate headers are merged below.
+find "$BUILD_DIR" -name '*.gcda' -print0 |
+  (cd "$TMP" && xargs -0 gcov --json-format >/dev/null 2>&1 || true)
+
+python3 - "$TMP" "$SRC_ROOT" <<'PY'
+import glob, gzip, json, os, sys
+
+tmp, src_root = sys.argv[1], sys.argv[2]
+prefix = os.path.join(src_root, "src") + os.sep
+# (file, line) -> max execution count across translation units.
+lines = {}
+for path in glob.glob(os.path.join(tmp, "*.gcov.json.gz")):
+    with gzip.open(path, "rt") as handle:
+        data = json.load(handle)
+    for unit in data.get("files", []):
+        name = os.path.normpath(os.path.join(src_root, unit["file"]))
+        if not name.startswith(prefix):
+            continue
+        for line in unit.get("lines", []):
+            key = (name, line["line_number"])
+            lines[key] = max(lines.get(key, 0), line["count"])
+
+per_file = {}
+for (name, _), count in lines.items():
+    total, covered = per_file.get(name, (0, 0))
+    per_file[name] = (total + 1, covered + (1 if count > 0 else 0))
+
+if not per_file:
+    sys.exit("coverage.sh: no instrumented lines under src/")
+
+width = max(len(os.path.relpath(f, src_root)) for f in per_file) + 2
+grand_total = grand_covered = 0
+for name in sorted(per_file):
+    total, covered = per_file[name]
+    grand_total += total
+    grand_covered += covered
+    rel = os.path.relpath(name, src_root)
+    print(f"{rel:<{width}} {covered:>5}/{total:<5} {100.0 * covered / total:6.1f}%")
+print("-" * (width + 20))
+print(f"{'TOTAL':<{width}} {grand_covered:>5}/{grand_total:<5} "
+      f"{100.0 * grand_covered / grand_total:6.1f}%")
+PY

@@ -1,0 +1,146 @@
+// Golden-trace recorder/checker.
+//
+//   goldens               verify every scenario against tests/goldens/
+//   goldens --update      re-record the goldens (digest JSON + full
+//                         record .osnr for readable diffs)
+//   goldens --scenario N  restrict to one scenario
+//   goldens --jobs N      run the scans with N worker threads (the
+//                         recorded output is identical for any N — that
+//                         is the point of the harness)
+//   goldens --dir DIR     use DIR instead of <source>/tests/goldens
+//
+// Exit status: 0 when all checked scenarios match, 1 on any divergence
+// (with the first diverging record printed, not just a hash mismatch),
+// 2 on usage or I/O errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/goldens.h"
+#include "core/store.h"
+
+namespace {
+
+using namespace originscan;
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+// Verifies one scenario against its committed golden. Returns true on a
+// byte-identical match.
+bool check_scenario(const std::string& dir, std::string_view name,
+                    const std::vector<scan::ScanResult>& results) {
+  const std::string base = dir + "/" + std::string(name);
+  const auto json = read_file(base + ".json");
+  if (!json) {
+    std::fprintf(stderr, "[%.*s] missing golden %s.json (run goldens --update)\n",
+                 static_cast<int>(name.size()), name.data(), base.c_str());
+    return false;
+  }
+  const auto golden = core::GoldenFile::from_json(*json);
+  if (!golden) {
+    std::fprintf(stderr, "[%.*s] unparseable golden %s.json\n",
+                 static_cast<int>(name.size()), name.data(), base.c_str());
+    return false;
+  }
+  const auto mismatch =
+      core::compare_digests(golden->digests, core::digest_all(results));
+  if (!mismatch) {
+    std::printf("[%.*s] OK (%zu results)\n", static_cast<int>(name.size()),
+                name.data(), results.size());
+    return true;
+  }
+  std::fprintf(stderr, "[%.*s] %s\n", static_cast<int>(name.size()),
+               name.data(), mismatch->c_str());
+  // The committed .osnr holds the full golden records: report the first
+  // diverging record, not just the digest delta.
+  if (auto golden_results = core::load_results(base + ".osnr")) {
+    const auto report = core::compare_results(*golden_results, results);
+    std::fprintf(stderr, "%s\n", report.summary().c_str());
+  } else {
+    std::fprintf(stderr,
+                 "(no %s.osnr golden records available for a record-level "
+                 "diff)\n",
+                 base.c_str());
+  }
+  return false;
+}
+
+bool update_scenario(const std::string& dir, std::string_view name,
+                     const std::vector<scan::ScanResult>& results) {
+  const std::string base = dir + "/" + std::string(name);
+  core::GoldenFile golden;
+  golden.scenario = std::string(name);
+  golden.digests = core::digest_all(results);
+  if (!write_file(base + ".json", golden.to_json())) {
+    std::fprintf(stderr, "cannot write %s.json\n", base.c_str());
+    return false;
+  }
+  if (!core::save_results(base + ".osnr", results)) {
+    std::fprintf(stderr, "cannot write %s.osnr\n", base.c_str());
+    return false;
+  }
+  std::printf("[%.*s] recorded %zu results\n", static_cast<int>(name.size()),
+              name.data(), results.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool update = false;
+  int jobs = 1;
+  std::string dir = std::string(OSN_SOURCE_DIR) + "/tests/goldens";
+  std::string only_scenario;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--update") {
+      update = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) jobs = 1;
+    } else if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      only_scenario = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: goldens [--update] [--scenario NAME] [--jobs N] "
+                   "[--dir DIR]\n");
+      return 2;
+    }
+  }
+
+  bool all_ok = true;
+  bool matched = false;
+  for (std::string_view name : core::golden_scenario_names()) {
+    if (!only_scenario.empty() && name != only_scenario) continue;
+    matched = true;
+    const auto results = core::run_golden_scenario(name, jobs);
+    const bool ok = update ? update_scenario(dir, name, results)
+                           : check_scenario(dir, name, results);
+    all_ok = all_ok && ok;
+  }
+  if (!matched) {
+    std::fprintf(stderr, "unknown scenario: %s\n", only_scenario.c_str());
+    return 2;
+  }
+  return all_ok ? 0 : 1;
+}
