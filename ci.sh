@@ -2,10 +2,12 @@
 # Local/CI pipeline. Stages:
 #
 #   unit      fast pre-commit lane: build + `ctest -L unit`
-#   full      build + the whole suite (unit, property, differential, slow)
+#   full      build + the whole suite (unit, property, differential,
+#             crash, slow)
 #   tsan      ORIGINSCAN_SANITIZE=thread build; runs the suites that
-#             exercise the parallel executor and the fault-injected
-#             differential harness under thread sanitizer
+#             exercise the parallel executor, the cell supervisor, and
+#             the fault-injected differential harness under thread
+#             sanitizer
 #   coverage  -DOSN_COVERAGE=ON build, full suite, gcov aggregation
 #   all       unit + full + tsan (default; coverage stays opt-in)
 #
@@ -30,13 +32,15 @@ run_unit() {
 
 run_full() {
   configure_and_build build
-  (cd build && ctest --output-on-failure)
+  # The whole suite, then the kill/resume matrix by its own label so a
+  # crash-lane failure is obvious in the log.
+  (cd build && ctest --output-on-failure && ctest -L crash --output-on-failure)
 }
 
 run_tsan() {
   configure_and_build build-tsan -DORIGINSCAN_SANITIZE=thread
   (cd build-tsan &&
-    ctest -R 'parallel_test|scanner_test|sim_test|core_test|differential_test' \
+    ctest -R 'parallel_test|scanner_test|sim_test|core_test|journal_test|crash_resume_test|differential_test' \
       --output-on-failure)
 }
 

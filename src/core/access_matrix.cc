@@ -16,10 +16,22 @@ AccessMatrix AccessMatrix::build(const Experiment& experiment,
   }
   const std::size_t origin_count = m.origin_codes_.size();
 
-  // Pass 1: the ground-truth host set — every address that completed an
-  // L7 handshake with at least one origin in at least one trial.
+  m.cell_present_.resize(static_cast<std::size_t>(m.trials_) * origin_count);
   for (int t = 0; t < m.trials_; ++t) {
     for (std::size_t o = 0; o < origin_count; ++o) {
+      m.cell_present_[m.cell(t, o)] =
+          experiment.has_cell(t, protocol, static_cast<sim::OriginId>(o));
+    }
+  }
+
+  // Pass 1: the ground-truth host set — every address that completed an
+  // L7 handshake with at least one origin in at least one trial. Lost
+  // cells contribute nothing (their result slots are empty), which is
+  // exactly the partial-grid semantics: ground truth shrinks to what the
+  // surviving scans observed.
+  for (int t = 0; t < m.trials_; ++t) {
+    for (std::size_t o = 0; o < origin_count; ++o) {
+      if (!m.cell_present_[m.cell(t, o)]) continue;
       const auto& result =
           experiment.result(t, protocol, static_cast<sim::OriginId>(o));
       for (const auto& record : result.records) {
@@ -52,6 +64,7 @@ AccessMatrix AccessMatrix::build(const Experiment& experiment,
   // records against the (sorted) host list.
   for (int t = 0; t < m.trials_; ++t) {
     for (std::size_t o = 0; o < origin_count; ++o) {
+      if (!m.cell_present_[m.cell(t, o)]) continue;
       const auto& result =
           experiment.result(t, protocol, static_cast<sim::OriginId>(o));
       const std::size_t cell_index = m.cell(t, o);
@@ -83,6 +96,19 @@ std::size_t AccessMatrix::present_count(int trial) const {
   std::size_t count = 0;
   for (bool p : present_[trial]) count += p ? 1 : 0;
   return count;
+}
+
+std::vector<std::pair<int, std::string>> AccessMatrix::lost_cells() const {
+  std::vector<std::pair<int, std::string>> lost;
+  if (cell_present_.empty()) return lost;
+  for (int t = 0; t < trials_; ++t) {
+    for (std::size_t o = 0; o < origin_codes_.size(); ++o) {
+      if (!cell_present_[cell(t, o)]) {
+        lost.emplace_back(t, origin_codes_[o]);
+      }
+    }
+  }
+  return lost;
 }
 
 }  // namespace originscan::core

@@ -90,6 +90,17 @@ class AccessMatrix {
   // Ground-truth host count for a trial.
   [[nodiscard]] std::size_t present_count(int trial) const;
 
+  // Partial-grid support: false when the (trial, origin) scan was lost
+  // to the supervisor's retry budget (Experiment::has_cell). A lost
+  // cell's rows read as all-inaccessible; analyses that average over
+  // trials must exclude it rather than count it as a miss.
+  [[nodiscard]] bool has_cell(int trial, std::size_t origin) const {
+    return cell_present_.empty() || cell_present_[cell(trial, origin)];
+  }
+  // Lost cells as (trial, origin code) pairs, grid order.
+  [[nodiscard]] std::vector<std::pair<int, std::string>> lost_cells() const;
+  [[nodiscard]] bool partial() const { return !lost_cells().empty(); }
+
  private:
   [[nodiscard]] std::size_t cell(int trial, std::size_t origin) const {
     return static_cast<std::size_t>(trial) * origin_codes_.size() + origin;
@@ -109,6 +120,7 @@ class AccessMatrix {
   std::vector<std::vector<std::uint8_t>> outcome_;     // [cell][host]
   std::vector<std::vector<bool>> explicit_close_;      // [cell][host]
   std::vector<std::vector<std::uint8_t>> probe_hour_;  // [trial][host]
+  std::vector<bool> cell_present_;                     // [cell]; empty = all
 };
 
 }  // namespace originscan::core

@@ -13,6 +13,13 @@ CoverageTable compute_coverage(const AccessMatrix& matrix) {
   table.single_probe.assign(trials, std::vector<double>(origins, 0.0));
   table.union_size.assign(trials, 0);
   table.intersection_fraction.assign(trials, 0.0);
+  table.cell_present.assign(trials, std::vector<bool>(origins, true));
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t o = 0; o < origins; ++o) {
+      table.cell_present[t][o] = matrix.has_cell(t, o);
+    }
+  }
+  table.lost_cells = matrix.lost_cells();
 
   for (int t = 0; t < trials; ++t) {
     std::uint64_t present = 0;
@@ -25,6 +32,7 @@ CoverageTable compute_coverage(const AccessMatrix& matrix) {
       ++present;
       bool all = true;
       for (std::size_t o = 0; o < origins; ++o) {
+        if (!table.cell_present[t][o]) continue;  // lost: no vote either way
         if (matrix.accessible(t, o, h)) {
           ++seen_two[o];
           if (matrix.accessible_single_probe(t, o, h)) ++seen_one[o];
@@ -52,16 +60,24 @@ CoverageTable compute_coverage(const AccessMatrix& matrix) {
 
 double CoverageTable::mean_two_probe(std::size_t origin) const {
   double sum = 0;
-  for (const auto& row : two_probe) sum += row[origin];
-  return two_probe.empty() ? 0.0 : sum / static_cast<double>(two_probe.size());
+  std::size_t count = 0;
+  for (std::size_t t = 0; t < two_probe.size(); ++t) {
+    if (!cell_present.empty() && !cell_present[t][origin]) continue;
+    sum += two_probe[t][origin];
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
 double CoverageTable::mean_single_probe(std::size_t origin) const {
   double sum = 0;
-  for (const auto& row : single_probe) sum += row[origin];
-  return single_probe.empty()
-             ? 0.0
-             : sum / static_cast<double>(single_probe.size());
+  std::size_t count = 0;
+  for (std::size_t t = 0; t < single_probe.size(); ++t) {
+    if (!cell_present.empty() && !cell_present[t][origin]) continue;
+    sum += single_probe[t][origin];
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
 }  // namespace originscan::core

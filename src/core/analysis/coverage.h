@@ -19,8 +19,16 @@ struct CoverageTable {
   // origin agreed on (the intersection).
   std::vector<std::uint64_t> union_size;
   std::vector<double> intersection_fraction;
+  // Partial-grid bookkeeping: cell_present[trial][origin] is false when
+  // that scan was lost to the supervisor's retry budget. A lost cell's
+  // coverage entries read 0 and are excluded from the per-origin means
+  // and from the trial's intersection; lost_cells lists them as
+  // (trial, origin code) pairs for report headers.
+  std::vector<std::vector<bool>> cell_present;
+  std::vector<std::pair<int, std::string>> lost_cells;
 
-  // Mean across trials for one origin.
+  // Mean across trials for one origin, excluding trials whose cell was
+  // lost (never dividing a shrunken sum by the full trial count).
   [[nodiscard]] double mean_two_probe(std::size_t origin) const;
   [[nodiscard]] double mean_single_probe(std::size_t origin) const;
 };

@@ -13,6 +13,9 @@ Classification::Classification(const AccessMatrix& matrix)
       int present = 0;
       int missed = 0;
       for (int t = 0; t < matrix.trials(); ++t) {
+        // A lost (trial, origin) cell says nothing about this origin's
+        // view of the host; classify only over the trials it scanned.
+        if (!matrix.has_cell(t, o)) continue;
         if (!matrix.present(t, h)) continue;
         ++present;
         if (!matrix.accessible(t, o, h)) ++missed;

@@ -39,9 +39,11 @@ class Classification {
   }
 
   // Whether this host, for this origin, is missing in the given trial
-  // (present in ground truth but not accessible).
+  // (present in ground truth but not accessible). A lost (trial, origin)
+  // cell is never "missing" — the origin did not get to scan it.
   [[nodiscard]] bool missing(int trial, std::size_t origin, HostIdx h) const {
-    return matrix_->present(trial, h) && !matrix_->accessible(trial, origin, h);
+    return matrix_->has_cell(trial, origin) && matrix_->present(trial, h) &&
+           !matrix_->accessible(trial, origin, h);
   }
 
   // ---- Aggregates ----------------------------------------------------

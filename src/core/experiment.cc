@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/parallel.h"
+#include "netbase/sha256.h"
 
 namespace originscan::core {
 namespace {
@@ -46,13 +47,60 @@ std::size_t Experiment::index(int trial, std::size_t protocol_index,
 }
 
 void Experiment::run(const std::function<void(std::string_view)>& progress) {
+  const RunReport report = run_journaled(nullptr, SupervisorPolicy{}, progress);
+  if (report.status == RunReport::Status::kKilled) {
+    throw std::runtime_error(
+        "experiment killed (" + report.kill_reason +
+        "); run with a journal (--resume-dir) to make this recoverable");
+  }
+}
+
+std::string Experiment::config_fingerprint() const {
+  // Canonical description of everything that determines the output.
+  // jobs and faults are deliberately excluded: a journal written at one
+  // jobs value resumes at any other, and resuming *without* the fault
+  // that killed the original run is the whole point.
+  std::string canon = "seed=" + std::to_string(config_.scenario.seed);
+  canon += ";universe=" + std::to_string(world_.universe_size);
+  canon += ";origins=";
+  for (const auto& origin : world_.origins) canon += origin.code + ",";
+  canon += ";trials=" + std::to_string(config_.trials);
+  canon += ";protocols=";
+  for (proto::Protocol p : config_.protocols) {
+    canon += std::string(proto::name_of(p)) + ",";
+  }
+  canon += ";probes=" + std::to_string(config_.probes);
+  canon +=
+      ";probe_interval=" + std::to_string(config_.probe_interval.micros());
+  canon += ";l7_retries=" + std::to_string(config_.l7_retries);
+  canon += ";uniform_loss=" +
+           std::to_string(config_.uniform_random_loss ? 1 : 0);
+  canon += ";duration=" + std::to_string(config_.scan_duration.micros());
+  canon += ";banner_retry=" +
+           std::to_string(config_.retry_banner_failures ? 1 : 0);
+  canon += ";blocklist=" + std::to_string(config_.blocklist.blocked_count());
+  return net::Sha256::hex(net::Sha256::of(std::span(
+      reinterpret_cast<const std::uint8_t*>(canon.data()), canon.size())));
+}
+
+RunReport Experiment::run_journaled(
+    ExperimentJournal* journal, const SupervisorPolicy& policy,
+    const std::function<void(std::string_view)>& progress) {
   assert(results_.empty() && "Experiment::run called twice");
-  results_.resize(static_cast<std::size_t>(config_.trials) *
-                  config_.protocols.size() * world_.origins.size());
+  const std::size_t protocol_count = config_.protocols.size();
+  const std::size_t origin_count = world_.origins.size();
+  const std::size_t total =
+      static_cast<std::size_t>(config_.trials) * protocol_count * origin_count;
+  results_.resize(total);
+  lost_.assign(total, false);
+
+  RunReport report;
+  report.cells_total = total;
 
   // One Internet per trial, created up front: the PolicyEngine
   // constructors pre-insert the persistent IDS map entries serially,
-  // before any worker thread can touch them.
+  // before any worker thread can touch them. This must also precede the
+  // journal adoption below — restore_ids writes into those entries.
   std::vector<std::unique_ptr<sim::Internet>> internets;
   internets.reserve(static_cast<std::size_t>(config_.trials));
   for (int trial = 0; trial < config_.trials; ++trial) {
@@ -67,89 +115,341 @@ void Experiment::run(const std::function<void(std::string_view)>& progress) {
     internets.back()->set_fault_injector(config_.faults);
   }
 
-  std::mutex progress_mutex;
-  const auto run_cell = [&](int trial, std::size_t p, sim::OriginId origin) {
-    scan::ScanOptions options;
-    options.probes = config_.probes;
-    options.probe_interval = config_.probe_interval;
-    options.l7_retries = config_.l7_retries;
-    options.blocklist = config_.blocklist;
-    options.scan_duration = config_.scan_duration;
-    options.retry_banner_failures = config_.retry_banner_failures;
-    options.faults = config_.faults;
-    auto result = scan::run_scan(*internets[static_cast<std::size_t>(trial)],
-                                 origin, config_.protocols[p], options);
-    if (progress) {
-      std::scoped_lock lock(progress_mutex);
-      progress("trial " + std::to_string(trial + 1) + " " +
-               std::string(proto::name_of(config_.protocols[p])) + " " +
-               result.origin_code + ": " +
-               std::to_string(result.completed_count()) + " hosts");
+  const auto cell_key = [&](int trial, std::size_t p,
+                            sim::OriginId origin) {
+    return CellKey{world_.origins[origin].code, config_.protocols[p], trial};
+  };
+
+  std::vector<bool> adopted(total, false);
+  if (journal != nullptr) {
+    // Every journal entry must map into this grid (the fingerprint check
+    // at open makes a mismatch here a corrupt journal, not a config
+    // change).
+    for (const JournalEntry& entry : journal->entries()) {
+      const sim::OriginId origin = world_.origin_id(entry.key.origin_code);
+      if (origin == ~sim::OriginId{0}) {
+        throw std::runtime_error("journal names unknown origin \"" +
+                                 entry.key.origin_code + "\"");
+      }
+      bool known_protocol = false;
+      for (proto::Protocol p : config_.protocols) {
+        known_protocol = known_protocol || p == entry.key.protocol;
+      }
+      if (!known_protocol || entry.key.trial < 0 ||
+          entry.key.trial >= config_.trials) {
+        throw std::runtime_error(
+            "journal entry outside the experiment grid: " +
+            entry.key.origin_code + " " +
+            std::string(proto::name_of(entry.key.protocol)) + " trial " +
+            std::to_string(entry.key.trial));
+      }
     }
-    results_[index(trial, p, origin)] = std::move(result);
+
+    // Adopt per origin, in chain order. Entries must form a prefix of
+    // the origin's chain: the journal appends in execution order, so a
+    // gap means lost manifest lines — the IDS snapshots after the gap
+    // would no longer describe the state their cells actually saw.
+    for (sim::OriginId origin = 0; origin < origin_count; ++origin) {
+      bool gap = false;
+      bool have_snapshot = false;
+      IdsSnapshot latest;
+      for (int trial = 0; trial < config_.trials; ++trial) {
+        for (std::size_t p = 0; p < protocol_count; ++p) {
+          const CellKey key = cell_key(trial, p, origin);
+          const JournalEntry* entry = journal->find(key);
+          const std::size_t slot = index(trial, p, origin);
+          if (entry == nullptr) {
+            gap = true;
+            continue;
+          }
+          if (gap) {
+            throw std::runtime_error(
+                "journal for origin " + key.origin_code +
+                " is not a chain prefix: cell " +
+                std::string(proto::name_of(key.protocol)) + " trial " +
+                std::to_string(key.trial) + " follows a missing cell");
+          }
+          if (entry->status == JournalEntry::Status::kDone) {
+            std::string load_error;
+            IdsSnapshot snapshot;
+            auto result = journal->load_cell(*entry, &snapshot, &load_error);
+            if (!result.has_value()) {
+              throw std::runtime_error("journal corrupt: " + load_error);
+            }
+            results_[slot] = std::move(*result);
+            adopted[slot] = true;
+            latest = std::move(snapshot);
+            have_snapshot = true;
+            ++report.cells_adopted;
+          } else {
+            // A lost cell stays lost on resume: its chain already moved
+            // past it, so re-running it now would see later IDS state.
+            lost_[slot] = true;
+            report.lost.push_back(key);
+          }
+        }
+      }
+      // The latest done cell's snapshot is cumulative for the origin
+      // (serial chain, disjoint source IPs): restoring it puts the IDS
+      // exactly where the chain's next un-run cell expects it.
+      if (have_snapshot) {
+        restore_ids(persistent_, world_.origins[origin].source_ips, latest);
+      }
+    }
+  }
+
+  CellSupervisor supervisor(policy, config_.faults);
+  std::mutex mutex;  // guards journal appends, report, progress
+  std::vector<std::size_t> lost_slots;
+
+  // Runs one cell under the supervisor; false aborts the caller's chain
+  // (simulated process death).
+  const auto run_cell = [&](int trial, std::size_t p,
+                            sim::OriginId origin) -> bool {
+    const std::size_t slot = index(trial, p, origin);
+    if (adopted[slot] || lost_[slot]) return true;
+    const CellKey key = cell_key(trial, p, origin);
+    const auto source_ips =
+        std::span<const net::Ipv4Addr>(world_.origins[origin].source_ips);
+
+    CellOutcome outcome = supervisor.run_cell(
+        slot,
+        [&](const scan::CancelToken& token) {
+          scan::ScanOptions options;
+          options.probes = config_.probes;
+          options.probe_interval = config_.probe_interval;
+          options.l7_retries = config_.l7_retries;
+          options.blocklist = config_.blocklist;
+          options.scan_duration = config_.scan_duration;
+          options.retry_banner_failures = config_.retry_banner_failures;
+          options.faults = config_.faults;
+          options.cancel = &token;
+          return scan::run_scan(
+              *internets[static_cast<std::size_t>(trial)], origin,
+              config_.protocols[p], options);
+        },
+        [&] { return capture_ids(persistent_, source_ips); },
+        [&](const IdsSnapshot& snapshot) {
+          restore_ids(persistent_, source_ips, snapshot);
+        });
+
+    if (outcome.status == CellOutcome::Status::kKilled) return false;
+
+    std::scoped_lock lock(mutex);
+    report.retries +=
+        static_cast<std::uint64_t>(std::max(0, outcome.attempts - 1));
+    if (outcome.status == CellOutcome::Status::kDone) {
+      if (journal != nullptr && !supervisor.killed()) {
+        const IdsSnapshot post = capture_ids(persistent_, source_ips);
+        std::string journal_error;
+        if (!journal->record_done(key, outcome.result, post,
+                                  outcome.attempts, &journal_error)) {
+          throw std::runtime_error("journal write failed: " + journal_error);
+        }
+      }
+      if (progress) {
+        progress("trial " + std::to_string(trial + 1) + " " +
+                 std::string(proto::name_of(config_.protocols[p])) + " " +
+                 outcome.result.origin_code + ": " +
+                 std::to_string(outcome.result.completed_count()) + " hosts");
+      }
+      results_[slot] = std::move(outcome.result);
+      ++report.cells_run;
+    } else {  // kLost
+      lost_[slot] = true;
+      lost_slots.push_back(slot);
+      if (journal != nullptr && !supervisor.killed()) {
+        std::string journal_error;
+        if (!journal->record_lost(key, outcome.attempts, outcome.reason,
+                                  &journal_error)) {
+          throw std::runtime_error("journal write failed: " + journal_error);
+        }
+      }
+      if (progress) {
+        progress("trial " + std::to_string(trial + 1) + " " +
+                 std::string(proto::name_of(config_.protocols[p])) + " " +
+                 key.origin_code + ": LOST (" + outcome.reason + ")");
+      }
+    }
+    return true;
   };
 
   const int jobs = std::max(1, config_.jobs);
   if (jobs == 1) {
-    for (int trial = 0; trial < config_.trials; ++trial) {
-      for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
-        for (sim::OriginId origin = 0; origin < world_.origins.size();
+    bool alive = true;
+    for (int trial = 0; alive && trial < config_.trials; ++trial) {
+      for (std::size_t p = 0; alive && p < protocol_count; ++p) {
+        for (sim::OriginId origin = 0; alive && origin < origin_count;
              ++origin) {
-          run_cell(trial, p, origin);
+          alive = run_cell(trial, p, origin);
         }
       }
     }
-    return;
+  } else {
+    // Parallel fan-out: one serial chain per origin, each running its
+    // cells in (trial, protocol) order. An origin's IDS counter keys are
+    // its own source IPs, so per-key mutation order — the only thing the
+    // simulation's outputs can observe — matches the serial schedule no
+    // matter how the chains interleave. Scans inside a chain stay
+    // single-threaded (no nested pools).
+    std::vector<std::function<void()>> chains;
+    chains.reserve(origin_count);
+    for (sim::OriginId origin = 0; origin < origin_count; ++origin) {
+      chains.push_back([this, &run_cell, &protocol_count, origin] {
+        for (int trial = 0; trial < config_.trials; ++trial) {
+          for (std::size_t p = 0; p < protocol_count; ++p) {
+            if (!run_cell(trial, p, origin)) return;
+          }
+        }
+      });
+    }
+    run_parallel(jobs, std::move(chains));
   }
 
-  // Parallel fan-out: one serial chain per origin, each running its
-  // cells in (trial, protocol) order. An origin's IDS counter keys are
-  // its own source IPs, so per-key mutation order — the only thing the
-  // simulation's outputs can observe — matches the serial schedule no
-  // matter how the chains interleave. Scans inside a chain stay
-  // single-threaded (no nested pools).
-  std::vector<std::function<void()>> chains;
-  chains.reserve(world_.origins.size());
-  for (sim::OriginId origin = 0; origin < world_.origins.size(); ++origin) {
-    chains.push_back([this, &run_cell, origin] {
-      for (int trial = 0; trial < config_.trials; ++trial) {
-        for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
-          run_cell(trial, p, origin);
-        }
-      }
-    });
+  if (supervisor.killed()) {
+    // Simulated process death: the in-memory grid is as gone as it would
+    // be under a real SIGKILL. Everything recoverable lives in the
+    // journal; resume with a fresh Experiment over the same journal dir.
+    results_.clear();
+    lost_.clear();
+    report.status = RunReport::Status::kKilled;
+    report.kill_reason = "cell_crash fault";
+    return report;
   }
-  run_parallel(jobs, std::move(chains));
+
+  // Lost cells adopted from the journal are already in report.lost (in
+  // chain order); add the freshly lost ones and normalize to grid order.
+  for (std::size_t slot : lost_slots) {
+    const std::size_t origin = slot % origin_count;
+    const std::size_t p = (slot / origin_count) % protocol_count;
+    const int trial = static_cast<int>(slot / (origin_count * protocol_count));
+    report.lost.push_back(cell_key(trial, p, origin));
+  }
+  std::sort(report.lost.begin(), report.lost.end(),
+            [&](const CellKey& a, const CellKey& b) {
+              const auto slot_of = [&](const CellKey& k) {
+                std::size_t p = 0;
+                for (std::size_t i = 0; i < protocol_count; ++i) {
+                  if (config_.protocols[i] == k.protocol) p = i;
+                }
+                return index(k.trial, p, world_.origin_id(k.origin_code));
+              };
+              return slot_of(a) < slot_of(b);
+            });
+  report.cells_lost = report.lost.size();
+  report.status = report.lost.empty() ? RunReport::Status::kComplete
+                                      : RunReport::Status::kPartial;
+  return report;
 }
 
 bool Experiment::adopt_results(std::vector<scan::ScanResult> results) {
-  if (!results_.empty()) return false;
+  return adopt_results(std::move(results), nullptr);
+}
+
+bool Experiment::adopt_results(std::vector<scan::ScanResult> results,
+                               std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  const auto cell_name = [this](int trial, proto::Protocol protocol,
+                                std::string_view code) {
+    return std::string(code) + " " + std::string(proto::name_of(protocol)) +
+           " trial " + std::to_string(trial);
+  };
+
+  if (!results_.empty()) return fail("experiment has already run");
   const std::size_t expected = static_cast<std::size_t>(config_.trials) *
                                config_.protocols.size() *
                                world_.origins.size();
-  if (results.size() != expected) return false;
+  if (results.size() != expected) {
+    return fail("expected " + std::to_string(expected) + " results (" +
+                std::to_string(config_.trials) + " trials x " +
+                std::to_string(config_.protocols.size()) + " protocols x " +
+                std::to_string(world_.origins.size()) + " origins), got " +
+                std::to_string(results.size()));
+  }
 
   std::vector<scan::ScanResult> arranged(expected);
   std::vector<bool> filled(expected, false);
   for (auto& result : results) {
     const sim::OriginId origin = world_.origin_id(result.origin_code);
-    if (origin == ~sim::OriginId{0}) return false;
+    if (origin == ~sim::OriginId{0}) {
+      std::string roster;
+      for (const auto& spec : world_.origins) {
+        if (!roster.empty()) roster += " ";
+        roster += spec.code;
+      }
+      return fail("unknown origin code \"" + result.origin_code +
+                  "\" (roster: " + roster + ")");
+    }
     std::size_t protocol_index = config_.protocols.size();
     for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
       if (config_.protocols[p] == result.protocol) protocol_index = p;
     }
-    if (protocol_index == config_.protocols.size()) return false;
-    if (result.trial < 0 || result.trial >= config_.trials) return false;
+    if (protocol_index == config_.protocols.size()) {
+      return fail("protocol " + std::string(proto::name_of(result.protocol)) +
+                  " is not part of this experiment");
+    }
+    if (result.trial < 0 || result.trial >= config_.trials) {
+      return fail("trial " + std::to_string(result.trial) +
+                  " outside 0.." + std::to_string(config_.trials - 1) +
+                  " for cell " +
+                  cell_name(result.trial, result.protocol,
+                            result.origin_code));
+    }
     const std::size_t slot = index(result.trial, protocol_index, origin);
-    if (filled[slot]) return false;
+    if (filled[slot]) {
+      return fail("duplicate cell " + cell_name(result.trial, result.protocol,
+                                                result.origin_code));
+    }
     arranged[slot] = std::move(result);
     filled[slot] = true;
   }
-  for (bool f : filled) {
-    if (!f) return false;
+  for (std::size_t slot = 0; slot < filled.size(); ++slot) {
+    if (!filled[slot]) {
+      const std::size_t origin = slot % world_.origins.size();
+      const std::size_t p =
+          (slot / world_.origins.size()) % config_.protocols.size();
+      const int trial = static_cast<int>(
+          slot / (world_.origins.size() * config_.protocols.size()));
+      return fail("missing cell " +
+                  cell_name(trial, config_.protocols[p],
+                            world_.origins[origin].code));
+    }
   }
   results_ = std::move(arranged);
+  lost_.assign(expected, false);
   return true;
+}
+
+bool Experiment::has_cell(int trial, proto::Protocol protocol,
+                          sim::OriginId origin) const {
+  if (results_.empty()) return false;
+  for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
+    if (config_.protocols[p] == protocol) {
+      const std::size_t slot = index(trial, p, origin);
+      return lost_.empty() || !lost_[slot];
+    }
+  }
+  return false;
+}
+
+std::vector<CellKey> Experiment::lost_cells() const {
+  std::vector<CellKey> lost;
+  if (results_.empty() || lost_.empty()) return lost;
+  for (int trial = 0; trial < config_.trials; ++trial) {
+    for (std::size_t p = 0; p < config_.protocols.size(); ++p) {
+      for (sim::OriginId origin = 0; origin < world_.origins.size();
+           ++origin) {
+        if (lost_[index(trial, p, origin)]) {
+          lost.push_back(CellKey{world_.origins[origin].code,
+                                 config_.protocols[p], trial});
+        }
+      }
+    }
+  }
+  return lost;
 }
 
 const scan::ScanResult& Experiment::result(int trial,

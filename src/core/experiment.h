@@ -6,9 +6,12 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/journal.h"
+#include "core/supervisor.h"
 #include "proto/protocol.h"
 #include "scanner/orchestrator.h"
 #include "sim/internet.h"
@@ -53,6 +56,26 @@ struct ExperimentConfig {
   const fault::FaultInjector* faults = nullptr;
 };
 
+// Outcome of one (possibly resumed, possibly degraded) experiment run.
+struct RunReport {
+  enum class Status {
+    kComplete,  // every cell present
+    kPartial,   // some cells lost (retry budget exhausted); grid usable
+    kKilled,    // simulated process death; results cleared, resume from
+                // the journal with a fresh Experiment
+  };
+  Status status = Status::kComplete;
+  std::size_t cells_total = 0;
+  std::size_t cells_adopted = 0;  // taken from the journal, not re-run
+  std::size_t cells_run = 0;
+  std::size_t cells_lost = 0;
+  std::uint64_t retries = 0;  // attempts beyond the first, summed
+  std::vector<CellKey> lost;  // lost cells, grid order
+  std::string kill_reason;    // kKilled only
+
+  [[nodiscard]] bool complete() const { return status == Status::kComplete; }
+};
+
 class Experiment {
  public:
   explicit Experiment(ExperimentConfig config);
@@ -64,13 +87,37 @@ class Experiment {
   Experiment(ExperimentConfig config, sim::World world);
 
   // Runs every scan. `progress` (optional) receives one line per scan.
+  // Throws std::runtime_error if a cell_crash fault kills the run (use
+  // run_journaled with a journal to make that recoverable).
   void run(const std::function<void(std::string_view)>& progress = {});
+
+  // Crash-safe run: journaled cells are adopted (skipping their scans,
+  // restoring the persisted IDS snapshots), missing cells run under the
+  // CellSupervisor and are journaled as they complete. The determinism
+  // contract extends across the kill: a run killed after any cell and
+  // resumed — at any jobs value — produces results byte-identical to an
+  // uninterrupted run. `journal` may be null (plain supervised run, no
+  // persistence). Throws std::runtime_error on journal corruption or a
+  // journal that is not a per-origin chain prefix of this grid.
+  RunReport run_journaled(
+      ExperimentJournal* journal, const SupervisorPolicy& policy = {},
+      const std::function<void(std::string_view)>& progress = {});
+
+  // Hex fingerprint of everything that determines this experiment's
+  // output (seed, universe, roster, grid shape, scan parameters —
+  // deliberately not jobs or faults). Journals are bound to it so a
+  // resume under a changed config fails loudly.
+  [[nodiscard]] std::string config_fingerprint() const;
 
   // Adopts previously saved results (core/store.h) instead of scanning.
   // The results must cover exactly this experiment's trials x protocols
   // x origins grid (matched by origin code, protocol, and trial);
-  // returns false and leaves the experiment unrun otherwise.
+  // returns false and leaves the experiment unrun otherwise. The
+  // diagnostic overload explains the first mismatch (expected/got cell
+  // listing) in `error`.
   bool adopt_results(std::vector<scan::ScanResult> results);
+  bool adopt_results(std::vector<scan::ScanResult> results,
+                     std::string* error);
 
   // Flat view of all results, e.g. for core::save_results.
   [[nodiscard]] const std::vector<scan::ScanResult>& all_results() const {
@@ -91,6 +138,13 @@ class Experiment {
                                                sim::OriginId origin) const;
   [[nodiscard]] bool has_run() const { return !results_.empty(); }
 
+  // Partial-grid support: whether this cell's scan actually completed
+  // (false for cells lost to an exhausted retry budget — their result
+  // slots are empty and analysis must exclude them).
+  [[nodiscard]] bool has_cell(int trial, proto::Protocol protocol,
+                              sim::OriginId origin) const;
+  [[nodiscard]] std::vector<CellKey> lost_cells() const;
+
   // Ad-hoc extra scans against this experiment's world (used by the
   // retry experiment of Section 6 and the fresh-IP confirmation of
   // Section 7). `trial` selects host liveness; persistent IDS state is
@@ -107,6 +161,9 @@ class Experiment {
   sim::World world_;
   sim::PersistentState persistent_;
   std::vector<scan::ScanResult> results_;
+  // Parallel to results_ once run: true for cells lost to the retry
+  // budget. Empty (= all present) for adopted result sets.
+  std::vector<bool> lost_;
 };
 
 }  // namespace originscan::core

@@ -124,12 +124,7 @@ std::vector<scan::ScanResult> run_clean_small(
 
 std::vector<scan::ScanResult> run_paper_small(
     int jobs, const fault::FaultInjector* faults) {
-  ExperimentConfig config;
-  config.scenario = sim::ScenarioConfig::paper_default();
-  config.scenario.universe_size = 1u << 13;
-  config.trials = 2;
-  config.protocols = {proto::Protocol::kHttp, proto::Protocol::kSsh};
-  config.l7_retries = 1;
+  ExperimentConfig config = paper_small_config();
   config.jobs = jobs;
   config.faults = faults;
   Experiment experiment(config);
@@ -138,6 +133,16 @@ std::vector<scan::ScanResult> run_paper_small(
 }
 
 }  // namespace
+
+ExperimentConfig paper_small_config() {
+  ExperimentConfig config;
+  config.scenario = sim::ScenarioConfig::paper_default();
+  config.scenario.universe_size = 1u << 13;
+  config.trials = 2;
+  config.protocols = {proto::Protocol::kHttp, proto::Protocol::kSsh};
+  config.l7_retries = 1;
+  return config;
+}
 
 // ---- Digests --------------------------------------------------------
 

@@ -81,6 +81,12 @@ struct GoldenFile {
     std::string_view name, int jobs = 1,
     const fault::FaultInjector* faults = nullptr);
 
+// The paper_small scenario's ExperimentConfig (jobs/faults at their
+// defaults). Exported so tools/goldens --via-resume can reproduce the
+// scenario through a kill-and-resume journal cycle and check the result
+// against the same committed digests.
+[[nodiscard]] ExperimentConfig paper_small_config();
+
 // ---- Differential comparison ----------------------------------------
 
 // How a faulted run's output relates to the golden run's.

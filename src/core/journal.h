@@ -1,0 +1,155 @@
+// Crash-safe experiment journal: every completed (trial, protocol,
+// origin) cell is persisted the moment it finishes, so a run killed at
+// any instant resumes from its journal and completes with byte-identical
+// output (see DESIGN.md §6d and Experiment::run_journaled).
+//
+// On-disk layout — one directory per run:
+//
+//   MANIFEST                      append-only, fsync'd per line:
+//     osnr-journal v1 fingerprint=<hex>         (header, written at open)
+//     done <origin> <proto> <trial> attempts=N sha256=<hex> segment=<stem>
+//     lost <origin> <proto> <trial> attempts=N reason=<text>
+//   <stem>.osnr                   single-cell store segment (v2, CRC'd)
+//   <stem>.ids                    CRC'd sidecar: the origin's post-cell
+//                                 IDS snapshot + the result fields the
+//                                 store format omits (L4 stats, attempt
+//                                 histogram) so adopted cells reproduce
+//                                 golden digests exactly
+//
+// The manifest line is appended only *after* both sidecar files are
+// durably written, so a crash between cell completion and manifest
+// append simply re-runs the cell: every state the journal can be left in
+// is either "cell fully recorded" or "cell absent". A torn trailing line
+// (crash mid-append) is detected by the missing newline and dropped.
+//
+// Why IDS snapshots make cell-granular resume sound: the only mutable
+// cross-cell state in the simulation is PersistentState's per-AS IDS
+// counters, keyed by source IP. Origins own disjoint source IPs and an
+// origin's cells run as one serial chain, so the snapshot taken after an
+// origin's k-th cell is exactly the state its (k+1)-th cell started from
+// — restoring the origin's latest snapshot and re-running its remaining
+// cells reproduces the uninterrupted run byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/protocol.h"
+#include "scanner/orchestrator.h"
+#include "sim/policy.h"
+
+namespace originscan::core {
+
+// One origin's view of the cross-trial IDS state, captured after a cell
+// completes. Only entries keyed by the origin's own source IPs are
+// included — that is the entire slice of PersistentState the origin's
+// chain can read or write.
+struct IdsSnapshot {
+  struct AsEntry {
+    sim::AsId as = 0;
+    // (source IP, value) pairs, sorted by IP (map iteration order).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> probe_counts;
+    std::vector<std::pair<std::uint32_t, int>> blocked_ips;
+
+    friend bool operator==(const AsEntry&, const AsEntry&) = default;
+  };
+  std::vector<AsEntry> entries;  // sorted by AS id
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<IdsSnapshot> parse(std::span<const std::uint8_t> data);
+
+  friend bool operator==(const IdsSnapshot&, const IdsSnapshot&) = default;
+};
+
+// Captures the slice of `state` keyed by `source_ips` (one origin's
+// addresses). Takes the per-AS shard locks, so it is safe while other
+// origins' chains are scanning.
+[[nodiscard]] IdsSnapshot capture_ids(
+    sim::PersistentState& state, std::span<const net::Ipv4Addr> source_ips);
+
+// Restores the origin's slice: erases every entry keyed by `source_ips`,
+// then reinserts the snapshot's. Other origins' entries are untouched.
+void restore_ids(sim::PersistentState& state,
+                 std::span<const net::Ipv4Addr> source_ips,
+                 const IdsSnapshot& snapshot);
+
+// Identity of one grid cell, as spelled in the manifest.
+struct CellKey {
+  std::string origin_code;
+  proto::Protocol protocol{};
+  int trial = 0;
+
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+};
+
+struct JournalEntry {
+  enum class Status { kDone, kLost };
+  Status status = Status::kDone;
+  CellKey key;
+  int attempts = 1;
+  std::string record_sha256;  // done only: digest of the packed records
+  std::string segment;        // done only: sidecar file stem
+  std::string reason;         // lost only
+};
+
+// Append-only journal over one experiment run. Open once per process;
+// record_* calls are not internally synchronized (Experiment serializes
+// them behind a mutex).
+class ExperimentJournal {
+ public:
+  // Opens (creating if needed) the journal directory. `fingerprint`
+  // identifies the experiment configuration (Experiment::
+  // config_fingerprint); opening an existing journal with a different
+  // fingerprint fails — resuming under a changed config would silently
+  // produce a franken-run. An empty fingerprint is inspect mode: the
+  // journal must already exist and its own fingerprint is adopted
+  // (read-only use; never record cells through such a handle).
+  static std::optional<ExperimentJournal> open(const std::string& dir,
+                                               const std::string& fingerprint,
+                                               std::string* error = nullptr);
+
+  ExperimentJournal(ExperimentJournal&&) = default;
+  ExperimentJournal& operator=(ExperimentJournal&&) = default;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] const std::string& fingerprint() const { return fingerprint_; }
+  // Entries replayed from the manifest at open, in append order.
+  [[nodiscard]] const std::vector<JournalEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const JournalEntry* find(const CellKey& key) const;
+
+  // Loads a done cell's segment, verifying the store CRCs and the
+  // manifest's record digest. `snapshot` (optional out) receives the
+  // cell's IDS sidecar. Returns nullopt (with `error`) on any integrity
+  // failure — a corrupt segment means the cell must be re-run, never
+  // silently adopted.
+  std::optional<scan::ScanResult> load_cell(const JournalEntry& entry,
+                                            IdsSnapshot* snapshot = nullptr,
+                                            std::string* error = nullptr) const;
+
+  // Persists a completed cell: writes segment + IDS sidecar, fsyncs
+  // them, then appends (and fsyncs) the manifest line.
+  bool record_done(const CellKey& key, const scan::ScanResult& result,
+                   const IdsSnapshot& snapshot, int attempts,
+                   std::string* error = nullptr);
+
+  // Marks a cell lost (retry budget exhausted). Analysis treats the cell
+  // as absent; resume does not re-run it (see Experiment::run_journaled).
+  bool record_lost(const CellKey& key, int attempts, const std::string& reason,
+                   std::string* error = nullptr);
+
+ private:
+  ExperimentJournal() = default;
+
+  bool append_manifest_line(const std::string& line, std::string* error);
+
+  std::string dir_;
+  std::string fingerprint_;
+  std::vector<JournalEntry> entries_;
+};
+
+}  // namespace originscan::core

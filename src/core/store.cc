@@ -1,25 +1,28 @@
 #include "core/store.h"
 
+#include <cassert>
 #include <cstdio>
 
 #include "netbase/byteio.h"
+#include "netbase/crc32.h"
 
 namespace originscan::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4F534E52;  // "OSNR"
-constexpr std::uint32_t kVersion = 1;
 
 }  // namespace
 
 std::vector<std::uint8_t> serialize_results(
-    const std::vector<scan::ScanResult>& results) {
+    const std::vector<scan::ScanResult>& results, std::uint32_t version) {
+  assert(version == kStoreVersionNoCrc || version == kStoreVersion);
   std::vector<std::uint8_t> out;
   net::ByteWriter w(out);
   w.u32(kMagic);
-  w.u32(kVersion);
+  w.u32(version);
   w.u32(static_cast<std::uint32_t>(results.size()));
   for (const auto& result : results) {
+    const std::size_t block_start = out.size();
     w.u16(static_cast<std::uint16_t>(result.origin_code.size()));
     w.bytes(std::span(
         reinterpret_cast<const std::uint8_t*>(result.origin_code.data()),
@@ -35,6 +38,10 @@ std::vector<std::uint8_t> serialize_results(
       w.u8(record.explicit_close ? 1 : 0);
       w.u32(record.probe_second);
     }
+    if (version >= kStoreVersion) {
+      w.u32(net::crc32(
+          std::span(out.data() + block_start, out.size() - block_start)));
+    }
   }
   return out;
 }
@@ -43,7 +50,9 @@ std::optional<std::vector<scan::ScanResult>> parse_results(
     std::span<const std::uint8_t> data) {
   net::ByteReader r(data);
   if (r.u32() != kMagic) return std::nullopt;
-  if (r.u32() != kVersion) return std::nullopt;
+  const std::uint32_t version = r.u32();
+  if (version != kStoreVersionNoCrc && version != kStoreVersion)
+    return std::nullopt;
   const std::uint32_t count = r.u32();
   if (!r.ok()) return std::nullopt;
   // Each result needs at least its 15-byte header; bound the allocation
@@ -54,6 +63,7 @@ std::optional<std::vector<scan::ScanResult>> parse_results(
   results.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     scan::ScanResult result;
+    const std::size_t block_start = r.position();
     const std::uint16_t code_length = r.u16();
     auto code = r.bytes(code_length);
     if (!r.ok()) return std::nullopt;
@@ -79,6 +89,11 @@ std::optional<std::vector<scan::ScanResult>> parse_results(
       result.records.push_back(record);
     }
     if (!r.ok()) return std::nullopt;
+    if (version >= kStoreVersion) {
+      const std::uint32_t want = net::crc32(
+          data.subspan(block_start, r.position() - block_start));
+      if (r.u32() != want || !r.ok()) return std::nullopt;
+    }
     results.push_back(std::move(result));
   }
   if (r.remaining() != 0) return std::nullopt;

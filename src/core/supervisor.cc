@@ -1,0 +1,74 @@
+#include "core/supervisor.h"
+
+#include <algorithm>
+
+namespace originscan::core {
+
+CellOutcome CellSupervisor::run_cell(
+    std::uint64_t cell_index,
+    const std::function<scan::ScanResult(const scan::CancelToken&)>&
+        run_attempt,
+    const std::function<IdsSnapshot()>& capture,
+    const std::function<void(const IdsSnapshot&)>& restore) {
+  CellOutcome outcome;
+
+  if (kill_.cancelled()) {
+    outcome.status = CellOutcome::Status::kKilled;
+    outcome.reason = "run already killed";
+    return outcome;
+  }
+  if (faults_ != nullptr && faults_->cell_crash(cell_index)) {
+    // Simulated process death: trip the shared kill token so every other
+    // chain aborts at its next batch check. No longjmp, no exception —
+    // the run winds down cooperatively and reports kKilled.
+    kill_.cancel();
+    outcome.status = CellOutcome::Status::kKilled;
+    outcome.reason = "cell_crash at cell " + std::to_string(cell_index);
+    return outcome;
+  }
+
+  const IdsSnapshot pre = capture();
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    scan::CancelToken attempt_token(&kill_);
+    const std::uint64_t hang_seconds =
+        faults_ == nullptr ? 0
+                           : faults_->cell_hang_seconds(cell_index, attempt);
+    if (hang_seconds > 0 &&
+        net::VirtualTime::from_seconds(static_cast<double>(hang_seconds)) >
+            policy_.cell_deadline) {
+      // The attempt would stall past its deadline. Deterministic stand-in
+      // for a watchdog firing: pre-trip the attempt's token so the scan
+      // aborts at its first batch check, before mutating any IDS state.
+      attempt_token.cancel();
+    }
+
+    scan::ScanResult result = run_attempt(attempt_token);
+    ++outcome.attempts;
+    if (kill_.cancelled()) {
+      outcome.status = CellOutcome::Status::kKilled;
+      outcome.reason = "killed during cell " + std::to_string(cell_index);
+      return outcome;
+    }
+    if (!result.aborted) {
+      outcome.status = CellOutcome::Status::kDone;
+      outcome.result = std::move(result);
+      return outcome;
+    }
+
+    // Failed attempt: roll the origin's IDS slice back to the pre-cell
+    // snapshot (a partial sweep may have fed counters) and back off.
+    restore(pre);
+    const std::int64_t backoff_micros =
+        std::min(policy_.backoff_cap.micros(),
+                 policy_.backoff_base.micros() << attempt);
+    outcome.backoff_total += net::VirtualTime::from_micros(backoff_micros);
+  }
+
+  restore(pre);
+  outcome.status = CellOutcome::Status::kLost;
+  outcome.reason = "deadline exceeded in all " +
+                   std::to_string(policy_.max_attempts) + " attempts";
+  return outcome;
+}
+
+}  // namespace originscan::core

@@ -13,6 +13,7 @@ constexpr Point kAllPoints[kPointCount] = {
     Point::kProbeDrop,     Point::kOutage,       Point::kSendFail,
     Point::kMacCorrupt,    Point::kConnectRst,   Point::kBannerTruncate,
     Point::kBannerStall,   Point::kStoreWriteError,
+    Point::kCellCrash,     Point::kCellHang,
 };
 
 double hash01(std::uint64_t h) {
@@ -46,6 +47,10 @@ constexpr std::string_view spec_keyword(Point point) {
       return "banner_stall";
     case Point::kStoreWriteError:
       return "store_eio";
+    case Point::kCellCrash:
+      return "cell_crash";
+    case Point::kCellHang:
+      return "cell_hang";
   }
   return "?";
 }
@@ -243,6 +248,49 @@ bool parse_store_args(std::span<const std::string_view> args,
   return true;
 }
 
+// Cell clauses: cell_crash (cell= only), cell_hang (cell= + sec=,
+// optional attempts=).
+bool parse_cell_args(std::span<const std::string_view> args, Point point,
+                     FaultClause& clause, std::string* error) {
+  bool saw_cell = false;
+  bool saw_sec = false;
+  for (std::string_view arg : args) {
+    if (arg.rfind("cell=", 0) == 0) {
+      if (!parse_u64(arg.substr(5), clause.cell)) {
+        return set_error(error, "bad cell index: " + std::string(arg));
+      }
+      saw_cell = true;
+    } else if (arg.rfind("sec=", 0) == 0) {
+      if (point != Point::kCellHang) {
+        return set_error(error, "sec= is cell_hang-only: " + std::string(arg));
+      }
+      if (!parse_u64(arg.substr(4), clause.hang_seconds) ||
+          clause.hang_seconds == 0) {
+        return set_error(error, "bad hang seconds: " + std::string(arg));
+      }
+      saw_sec = true;
+    } else if (arg.rfind("attempts=", 0) == 0) {
+      std::uint64_t attempts = 0;
+      if (point != Point::kCellHang) {
+        return set_error(error,
+                         "attempts= is cell_hang-only: " + std::string(arg));
+      }
+      if (!parse_u64(arg.substr(9), attempts) || attempts == 0 ||
+          attempts > 16) {
+        return set_error(error, "attempts must be 1..16: " + std::string(arg));
+      }
+      clause.attempts = static_cast<int>(attempts);
+    } else {
+      return set_error(error, "unknown argument: " + std::string(arg));
+    }
+  }
+  if (!saw_cell) return set_error(error, "missing cell= index");
+  if (point == Point::kCellHang && !saw_sec) {
+    return set_error(error, "cell_hang needs sec=S");
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string_view point_name(Point point) {
@@ -263,6 +311,10 @@ std::string_view point_name(Point point) {
       return "banner_stall";
     case Point::kStoreWriteError:
       return "store_eio";
+    case Point::kCellCrash:
+      return "cell_crash";
+    case Point::kCellHang:
+      return "cell_hang";
   }
   return "?";
 }
@@ -280,6 +332,12 @@ bool FaultClause::recoverable() const {
     case Point::kProbeDrop:
     case Point::kOutage:
     case Point::kMacCorrupt:
+      return false;
+    // Cell faults interrupt the run itself; recovery happens across runs
+    // (journal resume) or via supervisor retries — never inside one
+    // uninterrupted run, which is what this predicate promises.
+    case Point::kCellCrash:
+    case Point::kCellHang:
       return false;
   }
   return false;
@@ -313,6 +371,15 @@ std::string FaultClause::to_string() const {
       std::snprintf(buffer, sizeof(buffer), ":write=%llu,count=%llu",
                     static_cast<unsigned long long>(write_index),
                     static_cast<unsigned long long>(count));
+      break;
+    case Point::kCellCrash:
+      std::snprintf(buffer, sizeof(buffer), ":cell=%llu",
+                    static_cast<unsigned long long>(cell));
+      break;
+    case Point::kCellHang:
+      std::snprintf(buffer, sizeof(buffer), ":cell=%llu,sec=%llu,attempts=%d",
+                    static_cast<unsigned long long>(cell),
+                    static_cast<unsigned long long>(hang_seconds), attempts);
       break;
   }
   out += buffer;
@@ -367,6 +434,12 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
     } else if (name == "store_eio") {
       clause.point = Point::kStoreWriteError;
       ok = parse_store_args(args, clause, error);
+    } else if (name == "cell_crash") {
+      clause.point = Point::kCellCrash;
+      ok = parse_cell_args(args, clause.point, clause, error);
+    } else if (name == "cell_hang") {
+      clause.point = Point::kCellHang;
+      ok = parse_cell_args(args, clause.point, clause, error);
     } else {
       set_error(error, "unknown fault clause: " + std::string(name));
       return std::nullopt;
@@ -535,6 +608,29 @@ bool FaultInjector::store_write_fails(std::uint64_t write_index) const {
     }
   }
   return false;
+}
+
+bool FaultInjector::cell_crash(std::uint64_t cell_index) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kCellCrash) continue;
+    if (clause.cell == cell_index) {
+      record(Point::kCellCrash);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::cell_hang_seconds(std::uint64_t cell_index,
+                                               int attempt) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kCellHang) continue;
+    if (clause.cell != cell_index) continue;
+    if (attempt >= clause.attempts) continue;
+    record(Point::kCellHang);
+    return clause.hang_seconds;
+  }
+  return 0;
 }
 
 std::uint64_t FaultInjector::total_hits() const {

@@ -28,6 +28,8 @@
 //   banner_trunc   ZGrabEngine         banner_trunc:host%M==K[,...]
 //   banner_stall   ZGrabEngine         banner_stall:host%M==K[,...]
 //   store_eio      core::save_results  store_eio:write=N[,count=C]
+//   cell_crash     core::CellSupervisor  cell_crash:cell=K
+//   cell_hang      core::CellSupervisor  cell_hang:cell=K,sec=S[,attempts=N]
 //
 // Recoverable faults (send_fail, the three ZGrab faults, store_eio) are
 // absorbed by pipeline machinery — the send retry loop, the RetryPolicy
@@ -35,6 +37,15 @@
 // byte-identical to the fault-free run. Degrading faults (probe_drop,
 // outage, mac_corrupt) lose data in ways no retry can recover; the
 // differential harness classifies their damage instead.
+//
+// The two cell-level faults model process death and wedged cells at the
+// experiment layer (see core/supervisor.h). cell_crash kills the run at
+// cell K's start — resumable from the journal, but not recoverable
+// within the run. cell_hang makes attempts [0, N) of cell K exceed the
+// supervisor's deadline (the attempt stalls for S virtual seconds); it
+// recovers through the retry budget, or degrades the cell to lost when
+// N exhausts it. Both classify as non-recoverable so the differential
+// harness never treats an interrupted single run as byte-comparable.
 #pragma once
 
 #include <array>
@@ -63,9 +74,11 @@ enum class Point : int {
   kBannerTruncate,
   kBannerStall,
   kStoreWriteError,
+  kCellCrash,
+  kCellHang,
 };
 
-inline constexpr int kPointCount = 8;
+inline constexpr int kPointCount = 10;
 
 [[nodiscard]] std::string_view point_name(Point point);
 [[nodiscard]] std::span<const Point> all_points();
@@ -93,6 +106,13 @@ struct FaultClause {
   // write_index + count) fail with a transient EIO.
   std::uint64_t write_index = 0;
   std::uint64_t count = 1;
+
+  // Cell faults (cell_crash, cell_hang): the global cell index in the
+  // experiment grid, serial order (trial * protocols + p) * origins + o.
+  // cell_hang stalls attempts [0, `attempts`) of the cell for
+  // `hang_seconds` of virtual time.
+  std::uint64_t cell = 0;
+  std::uint64_t hang_seconds = 0;
 
   // Outage scope: -1 darkens every origin's view; >= 0 restricts the
   // window to one origin id — the paper's Section-5.4 burst outages are
@@ -177,6 +197,16 @@ class FaultInjector {
   // Physical write operation `write_index` (0-based, counted across the
   // whole save including retries) fails with a transient EIO.
   [[nodiscard]] bool store_write_fails(std::uint64_t write_index) const;
+
+  // ---- experiment layer (core::CellSupervisor) ----------------------
+  // The process dies at the start of this grid cell (simulated via the
+  // supervisor's kill token, not an actual abort).
+  [[nodiscard]] bool cell_crash(std::uint64_t cell_index) const;
+  // Virtual seconds this attempt of the cell stalls before producing a
+  // result; 0 = no hang. The supervisor fails the attempt when the stall
+  // exceeds its per-cell deadline.
+  [[nodiscard]] std::uint64_t cell_hang_seconds(std::uint64_t cell_index,
+                                                int attempt) const;
 
   // Diagnostics: how many times each injection point actually fired.
   [[nodiscard]] std::uint64_t hits(Point point) const {

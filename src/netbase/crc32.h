@@ -1,0 +1,42 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+// Used as a cheap bit-rot/truncation detector for on-disk formats (the
+// .osnr v2 per-block footers and the experiment journal's sidecar files);
+// SHA-256 (netbase/sha256.h) remains the integrity primitive where an
+// adversarial or cross-machine guarantee is needed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace originscan::net {
+
+namespace detail {
+
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+// One-shot CRC32 of a byte span.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                         std::uint32_t seed = 0) {
+  std::uint32_t c = ~seed;
+  for (std::uint8_t byte : data) {
+    c = detail::kCrc32Table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace originscan::net

@@ -65,10 +65,22 @@ std::string scan_result_csv(const scan::ScanResult& result) {
 }
 
 std::string coverage_csv(const core::CoverageTable& coverage) {
-  std::string out =
-      csv_line({"origin", "trial", "two_probe", "single_probe"});
+  std::string out;
+  // A resumed run that exhausted a cell's retry budget yields a partial
+  // grid; label it so no one mistakes the file for a full reproduction.
+  if (!coverage.lost_cells.empty()) {
+    out += "# partial grid; lost cells:";
+    for (const auto& [trial, code] : coverage.lost_cells) {
+      out += " trial=" + std::to_string(trial + 1) + " origin=" + code + ";";
+    }
+    out += '\n';
+  }
+  out += csv_line({"origin", "trial", "two_probe", "single_probe"});
   for (std::size_t t = 0; t < coverage.two_probe.size(); ++t) {
     for (std::size_t o = 0; o < coverage.origin_codes.size(); ++o) {
+      if (!coverage.cell_present.empty() && !coverage.cell_present[t][o]) {
+        continue;  // lost cell: no row rather than a fabricated zero
+      }
       char two[32], one[32];
       std::snprintf(two, sizeof(two), "%.6f", coverage.two_probe[t][o]);
       std::snprintf(one, sizeof(one), "%.6f", coverage.single_probe[t][o]);

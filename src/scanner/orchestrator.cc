@@ -129,6 +129,7 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   zmap_config.blocklist = options.blocklist;
   zmap_config.allowlist = options.target_prefix;
   zmap_config.faults = options.faults;
+  zmap_config.cancel = options.cancel;
 
   ZGrabConfig zgrab_config;
   zgrab_config.protocol = protocol;
@@ -148,6 +149,7 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
     result.l4_stats = zmap.run(
         make_collector(internet, origin, zgrab, options, result.records,
                        result.banners, result.attempt_histogram));
+    result.aborted = options.cancel != nullptr && options.cancel->cancelled();
     finalize(result, options.keep_banners);
     return result;
   }
@@ -192,6 +194,7 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   }
   core::run_parallel(jobs, std::move(tasks));
 
+  result.aborted = options.cancel != nullptr && options.cancel->cancelled();
   result.l4_stats.blocklisted_skipped = schedule.blocklisted_skipped;
   std::size_t total_records = 0;
   for (const LaneOutput& lane : lanes) total_records += lane.records.size();

@@ -50,6 +50,10 @@ struct ScanResult {
   // Side statistics only — deliberately not part of ScanRecord, so the
   // store format and record-level byte-identity are unaffected.
   std::vector<std::uint64_t> attempt_histogram;
+  // True when the scan was cut short by a tripped CancelToken. An
+  // aborted result is an arbitrary truncation — callers must discard it,
+  // never persist or analyze it. Not serialized.
+  bool aborted = false;
 
   [[nodiscard]] std::uint64_t grabs_attempted() const {
     std::uint64_t total = 0;
@@ -89,6 +93,10 @@ struct ScanOptions {
   // Fault decisions are pure functions of (seed, slot/host), so they
   // commute with the parallel lanes. Null = no faults.
   const fault::FaultInjector* faults = nullptr;
+  // Cooperative cancellation: every shard lane polls this token per
+  // target batch, and a tripped token marks the result aborted. Null =
+  // uncancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 // Scans the Internet's whole universe from `origin`.

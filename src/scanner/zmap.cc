@@ -140,6 +140,13 @@ ZMapScanner::Stats ZMapScanner::run(
   std::uint64_t targets_sent = 0;
 
   while (auto value = iterator.next()) {
+    // Cancellation is polled per 256-target batch: cheap enough to keep
+    // out of the per-packet path, frequent enough that a tripped token
+    // stops the sweep long before its next checkpoint.
+    if ((targets_sent & 0xFFu) == 0 && config_.cancel != nullptr &&
+        config_.cancel->cancelled()) {
+      break;
+    }
     const net::Ipv4Addr dst(static_cast<std::uint32_t>(*value));
     if (config_.allowlist && !config_.allowlist->contains(dst)) continue;
     if (config_.blocklist.is_blocked(dst)) {
@@ -168,7 +175,13 @@ ZMapScanner::Stats ZMapScanner::run_scheduled(
       1.0 / config_.effective_pps(config_.universe_size);
   const std::uint16_t dst_port = proto::port_of(config_.protocol);
   std::vector<std::uint8_t> packet_buffer;
+  std::uint64_t processed = 0;
   for (const auto& target : targets) {
+    if ((processed & 0xFFu) == 0 && config_.cancel != nullptr &&
+        config_.cancel->cancelled()) {
+      break;
+    }
+    ++processed;
     // Slot stride 1: a target's probes occupy consecutive slots of the
     // global schedule, matching the serial sweep's back-to-back sends.
     probe_target(target.addr, target.first_packet, 1, seconds_per_packet,

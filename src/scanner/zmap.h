@@ -23,6 +23,7 @@
 #include "netbase/vtime.h"
 #include "proto/protocol.h"
 #include "scanner/blocklist.h"
+#include "scanner/cancel.h"
 #include "scanner/permutation.h"
 #include "scanner/validation.h"
 #include "sim/internet.h"
@@ -54,6 +55,10 @@ struct ZMapConfig {
   // drops lose the packet in flight, and MAC corruption mangles the
   // response so validation rejects it. Null = no faults.
   const fault::FaultInjector* faults = nullptr;
+  // Cooperative cancellation, polled once per target batch (every 256
+  // targets). Null = uncancellable. A cancelled sweep stops early; the
+  // caller must treat its partial output as garbage (ScanResult::aborted).
+  const CancelToken* cancel = nullptr;
 
   [[nodiscard]] double effective_pps(std::uint64_t targets) const {
     if (packets_per_second > 0) return packets_per_second;

@@ -267,5 +267,98 @@ TEST(Experiment, ParallelRunIsBitIdenticalToSerial) {
   }
 }
 
+// ---------------------------------------------------- adopt_results ----
+
+// One result per cell of a 2-trial x 1-protocol x 3-origin mini grid.
+std::vector<scan::ScanResult> grid_results(const Experiment& experiment) {
+  std::vector<scan::ScanResult> results;
+  for (int t = 0; t < experiment.config().trials; ++t) {
+    for (const auto& origin : experiment.world().origins) {
+      scan::ScanResult result;
+      result.origin_code = origin.code;
+      result.protocol = proto::Protocol::kHttp;
+      result.trial = t;
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+Experiment make_adopt_experiment() {
+  auto world = make_mini_world();
+  ExperimentConfig config;
+  config.scenario.seed = world.seed;
+  config.protocols = {proto::Protocol::kHttp};
+  config.trials = 2;
+  return Experiment(config, std::move(world));
+}
+
+TEST(ExperimentAdopt, WellFormedGridIsAccepted) {
+  auto experiment = make_adopt_experiment();
+  std::string error;
+  EXPECT_TRUE(experiment.adopt_results(grid_results(experiment), &error))
+      << error;
+  EXPECT_TRUE(experiment.has_run());
+  EXPECT_TRUE(experiment.lost_cells().empty());
+}
+
+TEST(ExperimentAdopt, DiagnosesWrongResultCount) {
+  auto experiment = make_adopt_experiment();
+  auto results = grid_results(experiment);
+  results.pop_back();
+  std::string error;
+  EXPECT_FALSE(experiment.adopt_results(std::move(results), &error));
+  EXPECT_EQ(error,
+            "expected 6 results (2 trials x 1 protocols x 3 origins), got 5");
+  EXPECT_FALSE(experiment.has_run());
+}
+
+TEST(ExperimentAdopt, DiagnosesUnknownOriginCode) {
+  auto experiment = make_adopt_experiment();
+  auto results = grid_results(experiment);
+  results[0].origin_code = "XX";
+  std::string error;
+  EXPECT_FALSE(experiment.adopt_results(std::move(results), &error));
+  EXPECT_EQ(error, "unknown origin code \"XX\" (roster: ONE TWO FOUR)");
+}
+
+TEST(ExperimentAdopt, DiagnosesForeignProtocol) {
+  auto experiment = make_adopt_experiment();
+  auto results = grid_results(experiment);
+  results[2].protocol = proto::Protocol::kSsh;
+  std::string error;
+  EXPECT_FALSE(experiment.adopt_results(std::move(results), &error));
+  EXPECT_EQ(error, "protocol SSH is not part of this experiment");
+}
+
+TEST(ExperimentAdopt, DiagnosesTrialOutOfRange) {
+  auto experiment = make_adopt_experiment();
+  auto results = grid_results(experiment);
+  results[4].trial = 7;
+  std::string error;
+  EXPECT_FALSE(experiment.adopt_results(std::move(results), &error));
+  EXPECT_EQ(error, "trial 7 outside 0..1 for cell TWO HTTP trial 7");
+}
+
+TEST(ExperimentAdopt, DiagnosesDuplicateCell) {
+  auto experiment = make_adopt_experiment();
+  auto results = grid_results(experiment);
+  // Replace (trial 1, FOUR) with a second copy of (trial 0, ONE). The
+  // count still matches, so only the per-cell bookkeeping can catch it
+  // (and by pigeonhole the duplicate also implies the missing cell).
+  results[5] = results[0];
+  std::string error;
+  EXPECT_FALSE(experiment.adopt_results(std::move(results), &error));
+  EXPECT_EQ(error, "duplicate cell ONE HTTP trial 0");
+}
+
+TEST(ExperimentAdopt, RejectsSecondAdoption) {
+  auto experiment = make_adopt_experiment();
+  EXPECT_TRUE(experiment.adopt_results(grid_results(experiment)));
+  std::string error;
+  EXPECT_FALSE(experiment.adopt_results(grid_results(experiment), &error));
+  EXPECT_EQ(error, "experiment has already run");
+}
+
 }  // namespace
 }  // namespace originscan::core

@@ -44,7 +44,9 @@ TEST(FaultpointRegistry, EveryPointIsExercised) {
       "rst:host%3==0;"
       "banner_trunc:host%3==1;"
       "banner_stall:host%3==2;"
-      "store_eio:write=0,count=2");
+      "store_eio:write=0,count=2;"
+      "cell_crash:cell=5;"
+      "cell_hang:cell=7,sec=600,attempts=2");
   const FaultInjector injector(plan, /*seed=*/0xFA57u);
 
   // ZMap layer.
@@ -66,6 +68,13 @@ TEST(FaultpointRegistry, EveryPointIsExercised) {
   EXPECT_TRUE(injector.store_write_fails(0));
   EXPECT_TRUE(injector.store_write_fails(1));
   EXPECT_FALSE(injector.store_write_fails(2));
+  // Experiment layer (CellSupervisor).
+  EXPECT_TRUE(injector.cell_crash(5));
+  EXPECT_FALSE(injector.cell_crash(6));
+  EXPECT_EQ(injector.cell_hang_seconds(7, 0), 600u);
+  EXPECT_EQ(injector.cell_hang_seconds(7, 1), 600u);
+  EXPECT_EQ(injector.cell_hang_seconds(7, 2), 0u);  // past attempts=2
+  EXPECT_EQ(injector.cell_hang_seconds(8, 0), 0u);  // different cell
 
   // The registry assertion proper: every point fired at least once.
   for (Point point : all_points()) {
@@ -105,6 +114,11 @@ TEST(FaultPlanSemantics, RecoverabilityClassification) {
   EXPECT_FALSE(must_parse("drop:slot=0..9,p=1").recoverable());
   EXPECT_FALSE(must_parse("outage:sec=0..9").recoverable());
   EXPECT_FALSE(must_parse("mac_corrupt:slot=0..9,p=1").recoverable());
+  // Cell faults interrupt the run; their recovery crosses runs (journal
+  // resume) or goes through the supervisor, so within-run recoverability
+  // is false by definition.
+  EXPECT_FALSE(must_parse("cell_crash:cell=0").recoverable());
+  EXPECT_FALSE(must_parse("cell_hang:cell=0,sec=60").recoverable());
   // Mixed plan: one degrading clause poisons the whole plan.
   EXPECT_FALSE(must_parse("rst:host%5==0;drop:slot=0..9,p=1").recoverable());
 }
@@ -140,6 +154,8 @@ TEST(FaultPlanSemantics, RoundTripsThroughToString) {
       "outage:sec=3600..7200",
       "send_fail:slot=0..100,p=0.25;rst:host%5==1,attempts=2,p=0.5",
       "outage:sec=0..600,origin=1",
+      "cell_crash:cell=4",
+      "cell_hang:cell=9,sec=7200,attempts=3",
   };
   for (const char* spec : specs) {
     const FaultPlan plan = must_parse(spec);
@@ -171,6 +187,13 @@ TEST(FaultPlanSemantics, RejectsMalformedSpecs) {
       "drop:slot=0..1,p=1;;rst:host%2==0",  // empty clause mid-spec
       "drop:slot=0..1,p=1,origin=0",  // origin scope is outage-only
       "outage:sec=0..1,origin=256",   // origin id out of range
+      "cell_crash",                   // missing cell index
+      "cell_crash:cell=abc",          // junk cell index
+      "cell_crash:cell=0,sec=5",      // sec is cell_hang-only
+      "cell_hang:cell=0",             // missing stall duration
+      "cell_hang:cell=0,sec=0",       // zero stall
+      "cell_hang:sec=5",              // missing cell index
+      "cell_hang:cell=0,sec=5,attempts=99",  // attempts above cap
   };
   for (const char* spec : bad) {
     std::string error;

@@ -162,6 +162,41 @@ TEST(Fuzz, StoreParserSurvivesMutations) {
   }
 }
 
+TEST(Fuzz, StoreV2TruncationsAndBitFlips) {
+  // Directed variant of the mutation fuzz for the CRC'd v2 format:
+  // every truncation must be rejected, and random bit flips must never
+  // crash (single flips are also always *detected* — store_test sweeps
+  // that property exhaustively).
+  net::Rng rng(112);
+  std::vector<scan::ScanResult> results(2);
+  results[0].origin_code = "ONE";
+  results[1].origin_code = "TWO";
+  results[1].trial = 1;
+  for (int i = 0; i < 30; ++i) {
+    scan::ScanRecord record;
+    record.addr = net::Ipv4Addr(static_cast<std::uint32_t>(i * 13));
+    record.synack_mask = static_cast<std::uint8_t>(i & 3);
+    results[i % 2].records.push_back(record);
+  }
+  const auto valid = core::serialize_results(results);
+  ASSERT_TRUE(core::parse_results(valid).has_value());
+
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    auto truncated = valid;
+    truncated.resize(cut);
+    EXPECT_FALSE(core::parse_results(truncated).has_value()) << "cut=" << cut;
+  }
+  for (int i = 0; i < 5000; ++i) {
+    auto flipped = valid;
+    const int flips = 1 + static_cast<int>(rng.below(8));
+    for (int f = 0; f < flips; ++f) {
+      flipped[rng.below(flipped.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    (void)core::parse_results(flipped);  // must not crash or overalloc
+  }
+}
+
 TEST(Fuzz, Ipv4AndPrefixParsers) {
   net::Rng rng(107);
   const char alphabet[] = "0123456789./abcx -";
@@ -213,7 +248,8 @@ TEST(Fuzz, FaultSpecParserSurvivesMutations) {
       "drop:slot=1024..2048,p=0.3;outage:sec=0..600,origin=1;"
       "send_fail:slot=0..99,p=1;mac_corrupt:slot=5..6,p=0.5;"
       "rst:host%7==0,attempts=2;banner_trunc:host%3==1;"
-      "banner_stall:host%5==4,p=0.25;store_eio:write=3,count=2";
+      "banner_stall:host%5==4,p=0.25;store_eio:write=3,count=2;"
+      "cell_crash:cell=3;cell_hang:cell=1,sec=60,attempts=2";
   const std::vector<std::uint8_t> valid_bytes(valid.begin(), valid.end());
   for (int i = 0; i < 20000; ++i) {
     const auto mutated = mutate(rng, valid_bytes);

@@ -1,0 +1,270 @@
+// Unit tests for the crash-safe experiment journal: manifest replay,
+// fingerprint binding, torn-line handling, segment integrity, the IDS
+// snapshot round trip, and lost-cell records.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/journal.h"
+#include "netbase/rng.h"
+
+namespace originscan::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kFingerprint[] = "deadbeefcafef00d";
+
+// A fresh scratch directory per test.
+std::string scratch_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+scan::ScanResult sample_result() {
+  scan::ScanResult result;
+  result.origin_code = "ONE";
+  result.protocol = proto::Protocol::kHttp;
+  result.trial = 1;
+  net::Rng rng(17);
+  for (int i = 0; i < 40; ++i) {
+    scan::ScanRecord record;
+    record.addr = net::Ipv4Addr(static_cast<std::uint32_t>(i * 11));
+    record.synack_mask = static_cast<std::uint8_t>(rng() & 3);
+    record.l7 = static_cast<sim::L7Outcome>(rng() % 8);
+    record.probe_second = static_cast<std::uint32_t>(rng() % 75600);
+    result.records.push_back(record);
+  }
+  result.l4_stats.targets_probed = 40;
+  result.l4_stats.packets_sent = 80;
+  result.l4_stats.synacks = 33;
+  result.attempt_histogram = {40, 7};
+  return result;
+}
+
+IdsSnapshot sample_snapshot() {
+  IdsSnapshot snapshot;
+  IdsSnapshot::AsEntry entry;
+  entry.as = 2;
+  entry.probe_counts = {{100, 7}, {200, 9}};
+  entry.blocked_ips = {{100, 1}};
+  snapshot.entries.push_back(entry);
+  return snapshot;
+}
+
+CellKey sample_key() {
+  return CellKey{"ONE", proto::Protocol::kHttp, 1};
+}
+
+TEST(IdsSnapshot, SerializeParseRoundTrip) {
+  const IdsSnapshot snapshot = sample_snapshot();
+  const auto parsed = IdsSnapshot::parse(snapshot.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, snapshot);
+
+  const IdsSnapshot empty;
+  const auto parsed_empty = IdsSnapshot::parse(empty.serialize());
+  ASSERT_TRUE(parsed_empty.has_value());
+  EXPECT_EQ(*parsed_empty, empty);
+
+  // Corruption is detected.
+  auto bytes = snapshot.serialize();
+  bytes[bytes.size() / 2] ^= 0x40;
+  EXPECT_FALSE(IdsSnapshot::parse(bytes).has_value());
+}
+
+TEST(IdsSnapshot, CaptureRestoreIsAnOriginScopedSlice) {
+  sim::PersistentState state;
+  state.ids[1];  // AS with no counters
+  state.ids[2].probe_counts = {{100, 7}, {200, 9}, {999, 4}};
+  state.ids[2].blocked_ips = {{100, 1}, {999, 0}};
+
+  // The origin owns IPs 100 and 200; IP 999 belongs to someone else.
+  const std::vector<net::Ipv4Addr> ips = {net::Ipv4Addr(100),
+                                          net::Ipv4Addr(200)};
+  const IdsSnapshot snapshot = capture_ids(state, ips);
+  EXPECT_EQ(snapshot, sample_snapshot());
+
+  // Mutate the origin's slice and a foreign entry, then restore.
+  state.ids[2].probe_counts[100] = 77;
+  state.ids[2].probe_counts.erase(200);
+  state.ids[2].blocked_ips[200] = 2;
+  state.ids[2].probe_counts[999] = 5;
+  restore_ids(state, ips, snapshot);
+
+  EXPECT_EQ(state.ids[2].probe_counts.at(100), 7u);
+  EXPECT_EQ(state.ids[2].probe_counts.at(200), 9u);
+  EXPECT_EQ(state.ids[2].blocked_ips.count(200), 0u);
+  // The foreign IP's (post-mutation) entry is untouched by restore.
+  EXPECT_EQ(state.ids[2].probe_counts.at(999), 5u);
+  EXPECT_EQ(state.ids[2].blocked_ips.at(999), 0);
+}
+
+TEST(ExperimentJournal, RecordDoneRoundTripsThroughReopen) {
+  const std::string dir = scratch_dir("journal_roundtrip");
+  const scan::ScanResult result = sample_result();
+  const IdsSnapshot snapshot = sample_snapshot();
+  {
+    std::string error;
+    auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+    ASSERT_TRUE(journal.has_value()) << error;
+    EXPECT_TRUE(journal->entries().empty());
+    ASSERT_TRUE(journal->record_done(sample_key(), result, snapshot,
+                                     /*attempts=*/2, &error))
+        << error;
+  }
+
+  std::string error;
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  ASSERT_EQ(journal->entries().size(), 1u);
+  const JournalEntry& entry = journal->entries().front();
+  EXPECT_EQ(entry.status, JournalEntry::Status::kDone);
+  EXPECT_EQ(entry.key, sample_key());
+  EXPECT_EQ(entry.attempts, 2);
+  EXPECT_EQ(journal->find(sample_key()), &entry);
+  EXPECT_EQ(journal->find(CellKey{"TWO", proto::Protocol::kHttp, 1}), nullptr);
+
+  IdsSnapshot loaded_snapshot;
+  const auto loaded = journal->load_cell(entry, &loaded_snapshot, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->origin_code, result.origin_code);
+  EXPECT_TRUE(loaded->records == result.records);
+  EXPECT_TRUE(loaded->l4_stats == result.l4_stats);
+  EXPECT_EQ(loaded->attempt_histogram, result.attempt_histogram);
+  EXPECT_EQ(loaded_snapshot, snapshot);
+}
+
+TEST(ExperimentJournal, RejectsFingerprintMismatch) {
+  const std::string dir = scratch_dir("journal_fingerprint");
+  {
+    auto journal = ExperimentJournal::open(dir, kFingerprint);
+    ASSERT_TRUE(journal.has_value());
+  }
+  std::string error;
+  EXPECT_FALSE(ExperimentJournal::open(dir, "0123456789", &error).has_value());
+  EXPECT_NE(error.find("fingerprint mismatch"), std::string::npos) << error;
+}
+
+TEST(ExperimentJournal, InspectModeAdoptsManifestFingerprint) {
+  const std::string dir = scratch_dir("journal_inspect");
+  // Inspect mode on a journal that does not exist is an error, never a
+  // silent create.
+  std::string error;
+  EXPECT_FALSE(ExperimentJournal::open(dir, "", &error).has_value());
+
+  { ASSERT_TRUE(ExperimentJournal::open(dir, kFingerprint).has_value()); }
+  const auto journal = ExperimentJournal::open(dir, "", &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  EXPECT_EQ(journal->fingerprint(), kFingerprint);
+}
+
+TEST(ExperimentJournal, DropsTornTrailingLine) {
+  const std::string dir = scratch_dir("journal_torn");
+  {
+    std::string error;
+    auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+    ASSERT_TRUE(journal.has_value()) << error;
+    ASSERT_TRUE(journal->record_done(sample_key(), sample_result(),
+                                     sample_snapshot(), 1, &error))
+        << error;
+  }
+  // Simulate a crash mid-append: a second line with no trailing newline.
+  {
+    std::ofstream manifest(dir + "/MANIFEST", std::ios::app);
+    manifest << "done TWO HTTP 0 attempts=1 sha256=ab segment=trunc";
+  }
+  std::string error;
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  EXPECT_EQ(journal->entries().size(), 1u);  // torn line dropped
+}
+
+TEST(ExperimentJournal, RejectsMalformedManifestLines) {
+  const std::string dir = scratch_dir("journal_malformed");
+  { ASSERT_TRUE(ExperimentJournal::open(dir, kFingerprint).has_value()); }
+  {
+    std::ofstream manifest(dir + "/MANIFEST", std::ios::app);
+    manifest << "frobnicate ONE HTTP 0 attempts=1\n";
+  }
+  std::string error;
+  EXPECT_FALSE(ExperimentJournal::open(dir, kFingerprint, &error).has_value());
+  EXPECT_NE(error.find("malformed"), std::string::npos) << error;
+}
+
+TEST(ExperimentJournal, LoadCellDetectsSegmentCorruption) {
+  const std::string dir = scratch_dir("journal_corrupt");
+  std::string error;
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  ASSERT_TRUE(journal->record_done(sample_key(), sample_result(),
+                                   sample_snapshot(), 1, &error))
+      << error;
+  const JournalEntry& entry = journal->entries().front();
+
+  // Flip one byte in the middle of the .osnr segment.
+  const std::string segment_path = dir + "/" + entry.segment + ".osnr";
+  {
+    std::fstream file(segment_path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    file.seekp(size / 2);
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+  EXPECT_FALSE(journal->load_cell(entry, nullptr, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ExperimentJournal, LoadCellDetectsSidecarCorruption) {
+  const std::string dir = scratch_dir("journal_sidecar");
+  std::string error;
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  ASSERT_TRUE(journal->record_done(sample_key(), sample_result(),
+                                   sample_snapshot(), 1, &error))
+      << error;
+  const JournalEntry& entry = journal->entries().front();
+  {
+    std::fstream file(dir + "/" + entry.segment + ".ids",
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(10);
+    file.write("\x7f", 1);
+  }
+  EXPECT_FALSE(journal->load_cell(entry, nullptr, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ExperimentJournal, RecordsAndReplaysLostCells) {
+  const std::string dir = scratch_dir("journal_lost");
+  std::string error;
+  {
+    auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+    ASSERT_TRUE(journal.has_value()) << error;
+    ASSERT_TRUE(journal->record_lost(sample_key(), /*attempts=*/3,
+                                     "deadline exceeded in all 3 attempts",
+                                     &error))
+        << error;
+  }
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  ASSERT_EQ(journal->entries().size(), 1u);
+  const JournalEntry& entry = journal->entries().front();
+  EXPECT_EQ(entry.status, JournalEntry::Status::kLost);
+  EXPECT_EQ(entry.key, sample_key());
+  EXPECT_EQ(entry.attempts, 3);
+  EXPECT_EQ(entry.reason, "deadline exceeded in all 3 attempts");
+}
+
+}  // namespace
+}  // namespace originscan::core

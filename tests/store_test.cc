@@ -89,6 +89,50 @@ TEST(Store, RejectsCorruptStreams) {
   EXPECT_FALSE(parse_results(bad).has_value());
 }
 
+TEST(Store, V1StreamsStillParse) {
+  // Back-compat: journals and saved results written before the CRC
+  // footer (format v1) must keep loading.
+  const auto original = sample_results();
+  const auto v1 = serialize_results(original, kStoreVersionNoCrc);
+  const auto v2 = serialize_results(original, kStoreVersion);
+  EXPECT_LT(v1.size(), v2.size());  // v2 carries one u32 footer per block
+  const auto parsed = parse_results(v1);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE((*parsed)[i].records == original[i].records);
+  }
+}
+
+TEST(Store, V2CatchesEverySingleBitFlip) {
+  // The CRC footer's contract: no single-bit corruption of a v2 stream
+  // may parse. Header flips fail structurally; block and footer flips
+  // fail the per-block checksum. The stream is fixed, so this sweep is
+  // deterministic.
+  const auto bytes = serialize_results(sample_results());
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = bytes;
+      bad[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(parse_results(bad).has_value())
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Store, V1DoesNotDetectRecordCorruption) {
+  // The contrast that motivates v2: flipping a record byte in a v1
+  // stream parses fine and silently yields different data.
+  const auto original = sample_results();
+  auto v1 = serialize_results(original, kStoreVersionNoCrc);
+  // First record's bytes start after magic 4 + version 4 + count 4 +
+  // code_len 2 + "AU" 2 + proto 1 + trial 4 + record_count 8 = 29.
+  v1[30] ^= 0x10;
+  const auto parsed = parse_results(v1);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE((*parsed)[0].records == original[0].records);
+}
+
 TEST(Store, EmptyResultListRoundTrips) {
   const auto bytes = serialize_results({});
   const auto parsed = parse_results(bytes);

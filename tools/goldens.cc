@@ -8,12 +8,18 @@
 //                         recorded output is identical for any N — that
 //                         is the point of the harness)
 //   goldens --dir DIR     use DIR instead of <source>/tests/goldens
+//   goldens --via-resume  produce paper_small by killing a journaled run
+//                         mid-grid and resuming it — the committed
+//                         digests double as the resume-determinism
+//                         oracle (clean_small is not an Experiment grid
+//                         and falls back to a direct run)
 //
 // Exit status: 0 when all checked scenarios match, 1 on any divergence
 // (with the first diverging record printed, not just a hash mismatch),
 // 2 on usage or I/O errors.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -21,7 +27,9 @@
 #include <vector>
 
 #include "core/goldens.h"
+#include "core/journal.h"
 #include "core/store.h"
+#include "faultinject/faultinject.h"
 
 namespace {
 
@@ -101,10 +109,76 @@ bool update_scenario(const std::string& dir, std::string_view name,
   return true;
 }
 
+// Reproduces paper_small through the crash-safe path: a jobs=1 run is
+// killed by a cell_crash fault halfway through the grid, then a fresh
+// Experiment resumes from the journal at the requested jobs value. The
+// caller checks the output against the same committed digests as a
+// direct run — byte-identity across the kill is the journal's contract.
+std::optional<std::vector<scan::ScanResult>> run_paper_small_via_resume(
+    int jobs) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "osn_goldens_via_resume_journal";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  core::ExperimentConfig config = core::paper_small_config();
+  const std::size_t total_cells =
+      static_cast<std::size_t>(config.trials) * config.protocols.size() *
+      sim::paper_origins(config.scenario.universe_size).size();
+
+  {
+    std::string error;
+    const auto plan = fault::FaultPlan::parse(
+        "cell_crash:cell=" + std::to_string(total_cells / 2), &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "via-resume: bad kill plan: %s\n", error.c_str());
+      return std::nullopt;
+    }
+    const fault::FaultInjector injector(*plan, 0xFA57BEEFULL);
+    core::ExperimentConfig killed_config = config;
+    killed_config.jobs = 1;
+    killed_config.faults = &injector;
+    core::Experiment experiment(killed_config);
+    auto journal = core::ExperimentJournal::open(
+        dir.string(), experiment.config_fingerprint(), &error);
+    if (!journal.has_value()) {
+      std::fprintf(stderr, "via-resume: %s\n", error.c_str());
+      return std::nullopt;
+    }
+    const auto report = experiment.run_journaled(&*journal);
+    if (report.status != core::RunReport::Status::kKilled) {
+      std::fprintf(stderr, "via-resume: kill fault did not fire\n");
+      return std::nullopt;
+    }
+  }
+
+  config.jobs = jobs;
+  core::Experiment experiment(config);
+  std::string error;
+  auto journal = core::ExperimentJournal::open(
+      dir.string(), experiment.config_fingerprint(), &error);
+  if (!journal.has_value()) {
+    std::fprintf(stderr, "via-resume: %s\n", error.c_str());
+    return std::nullopt;
+  }
+  const auto report = experiment.run_journaled(&*journal);
+  if (!report.complete()) {
+    std::fprintf(stderr, "via-resume: resumed run did not complete\n");
+    return std::nullopt;
+  }
+  std::printf("[paper_small] via-resume: killed after %zu of %zu cells, "
+              "resumed at jobs %d\n",
+              report.cells_adopted, report.cells_total, jobs);
+  fs::remove_all(dir, ec);
+  return experiment.all_results();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool update = false;
+  bool via_resume = false;
   int jobs = 1;
   std::string dir = std::string(OSN_SOURCE_DIR) + "/tests/goldens";
   std::string only_scenario;
@@ -113,6 +187,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--update") {
       update = true;
+    } else if (arg == "--via-resume") {
+      via_resume = true;
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
       if (jobs < 1) jobs = 1;
@@ -122,10 +198,16 @@ int main(int argc, char** argv) {
       only_scenario = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: goldens [--update] [--scenario NAME] [--jobs N] "
-                   "[--dir DIR]\n");
+                   "usage: goldens [--update] [--via-resume] "
+                   "[--scenario NAME] [--jobs N] [--dir DIR]\n");
       return 2;
     }
+  }
+  if (update && via_resume) {
+    std::fprintf(stderr,
+                 "--via-resume checks the resume path against the committed "
+                 "goldens; it cannot be combined with --update\n");
+    return 2;
   }
 
   bool all_ok = true;
@@ -133,7 +215,21 @@ int main(int argc, char** argv) {
   for (std::string_view name : core::golden_scenario_names()) {
     if (!only_scenario.empty() && name != only_scenario) continue;
     matched = true;
-    const auto results = core::run_golden_scenario(name, jobs);
+    std::vector<scan::ScanResult> results;
+    if (via_resume && name == "paper_small") {
+      auto resumed = run_paper_small_via_resume(jobs);
+      if (!resumed.has_value()) {
+        all_ok = false;
+        continue;
+      }
+      results = std::move(*resumed);
+    } else {
+      if (via_resume) {
+        std::printf("[%.*s] via-resume: not an Experiment grid, direct run\n",
+                    static_cast<int>(name.size()), name.data());
+      }
+      results = core::run_golden_scenario(name, jobs);
+    }
     const bool ok = update ? update_scenario(dir, name, results)
                            : check_scenario(dir, name, results);
     all_ok = all_ok && ok;

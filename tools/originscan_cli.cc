@@ -19,13 +19,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/access_matrix.h"
 #include "core/analysis/coverage.h"
 #include "core/classify.h"
 #include "core/experiment.h"
+#include "core/journal.h"
 #include "core/store.h"
+#include "faultinject/faultinject.h"
 #include "report/export.h"
 #include "report/table.h"
 
@@ -45,12 +48,15 @@ struct Args {
   int jobs = 1;      // worker threads; output is identical for any value
   std::string save;  // experiment: also write raw results here
   std::string in;    // analyze: load raw results from here
+  std::string resume_dir;  // experiment/journal: crash-safe journal dir
+  std::string faults;      // experiment: fault plan spec
 };
 
 void usage() {
   std::fprintf(
       stderr,
       "usage: originscan <experiment|analyze|scan|topology|origins> [options]\n"
+      "       originscan journal inspect --resume-dir DIR\n"
       "  --scale N      universe exponent, 12..22 (default 16)\n"
       "  --seed N       scenario seed\n"
       "  --out DIR      CSV output directory (default .)\n"
@@ -62,15 +68,30 @@ void usage() {
       "                 results are bit-identical for any value)\n"
       "  --save FILE    experiment: also save raw results (binary)\n"
       "  --in FILE      analyze: load raw results saved by experiment\n"
+      "  --resume-dir D experiment: journal each cell into D and resume a\n"
+      "                 killed run from it (byte-identical to a run that\n"
+      "                 was never interrupted, at any --jobs)\n"
+      "  --faults SPEC  experiment: fault plan (see faultinject/)\n"
       "\n"
       "  analyze re-runs the coverage analysis on saved results; use the\n"
-      "  same --scale/--seed the experiment ran with.\n");
+      "  same --scale/--seed the experiment ran with.\n"
+      "  journal inspect lists a journal's cells and verifies their\n"
+      "  segment checksums.\n");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
-  for (int i = 2; i < argc; i += 2) {
+  int first_flag = 2;
+  if (args.command == "journal") {
+    if (argc < 3 || std::strcmp(argv[2], "inspect") != 0) {
+      std::fprintf(stderr, "journal supports one subcommand: inspect\n");
+      return false;
+    }
+    args.command = "journal-inspect";
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; i += 2) {
     if (i + 1 >= argc) return false;
     const std::string flag = argv[i];
     const std::string value = argv[i + 1];
@@ -94,6 +115,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.save = value;
     } else if (flag == "--in") {
       args.in = value;
+    } else if (flag == "--resume-dir") {
+      args.resume_dir = value;
+    } else if (flag == "--faults") {
+      args.faults = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -129,15 +154,68 @@ core::ExperimentConfig base_config(const Args& args) {
   return config;
 }
 
+std::string cell_to_string(const core::CellKey& key) {
+  return key.origin_code + " " + std::string(proto::name_of(key.protocol)) +
+         " trial " + std::to_string(key.trial + 1);
+}
+
 int cmd_experiment(const Args& args) {
   auto config = base_config(args);
-  std::printf("running 3 trials x 3 protocols x 7 origins over %u "
-              "addresses...\n",
-              config.scenario.universe_size);
+  std::optional<fault::FaultInjector> injector;
+  if (!args.faults.empty()) {
+    std::string error;
+    const auto plan = fault::FaultPlan::parse(args.faults, &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", error.c_str());
+      return 2;
+    }
+    injector.emplace(*plan, args.seed);
+    config.faults = &*injector;
+  }
   core::Experiment experiment(config);
-  experiment.run([](std::string_view line) {
+  std::printf("running %d trials x %zu protocols x %zu origins over %u "
+              "addresses...\n",
+              config.trials, config.protocols.size(),
+              experiment.origin_count(), config.scenario.universe_size);
+
+  const auto progress = [](std::string_view line) {
     std::printf("  %.*s\n", static_cast<int>(line.size()), line.data());
-  });
+  };
+  if (args.resume_dir.empty()) {
+    experiment.run(progress);
+  } else {
+    std::string error;
+    auto journal = core::ExperimentJournal::open(
+        args.resume_dir, experiment.config_fingerprint(), &error);
+    if (!journal.has_value()) {
+      std::fprintf(stderr, "cannot open journal %s: %s\n",
+                   args.resume_dir.c_str(), error.c_str());
+      return 1;
+    }
+    const core::RunReport report =
+        experiment.run_journaled(&*journal, core::SupervisorPolicy{},
+                                 progress);
+    std::printf("cells: %zu total, %zu adopted from journal, %zu run, "
+                "%zu lost (%llu retries)\n",
+                report.cells_total, report.cells_adopted, report.cells_run,
+                report.cells_lost,
+                static_cast<unsigned long long>(report.retries));
+    if (report.status == core::RunReport::Status::kKilled) {
+      std::fprintf(stderr,
+                   "run killed (%s); completed cells are journaled in %s — "
+                   "rerun with the same --resume-dir to finish\n",
+                   report.kill_reason.c_str(), args.resume_dir.c_str());
+      return 3;
+    }
+    for (const auto& key : report.lost) {
+      std::printf("  lost cell (retry budget exhausted): %s\n",
+                  cell_to_string(key).c_str());
+    }
+    if (report.status == core::RunReport::Status::kPartial) {
+      std::printf("partial grid: analysis excludes the lost cells and CSV "
+                  "headers label them\n");
+    }
+  }
   if (!args.save.empty()) {
     if (!core::save_results(args.save, experiment.all_results())) {
       std::fprintf(stderr, "failed to save results to %s\n",
@@ -238,11 +316,12 @@ int cmd_analyze(const Args& args) {
   }
   auto config = base_config(args);
   core::Experiment experiment(config);
-  if (!experiment.adopt_results(std::move(*results))) {
+  std::string error;
+  if (!experiment.adopt_results(std::move(*results), &error)) {
     std::fprintf(stderr,
-                 "results in %s do not match this experiment's shape; "
-                 "pass the original --scale/--seed\n",
-                 args.in.c_str());
+                 "results in %s do not match this experiment's shape: %s\n"
+                 "(pass the original --scale/--seed)\n",
+                 args.in.c_str(), error.c_str());
     return 1;
   }
   for (proto::Protocol protocol : proto::kAllProtocols) {
@@ -259,6 +338,50 @@ int cmd_analyze(const Args& args) {
                 table.to_string().c_str());
   }
   return 0;
+}
+
+int cmd_journal_inspect(const Args& args) {
+  if (args.resume_dir.empty()) {
+    std::fprintf(stderr, "journal inspect requires --resume-dir DIR\n");
+    return 2;
+  }
+  std::string error;
+  const auto journal =
+      core::ExperimentJournal::open(args.resume_dir, /*fingerprint=*/"",
+                                    &error);
+  if (!journal.has_value()) {
+    std::fprintf(stderr, "cannot open journal %s: %s\n",
+                 args.resume_dir.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("journal %s\nfingerprint %s\n", journal->dir().c_str(),
+              journal->fingerprint().c_str());
+
+  report::Table table({"cell", "status", "attempts", "records", "integrity"});
+  std::size_t corrupt = 0;
+  for (const auto& entry : journal->entries()) {
+    if (entry.status == core::JournalEntry::Status::kLost) {
+      table.add_row({cell_to_string(entry.key), "lost",
+                     std::to_string(entry.attempts), "-",
+                     "(" + entry.reason + ")"});
+      continue;
+    }
+    std::string load_error;
+    const auto result = journal->load_cell(entry, nullptr, &load_error);
+    if (result.has_value()) {
+      table.add_row({cell_to_string(entry.key), "done",
+                     std::to_string(entry.attempts),
+                     std::to_string(result->records.size()), "ok"});
+    } else {
+      ++corrupt;
+      table.add_row({cell_to_string(entry.key), "done",
+                     std::to_string(entry.attempts), "-",
+                     "CORRUPT: " + load_error});
+    }
+  }
+  std::printf("%s%zu entries, %zu corrupt\n", table.to_string().c_str(),
+              journal->entries().size(), corrupt);
+  return corrupt == 0 ? 0 : 1;
 }
 
 int cmd_topology(const Args& args) {
@@ -304,6 +427,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args.command == "experiment") return cmd_experiment(args);
+  if (args.command == "journal-inspect") return cmd_journal_inspect(args);
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "scan") return cmd_scan(args);
   if (args.command == "topology") return cmd_topology(args);
