@@ -8,6 +8,7 @@
 #include "scanner/blocklist.h"
 #include "scanner/permutation.h"
 #include "scanner/validation.h"
+#include "scanner/zmap.h"
 #include "sim/internet.h"
 #include "sim/scenario.h"
 
@@ -134,5 +135,107 @@ static void BM_EndToEndProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndProbe);
+
+static void BM_HandleProbeFast(benchmark::State& state) {
+  // The struct-level twin of BM_EndToEndProbe: same decisions, no wire
+  // encode/decode. The gap between the two is the serialize+parse tax the
+  // scanner hot path no longer pays.
+  static const sim::World world = [] {
+    sim::ScenarioConfig config;
+    config.universe_size = 1u << 15;
+    return sim::build_world(config, sim::paper_origins(config.universe_size));
+  }();
+  sim::PersistentState persistent;
+  sim::TrialContext context;
+  context.experiment_seed = world.seed;
+  sim::Internet internet(&world, context, &persistent);
+  internet.prewarm(0, proto::Protocol::kHttp);
+  const scan::ProbeValidator validator(net::SipHash::key_from_seed(3), 32768,
+                                       28232);
+
+  std::uint32_t addr = 0;
+  for (auto _ : state) {
+    const net::Ipv4Addr dst(addr++ % world.universe_size);
+    const auto fields =
+        validator.fields_for(world.origins[0].source_ips[0], dst, 80);
+    net::TcpPacket syn;
+    syn.ip.src = world.origins[0].source_ips[0];
+    syn.ip.dst = dst;
+    syn.tcp.src_port = fields.src_port;
+    syn.tcp.dst_port = 80;
+    syn.tcp.seq = fields.seq;
+    syn.tcp.flags.syn = true;
+    auto response =
+        internet.handle_probe_fast(0, syn, net::VirtualTime{}, 0);
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_HandleProbeFast);
+
+static void BM_ProbeTarget(benchmark::State& state) {
+  // The full scanner inner loop over a pre-built schedule: MAC fields,
+  // once-per-target resolution, ProbeContext probes, and response
+  // validation, exactly as run_scheduled drives it in production.
+  static const sim::World world = [] {
+    sim::ScenarioConfig config;
+    config.universe_size = 1u << 15;
+    return sim::build_world(config, sim::paper_origins(config.universe_size));
+  }();
+  sim::PersistentState persistent;
+  sim::TrialContext context;
+  context.experiment_seed = world.seed;
+  sim::Internet internet(&world, context, &persistent);
+
+  scan::ZMapConfig config;
+  config.seed = world.seed;
+  config.universe_size = world.universe_size;
+  config.protocol = proto::Protocol::kHttp;
+  config.source_ips = world.origins[0].source_ips;
+  scan::ZMapScanner scanner(config, &internet, 0);
+
+  std::vector<scan::ScheduledTarget> batch;
+  batch.reserve(256);
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    batch.push_back(scan::ScheduledTarget{
+        net::Ipv4Addr((i * 9973u) % world.universe_size),
+        static_cast<std::uint64_t>(i) * 2});
+  }
+  std::uint64_t results = 0;
+  for (auto _ : state) {
+    auto stats = scanner.run_scheduled(
+        batch, [&](const scan::L4Result&) { ++results; });
+    benchmark::DoNotOptimize(stats);
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ProbeTarget);
+
+static void BM_LossModelLookup(benchmark::State& state) {
+  // Steady-state loss decision through the flat ProbeContext table: one
+  // indexed load to the model plus the per-packet drop draw. This is the
+  // path that replaced a shared_mutex + unordered_map lookup per packet.
+  static const sim::World world = [] {
+    sim::ScenarioConfig config;
+    config.universe_size = 1u << 15;
+    return sim::build_world(config, sim::paper_origins(config.universe_size));
+  }();
+  sim::PersistentState persistent;
+  sim::TrialContext context;
+  context.experiment_seed = world.seed;
+  sim::Internet internet(&world, context, &persistent);
+  auto probe_context = internet.probe_context(0, proto::Protocol::kHttp);
+
+  const auto as_count = static_cast<std::uint32_t>(world.topology.as_count());
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    const sim::AsId as = static_cast<sim::AsId>(key % as_count);
+    const auto t = net::VirtualTime::from_seconds(
+        static_cast<double>(key % 75600));
+    benchmark::DoNotOptimize(probe_context.loss(as).drop(t, key));
+    ++key;
+  }
+}
+BENCHMARK(BM_LossModelLookup);
 
 BENCHMARK_MAIN();

@@ -3,7 +3,10 @@
 #
 #   unit      fast pre-commit lane: build + `ctest -L unit`
 #   full      build + the whole suite (unit, property, differential,
-#             crash, slow)
+#             crash, slow) + the bench regression gate
+#   bench     build, run the microbenchmarks, and gate against the
+#             checked-in BENCH_micro.json (fails on >25% cpu_time
+#             regression; refresh baselines with bench/record.sh)
 #   tsan      ORIGINSCAN_SANITIZE=thread build; runs the suites that
 #             exercise the parallel executor, the cell supervisor, and
 #             the fault-injected differential harness under thread
@@ -11,7 +14,7 @@
 #   coverage  -DOSN_COVERAGE=ON build, full suite, gcov aggregation
 #   all       unit + full + tsan (default; coverage stays opt-in)
 #
-# Usage: ./ci.sh [unit|full|tsan|coverage|all]
+# Usage: ./ci.sh [unit|full|bench|tsan|coverage|all]
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,6 +38,16 @@ run_full() {
   # The whole suite, then the kill/resume matrix by its own label so a
   # crash-lane failure is obvious in the log.
   (cd build && ctest --output-on-failure && ctest -L crash --output-on-failure)
+  run_bench
+}
+
+run_bench() {
+  configure_and_build build
+  # Short repetitions keep the lane fast; the 25% gate (bench_gate's
+  # default) absorbs the extra noise that buys.
+  build/bench/micro_scanner --benchmark_format=json \
+    --benchmark_min_time=0.05 > build/BENCH_micro_candidate.json
+  build/tools/bench_gate BENCH_micro.json build/BENCH_micro_candidate.json
 }
 
 run_tsan() {
@@ -54,6 +67,7 @@ run_coverage() {
 case "$STAGE" in
   unit) run_unit ;;
   full) run_full ;;
+  bench) run_bench ;;
   tsan) run_tsan ;;
   coverage) run_coverage ;;
   all)

@@ -215,6 +215,13 @@ RunReport Experiment::run_journaled(
     CellOutcome outcome = supervisor.run_cell(
         slot,
         [&](const scan::CancelToken& token) {
+          // Warm the (origin, protocol) loss/outage caches before the
+          // sweep: the scan's ProbeContexts then resolve against warm
+          // entries, and neither the probe hot loop nor the ZGrab
+          // connect path ever takes the cache writer lock — regardless
+          // of how concurrently-running origin chains interleave.
+          internets[static_cast<std::size_t>(trial)]->prewarm(
+              origin, config_.protocols[p]);
           scan::ScanOptions options;
           options.probes = config_.probes;
           options.probe_interval = config_.probe_interval;

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 namespace originscan::proto {
@@ -22,6 +23,22 @@ constexpr std::uint16_t port_of(Protocol p) {
       return 22;
   }
   return 0;
+}
+
+// Inverse of port_of: the protocol scanned on `port`, or nullopt for a
+// port outside the study. Used on the probe hot path, so it must stay a
+// branch table, not a loop over kAllProtocols.
+constexpr std::optional<Protocol> protocol_for_port(std::uint16_t port) {
+  switch (port) {
+    case 80:
+      return Protocol::kHttp;
+    case 443:
+      return Protocol::kHttps;
+    case 22:
+      return Protocol::kSsh;
+    default:
+      return std::nullopt;
+  }
 }
 
 constexpr std::string_view name_of(Protocol p) {

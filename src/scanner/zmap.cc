@@ -14,7 +14,11 @@ ZMapScanner::ZMapScanner(const ZMapConfig& config, sim::Internet* internet,
       origin_(origin),
       validator_(net::SipHash::key_from_seed(
                      net::mix_u64(config.seed, 0x2A9u, origin)),
-                 config.source_port_base, config.source_port_count) {
+                 config.source_port_base, config.source_port_count),
+      // Resolving the lock-free context here (prewarming the caches if
+      // needed) keeps every per-packet step of run()/run_scheduled()
+      // synchronization-free.
+      context_(internet->probe_context(origin, config.protocol)) {
   assert(!config_.source_ips.empty());
   assert(config_.universe_size > 0);
 }
@@ -38,19 +42,30 @@ net::Ipv4Addr ZMapScanner::source_ip_for(net::Ipv4Addr dst) const {
 
 void ZMapScanner::probe_target(
     net::Ipv4Addr dst, std::uint64_t first_slot, std::uint64_t slot_stride,
-    double seconds_per_packet, std::uint16_t dst_port,
-    std::vector<std::uint8_t>& packet_buffer, Stats& stats,
+    double seconds_per_packet, std::uint16_t dst_port, Stats& stats,
     const std::function<void(const L4Result&)>& on_result) {
   ++stats.targets_probed;
 
   const net::Ipv4Addr src_ip = source_ip_for(dst);
   const auto fields = validator_.fields_for(src_ip, dst, dst_port);
+  // AS, host, liveness, and flaky state are pure per-target facts; the
+  // follow-up probes reuse probe 0's resolution.
+  const sim::ResolvedTarget target = context_.resolve(dst);
 
   L4Result result;
   result.addr = dst;
   result.source_ip = src_ip;
   result.probe_time = net::VirtualTime::from_seconds(
       static_cast<double>(first_slot) * seconds_per_packet);
+
+  net::TcpPacket syn;
+  syn.ip.src = src_ip;
+  syn.ip.dst = dst;
+  syn.ip.ttl = 255;
+  syn.tcp.src_port = fields.src_port;
+  syn.tcp.dst_port = dst_port;
+  syn.tcp.seq = fields.seq;
+  syn.tcp.flags.syn = true;
 
   for (int probe = 0; probe < config_.probes; ++probe) {
     // The virtual clock is a pure function of the packet's slot in the
@@ -67,16 +82,6 @@ void ZMapScanner::probe_target(
           config_.probe_interval.micros() * probe);
     }
 
-    net::TcpPacket syn;
-    syn.ip.src = src_ip;
-    syn.ip.dst = dst;
-    syn.ip.ttl = 255;
-    syn.tcp.src_port = fields.src_port;
-    syn.tcp.dst_port = dst_port;
-    syn.tcp.seq = fields.seq;
-    syn.tcp.flags.syn = true;
-    syn.serialize_into(packet_buffer);
-
     if (config_.faults != nullptr) {
       // Transient send failure (the sendto EAGAIN analog): retry in
       // place. The injector never reports more consecutive failures
@@ -92,14 +97,8 @@ void ZMapScanner::probe_target(
       continue;  // lost in flight; the send itself still counted
     }
 
-    auto response_bytes =
-        internet_->handle_probe(origin_, packet_buffer, t, probe);
-    if (!response_bytes) continue;
-    auto response = net::TcpPacket::parse(*response_bytes);
-    if (!response) {
-      ++stats.validation_failures;
-      continue;
-    }
+    auto response = context_.probe(target, syn, t, probe);
+    if (!response) continue;
     if (config_.faults != nullptr &&
         config_.faults->corrupt_response(slot, dst)) {
       // Corrupt the validation MAC material: flip the low bit of the
@@ -136,7 +135,6 @@ ZMapScanner::Stats ZMapScanner::run(
       1.0 / config_.effective_pps(config_.universe_size);
   const std::uint16_t dst_port = proto::port_of(config_.protocol);
 
-  std::vector<std::uint8_t> packet_buffer;
   std::uint64_t targets_sent = 0;
 
   while (auto value = iterator.next()) {
@@ -161,7 +159,7 @@ ZMapScanner::Stats ZMapScanner::run(
                                   static_cast<std::uint64_t>(config_.probes) *
                                   config_.shard_count;
     probe_target(dst, first_slot, config_.shard_count, seconds_per_packet,
-                 dst_port, packet_buffer, stats, on_result);
+                 dst_port, stats, on_result);
     ++targets_sent;
   }
   return stats;
@@ -174,7 +172,6 @@ ZMapScanner::Stats ZMapScanner::run_scheduled(
   const double seconds_per_packet =
       1.0 / config_.effective_pps(config_.universe_size);
   const std::uint16_t dst_port = proto::port_of(config_.protocol);
-  std::vector<std::uint8_t> packet_buffer;
   std::uint64_t processed = 0;
   for (const auto& target : targets) {
     if ((processed & 0xFFu) == 0 && config_.cancel != nullptr &&
@@ -185,7 +182,7 @@ ZMapScanner::Stats ZMapScanner::run_scheduled(
     // Slot stride 1: a target's probes occupy consecutive slots of the
     // global schedule, matching the serial sweep's back-to-back sends.
     probe_target(target.addr, target.first_packet, 1, seconds_per_packet,
-                 dst_port, packet_buffer, stats, on_result);
+                 dst_port, stats, on_result);
   }
   return stats;
 }
@@ -196,6 +193,11 @@ ScanSchedule ZMapScanner::build_schedule(
   if (shard_count == 0) shard_count = 1;
   ScanSchedule schedule;
   schedule.shards.resize(shard_count);
+  // Each shard receives ~1/shard_count of the surviving targets; one
+  // up-front reserve replaces the log2 growth reallocations per shard.
+  for (auto& shard : schedule.shards) {
+    shard.reserve(config.universe_size / shard_count + 1);
+  }
 
   auto group = CyclicGroup::for_size(config.universe_size, config.seed);
   auto iterator = group.all();

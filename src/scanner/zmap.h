@@ -159,17 +159,20 @@ class ZMapScanner {
  private:
   // Emits the `probes` SYNs for one target whose probe p occupies global
   // schedule slot first_slot + p * slot_stride, and reports the L4Result
-  // if anything answered.
+  // if anything answered. Probes travel as structs through the lock-free
+  // ProbeContext (no wire encode/decode); the target's AS, host,
+  // liveness, and flaky state are resolved once and shared by all its
+  // probes.
   void probe_target(net::Ipv4Addr dst, std::uint64_t first_slot,
                     std::uint64_t slot_stride, double seconds_per_packet,
-                    std::uint16_t dst_port,
-                    std::vector<std::uint8_t>& packet_buffer, Stats& stats,
+                    std::uint16_t dst_port, Stats& stats,
                     const std::function<void(const L4Result&)>& on_result);
 
   ZMapConfig config_;
   sim::Internet* internet_;
   sim::OriginId origin_;
   ProbeValidator validator_;
+  sim::ProbeContext context_;
 };
 
 }  // namespace originscan::scan

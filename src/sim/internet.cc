@@ -27,7 +27,13 @@ std::vector<std::uint8_t> Connection::read() {
 void Connection::send(std::span<const std::uint8_t> data) {
   if (peer_closed_ || peer_reset_ || hung_ || server_ == nullptr) return;
   ServerAction action = server_->on_bytes(data);
-  pending_.insert(pending_.end(), action.bytes.begin(), action.bytes.end());
+  if (pending_.empty()) {
+    // The common case — the client drained before writing — adopts the
+    // server's buffer instead of copying it.
+    pending_ = std::move(action.bytes);
+  } else {
+    pending_.insert(pending_.end(), action.bytes.begin(), action.bytes.end());
+  }
   if (action.reset) peer_reset_ = true;
   if (action.close) peer_closed_ = true;
 }
@@ -50,6 +56,7 @@ const PathLossModel& Internet::loss_model(OriginId origin, AsId as,
       (std::uint64_t{origin} << 40) | (std::uint64_t{as} << 8) |
       proto::index_of(protocol);
   {
+    cache_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
     std::shared_lock lock(cache_mutex_);
     auto it = loss_cache_.find(key);
     if (it != loss_cache_.end()) return *it->second;
@@ -76,6 +83,7 @@ const PathLossModel& Internet::loss_model(OriginId origin, AsId as,
       net::mix_u64(world_->seed, timeline_key, context_.trial, 0x105Eu);
   auto model = std::make_unique<PathLossModel>(profile, stream_seed,
                                                context_.scan_duration);
+  cache_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock lock(cache_mutex_);
   auto [it, inserted] = loss_cache_.try_emplace(key, std::move(model));
   return *it->second;
@@ -86,6 +94,7 @@ const OutageSchedule& Internet::outage_schedule(OriginId origin,
   const std::uint64_t key =
       (std::uint64_t{origin} << 8) | proto::index_of(protocol);
   {
+    cache_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
     std::shared_lock lock(cache_mutex_);
     auto it = outage_cache_.find(key);
     if (it != outage_cache_.end()) return *it->second;
@@ -95,6 +104,7 @@ const OutageSchedule& Internet::outage_schedule(OriginId origin,
   auto schedule = std::make_unique<OutageSchedule>(
       world_->outages, origin, world_->topology.as_count(), stream_seed,
       context_.scan_duration);
+  cache_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock lock(cache_mutex_);
   auto [it, inserted] = outage_cache_.try_emplace(key, std::move(schedule));
   return *it->second;
@@ -118,23 +128,54 @@ std::optional<std::vector<std::uint8_t>> Internet::handle_probe(
     OriginId origin, std::span<const std::uint8_t> packet, net::VirtualTime t,
     int probe_index) {
   auto parsed = net::TcpPacket::parse(packet);
-  if (!parsed || !parsed->tcp.flags.syn || parsed->tcp.flags.ack) {
-    return std::nullopt;  // malformed or not a SYN: dropped on the floor
-  }
-  const net::Ipv4Addr dst = parsed->ip.dst;
-  const proto::Protocol* protocol = nullptr;
-  proto::Protocol proto_value{};
-  for (proto::Protocol p : proto::kAllProtocols) {
-    if (proto::port_of(p) == parsed->tcp.dst_port) {
-      proto_value = p;
-      protocol = &proto_value;
-      break;
-    }
-  }
-  if (protocol == nullptr) return std::nullopt;  // port outside the study
+  if (!parsed) return std::nullopt;  // malformed: dropped on the floor
+  auto response = handle_probe_fast(origin, *parsed, t, probe_index);
+  if (!response) return std::nullopt;
+  return response->serialize();
+}
 
-  const auto as = world_->topology.as_of(dst);
-  if (!as) return std::nullopt;  // unrouted space
+std::optional<net::TcpPacket> Internet::handle_probe_fast(
+    OriginId origin, const net::TcpPacket& syn, net::VirtualTime t,
+    int probe_index) {
+  const std::optional<proto::Protocol> protocol =
+      proto::protocol_for_port(syn.tcp.dst_port);
+  if (!protocol) return std::nullopt;  // port outside the study
+
+  const ResolvedTarget target = resolve_target(syn.ip.dst, origin);
+  if (!target.as) return std::nullopt;  // unrouted space
+
+  return probe_impl(origin, *protocol, outage_schedule(origin, *protocol),
+                    loss_model(origin, *target.as, *protocol),
+                    world_->policies.find(*target.as), target, syn, t,
+                    probe_index);
+}
+
+ResolvedTarget Internet::resolve_target(net::Ipv4Addr dst,
+                                        OriginId origin) const {
+  ResolvedTarget target{dst, world_->topology.as_of(dst), nullptr};
+  if (!target.as) return target;
+  const Host* host = world_->hosts.find(dst);
+  if (host == nullptr ||
+      !HostTable::live_in_trial(*host, context_.trial,
+                                context_.experiment_seed)) {
+    return target;  // nothing listening this trial: silence
+  }
+  if (host->flaky && flaky_miss(*host, origin)) {
+    return target;  // marginal host: dark for this origin this trial
+  }
+  target.host = host;
+  return target;
+}
+
+std::optional<net::TcpPacket> Internet::probe_impl(
+    OriginId origin, proto::Protocol protocol, const OutageSchedule& outages,
+    const PathLossModel& loss, const AsPolicies* policies,
+    const ResolvedTarget& target, const net::TcpPacket& syn,
+    net::VirtualTime t, int probe_index) {
+  if (!syn.tcp.flags.syn || syn.tcp.flags.ack) {
+    return std::nullopt;  // not a bare SYN: dropped on the floor
+  }
+  const net::Ipv4Addr dst = target.addr;
 
   // Injected faults first: an injected outage or loss spike is a
   // property of the scan run's environment, just like the scheduled
@@ -145,39 +186,32 @@ std::optional<std::vector<std::uint8_t>> Internet::handle_probe(
     return std::nullopt;
   }
 
-  if (outage_schedule(origin, *protocol).in_outage(*as, t)) {
-    return std::nullopt;
-  }
+  if (outages.in_outage(*target.as, t)) return std::nullopt;
 
-  const PathLossModel& loss = loss_model(origin, *as, *protocol);
   // Forward direction.
   if (loss.drop(t, net::mix_u64(dst.value(), probe_index, origin, 0xF0D0u))) {
     return std::nullopt;
   }
 
-  const Host* host = world_->hosts.find(dst);
-  if (host == nullptr ||
-      !HostTable::live_in_trial(*host, context_.trial,
-                                context_.experiment_seed)) {
-    return std::nullopt;  // nothing listening: silence
-  }
-  if (host->flaky && flaky_miss(*host, origin)) {
-    return std::nullopt;  // marginal host: dark for this origin this trial
-  }
+  const Host* host = target.host;
+  if (host == nullptr) return std::nullopt;
 
-  if (policy_engine_.on_probe(origin, parsed->ip.src, *as, dst, *protocol,
-                              t) == PolicyEngine::L4Decision::kDrop) {
+  // Only probes that reached a listening host feed the policy layer
+  // (IDS counters); everything above is side-effect free.
+  if (policies != nullptr &&
+      policy_engine_.on_probe(policies, origin, syn.ip.src, *target.as, dst,
+                              protocol, t) == PolicyEngine::L4Decision::kDrop) {
     return std::nullopt;
   }
 
-  const bool answers = host->middlebox || host->runs(*protocol);
+  const bool answers = host->middlebox || host->runs(protocol);
 
   net::TcpPacket response;
   response.ip.src = dst;
-  response.ip.dst = parsed->ip.src;
-  response.tcp.src_port = parsed->tcp.dst_port;
-  response.tcp.dst_port = parsed->tcp.src_port;
-  response.tcp.ack = parsed->tcp.seq + 1;
+  response.ip.dst = syn.ip.src;
+  response.tcp.src_port = syn.tcp.dst_port;
+  response.tcp.dst_port = syn.tcp.src_port;
+  response.tcp.ack = syn.tcp.seq + 1;
   if (answers) {
     response.tcp.flags.syn = true;
     response.tcp.flags.ack = true;
@@ -194,7 +228,41 @@ std::optional<std::vector<std::uint8_t>> Internet::handle_probe(
   if (loss.drop(t, net::mix_u64(dst.value(), probe_index, origin, 0x0BACu))) {
     return std::nullopt;
   }
-  return response.serialize();
+  return response;
+}
+
+ProbeContext Internet::probe_context(OriginId origin,
+                                     proto::Protocol protocol) {
+  prewarm(origin, protocol);
+  ProbeContext context;
+  context.internet_ = this;
+  context.origin_ = origin;
+  context.protocol_ = protocol;
+  context.outage_ = &outage_schedule(origin, protocol);
+  const auto as_count = static_cast<AsId>(world_->topology.as_count());
+  context.loss_by_as_.resize(as_count);
+  context.policies_by_as_.resize(as_count);
+  for (AsId as = 0; as < as_count; ++as) {
+    context.loss_by_as_[as] = &loss_model(origin, as, protocol);
+    context.policies_by_as_[as] = world_->policies.find(as);
+  }
+  return context;
+}
+
+ResolvedTarget ProbeContext::resolve(net::Ipv4Addr dst) const {
+  return internet_->resolve_target(dst, origin_);
+}
+
+std::optional<net::TcpPacket> ProbeContext::probe(const ResolvedTarget& target,
+                                                  const net::TcpPacket& syn,
+                                                  net::VirtualTime t,
+                                                  int probe_index) {
+  assert(syn.tcp.dst_port == proto::port_of(protocol_));
+  if (!target.as) return std::nullopt;  // unrouted space
+  return internet_->probe_impl(origin_, protocol_, *outage_,
+                               *loss_by_as_[*target.as],
+                               policies_by_as_[*target.as], target, syn, t,
+                               probe_index);
 }
 
 bool Internet::flaky_miss(const Host& host, OriginId origin) const {

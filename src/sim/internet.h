@@ -10,6 +10,7 @@
 // lives in PersistentState, owned by the caller.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -66,6 +67,61 @@ class Connection {
   bool hung_ = false;
 };
 
+class Internet;
+
+// Pure per-target facts of the L4 path, resolved once per target and
+// shared by every probe to it: the routed AS and the host that will
+// answer this (origin, trial) — nullptr when nothing is listening
+// (unrouted, no host, offline this trial, or flaky-dark for the origin).
+// Resolution has no side effects, so hoisting it out of the per-probe
+// loop cannot change any decision.
+struct ResolvedTarget {
+  net::Ipv4Addr addr;
+  std::optional<AsId> as;
+  const Host* host = nullptr;
+};
+
+// Lock-free per-(origin, protocol) view of the Internet for the scan hot
+// loop: the outage schedule and every per-AS loss model and policy set,
+// resolved once (after prewarm) into flat vectors indexed by AsId. The
+// per-packet path through probe() then does zero synchronization and
+// zero hashing. Holds raw pointers into the owning Internet's caches —
+// valid for the Internet's lifetime; build one per scan lane.
+class ProbeContext {
+ public:
+  ProbeContext() = default;
+
+  [[nodiscard]] bool valid() const { return internet_ != nullptr; }
+  [[nodiscard]] OriginId origin() const { return origin_; }
+  [[nodiscard]] proto::Protocol protocol() const { return protocol_; }
+  [[nodiscard]] const OutageSchedule& outage() const { return *outage_; }
+  [[nodiscard]] const PathLossModel& loss(AsId as) const {
+    return *loss_by_as_[as];
+  }
+
+  // Per-target resolution (AS, host, liveness, flaky-miss), done once
+  // per target instead of once per probe.
+  [[nodiscard]] ResolvedTarget resolve(net::Ipv4Addr dst) const;
+
+  // Struct-level probe exchange against the pre-resolved target: the
+  // same decisions as Internet::handle_probe, minus the wire
+  // encode/decode and the cache locks. `syn` must be addressed to this
+  // context's protocol port.
+  std::optional<net::TcpPacket> probe(const ResolvedTarget& target,
+                                      const net::TcpPacket& syn,
+                                      net::VirtualTime t, int probe_index);
+
+ private:
+  friend class Internet;
+
+  Internet* internet_ = nullptr;
+  OriginId origin_ = 0;
+  proto::Protocol protocol_ = proto::Protocol::kHttp;
+  const OutageSchedule* outage_ = nullptr;
+  std::vector<const PathLossModel*> loss_by_as_;
+  std::vector<const AsPolicies*> policies_by_as_;
+};
+
 class Internet {
  public:
   Internet(const World* world, const TrialContext& context,
@@ -76,9 +132,31 @@ class Internet {
   // `origin` at virtual time `t`; `probe_index` distinguishes the
   // back-to-back probes of a multi-probe scan. Returns the response
   // packet bytes (SYN-ACK or RST), or nullopt for silence.
+  //
+  // This is a thin wrapper over handle_probe_fast that keeps the wire
+  // encoding in the loop: parse, decide, serialize. Byte-level fault
+  // points and the golden-trace differential harness enter here.
   std::optional<std::vector<std::uint8_t>> handle_probe(
       OriginId origin, std::span<const std::uint8_t> packet, net::VirtualTime t,
       int probe_index);
+
+  // Struct-level handoff for the scanner hot path: identical decisions
+  // to handle_probe without the serialize/parse round trips. Malformed
+  // probes (not a bare SYN, port outside the study) return nullopt,
+  // exactly as their serialized form would.
+  std::optional<net::TcpPacket> handle_probe_fast(OriginId origin,
+                                                  const net::TcpPacket& syn,
+                                                  net::VirtualTime t,
+                                                  int probe_index);
+
+  // Builds the lock-free hot-path view for one (origin, protocol) scan
+  // lane. Prewarms the caches, so construction may take the cache lock;
+  // the returned context never does.
+  ProbeContext probe_context(OriginId origin, proto::Protocol protocol);
+
+  // Per-target resolution shared by handle_probe_fast and ProbeContext.
+  [[nodiscard]] ResolvedTarget resolve_target(net::Ipv4Addr dst,
+                                              OriginId origin) const;
 
   // ---- Layer 7 -----------------------------------------------------
   // Attempts a TCP connection for an application handshake. Returns
@@ -120,11 +198,30 @@ class Internet {
     return faults_;
   }
 
+  // Number of cache_mutex_ acquisitions so far (shared or exclusive).
+  // Tests assert this stays flat across a ProbeContext-driven scan loop
+  // — the "zero synchronization in steady state" contract.
+  [[nodiscard]] std::uint64_t cache_lock_count() const {
+    return cache_lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+
  private:
+  friend class ProbeContext;
+
   const PathLossModel& loss_model(OriginId origin, AsId as,
                                   proto::Protocol protocol);
   const OutageSchedule& outage_schedule(OriginId origin,
                                         proto::Protocol protocol);
+
+  // The shared decision core of the probe path. Every input that needs a
+  // lookup (loss model, outage schedule, policies, target) arrives
+  // pre-resolved; the lock-free and byte-level paths differ only in how
+  // they resolve them.
+  std::optional<net::TcpPacket> probe_impl(
+      OriginId origin, proto::Protocol protocol, const OutageSchedule& outages,
+      const PathLossModel& loss, const AsPolicies* policies,
+      const ResolvedTarget& target, const net::TcpPacket& syn,
+      net::VirtualTime t, int probe_index);
 
   // Deterministic MaxStartups refusal decision for one attempt.
   [[nodiscard]] bool maxstartups_refuses(const Host& host, OriginId origin,
@@ -142,6 +239,7 @@ class Internet {
   // insert). Cached values are behind unique_ptr, so references handed
   // out remain stable across concurrent inserts.
   std::shared_mutex cache_mutex_;
+  std::atomic<std::uint64_t> cache_lock_acquisitions_{0};
   std::unordered_map<std::uint64_t, std::unique_ptr<PathLossModel>>
       loss_cache_;
   std::unordered_map<std::uint64_t, std::unique_ptr<OutageSchedule>>

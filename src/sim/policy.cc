@@ -50,8 +50,16 @@ PolicyEngine::L4Decision PolicyEngine::on_probe(OriginId origin,
                                                 net::Ipv4Addr dst,
                                                 proto::Protocol protocol,
                                                 net::VirtualTime t) {
+  return on_probe(config_->find(as), origin, src_ip, as, dst, protocol, t);
+}
+
+PolicyEngine::L4Decision PolicyEngine::on_probe(const AsPolicies* policies,
+                                                OriginId origin,
+                                                net::Ipv4Addr src_ip, AsId as,
+                                                net::Ipv4Addr dst,
+                                                proto::Protocol protocol,
+                                                net::VirtualTime t) {
   (void)t;
-  const AsPolicies* policies = config_->find(as);
   if (policies == nullptr) return L4Decision::kAllow;
 
   // Static blocks at L4.

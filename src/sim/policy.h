@@ -142,6 +142,13 @@ class PolicyEngine {
                       net::Ipv4Addr dst, proto::Protocol protocol,
                       net::VirtualTime t);
 
+  // Hot-path variant: the caller already resolved the AS's policies (a
+  // ProbeContext caches them per AS), so the per-probe map lookup is
+  // skipped. `policies` must be config->find(as) or nullptr.
+  L4Decision on_probe(const AsPolicies* policies, OriginId origin,
+                      net::Ipv4Addr src_ip, AsId as, net::Ipv4Addr dst,
+                      proto::Protocol protocol, net::VirtualTime t);
+
   // Decision applied once a TCP connection to a host is established.
   enum class L7Decision : std::uint8_t {
     kAllow,

@@ -46,12 +46,28 @@ void Topology::freeze() {
       std::abort();
     }
   }
+  direct_.clear();
+  if (!index_.empty() && index_.size() < 0xFFFFu &&
+      static_cast<std::uint64_t>(index_.back().last) + 1 <= kDirectMapLimit) {
+    direct_.assign(static_cast<std::size_t>(index_.back().last) + 1, 0);
+    for (std::size_t i = 0; i < index_.size(); ++i) {
+      for (std::uint64_t a = index_[i].first; a <= index_[i].last; ++a) {
+        direct_[static_cast<std::size_t>(a)] =
+            static_cast<std::uint16_t>(i + 1);
+      }
+    }
+  }
   frozen_ = true;
 }
 
 const Topology::Entry* Topology::lookup(net::Ipv4Addr addr) const {
   assert(frozen_);
   const std::uint32_t value = addr.value();
+  if (!direct_.empty()) {
+    if (value >= direct_.size()) return nullptr;
+    const std::uint16_t slot = direct_[value];
+    return slot == 0 ? nullptr : &index_[slot - 1];
+  }
   auto it = std::upper_bound(
       index_.begin(), index_.end(), value,
       [](std::uint32_t v, const Entry& e) { return v < e.first; });

@@ -199,6 +199,33 @@ TEST(ZMap, RstForClosedPortHosts) {
   EXPECT_EQ(stats.synacks, 0u);
 }
 
+TEST(ZMap, SteadyStateSweepTakesNoCacheLocks) {
+  // The "lock-free hot path" contract: once the scanner's ProbeContext
+  // is built (construction may prewarm, and therefore lock), a full
+  // sweep must not touch the Internet's cache mutex at all. The counter
+  // covers shared and exclusive acquisitions alike, so a regression that
+  // sneaks even a read lock back into the per-packet path fails here.
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  ZMapConfig config;
+  config.seed = 77;
+  config.universe_size = world.universe_size;
+  config.protocol = proto::Protocol::kHttp;
+  config.source_ips = world.origins[0].source_ips;
+
+  ZMapScanner scanner(config, &internet, 0);
+  const std::uint64_t locks_after_setup = internet.cache_lock_count();
+
+  std::uint64_t results = 0;
+  const auto stats = scanner.run([&](const L4Result&) { ++results; });
+  EXPECT_GT(results, 0u);
+  EXPECT_GT(stats.packets_sent, 0u);
+  EXPECT_EQ(internet.cache_lock_count(), locks_after_setup)
+      << "per-packet path acquired the cache mutex";
+}
+
 // ----------------------------------------------------------- orchestrator --
 
 TEST(Orchestrator, CompletesL7OnCleanNetwork) {

@@ -1,0 +1,129 @@
+// Benchmark regression gate: compares a candidate google-benchmark JSON
+// report against a checked-in baseline and fails (exit 1) when any
+// benchmark's cpu_time regressed by more than the threshold.
+//
+//   bench_gate <baseline.json> <candidate.json> [threshold_percent]
+//
+// Threshold defaults to 25% — wide enough to absorb CI machine noise,
+// tight enough to catch a hot path re-growing a serialize/parse round
+// trip or a lock. Benchmarks present only in the candidate are reported
+// and pass (new benchmarks shouldn't require a baseline update to land);
+// benchmarks that disappeared from the candidate fail, because a silently
+// dropped benchmark is how a gate goes blind.
+//
+// The parser is deliberately minimal: it extracts "name"/"cpu_time"
+// pairs from the `benchmarks` array of google-benchmark's JSON format
+// (one key per line, as --benchmark_format=json emits). It is not a
+// general JSON parser and doesn't need to be.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// Extracts the string value of `"key": "value"` from a line, or empty.
+std::string string_value(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto open = line.find('"', pos + needle.size());
+  if (open == std::string::npos) return {};
+  const auto close = line.find('"', open + 1);
+  if (close == std::string::npos) return {};
+  return line.substr(open + 1, close - open - 1);
+}
+
+// Extracts the numeric value of `"key": 1.23e4` from a line, or NaN.
+double number_value(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::strtod("nan", nullptr);
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+// name -> cpu_time (ns). Aggregate rows (e.g. _mean/_stddev from
+// repeated runs) are keyed by their full reported name, so baseline and
+// candidate compare like with like.
+std::map<std::string, double> load_report(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_gate: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::map<std::string, double> times;
+  std::string line;
+  std::string current;
+  while (std::getline(in, line)) {
+    const std::string name = string_value(line, "name");
+    if (!name.empty()) current = name;
+    const double cpu = number_value(line, "cpu_time");
+    if (!current.empty() && cpu == cpu) {  // cpu == cpu: not NaN
+      times[current] = cpu;
+      current.clear();
+    }
+  }
+  return times;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <candidate.json> "
+                 "[threshold_percent]\n",
+                 argv[0]);
+    return 2;
+  }
+  const double threshold = argc == 4 ? std::strtod(argv[3], nullptr) : 25.0;
+  if (!(threshold > 0)) {
+    std::fprintf(stderr, "bench_gate: bad threshold %s\n", argv[3]);
+    return 2;
+  }
+
+  const auto baseline = load_report(argv[1]);
+  const auto candidate = load_report(argv[2]);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "bench_gate: no benchmarks in baseline %s\n",
+                 argv[1]);
+    return 2;
+  }
+
+  int failures = 0;
+  for (const auto& [name, base_ns] : baseline) {
+    const auto it = candidate.find(name);
+    if (it == candidate.end()) {
+      std::printf("MISSING  %-32s (in baseline, not in candidate)\n",
+                  name.c_str());
+      ++failures;
+      continue;
+    }
+    const double delta_pct = (it->second - base_ns) / base_ns * 100.0;
+    const bool regressed = delta_pct > threshold;
+    std::printf("%s %-32s %10.1f ns -> %10.1f ns  (%+.1f%%)\n",
+                regressed ? "FAIL    " : "ok      ", name.c_str(), base_ns,
+                it->second, delta_pct);
+    if (regressed) ++failures;
+  }
+  for (const auto& [name, cpu_ns] : candidate) {
+    if (baseline.find(name) == baseline.end()) {
+      std::printf("NEW      %-32s %10.1f ns  (no baseline; passes)\n",
+                  name.c_str(), cpu_ns);
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("bench_gate: %d regression(s) beyond %.0f%% — refresh the "
+                "baseline with bench/record.sh only if the slowdown is "
+                "intended\n",
+                failures, threshold);
+    return 1;
+  }
+  std::printf("bench_gate: all %zu benchmarks within %.0f%% of baseline\n",
+              baseline.size(), threshold);
+  return 0;
+}
