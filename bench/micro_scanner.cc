@@ -5,6 +5,7 @@
 
 #include "netbase/headers.h"
 #include "netbase/siphash.h"
+#include "obsv/metrics.h"
 #include "scanner/blocklist.h"
 #include "scanner/permutation.h"
 #include "scanner/validation.h"
@@ -172,7 +173,8 @@ static void BM_HandleProbeFast(benchmark::State& state) {
 }
 BENCHMARK(BM_HandleProbeFast);
 
-static void BM_ProbeTarget(benchmark::State& state) {
+static void probe_target_loop(benchmark::State& state,
+                              obsv::MetricBlock* metrics) {
   // The full scanner inner loop over a pre-built schedule: MAC fields,
   // once-per-target resolution, ProbeContext probes, and response
   // validation, exactly as run_scheduled drives it in production.
@@ -191,6 +193,7 @@ static void BM_ProbeTarget(benchmark::State& state) {
   config.universe_size = world.universe_size;
   config.protocol = proto::Protocol::kHttp;
   config.source_ips = world.origins[0].source_ips;
+  config.metrics = metrics;
   scan::ZMapScanner scanner(config, &internet, 0);
 
   std::vector<scan::ScheduledTarget> batch;
@@ -209,7 +212,20 @@ static void BM_ProbeTarget(benchmark::State& state) {
   benchmark::DoNotOptimize(results);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
 }
+
+static void BM_ProbeTarget(benchmark::State& state) {
+  probe_target_loop(state, nullptr);
+}
 BENCHMARK(BM_ProbeTarget);
+
+static void BM_ProbeTargetMetricsOn(benchmark::State& state) {
+  // Same loop with a live metric block: the delta over BM_ProbeTarget is
+  // the whole cost of enabled observability on the hot path. ci.sh bench
+  // bounds it at 5% via bench_gate --overhead (DESIGN.md §9).
+  obsv::MetricBlock metrics;
+  probe_target_loop(state, &metrics);
+}
+BENCHMARK(BM_ProbeTargetMetricsOn);
 
 static void BM_LossModelLookup(benchmark::State& state) {
   // Steady-state loss decision through the flat ProbeContext table: one

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Local/CI pipeline. Stages:
 #
-#   unit      fast pre-commit lane: build + `ctest -L unit`
-#   full      build + the whole suite (unit, property, differential,
-#             crash, slow) + the bench regression gate
+#   unit      fast pre-commit lane: build + `ctest -L 'unit|metrics'`
+#   full      build + the whole suite (unit, metrics, property,
+#             differential, crash, slow) + the bench regression gate
 #   bench     build, run the microbenchmarks, and gate against the
 #             checked-in BENCH_micro.json (fails on >25% cpu_time
-#             regression; refresh baselines with bench/record.sh)
+#             regression; refresh baselines with bench/record.sh) plus
+#             the 5% metrics-on vs metrics-off overhead bound
 #   tsan      ORIGINSCAN_SANITIZE=thread build; runs the suites that
 #             exercise the parallel executor, the cell supervisor, and
 #             the fault-injected differential harness under thread
@@ -30,14 +31,19 @@ configure_and_build() { # <dir> [cmake args...]
 
 run_unit() {
   configure_and_build build
-  (cd build && ctest -L unit --output-on-failure)
+  # The metrics label covers the observability determinism suite and the
+  # registry-vs-docs consistency check — cheap enough for the fast lane.
+  (cd build && ctest -L 'unit|metrics' --output-on-failure)
 }
 
 run_full() {
   configure_and_build build
-  # The whole suite, then the kill/resume matrix by its own label so a
-  # crash-lane failure is obvious in the log.
-  (cd build && ctest --output-on-failure && ctest -L crash --output-on-failure)
+  # The whole suite, then the kill/resume matrix and the observability
+  # determinism suite by their own labels so a lane failure is obvious
+  # in the log.
+  (cd build && ctest --output-on-failure &&
+    ctest -L crash --output-on-failure &&
+    ctest -L metrics --output-on-failure)
   run_bench
 }
 
@@ -48,6 +54,16 @@ run_bench() {
   build/bench/micro_scanner --benchmark_format=json \
     --benchmark_min_time=0.05 > build/BENCH_micro_candidate.json
   build/tools/bench_gate BENCH_micro.json build/BENCH_micro_candidate.json
+  # Observability overhead bound: metrics-enabled probing must stay
+  # within 5% of disabled (DESIGN.md §9). The pair is measured in its
+  # own repeated run and compared by median — a single-shot sample is
+  # too noisy for a 5% threshold.
+  build/bench/micro_scanner --benchmark_format=json \
+    --benchmark_filter='^BM_ProbeTarget' --benchmark_min_time=0.1 \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    > build/BENCH_overhead_candidate.json
+  build/tools/bench_gate --overhead build/BENCH_overhead_candidate.json \
+    BM_ProbeTarget_median BM_ProbeTargetMetricsOn_median 5
 }
 
 run_tsan() {

@@ -172,9 +172,26 @@ RunReport Experiment::run_journaled(
           if (entry->status == JournalEntry::Status::kDone) {
             std::string load_error;
             IdsSnapshot snapshot;
-            auto result = journal->load_cell(*entry, &snapshot, &load_error);
+            obsv::MetricBlock delta;
+            auto result = journal->load_cell(
+                *entry, &snapshot, &load_error,
+                config_.metrics != nullptr ? &delta : nullptr);
             if (!result.has_value()) {
               throw std::runtime_error("journal corrupt: " + load_error);
+            }
+            // Replaying the cell's persisted delta (instead of its scan)
+            // is what makes resumed and uninterrupted runs' snapshots
+            // byte-identical.
+            if (config_.metrics != nullptr) {
+              config_.metrics->merge_block(delta);
+            }
+            if (config_.trace != nullptr) {
+              config_.trace->instant(
+                  "journal", "journal.replay", net::VirtualTime{},
+                  {{"cell", key.origin_code + "/" +
+                                std::string(proto::name_of(key.protocol)) +
+                                "/t" + std::to_string(key.trial)},
+                   {"records", std::to_string(result->records.size())}});
             }
             results_[slot] = std::move(*result);
             adopted[slot] = true;
@@ -209,8 +226,22 @@ RunReport Experiment::run_journaled(
     const std::size_t slot = index(trial, p, origin);
     if (adopted[slot] || lost_[slot]) return true;
     const CellKey key = cell_key(trial, p, origin);
+    const std::string track = key.origin_code + "/" +
+                              std::string(proto::name_of(key.protocol)) +
+                              "/t" + std::to_string(key.trial);
     const auto source_ips =
         std::span<const net::Ipv4Addr>(world_.origins[origin].source_ips);
+
+    // Per-cell metric attribution: `attempt_block` is a fresh scratch
+    // block per attempt — an aborted attempt's counters are simply thrown
+    // away with it, mirroring the IDS rollback. `cell_block` is the
+    // cell's durable delta: the supervisor's fault taps, the successful
+    // attempt's counters, the retry accounting, and (via record_done) the
+    // journal counters. It is persisted with the cell and merged into the
+    // registry, so an adopted cell replays exactly what a live run of it
+    // would have contributed.
+    obsv::MetricBlock cell_block;
+    obsv::MetricBlock attempt_block;
 
     CellOutcome outcome = supervisor.run_cell(
         slot,
@@ -231,6 +262,12 @@ RunReport Experiment::run_journaled(
           options.retry_banner_failures = config_.retry_banner_failures;
           options.faults = config_.faults;
           options.cancel = &token;
+          if (config_.metrics != nullptr) {
+            attempt_block = obsv::MetricBlock{};
+            options.metrics = &attempt_block;
+          }
+          options.trace = config_.trace;
+          options.trace_track = track;
           return scan::run_scan(
               *internets[static_cast<std::size_t>(trial)], origin,
               config_.protocols[p], options);
@@ -238,22 +275,48 @@ RunReport Experiment::run_journaled(
         [&] { return capture_ids(persistent_, source_ips); },
         [&](const IdsSnapshot& snapshot) {
           restore_ids(persistent_, source_ips, snapshot);
-        });
+        },
+        config_.metrics != nullptr ? &cell_block : nullptr);
 
-    if (outcome.status == CellOutcome::Status::kKilled) return false;
+    if (outcome.status == CellOutcome::Status::kKilled) {
+      // The killed process never writes a snapshot, but its supervisor
+      // taps (fault.cell_crash) are still observable in-process.
+      if (config_.metrics != nullptr) config_.metrics->merge_block(cell_block);
+      return false;
+    }
 
     std::scoped_lock lock(mutex);
-    report.retries +=
+    const std::uint64_t retries =
         static_cast<std::uint64_t>(std::max(0, outcome.attempts - 1));
+    report.retries += retries;
+    if (config_.trace != nullptr) {
+      for (std::uint64_t r = 0; r < retries; ++r) {
+        config_.trace->instant(track + "/supervisor", "supervisor.retry",
+                               net::VirtualTime{},
+                               {{"attempt", std::to_string(r + 2)}});
+      }
+    }
     if (outcome.status == CellOutcome::Status::kDone) {
+      if (config_.metrics != nullptr) {
+        cell_block.merge_from(attempt_block);
+        cell_block.add(obsv::Counter::kSupervisorRetries, retries);
+        if (retries > 0) {
+          cell_block.observe(
+              obsv::Histogram::kSupervisorBackoffMicros,
+              static_cast<std::uint64_t>(outcome.backoff_total.micros()));
+        }
+      }
       if (journal != nullptr && !supervisor.killed()) {
         const IdsSnapshot post = capture_ids(persistent_, source_ips);
         std::string journal_error;
-        if (!journal->record_done(key, outcome.result, post,
-                                  outcome.attempts, &journal_error)) {
+        if (!journal->record_done(
+                key, outcome.result, post, outcome.attempts,
+                config_.metrics != nullptr ? &cell_block : nullptr,
+                &journal_error)) {
           throw std::runtime_error("journal write failed: " + journal_error);
         }
       }
+      if (config_.metrics != nullptr) config_.metrics->merge_block(cell_block);
       if (progress) {
         progress("trial " + std::to_string(trial + 1) + " " +
                  std::string(proto::name_of(config_.protocols[p])) + " " +
@@ -263,6 +326,11 @@ RunReport Experiment::run_journaled(
       results_[slot] = std::move(outcome.result);
       ++report.cells_run;
     } else {  // kLost
+      // A lost cell contributes nothing to the registry: on resume it is
+      // adopted as lost without re-running, so counting its attempts here
+      // would make uninterrupted and resumed snapshots diverge. Its loss
+      // is accounted once, deterministically, via experiment.cells_lost
+      // at the end of the run.
       lost_[slot] = true;
       lost_slots.push_back(slot);
       if (journal != nullptr && !supervisor.killed()) {
@@ -346,6 +414,13 @@ RunReport Experiment::run_journaled(
   report.cells_lost = report.lost.size();
   report.status = report.lost.empty() ? RunReport::Status::kComplete
                                       : RunReport::Status::kPartial;
+  if (config_.metrics != nullptr) {
+    // Grid-level figures come from the final report, which is identical
+    // for resumed and uninterrupted runs by construction.
+    config_.metrics->gauge_max(obsv::Gauge::kExperimentCellsTotal, total);
+    config_.metrics->add(obsv::Counter::kExperimentCellsLost,
+                         report.cells_lost);
+  }
   return report;
 }
 

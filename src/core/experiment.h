@@ -54,6 +54,18 @@ struct ExperimentConfig {
   // and threaded into the scan engines. Null = no faults. The injector
   // must outlive the experiment run.
   const fault::FaultInjector* faults = nullptr;
+  // Observability sinks (both null by default = disabled at zero cost;
+  // see DESIGN.md §9). `metrics` aggregates per-cell deltas: each cell
+  // accumulates into a single-writer block (successful attempt's scan
+  // counters + supervisor fault taps + journal counters), the block is
+  // persisted as the cell's `.metrics` sidecar, then merged here — so a
+  // killed-and-resumed run's snapshot is byte-identical to an
+  // uninterrupted run's. `trace` receives virtual-clock spans for every
+  // executed scan plus journal.replay / supervisor.retry instants. Both
+  // are deliberately excluded from config_fingerprint: observing a run
+  // must not change its identity.
+  obsv::MetricsRegistry* metrics = nullptr;
+  obsv::TraceRecorder* trace = nullptr;
 };
 
 // Outcome of one (possibly resumed, possibly degraded) experiment run.

@@ -397,8 +397,8 @@ const JournalEntry* ExperimentJournal::find(const CellKey& key) const {
 }
 
 std::optional<scan::ScanResult> ExperimentJournal::load_cell(
-    const JournalEntry& entry, IdsSnapshot* snapshot,
-    std::string* error) const {
+    const JournalEntry& entry, IdsSnapshot* snapshot, std::string* error,
+    obsv::MetricBlock* metrics) const {
   if (entry.status != JournalEntry::Status::kDone) {
     set_error(error, "cell was journaled as lost");
     return std::nullopt;
@@ -439,12 +439,37 @@ std::optional<scan::ScanResult> ExperimentJournal::load_cell(
     return std::nullopt;
   }
   if (snapshot != nullptr) *snapshot = std::move(sidecar_ids);
+
+  if (metrics != nullptr) {
+    const std::string metrics_path = dir_ + "/" + entry.segment + ".metrics";
+    const auto metrics_bytes = read_file(metrics_path);
+    if (!metrics_bytes.has_value()) {
+      // Pre-metrics journal: the cell simply carries a zero delta.
+      *metrics = obsv::MetricBlock{};
+    } else {
+      auto parsed = obsv::MetricBlock::parse(*metrics_bytes);
+      if (!parsed.has_value()) {
+        set_error(error, "corrupt metrics sidecar " + metrics_path);
+        return std::nullopt;
+      }
+      *metrics = std::move(*parsed);
+    }
+  }
   return result;
 }
 
 bool ExperimentJournal::record_done(const CellKey& key,
                                     const scan::ScanResult& result,
                                     const IdsSnapshot& snapshot, int attempts,
+                                    std::string* error) {
+  return record_done(key, result, snapshot, attempts, /*metrics=*/nullptr,
+                     error);
+}
+
+bool ExperimentJournal::record_done(const CellKey& key,
+                                    const scan::ScanResult& result,
+                                    const IdsSnapshot& snapshot, int attempts,
+                                    obsv::MetricBlock* metrics,
                                     std::string* error) {
   const std::string stem = "cell_" + key.origin_code + "_" +
                            lower(proto::name_of(key.protocol)) + "_t" +
@@ -457,6 +482,23 @@ bool ExperimentJournal::record_done(const CellKey& key,
       serialize_sidecar(snapshot, result.l4_stats, result.attempt_histogram);
   if (!write_file_durable(dir_ + "/" + stem + ".ids", sidecar_bytes, error)) {
     return false;
+  }
+  if (metrics != nullptr) {
+    // The journal's own counters go into the cell's block *before* it is
+    // serialized, so an adopted cell replays them too and a resumed run's
+    // totals match an uninterrupted run's exactly. Three fsync'd files per
+    // cell: .osnr, .ids, .metrics. The segment-size histogram observes the
+    // two data files; the metrics sidecar itself is fixed-size bookkeeping.
+    metrics->add(obsv::Counter::kJournalCellsRecorded);
+    metrics->add(obsv::Counter::kJournalSegmentsFsynced, 3);
+    metrics->observe(obsv::Histogram::kJournalSegmentBytes,
+                     segment_bytes.size());
+    metrics->observe(obsv::Histogram::kJournalSegmentBytes,
+                     sidecar_bytes.size());
+    if (!write_file_durable(dir_ + "/" + stem + ".metrics",
+                            metrics->serialize(), error)) {
+      return false;
+    }
   }
 
   JournalEntry entry;

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "obsv/metrics.h"
 #include "proto/protocol.h"
 #include "scanner/orchestrator.h"
 #include "sim/policy.h"
@@ -124,18 +125,30 @@ class ExperimentJournal {
 
   // Loads a done cell's segment, verifying the store CRCs and the
   // manifest's record digest. `snapshot` (optional out) receives the
-  // cell's IDS sidecar. Returns nullopt (with `error`) on any integrity
-  // failure — a corrupt segment means the cell must be re-run, never
-  // silently adopted.
-  std::optional<scan::ScanResult> load_cell(const JournalEntry& entry,
-                                            IdsSnapshot* snapshot = nullptr,
-                                            std::string* error = nullptr) const;
+  // cell's IDS sidecar. `metrics` (optional out) receives the cell's
+  // persisted metric delta; a journal written before metrics existed has
+  // no `.metrics` sidecar and yields an all-zero block (documented in
+  // docs/METRICS.md), but a *corrupt* one fails the load. Returns
+  // nullopt (with `error`) on any integrity failure — a corrupt segment
+  // means the cell must be re-run, never silently adopted.
+  std::optional<scan::ScanResult> load_cell(
+      const JournalEntry& entry, IdsSnapshot* snapshot = nullptr,
+      std::string* error = nullptr, obsv::MetricBlock* metrics = nullptr) const;
 
   // Persists a completed cell: writes segment + IDS sidecar, fsyncs
-  // them, then appends (and fsyncs) the manifest line.
+  // them, then appends (and fsyncs) the manifest line. When `metrics` is
+  // non-null it receives this cell's journal-layer counters
+  // (journal.cells_recorded, journal.segments_fsynced, the segment-size
+  // histogram) and is then persisted as a CRC'd `<stem>.metrics` sidecar
+  // — before the manifest append, so a recorded cell always carries its
+  // delta and a resumed run reproduces an uninterrupted run's metrics
+  // byte for byte.
   bool record_done(const CellKey& key, const scan::ScanResult& result,
                    const IdsSnapshot& snapshot, int attempts,
                    std::string* error = nullptr);
+  bool record_done(const CellKey& key, const scan::ScanResult& result,
+                   const IdsSnapshot& snapshot, int attempts,
+                   obsv::MetricBlock* metrics, std::string* error);
 
   // Marks a cell lost (retry budget exhausted). Analysis treats the cell
   // as absent; resume does not re-run it (see Experiment::run_journaled).

@@ -113,7 +113,8 @@ bool save_results(const std::string& path,
 
 bool save_results(const std::string& path,
                   const std::vector<scan::ScanResult>& results,
-                  const fault::FaultInjector* faults, SaveStats* stats) {
+                  const fault::FaultInjector* faults, SaveStats* stats,
+                  obsv::MetricBlock* metrics) {
   constexpr std::size_t kChunk = 64 * 1024;
   // A transient error on the same chunk can recur (each retry is a new
   // physical write with its own injected-fault decision), so bound the
@@ -133,6 +134,9 @@ bool save_results(const std::string& path,
     const std::size_t len = std::min(kChunk, bytes.size() - committed);
     const bool injected_eio =
         faults != nullptr && faults->store_write_fails(write_index);
+    if (injected_eio && metrics != nullptr) {
+      metrics->add(obsv::Counter::kFaultStoreEio);
+    }
     ++write_index;
     ++local.writes;
     std::size_t written = 0;
@@ -152,6 +156,7 @@ bool save_results(const std::string& path,
       break;
     }
     ++local.resumes;
+    if (metrics != nullptr) metrics->add(obsv::Counter::kStoreWriteRetries);
     std::fclose(file);
     file = std::fopen(path.c_str(), "r+b");
     if (file == nullptr ||

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "faultinject/faultinject.h"
+#include "obsv/metrics.h"
 #include "scanner/orchestrator.h"
 
 namespace originscan::core {
@@ -57,11 +58,14 @@ bool save_results(const std::string& path,
 // physical write-attempt index) — triggers a reopen of the file and a
 // seek back to the last committed offset, then the write resumes. The
 // resulting file is byte-identical to an error-free save. `stats`
-// (optional) reports the recovery work done.
+// (optional) reports the recovery work done; `metrics` (optional) taps
+// fault.store_eio per injected failure and store.write_retries per
+// recovery write.
 bool save_results(const std::string& path,
                   const std::vector<scan::ScanResult>& results,
                   const fault::FaultInjector* faults,
-                  SaveStats* stats = nullptr);
+                  SaveStats* stats = nullptr,
+                  obsv::MetricBlock* metrics = nullptr);
 std::optional<std::vector<scan::ScanResult>> load_results(
     const std::string& path);
 

@@ -9,7 +9,8 @@ CellOutcome CellSupervisor::run_cell(
     const std::function<scan::ScanResult(const scan::CancelToken&)>&
         run_attempt,
     const std::function<IdsSnapshot()>& capture,
-    const std::function<void(const IdsSnapshot&)>& restore) {
+    const std::function<void(const IdsSnapshot&)>& restore,
+    obsv::MetricBlock* metrics) {
   CellOutcome outcome;
 
   if (kill_.cancelled()) {
@@ -22,6 +23,7 @@ CellOutcome CellSupervisor::run_cell(
     // chain aborts at its next batch check. No longjmp, no exception —
     // the run winds down cooperatively and reports kKilled.
     kill_.cancel();
+    if (metrics != nullptr) metrics->add(obsv::Counter::kFaultCellCrash);
     outcome.status = CellOutcome::Status::kKilled;
     outcome.reason = "cell_crash at cell " + std::to_string(cell_index);
     return outcome;
@@ -40,6 +42,7 @@ CellOutcome CellSupervisor::run_cell(
       // for a watchdog firing: pre-trip the attempt's token so the scan
       // aborts at its first batch check, before mutating any IDS state.
       attempt_token.cancel();
+      if (metrics != nullptr) metrics->add(obsv::Counter::kFaultCellHang);
     }
 
     scan::ScanResult result = run_attempt(attempt_token);

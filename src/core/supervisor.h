@@ -71,12 +71,17 @@ class CellSupervisor {
   // per-attempt cancel token; `capture`/`restore` snapshot and roll back
   // the origin's IDS slice around failed attempts. Thread-safe across
   // cells (distinct origins), serial within one origin's chain.
+  // `metrics` (optional) is the CELL-level metric block: the supervisor's
+  // fault points (fault.cell_crash, fault.cell_hang) tap into it, never
+  // into a per-attempt block — an aborted attempt's block is discarded on
+  // rollback, but the hang that aborted it is part of the cell's history.
   CellOutcome run_cell(
       std::uint64_t cell_index,
       const std::function<scan::ScanResult(const scan::CancelToken&)>&
           run_attempt,
       const std::function<IdsSnapshot()>& capture,
-      const std::function<void(const IdsSnapshot&)>& restore);
+      const std::function<void(const IdsSnapshot&)>& restore,
+      obsv::MetricBlock* metrics = nullptr);
 
  private:
   SupervisorPolicy policy_;

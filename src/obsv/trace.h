@@ -1,0 +1,75 @@
+// Deterministic scan-phase tracing on the virtual clock.
+//
+// A TraceRecorder collects named spans and instant events whose
+// timestamps come from the simulation's VirtualTime — never wall time —
+// so the exported timeline is a pure function of (world, config, seed)
+// and compares byte-identical across runs and `--jobs` values. Spans
+// describe the *logical* structure of a scan (permutation build, shard
+// lanes of the canonical slot partition, cooldown, zgrab wave, journal
+// replay, supervisor retries), not the accidents of thread scheduling.
+//
+// Export is Chrome trace_event JSON ("traceEvents" array, `ph:"X"`
+// complete events and `ph:"i"` instants), loadable in chrome://tracing
+// or Perfetto. Track names map to synthetic thread ids assigned in
+// sorted-name order, with thread_name metadata events, so the file is
+// stable no matter what order events were recorded in.
+//
+// The recorder is mutex-guarded but deliberately coarse: events are
+// emitted per phase or per lane (dozens per scan), never per packet, so
+// it stays off the hot path entirely. A null TraceRecorder pointer is
+// the disabled state — callers guard every emission site with a branch
+// on the pointer, same as the metrics taps.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "netbase/vtime.h"
+
+namespace originscan::obsv {
+
+// Key/value annotation attached to a span ("args" in the Chrome format).
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // A complete span [start, end] on the named track.
+  void span(std::string_view track, std::string_view name,
+            net::VirtualTime start, net::VirtualTime end,
+            TraceArgs args = {});
+
+  // A zero-duration instant event.
+  void instant(std::string_view track, std::string_view name,
+               net::VirtualTime at, TraceArgs args = {});
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  // Deterministic Chrome trace_event JSON: tracks sorted by name and
+  // assigned tids in that order, events sorted by (track, start, name,
+  // serialized args). Two recorders holding the same event multiset
+  // export byte-identical strings.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+ private:
+  struct Event {
+    std::string track;
+    std::string name;
+    std::int64_t start_us = 0;
+    std::int64_t dur_us = 0;
+    bool is_instant = false;
+    TraceArgs args;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+}  // namespace originscan::obsv

@@ -18,6 +18,10 @@ struct LaneOutput {
   std::vector<std::string> banners;
   std::vector<std::uint64_t> attempt_histogram;
   ZMapScanner::Stats stats;
+  // This lane's single-writer metric shard; merged (commutatively) into
+  // ScanOptions::metrics after the parallel join, so the aggregate is
+  // independent of lane count and completion order.
+  obsv::MetricBlock metrics;
 };
 
 // Bumps the bucket for a grab that took `attempts` handshake attempts.
@@ -110,6 +114,89 @@ void finalize(ScanResult& result, bool keep_banners) {
   result.banners = std::move(sorted_banners);
 }
 
+// Emits the scan's virtual-clock phase spans. The shard-lane spans come
+// from a canonical 4-way slot partition built here, NOT from the lanes
+// that actually executed — the partition is a pure function of the
+// permutation, so the trace is byte-identical for any --jobs value (the
+// determinism contract in DESIGN.md §9). Runs once per scan, after the
+// sweep, and only when tracing is enabled; its extra permutation walk
+// never touches the disabled path.
+void emit_scan_trace(const ScanOptions& options, const ZMapConfig& zmap_config,
+                     const sim::Internet& internet, proto::Protocol protocol,
+                     const ScanResult& result) {
+  constexpr std::uint32_t kTraceLanes = 4;
+  const sim::World& world = internet.world();
+  const sim::PolicyEngine& policy = internet.policy_engine();
+  const auto defer = [&world, &policy, protocol](net::Ipv4Addr dst) {
+    const auto as = world.topology.as_of(dst);
+    return as && policy.rate_ids_applies(*as, protocol);
+  };
+  const ScanSchedule schedule =
+      ZMapScanner::build_schedule(zmap_config, kTraceLanes, defer);
+  const double spp = 1.0 / zmap_config.effective_pps(zmap_config.universe_size);
+  const auto slot_time = [spp](std::uint64_t slot) {
+    return net::VirtualTime::from_seconds(static_cast<double>(slot) * spp);
+  };
+  const std::uint64_t probes = static_cast<std::uint64_t>(zmap_config.probes);
+  obsv::TraceRecorder& trace = *options.trace;
+  const std::string& track = options.trace_track;
+
+  trace.instant(
+      track, "permutation.build", net::VirtualTime{},
+      {{"targets", std::to_string(schedule.target_count())},
+       {"blocklisted", std::to_string(schedule.blocklisted_skipped)},
+       {"deferred", std::to_string(schedule.deferred.size())}});
+
+  const auto lane_span = [&](const std::vector<ScheduledTarget>& lane,
+                             const std::string& lane_track,
+                             const std::string& name) {
+    if (lane.empty()) return;
+    trace.span(lane_track, name, slot_time(lane.front().first_packet),
+               slot_time(lane.back().first_packet + probes - 1),
+               {{"targets", std::to_string(lane.size())}});
+  };
+  for (std::size_t i = 0; i < schedule.shards.size(); ++i) {
+    lane_span(schedule.shards[i], track + "/lane" + std::to_string(i),
+              "zmap.lane");
+  }
+  lane_span(schedule.deferred, track + "/deferred", "zmap.lane.deferred");
+
+  // ZMap's cooldown: after the last packet leaves, the receive thread
+  // keeps listening (8 s by default) for stragglers. Our virtual-clock
+  // analog is a fixed window after the final schedule slot.
+  const std::uint64_t total_packets = schedule.target_count() * probes;
+  if (total_packets > 0) {
+    const net::VirtualTime sweep_end = slot_time(total_packets - 1);
+    trace.span(track, "zmap.cooldown", sweep_end,
+               sweep_end + net::VirtualTime::from_seconds(8.0), {});
+  }
+
+  // The zgrab wave: the span of probe times across every record whose
+  // SYN-ACK triggered an L7 handshake. Records are address-sorted and
+  // byte-identical across jobs, so min/max are too.
+  bool any_l7 = false;
+  std::uint32_t first_second = 0;
+  std::uint32_t last_second = 0;
+  std::uint64_t grabs = 0;
+  for (const ScanRecord& record : result.records) {
+    if (record.l7 == sim::L7Outcome::kNotAttempted) continue;
+    if (!any_l7 || record.probe_second < first_second) {
+      first_second = record.probe_second;
+    }
+    if (!any_l7 || record.probe_second > last_second) {
+      last_second = record.probe_second;
+    }
+    any_l7 = true;
+    ++grabs;
+  }
+  if (any_l7) {
+    trace.span(track, "zgrab.wave",
+               net::VirtualTime::from_seconds(first_second),
+               net::VirtualTime::from_seconds(last_second),
+               {{"grabs", std::to_string(grabs)}});
+  }
+}
+
 }  // namespace
 
 ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
@@ -142,8 +229,16 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   result.protocol = protocol;
   result.trial = internet.context().trial;
 
+  if (options.metrics != nullptr) {
+    options.metrics->gauge_max(obsv::Gauge::kScanUniverseSize,
+                               world.universe_size);
+  }
+
   const int jobs = std::max(1, options.jobs);
   if (jobs == 1) {
+    // Serial path: the one lane writes straight into the caller's block.
+    zmap_config.metrics = options.metrics;
+    zgrab_config.metrics = options.metrics;
     ZMapScanner zmap(zmap_config, &internet, origin);
     ZGrabEngine zgrab(zgrab_config, &internet, origin);
     result.l4_stats = zmap.run(
@@ -151,6 +246,9 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
                        result.banners, result.attempt_histogram));
     result.aborted = options.cancel != nullptr && options.cancel->cancelled();
     finalize(result, options.keep_banners);
+    if (options.trace != nullptr && !result.aborted) {
+      emit_scan_trace(options, zmap_config, internet, protocol, result);
+    }
     return result;
   }
 
@@ -178,8 +276,16 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
                                   LaneOutput& lane) {
     return [&internet, origin, &zmap_config, &zgrab_config, &options,
             targets, &lane] {
-      ZMapScanner zmap(zmap_config, &internet, origin);
-      ZGrabEngine zgrab(zgrab_config, &internet, origin);
+      // Each lane scans through config copies pointing at its own metric
+      // shard, keeping the blocks single-writer (nullptr when disabled).
+      ZMapConfig lane_zmap = zmap_config;
+      ZGrabConfig lane_zgrab = zgrab_config;
+      if (options.metrics != nullptr) {
+        lane_zmap.metrics = &lane.metrics;
+        lane_zgrab.metrics = &lane.metrics;
+      }
+      ZMapScanner zmap(lane_zmap, &internet, origin);
+      ZGrabEngine zgrab(lane_zgrab, &internet, origin);
       lane.stats = zmap.run_scheduled(
           targets,
           make_collector(internet, origin, zgrab, options, lane.records,
@@ -196,12 +302,20 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
 
   result.aborted = options.cancel != nullptr && options.cancel->cancelled();
   result.l4_stats.blocklisted_skipped = schedule.blocklisted_skipped;
+  if (options.metrics != nullptr) {
+    // The parallel path filters blocklisted targets in build_schedule
+    // rather than per lane, so the counter is credited here, matching
+    // what run() counts on the serial path.
+    options.metrics->add(obsv::Counter::kZmapBlocklistedSkipped,
+                         schedule.blocklisted_skipped);
+  }
   std::size_t total_records = 0;
   for (const LaneOutput& lane : lanes) total_records += lane.records.size();
   result.records.reserve(total_records);
   for (LaneOutput& lane : lanes) {
     result.l4_stats += lane.stats;
     merge_histograms(result.attempt_histogram, lane.attempt_histogram);
+    if (options.metrics != nullptr) options.metrics->merge_from(lane.metrics);
     result.records.insert(result.records.end(), lane.records.begin(),
                           lane.records.end());
     result.banners.insert(result.banners.end(),
@@ -209,6 +323,9 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
                           std::make_move_iterator(lane.banners.end()));
   }
   finalize(result, options.keep_banners);
+  if (options.trace != nullptr && !result.aborted) {
+    emit_scan_trace(options, zmap_config, internet, protocol, result);
+  }
   return result;
 }
 

@@ -9,6 +9,8 @@
 
 #include "netbase/ipv4.h"
 #include "netbase/vtime.h"
+#include "obsv/metrics.h"
+#include "obsv/trace.h"
 #include "proto/protocol.h"
 #include "scanner/zgrab.h"
 #include "scanner/zmap.h"
@@ -97,6 +99,19 @@ struct ScanOptions {
   // target batch, and a tripped token marks the result aborted. Null =
   // uncancellable.
   const CancelToken* cancel = nullptr;
+  // Observability (both null by default = disabled at zero cost).
+  // `metrics` receives this scan's counters: the serial path writes into
+  // it directly; the parallel path gives each lane its own single-writer
+  // block and merges them (commutatively) after the join, so the totals
+  // are byte-identical for any jobs value.
+  obsv::MetricBlock* metrics = nullptr;
+  // `trace` receives virtual-clock phase spans (permutation build, the
+  // canonical 4-way shard-lane partition, cooldown, zgrab wave). The
+  // trace describes the scan's logical schedule — a pure function of
+  // (world, config, seed) — so it too is identical for any jobs value.
+  obsv::TraceRecorder* trace = nullptr;
+  // Track-name prefix for this scan's trace spans (e.g. "US1/http/t0").
+  std::string trace_track = "scan";
 };
 
 // Scans the Internet's whole universe from `origin`.

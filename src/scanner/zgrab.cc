@@ -85,6 +85,16 @@ L7Result ZGrabEngine::grab(net::Ipv4Addr src_ip, net::Ipv4Addr dst,
   // the final retry reports attempts == max_retries + 1, never more
   // (the Section-6 MaxStartups histogram buckets on this value).
   result.attempts = attempts_used;
+  if (config_.metrics != nullptr) {
+    config_.metrics->add(obsv::Counter::kZgrabGrabs);
+    config_.metrics->add(obsv::Counter::kZgrabRetries,
+                         static_cast<std::uint64_t>(attempts_used - 1));
+    config_.metrics->observe(obsv::Histogram::kZgrabAttempts,
+                             static_cast<std::uint64_t>(attempts_used));
+    if (result.outcome == sim::L7Outcome::kCompleted) {
+      config_.metrics->add(obsv::Counter::kZgrabCompleted);
+    }
+  }
   return result;
 }
 
@@ -102,12 +112,18 @@ L7Result ZGrabEngine::attempt(net::Ipv4Addr src_ip, net::Ipv4Addr dst,
     // deterministic draws (a recovered retry replays them untouched).
     result.outcome = sim::L7Outcome::kResetAfterAccept;
     result.explicit_close = true;
+    if (config_.metrics != nullptr) {
+      config_.metrics->add(obsv::Counter::kFaultConnectRst);
+    }
     return result;
   }
   auto connection = internet_->connect(origin_, src_ip, dst,
                                        config_.protocol, t, attempt_index);
   if (connection == nullptr) {
     result.outcome = sim::L7Outcome::kConnectTimeout;
+    if (config_.metrics != nullptr) {
+      config_.metrics->add(obsv::Counter::kZgrabConnectFailures);
+    }
     return result;
   }
   switch (config_.protocol) {
@@ -129,11 +145,17 @@ std::vector<std::uint8_t> ZGrabEngine::read_bytes(sim::Connection& connection) {
       // The server's flight never arrives; the read timer is our only
       // way out.
       bytes.clear();
+      if (config_.metrics != nullptr) {
+        config_.metrics->add(obsv::Counter::kFaultBannerStall);
+      }
       break;
     case fault::FaultInjector::L7Fault::kTruncate:
       // Connection damaged mid-flight: only a prefix of the banner gets
       // through, which the protocol parsers must reject (not crash on).
       bytes.resize(bytes.size() / 2);
+      if (config_.metrics != nullptr) {
+        config_.metrics->add(obsv::Counter::kFaultBannerTrunc);
+      }
       break;
     case fault::FaultInjector::L7Fault::kRst:
     case fault::FaultInjector::L7Fault::kNone:

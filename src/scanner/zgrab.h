@@ -11,6 +11,7 @@
 #include "faultinject/faultinject.h"
 #include "netbase/ipv4.h"
 #include "netbase/vtime.h"
+#include "obsv/metrics.h"
 #include "proto/protocol.h"
 #include "sim/internet.h"
 #include "sim/types.h"
@@ -48,6 +49,10 @@ struct ZGrabConfig {
   // mid-handshake resets, truncated banners, stalled banners. Null = no
   // faults.
   const fault::FaultInjector* faults = nullptr;
+  // Single-writer metric block for this engine's lane (zgrab.* counters,
+  // the attempts histogram, and the L7 fault-point counters). Null (the
+  // default) disables observability at zero cost.
+  obsv::MetricBlock* metrics = nullptr;
 };
 
 struct L7Result {

@@ -21,6 +21,9 @@ ZMapScanner::ZMapScanner(const ZMapConfig& config, sim::Internet* internet,
       context_(internet->probe_context(origin, config.protocol)) {
   assert(!config_.source_ips.empty());
   assert(config_.universe_size > 0);
+  // The scanner and its probe context share one lane-owned block; both
+  // run on this lane's thread, so single-writer discipline holds.
+  context_.set_metrics(config_.metrics);
 }
 
 ZMapScanner::Stats& ZMapScanner::Stats::operator+=(const Stats& other) {
@@ -45,6 +48,8 @@ void ZMapScanner::probe_target(
     double seconds_per_packet, std::uint16_t dst_port, Stats& stats,
     const std::function<void(const L4Result&)>& on_result) {
   ++stats.targets_probed;
+  obsv::MetricBlock* const metrics = config_.metrics;
+  if (metrics != nullptr) metrics->add(obsv::Counter::kZmapTargetsProbed);
 
   const net::Ipv4Addr src_ip = source_ip_for(dst);
   const auto fields = validator_.fields_for(src_ip, dst, dst_port);
@@ -90,10 +95,18 @@ void ZMapScanner::probe_target(
       // byte-identical to a fault-free run.
       const int failures = config_.faults->send_failures(slot, dst);
       if (failures > kSendRetries) continue;  // unreachable by contract
+      if (failures > 0 && metrics != nullptr) {
+        metrics->add(obsv::Counter::kZmapSendRetries,
+                     static_cast<std::uint64_t>(failures));
+        metrics->add(obsv::Counter::kFaultSendFail,
+                     static_cast<std::uint64_t>(failures));
+      }
     }
     ++stats.packets_sent;
+    if (metrics != nullptr) metrics->add(obsv::Counter::kZmapProbesSent);
 
     if (config_.faults != nullptr && config_.faults->drop_at_slot(slot, dst)) {
+      if (metrics != nullptr) metrics->add(obsv::Counter::kFaultProbeDrop);
       continue;  // lost in flight; the send itself still counted
     }
 
@@ -105,18 +118,33 @@ void ZMapScanner::probe_target(
       // acknowledgment number so the SipHash-based validator rejects
       // the response as not ours.
       response->tcp.ack ^= 1u;
+      if (metrics != nullptr) metrics->add(obsv::Counter::kFaultMacCorrupt);
     }
     if (response->ip.src != dst || response->ip.dst != src_ip ||
         !validator_.validate(*response)) {
       ++stats.validation_failures;
+      if (metrics != nullptr) {
+        metrics->add(obsv::Counter::kZmapValidationFailures);
+      }
       continue;
     }
     if (response->tcp.flags.syn && response->tcp.flags.ack) {
       result.synack_mask |= static_cast<std::uint8_t>(1u << probe);
       ++stats.synacks;
+      if (metrics != nullptr) metrics->add(obsv::Counter::kZmapResponsesSynack);
     } else if (response->tcp.flags.rst) {
       result.rst_mask |= static_cast<std::uint8_t>(1u << probe);
       ++stats.rsts;
+      if (metrics != nullptr) metrics->add(obsv::Counter::kZmapResponsesRst);
+    }
+    // ZMap keeps listening after the last probe leaves ("cooldown");
+    // our virtual-clock analog is any validated answer to the final
+    // probe of a target — the response that would have arrived during
+    // the cooldown window of a real scan.
+    if (metrics != nullptr && probe == config_.probes - 1 &&
+        (response->tcp.flags.rst ||
+         (response->tcp.flags.syn && response->tcp.flags.ack))) {
+      metrics->add(obsv::Counter::kZmapCooldownResponses);
     }
   }
 
@@ -149,6 +177,9 @@ ZMapScanner::Stats ZMapScanner::run(
     if (config_.allowlist && !config_.allowlist->contains(dst)) continue;
     if (config_.blocklist.is_blocked(dst)) {
       ++stats.blocklisted_skipped;
+      if (config_.metrics != nullptr) {
+        config_.metrics->add(obsv::Counter::kZmapBlocklistedSkipped);
+      }
       continue;
     }
     // Shard i of k owns virtual-clock slots congruent to i mod k; this

@@ -21,6 +21,7 @@
 #include "netbase/ipv4.h"
 #include "netbase/siphash.h"
 #include "netbase/vtime.h"
+#include "obsv/metrics.h"
 #include "proto/protocol.h"
 #include "scanner/blocklist.h"
 #include "scanner/cancel.h"
@@ -59,6 +60,11 @@ struct ZMapConfig {
   // targets). Null = uncancellable. A cancelled sweep stops early; the
   // caller must treat its partial output as garbage (ScanResult::aborted).
   const CancelToken* cancel = nullptr;
+  // Single-writer metric block for this scanner's lane (zmap.* counters
+  // plus the sim drop-reason taps, via ProbeContext::set_metrics). Null
+  // (the default) disables all observability at zero cost — the same
+  // ownership pattern as `faults`/`cancel`.
+  obsv::MetricBlock* metrics = nullptr;
 
   [[nodiscard]] double effective_pps(std::uint64_t targets) const {
     if (packets_per_second > 0) return packets_per_second;

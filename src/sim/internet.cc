@@ -147,7 +147,7 @@ std::optional<net::TcpPacket> Internet::handle_probe_fast(
   return probe_impl(origin, *protocol, outage_schedule(origin, *protocol),
                     loss_model(origin, *target.as, *protocol),
                     world_->policies.find(*target.as), target, syn, t,
-                    probe_index);
+                    probe_index, /*metrics=*/nullptr);
 }
 
 ResolvedTarget Internet::resolve_target(net::Ipv4Addr dst,
@@ -171,36 +171,51 @@ std::optional<net::TcpPacket> Internet::probe_impl(
     OriginId origin, proto::Protocol protocol, const OutageSchedule& outages,
     const PathLossModel& loss, const AsPolicies* policies,
     const ResolvedTarget& target, const net::TcpPacket& syn,
-    net::VirtualTime t, int probe_index) {
+    net::VirtualTime t, int probe_index, obsv::MetricBlock* metrics) {
   if (!syn.tcp.flags.syn || syn.tcp.flags.ack) {
     return std::nullopt;  // not a bare SYN: dropped on the floor
   }
   const net::Ipv4Addr dst = target.addr;
+  if (metrics != nullptr) metrics->add(obsv::Counter::kSimProbesRouted);
 
   // Injected faults first: an injected outage or loss spike is a
   // property of the scan run's environment, just like the scheduled
   // ones below.
-  if (faults_ != nullptr &&
-      (faults_->outage_at(t, static_cast<int>(origin)) ||
-       faults_->drop_at_time(t, dst, probe_index))) {
+  if (faults_ != nullptr) {
+    const bool fault_outage = faults_->outage_at(t, static_cast<int>(origin));
+    if (fault_outage || faults_->drop_at_time(t, dst, probe_index)) {
+      if (metrics != nullptr) {
+        metrics->add(obsv::Counter::kSimDropsFault);
+        metrics->add(fault_outage ? obsv::Counter::kFaultOutage
+                                  : obsv::Counter::kFaultProbeDrop);
+      }
+      return std::nullopt;
+    }
+  }
+
+  if (outages.in_outage(*target.as, t)) {
+    if (metrics != nullptr) metrics->add(obsv::Counter::kSimDropsOutage);
     return std::nullopt;
   }
 
-  if (outages.in_outage(*target.as, t)) return std::nullopt;
-
   // Forward direction.
   if (loss.drop(t, net::mix_u64(dst.value(), probe_index, origin, 0xF0D0u))) {
+    if (metrics != nullptr) metrics->add(obsv::Counter::kSimDropsLossModel);
     return std::nullopt;
   }
 
   const Host* host = target.host;
-  if (host == nullptr) return std::nullopt;
+  if (host == nullptr) {
+    if (metrics != nullptr) metrics->add(obsv::Counter::kSimDropsNoHost);
+    return std::nullopt;
+  }
 
   // Only probes that reached a listening host feed the policy layer
   // (IDS counters); everything above is side-effect free.
   if (policies != nullptr &&
       policy_engine_.on_probe(policies, origin, syn.ip.src, *target.as, dst,
                               protocol, t) == PolicyEngine::L4Decision::kDrop) {
+    if (metrics != nullptr) metrics->add(obsv::Counter::kSimDropsIds);
     return std::nullopt;
   }
 
@@ -226,7 +241,16 @@ std::optional<net::TcpPacket> Internet::probe_impl(
 
   // Reverse direction.
   if (loss.drop(t, net::mix_u64(dst.value(), probe_index, origin, 0x0BACu))) {
+    if (metrics != nullptr) metrics->add(obsv::Counter::kSimDropsLossModel);
     return std::nullopt;
+  }
+  // Counted only when delivered, so every routed probe lands in exactly
+  // one bucket: probes_routed == drops.{fault,outage,loss_model,no_host,
+  // ids} + responses_synack + responses_rst (unrouted probes are counted
+  // separately, before routing).
+  if (metrics != nullptr) {
+    metrics->add(answers ? obsv::Counter::kSimResponsesSynack
+                         : obsv::Counter::kSimResponsesRst);
   }
   return response;
 }
@@ -258,11 +282,14 @@ std::optional<net::TcpPacket> ProbeContext::probe(const ResolvedTarget& target,
                                                   net::VirtualTime t,
                                                   int probe_index) {
   assert(syn.tcp.dst_port == proto::port_of(protocol_));
-  if (!target.as) return std::nullopt;  // unrouted space
+  if (!target.as) {
+    if (metrics_ != nullptr) metrics_->add(obsv::Counter::kSimDropsUnrouted);
+    return std::nullopt;  // unrouted space
+  }
   return internet_->probe_impl(origin_, protocol_, *outage_,
                                *loss_by_as_[*target.as],
                                policies_by_as_[*target.as], target, syn, t,
-                               probe_index);
+                               probe_index, metrics_);
 }
 
 bool Internet::flaky_miss(const Host& host, OriginId origin) const {

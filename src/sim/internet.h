@@ -22,6 +22,7 @@
 #include "faultinject/faultinject.h"
 #include "netbase/headers.h"
 #include "netbase/vtime.h"
+#include "obsv/metrics.h"
 #include "proto/protocol.h"
 #include "sim/policy.h"
 #include "sim/server.h"
@@ -111,6 +112,13 @@ class ProbeContext {
                                       const net::TcpPacket& syn,
                                       net::VirtualTime t, int probe_index);
 
+  // Attaches a single-writer metric block for drop-reason accounting
+  // (sim.probes_routed, sim.drops.*, sim.responses_*). The block must be
+  // owned by this context's lane — writes are plain stores. nullptr
+  // (the default) disables every tap; the hot loop then takes one
+  // predictable never-taken branch per drop site and nothing else.
+  void set_metrics(obsv::MetricBlock* metrics) { metrics_ = metrics; }
+
  private:
   friend class Internet;
 
@@ -118,6 +126,7 @@ class ProbeContext {
   OriginId origin_ = 0;
   proto::Protocol protocol_ = proto::Protocol::kHttp;
   const OutageSchedule* outage_ = nullptr;
+  obsv::MetricBlock* metrics_ = nullptr;
   std::vector<const PathLossModel*> loss_by_as_;
   std::vector<const AsPolicies*> policies_by_as_;
 };
@@ -216,12 +225,14 @@ class Internet {
   // The shared decision core of the probe path. Every input that needs a
   // lookup (loss model, outage schedule, policies, target) arrives
   // pre-resolved; the lock-free and byte-level paths differ only in how
-  // they resolve them.
+  // they resolve them. `metrics` attributes each probe's fate to exactly
+  // one drop/response counter (nullptr from the byte-level path, so
+  // ProbeContext lanes stay the single writers of their blocks).
   std::optional<net::TcpPacket> probe_impl(
       OriginId origin, proto::Protocol protocol, const OutageSchedule& outages,
       const PathLossModel& loss, const AsPolicies* policies,
       const ResolvedTarget& target, const net::TcpPacket& syn,
-      net::VirtualTime t, int probe_index);
+      net::VirtualTime t, int probe_index, obsv::MetricBlock* metrics);
 
   // Deterministic MaxStartups refusal decision for one attempt.
   [[nodiscard]] bool maxstartups_refuses(const Host& host, OriginId origin,

@@ -219,6 +219,139 @@ TEST(CrashResume, RetryBudgetExhaustionDegradesToLabeledPartialGrid) {
   fs::remove_all(dir);
 }
 
+TEST(CrashResume, MetricsSnapshotIdenticalAcrossJobsCounts) {
+  // The determinism contract of DESIGN.md §9: the aggregate metrics
+  // snapshot is a pure function of (world, config), not of the worker
+  // schedule.
+  auto snapshot_at = [](int jobs) {
+    obsv::MetricsRegistry registry;
+    auto config = crash_config();
+    config.jobs = jobs;
+    config.metrics = &registry;
+    Experiment experiment(config, make_crash_world());
+    EXPECT_TRUE(experiment.run_journaled(nullptr).complete());
+    return registry.snapshot_json();
+  };
+  const std::string serial = snapshot_at(1);
+  EXPECT_NE(serial.find("\"zmap.probes_sent\""), std::string::npos);
+  EXPECT_EQ(serial, snapshot_at(4));
+}
+
+TEST(CrashResume, KilledAndResumedRunReproducesUninterruptedMetrics) {
+  // Per-cell metric deltas are journaled next to the MANIFEST, so a
+  // resumed run replays the adopted cells' deltas instead of their scans
+  // — the final snapshot must be byte-identical to an uninterrupted
+  // run's, wherever the kill landed and at any resume jobs value.
+  const std::string uninterrupted = [] {
+    const std::string dir = scratch_dir("metrics_uninterrupted");
+    obsv::MetricsRegistry registry;
+    auto config = crash_config();
+    config.metrics = &registry;
+    Experiment experiment(config, make_crash_world());
+    std::string error;
+    auto journal =
+        ExperimentJournal::open(dir, experiment.config_fingerprint(), &error);
+    EXPECT_TRUE(journal.has_value()) << error;
+    EXPECT_TRUE(experiment.run_journaled(&*journal).complete());
+    fs::remove_all(dir);
+    return registry.snapshot_json();
+  }();
+  EXPECT_GT(uninterrupted.size(), 0u);
+
+  for (std::size_t kill_cell = 1; kill_cell < kCells; ++kill_cell) {
+    for (int resume_jobs : {1, 4}) {
+      const std::string dir = scratch_dir(
+          "metrics_resume_" + std::to_string(kill_cell) + "_j" +
+          std::to_string(resume_jobs));
+      {
+        const auto plan = fault::FaultPlan::parse(
+            "cell_crash:cell=" + std::to_string(kill_cell));
+        ASSERT_TRUE(plan.has_value());
+        const fault::FaultInjector injector(*plan, 0xFA57BEEFULL);
+        obsv::MetricsRegistry killed_registry;
+        auto config = crash_config();
+        config.faults = &injector;
+        config.metrics = &killed_registry;
+        Experiment experiment(config, make_crash_world());
+        std::string error;
+        auto journal = ExperimentJournal::open(
+            dir, experiment.config_fingerprint(), &error);
+        ASSERT_TRUE(journal.has_value()) << error;
+        EXPECT_EQ(experiment.run_journaled(&*journal).status,
+                  RunReport::Status::kKilled);
+        // The killed process still observed the crash fault point.
+        EXPECT_EQ(killed_registry.snapshot().counter(
+                      obsv::Counter::kFaultCellCrash),
+                  1u);
+      }
+
+      obsv::MetricsRegistry registry;
+      auto config = crash_config();
+      config.jobs = resume_jobs;
+      config.metrics = &registry;
+      Experiment experiment(config, make_crash_world());
+      std::string error;
+      auto journal = ExperimentJournal::open(
+          dir, experiment.config_fingerprint(), &error);
+      ASSERT_TRUE(journal.has_value()) << error;
+      EXPECT_TRUE(experiment.run_journaled(&*journal).complete());
+      EXPECT_EQ(registry.snapshot_json(), uninterrupted)
+          << "kill_cell=" << kill_cell << " resume_jobs=" << resume_jobs;
+      fs::remove_all(dir);
+    }
+  }
+}
+
+TEST(CrashResume, RecoveredHangChargesCellDeltaWithRetryMetrics) {
+  // A hang recovered by retry must be *visible* in the metrics (the
+  // supervisor's fault tap and retry counter) while leaving the scan
+  // output untouched — and because the taps land in the cell's journaled
+  // delta, a resume replays them identically.
+  const auto plan =
+      fault::FaultPlan::parse("cell_hang:cell=2,sec=200000,attempts=1");
+  ASSERT_TRUE(plan.has_value());
+  const fault::FaultInjector injector(*plan, 0xFA57BEEFULL);
+  const std::string dir = scratch_dir("metrics_hang_delta");
+
+  const std::string faulted = [&] {
+    obsv::MetricsRegistry registry;
+    auto config = crash_config();
+    config.faults = &injector;
+    config.metrics = &registry;
+    Experiment experiment(config, make_crash_world());
+    std::string error;
+    auto journal =
+        ExperimentJournal::open(dir, experiment.config_fingerprint(), &error);
+    EXPECT_TRUE(journal.has_value()) << error;
+    EXPECT_TRUE(experiment.run_journaled(&*journal).complete());
+    const auto block = registry.snapshot();
+    EXPECT_EQ(block.counter(obsv::Counter::kFaultCellHang), 1u);
+    EXPECT_EQ(block.counter(obsv::Counter::kSupervisorRetries), 1u);
+    EXPECT_EQ(block.histogram_count(obsv::Histogram::kSupervisorBackoffMicros),
+              1u);
+    EXPECT_EQ(block.counter(obsv::Counter::kJournalCellsRecorded), kCells);
+    EXPECT_EQ(block.counter(obsv::Counter::kJournalSegmentsFsynced),
+              3u * kCells);
+    return registry.snapshot_json();
+  }();
+
+  // Adopt-everything resume (no faults configured): the journaled deltas
+  // carry the hang history.
+  obsv::MetricsRegistry registry;
+  auto config = crash_config();
+  config.metrics = &registry;
+  Experiment experiment(config, make_crash_world());
+  std::string error;
+  auto journal =
+      ExperimentJournal::open(dir, experiment.config_fingerprint(), &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  const RunReport report = experiment.run_journaled(&*journal);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.cells_adopted, kCells);
+  EXPECT_EQ(registry.snapshot_json(), faulted);
+  fs::remove_all(dir);
+}
+
 TEST(CrashResume, MismatchedConfigCannotResume) {
   const std::string dir = scratch_dir("crash_config_mismatch");
   {

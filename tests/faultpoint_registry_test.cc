@@ -1,13 +1,23 @@
 // The injection-point registry contract: every fault point the library
 // registers must be named, parseable from a spec clause, and — the part
 // that keeps the registry honest — actually fired through an injector by
-// this test suite (hit counters prove it).
+// this test suite (hit counters prove it). The FaultpointMetrics tests
+// extend the contract to observability: every fault point increments its
+// fault.* counter, and because injection decisions are pure functions of
+// (seed, slot/host), the counts are exact, not merely positive.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 #include <string>
 
+#include "core/store.h"
+#include "core/supervisor.h"
 #include "faultinject/faultinject.h"
+#include "obsv/metrics.h"
+#include "scanner/orchestrator.h"
+#include "sim/internet.h"
+#include "tests/test_world.h"
 
 namespace originscan::fault {
 namespace {
@@ -200,6 +210,230 @@ TEST(FaultPlanSemantics, RejectsMalformedSpecs) {
     EXPECT_FALSE(FaultPlan::parse(spec, &error).has_value()) << spec;
     EXPECT_FALSE(error.empty()) << spec;
   }
+}
+
+// ------------------------------------------------ exact fault counts ----
+//
+// Each scenario below pins the fault.* counters to hand-computable
+// values on the clean mini world (768 targets, 2 probes each, every
+// probe answered). A drift in any of them means a tap moved or an
+// injection decision changed — both behavior changes, not noise.
+
+sim::TrialContext metrics_context(const sim::World& world) {
+  sim::TrialContext context;
+  context.experiment_seed = world.seed;
+  context.simultaneous_origins = static_cast<int>(world.origins.size());
+  return context;
+}
+
+TEST(FaultpointMetrics, ZmapSlotFaultsCountExactly) {
+  // Slot-scoped clauses on disjoint ranges. The serial schedule gives
+  // target i the consecutive slots {2i, 2i+1}, so a 10-slot window hits
+  // exactly 5 targets on both probes.
+  const FaultPlan plan = must_parse(
+      "drop:slot=0..9,p=1;mac_corrupt:slot=100..109,p=1;"
+      "send_fail:slot=200..209,p=1");
+  const FaultInjector injector(plan, /*seed=*/0xFA57u);
+
+  auto world = testing::make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, metrics_context(world), &persistent);
+
+  obsv::MetricBlock metrics;
+  scan::ScanOptions options;
+  options.faults = &injector;
+  options.metrics = &metrics;
+  const auto result = run_scan(internet, 0, proto::Protocol::kHttp, options);
+
+  // Drops happen after the send is counted: all 1536 probes leave.
+  EXPECT_EQ(metrics.counter(obsv::Counter::kZmapProbesSent), 1536u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kFaultProbeDrop), 10u);
+  EXPECT_EQ(injector.hits(Point::kProbeDrop), 10u);
+  // Every corrupted response fails MAC validation — nothing else does.
+  EXPECT_EQ(metrics.counter(obsv::Counter::kFaultMacCorrupt), 10u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kZmapValidationFailures), 10u);
+  EXPECT_EQ(injector.hits(Point::kMacCorrupt), 10u);
+  // send_fail records one hit per faulted slot but injects 1–2 retries;
+  // the metric counts the retries and must agree with zmap.send_retries.
+  EXPECT_EQ(injector.hits(Point::kSendFail), 10u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kFaultSendFail),
+            metrics.counter(obsv::Counter::kZmapSendRetries));
+  EXPECT_GE(metrics.counter(obsv::Counter::kFaultSendFail), 10u);
+  EXPECT_LE(metrics.counter(obsv::Counter::kFaultSendFail), 20u);
+  // 5 targets lost both probes, 5 lost both responses to corruption.
+  EXPECT_EQ(result.records.size(), 758u);
+
+  // Fault decisions are pure functions of (seed, slot), so the counts
+  // commute with the parallel lanes: the whole snapshot is identical.
+  auto world4 = testing::make_mini_world();
+  sim::PersistentState persistent4;
+  sim::Internet internet4(&world4, metrics_context(world4), &persistent4);
+  const FaultInjector injector4(plan, /*seed=*/0xFA57u);
+  obsv::MetricBlock metrics4;
+  scan::ScanOptions options4;
+  options4.jobs = 4;
+  options4.faults = &injector4;
+  options4.metrics = &metrics4;
+  run_scan(internet4, 0, proto::Protocol::kHttp, options4);
+  EXPECT_EQ(obsv::snapshot_json(metrics), obsv::snapshot_json(metrics4));
+}
+
+TEST(FaultpointMetrics, SimTimeFaultsCountExactly) {
+  // A 1536-second sweep over 1536 packets puts slot s exactly at t = s
+  // seconds, so second-scoped windows map 1:1 onto slot windows.
+  const FaultPlan plan = must_parse("drop:sec=0..9,p=1;outage:sec=20..29");
+  const FaultInjector injector(plan, /*seed=*/0xFA57u);
+
+  auto world = testing::make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, metrics_context(world), &persistent);
+  internet.set_fault_injector(&injector);  // time faults live in the sim
+
+  obsv::MetricBlock metrics;
+  scan::ScanOptions options;
+  options.scan_duration = net::VirtualTime::from_seconds(1536.0);
+  options.faults = &injector;
+  options.metrics = &metrics;
+  run_scan(internet, 0, proto::Protocol::kHttp, options);
+
+  // Time-scoped faults fire in the simulator, after routing: every probe
+  // still counts as routed, and each fate bucket is exact.
+  EXPECT_EQ(metrics.counter(obsv::Counter::kSimProbesRouted), 1536u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kSimDropsFault), 20u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kFaultProbeDrop), 10u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kFaultOutage), 10u);
+  // The world's own outage model stays quiet — the injected outage is
+  // attributed to the fault bucket, not sim.drops.outage.
+  EXPECT_EQ(metrics.counter(obsv::Counter::kSimDropsOutage), 0u);
+}
+
+TEST(FaultpointMetrics, L7FaultsCountOncePerAffectedHost) {
+  // The mod-3 selectors partition the universe: every host draws exactly
+  // one L7 fault on grab attempt 0 and recovers on the retry, so the
+  // three counters sum to the full 768 and each matches an oracle count
+  // computed from pure injector queries.
+  const FaultPlan plan = must_parse(
+      "rst:host%3==0;banner_trunc:host%3==1;banner_stall:host%3==2");
+  const FaultInjector injector(plan, /*seed=*/0xFA57u);
+
+  auto world = testing::make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, metrics_context(world), &persistent);
+
+  obsv::MetricBlock metrics;
+  scan::ScanOptions options;
+  options.l7_retries = 1;
+  options.retry_banner_failures = true;
+  options.faults = &injector;
+  options.metrics = &metrics;
+  const auto result = run_scan(internet, 0, proto::Protocol::kHttp, options);
+  ASSERT_EQ(result.records.size(), 768u);  // every host recovered
+
+  std::uint64_t expect_rst = 0;
+  std::uint64_t expect_trunc = 0;
+  std::uint64_t expect_stall = 0;
+  for (const auto& record : result.records) {
+    for (int attempt = 0; attempt <= options.l7_retries; ++attempt) {
+      switch (injector.l7_fault(record.addr, attempt)) {
+        case FaultInjector::L7Fault::kNone:
+          attempt = options.l7_retries;  // grab succeeded
+          break;
+        case FaultInjector::L7Fault::kRst:
+          ++expect_rst;
+          break;
+        case FaultInjector::L7Fault::kTruncate:
+          ++expect_trunc;
+          break;
+        case FaultInjector::L7Fault::kStall:
+          ++expect_stall;
+          break;
+      }
+    }
+  }
+  EXPECT_EQ(expect_rst + expect_trunc + expect_stall, 768u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kFaultConnectRst), expect_rst);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kFaultBannerTrunc), expect_trunc);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kFaultBannerStall), expect_stall);
+  EXPECT_GT(expect_rst, 0u);
+  EXPECT_GT(expect_trunc, 0u);
+  EXPECT_GT(expect_stall, 0u);
+}
+
+TEST(FaultpointMetrics, StoreEioCountsPerInjectedFailure) {
+  const FaultPlan plan = must_parse("store_eio:write=0,count=2");
+  const FaultInjector injector(plan, /*seed=*/0xFA57u);
+
+  scan::ScanResult result;
+  scan::ScanRecord record;
+  record.addr = net::Ipv4Addr(42);
+  result.records.push_back(record);
+
+  obsv::MetricBlock metrics;
+  core::SaveStats stats;
+  const std::string path =
+      ::testing::TempDir() + "faultpoint_metrics_store.osnr";
+  ASSERT_TRUE(core::save_results(path, {result}, &injector, &stats, &metrics));
+
+  EXPECT_EQ(stats.transient_errors, 2u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kFaultStoreEio), 2u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kStoreWriteRetries),
+            stats.resumes);
+  EXPECT_EQ(injector.hits(Point::kStoreWriteError), 2u);
+
+  const auto loaded = core::load_results(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultpointMetrics, CellCrashCountsOnceIntoTheCellBlock) {
+  const FaultPlan plan = must_parse("cell_crash:cell=5");
+  const FaultInjector injector(plan, /*seed=*/0xFA57u);
+  core::CellSupervisor supervisor(core::SupervisorPolicy{}, &injector);
+
+  obsv::MetricBlock cell;
+  bool attempted = false;
+  const auto outcome = supervisor.run_cell(
+      5,
+      [&](const scan::CancelToken&) {
+        attempted = true;
+        return scan::ScanResult{};
+      },
+      [] { return core::IdsSnapshot{}; }, [](const core::IdsSnapshot&) {},
+      &cell);
+
+  EXPECT_EQ(outcome.status, core::CellOutcome::Status::kKilled);
+  EXPECT_FALSE(attempted);  // death precedes the first attempt
+  EXPECT_EQ(cell.counter(obsv::Counter::kFaultCellCrash), 1u);
+  EXPECT_EQ(cell.counter(obsv::Counter::kFaultCellHang), 0u);
+  EXPECT_EQ(injector.hits(Point::kCellCrash), 1u);
+}
+
+TEST(FaultpointMetrics, CellHangCountsPerHungAttempt) {
+  // 200000s exceeds the 48h cell deadline, so attempts 0 and 1 are
+  // pre-tripped by the watchdog; attempt 2 (past attempts=2) runs clean.
+  const FaultPlan plan = must_parse("cell_hang:cell=7,sec=200000,attempts=2");
+  const FaultInjector injector(plan, /*seed=*/0xFA57u);
+  core::CellSupervisor supervisor(core::SupervisorPolicy{}, &injector);
+
+  obsv::MetricBlock cell;
+  const auto outcome = supervisor.run_cell(
+      7,
+      [](const scan::CancelToken& token) {
+        scan::ScanResult result;
+        result.aborted = token.cancelled();
+        return result;
+      },
+      [] { return core::IdsSnapshot{}; }, [](const core::IdsSnapshot&) {},
+      &cell);
+
+  EXPECT_EQ(outcome.status, core::CellOutcome::Status::kDone);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(cell.counter(obsv::Counter::kFaultCellHang), 2u);
+  EXPECT_EQ(cell.counter(obsv::Counter::kFaultCellCrash), 0u);
+  EXPECT_EQ(injector.hits(Point::kCellHang), 2u);
+  // Backoff after each hung attempt: 1s << 0 + 1s << 1.
+  EXPECT_EQ(outcome.backoff_total, net::VirtualTime::from_seconds(3.0));
 }
 
 }  // namespace

@@ -1,0 +1,269 @@
+// Determinism tests for the observability layer (DESIGN.md §9): metric
+// blocks merge commutatively, snapshots are byte-identical across jobs
+// counts, exact counts are pinned on the mini world (counters double as
+// a correctness oracle), and enabling metrics never perturbs a scan's
+// output.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obsv/metrics.h"
+#include "obsv/trace.h"
+#include "scanner/orchestrator.h"
+#include "sim/internet.h"
+#include "tests/test_world.h"
+
+namespace originscan {
+namespace {
+
+using testing::make_mini_world;
+
+sim::TrialContext context_for(const sim::World& world, int trial = 0) {
+  sim::TrialContext context;
+  context.trial = trial;
+  context.experiment_seed = world.seed;
+  context.simultaneous_origins = static_cast<int>(world.origins.size());
+  return context;
+}
+
+// ------------------------------------------------------------- block --
+
+TEST(MetricBlock, CountersAddAndMergeCommutatively) {
+  obsv::MetricBlock a;
+  obsv::MetricBlock b;
+  a.add(obsv::Counter::kZmapProbesSent, 3);
+  a.add(obsv::Counter::kSimDropsIds);
+  b.add(obsv::Counter::kZmapProbesSent, 4);
+  b.add(obsv::Counter::kZgrabGrabs, 2);
+
+  obsv::MetricBlock ab = a;
+  ab.merge_from(b);
+  obsv::MetricBlock ba = b;
+  ba.merge_from(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.counter(obsv::Counter::kZmapProbesSent), 7u);
+  EXPECT_EQ(ab.counter(obsv::Counter::kSimDropsIds), 1u);
+  EXPECT_EQ(ab.counter(obsv::Counter::kZgrabGrabs), 2u);
+}
+
+TEST(MetricBlock, GaugesMergeByMax) {
+  obsv::MetricBlock a;
+  obsv::MetricBlock b;
+  a.gauge_max(obsv::Gauge::kScanUniverseSize, 768);
+  b.gauge_max(obsv::Gauge::kScanUniverseSize, 512);
+  a.merge_from(b);
+  EXPECT_EQ(a.gauge(obsv::Gauge::kScanUniverseSize), 768u);
+  b.gauge_max(obsv::Gauge::kScanUniverseSize, 1024);
+  a.merge_from(b);
+  EXPECT_EQ(a.gauge(obsv::Gauge::kScanUniverseSize), 1024u);
+}
+
+TEST(MetricBlock, HistogramBucketsSumAndOverflow) {
+  // zgrab.attempts bounds: 1, 2, 3, 4, 8 (+1 overflow bucket).
+  obsv::MetricBlock block;
+  block.observe(obsv::Histogram::kZgrabAttempts, 1);
+  block.observe(obsv::Histogram::kZgrabAttempts, 2);
+  block.observe(obsv::Histogram::kZgrabAttempts, 2);
+  block.observe(obsv::Histogram::kZgrabAttempts, 9);  // > last bound
+  const auto buckets = block.histogram_buckets(obsv::Histogram::kZgrabAttempts);
+  ASSERT_EQ(buckets.size(), 6u);
+  EXPECT_EQ(buckets[0], 1u);  // <= 1
+  EXPECT_EQ(buckets[1], 2u);  // <= 2
+  EXPECT_EQ(buckets[5], 1u);  // overflow
+  EXPECT_EQ(block.histogram_count(obsv::Histogram::kZgrabAttempts), 4u);
+  EXPECT_EQ(block.histogram_sum(obsv::Histogram::kZgrabAttempts), 14u);
+}
+
+TEST(MetricBlock, SerializeParseRoundTrip) {
+  obsv::MetricBlock block;
+  block.add(obsv::Counter::kJournalCellsRecorded, 5);
+  block.gauge_max(obsv::Gauge::kExperimentCellsTotal, 63);
+  block.observe(obsv::Histogram::kJournalSegmentBytes, 4096);
+
+  const auto bytes = block.serialize();
+  const auto parsed = obsv::MetricBlock::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, block);
+}
+
+TEST(MetricBlock, ParseRejectsCorruptionAndTruncation) {
+  obsv::MetricBlock block;
+  block.add(obsv::Counter::kZmapProbesSent, 42);
+  auto bytes = block.serialize();
+
+  auto flipped = bytes;
+  flipped[12] ^= 0x01;
+  EXPECT_FALSE(obsv::MetricBlock::parse(flipped).has_value());
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(obsv::MetricBlock::parse(truncated).has_value());
+
+  EXPECT_FALSE(obsv::MetricBlock::parse({}).has_value());
+}
+
+TEST(Metrics, SnapshotJsonListsEveryRegisteredMetric) {
+  // The snapshot emits every metric, zero or not, in definition order —
+  // that is what makes two snapshots byte-comparable.
+  const std::string json = obsv::snapshot_json(obsv::MetricBlock{});
+  for (const auto& info : obsv::all_metrics()) {
+    EXPECT_NE(json.find("\"" + std::string(info.name) + "\""),
+              std::string::npos)
+        << info.name << " missing from snapshot JSON";
+  }
+}
+
+TEST(Metrics, RegistryAggregatesBlocks) {
+  obsv::MetricsRegistry registry;
+  obsv::MetricBlock lane0;
+  obsv::MetricBlock lane1;
+  lane0.add(obsv::Counter::kZmapProbesSent, 10);
+  lane1.add(obsv::Counter::kZmapProbesSent, 20);
+  registry.merge_block(lane0);
+  registry.merge_block(lane1);
+  EXPECT_EQ(registry.snapshot().counter(obsv::Counter::kZmapProbesSent), 30u);
+}
+
+// -------------------------------------------------------- scan oracle --
+
+TEST(Metrics, PinnedExactCountsOnCleanMiniWorld) {
+  // The mini world is fully deterministic: 768 addresses, every one a
+  // host serving every protocol, clean paths, no policies. The counters
+  // are therefore exact — a drift in any of them is a behavior change in
+  // the scanner or simulator, not observability noise.
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  obsv::MetricBlock metrics;
+  scan::ScanOptions options;
+  options.metrics = &metrics;
+  const auto result = run_scan(internet, 0, proto::Protocol::kHttp, options);
+  ASSERT_EQ(result.records.size(), 768u);
+
+  EXPECT_EQ(metrics.counter(obsv::Counter::kZmapTargetsProbed), 768u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kZmapProbesSent), 1536u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kSimProbesRouted), 1536u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kSimDropsLossModel), 0u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kSimDropsNoHost), 0u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kSimResponsesSynack), 1536u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kZmapResponsesSynack), 1536u);
+  // Every target's final (2nd) probe was answered: the cooldown analog.
+  EXPECT_EQ(metrics.counter(obsv::Counter::kZmapCooldownResponses), 768u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kZgrabGrabs), 768u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kZgrabCompleted), 768u);
+  EXPECT_EQ(metrics.gauge(obsv::Gauge::kScanUniverseSize), 768u);
+  EXPECT_EQ(metrics.histogram_count(obsv::Histogram::kZgrabAttempts), 768u);
+  EXPECT_EQ(metrics.histogram_sum(obsv::Histogram::kZgrabAttempts), 768u);
+}
+
+TEST(Metrics, ProbeFateInvariantHolds) {
+  // Every routed probe lands in exactly one fate bucket:
+  //   sim.probes_routed == drops.{fault,outage,loss_model,no_host,ids}
+  //                        + responses_synack + responses_rst
+  // Use a lossy, sparse world so several buckets are non-zero.
+  testing::MiniWorldOptions world_options;
+  world_options.density = 0.6;
+  auto world = make_mini_world(world_options);
+  sim::PathProfile lossy;
+  lossy.good_loss = 0.05;
+  lossy.bad_loss = 0.4;
+  lossy.bad_fraction = 0.2;
+  world.paths.set_default_profile(lossy);
+
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  obsv::MetricBlock metrics;
+  scan::ScanOptions options;
+  options.metrics = &metrics;
+  run_scan(internet, 0, proto::Protocol::kHttp, options);
+
+  const std::uint64_t drops =
+      metrics.counter(obsv::Counter::kSimDropsFault) +
+      metrics.counter(obsv::Counter::kSimDropsOutage) +
+      metrics.counter(obsv::Counter::kSimDropsLossModel) +
+      metrics.counter(obsv::Counter::kSimDropsNoHost) +
+      metrics.counter(obsv::Counter::kSimDropsIds);
+  const std::uint64_t responses =
+      metrics.counter(obsv::Counter::kSimResponsesSynack) +
+      metrics.counter(obsv::Counter::kSimResponsesRst);
+  EXPECT_GT(metrics.counter(obsv::Counter::kSimDropsLossModel), 0u);
+  EXPECT_GT(metrics.counter(obsv::Counter::kSimDropsNoHost), 0u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kSimProbesRouted),
+            drops + responses);
+}
+
+TEST(Metrics, SnapshotIdenticalAcrossJobsCounts) {
+  auto make_snapshot = [](int jobs) {
+    testing::MiniWorldOptions world_options;
+    world_options.density = 0.8;
+    auto world = make_mini_world(world_options);
+    sim::PersistentState persistent;
+    sim::Internet internet(&world, context_for(world), &persistent);
+    obsv::MetricBlock metrics;
+    scan::ScanOptions options;
+    options.jobs = jobs;
+    options.metrics = &metrics;
+    run_scan(internet, 0, proto::Protocol::kHttps, options);
+    return obsv::snapshot_json(metrics);
+  };
+  const std::string serial = make_snapshot(1);
+  EXPECT_EQ(serial, make_snapshot(4));
+  EXPECT_EQ(serial, make_snapshot(3));
+}
+
+TEST(Metrics, EnablingMetricsDoesNotPerturbScanOutput) {
+  auto run_once = [](bool with_metrics) {
+    auto world = make_mini_world();
+    sim::PersistentState persistent;
+    sim::Internet internet(&world, context_for(world), &persistent);
+    obsv::MetricBlock metrics;
+    scan::ScanOptions options;
+    if (with_metrics) options.metrics = &metrics;
+    return run_scan(internet, 0, proto::Protocol::kSsh, options);
+  };
+  const auto plain = run_once(false);
+  const auto observed = run_once(true);
+  EXPECT_EQ(plain.records, observed.records);
+  EXPECT_EQ(plain.l4_stats.synacks, observed.l4_stats.synacks);
+  EXPECT_EQ(plain.attempt_histogram, observed.attempt_histogram);
+}
+
+// --------------------------------------------------------------- trace --
+
+TEST(Trace, ScanTraceIsIdenticalAcrossJobsCounts) {
+  auto make_trace = [](int jobs) {
+    auto world = make_mini_world();
+    sim::PersistentState persistent;
+    sim::Internet internet(&world, context_for(world), &persistent);
+    obsv::TraceRecorder trace;
+    scan::ScanOptions options;
+    options.jobs = jobs;
+    options.trace = &trace;
+    options.trace_track = "mini/http/t0";
+    run_scan(internet, 0, proto::Protocol::kHttp, options);
+    return trace.chrome_trace_json();
+  };
+  const std::string serial = make_trace(1);
+  EXPECT_EQ(serial, make_trace(4));
+}
+
+TEST(Trace, ScanTraceCoversThePhases) {
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+  obsv::TraceRecorder trace;
+  scan::ScanOptions options;
+  options.trace = &trace;
+  run_scan(internet, 0, proto::Protocol::kHttp, options);
+  const std::string json = trace.chrome_trace_json();
+  EXPECT_NE(json.find("permutation.build"), std::string::npos);
+  EXPECT_NE(json.find("zmap.lane"), std::string::npos);
+  EXPECT_NE(json.find("zmap.cooldown"), std::string::npos);
+  EXPECT_NE(json.find("zgrab.wave"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace originscan

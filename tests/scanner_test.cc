@@ -226,6 +226,35 @@ TEST(ZMap, SteadyStateSweepTakesNoCacheLocks) {
       << "per-packet path acquired the cache mutex";
 }
 
+TEST(ZMap, MetricsEnabledSweepTakesNoCacheLocks) {
+  // Companion guard to SteadyStateSweepTakesNoCacheLocks: enabling the
+  // observability layer must not re-introduce locking either. Metric
+  // taps write into a single-writer MetricBlock with plain stores — no
+  // mutex, no atomics — so the lock count stays flat with metrics on.
+  auto world = make_mini_world();
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context_for(world), &persistent);
+
+  obsv::MetricBlock metrics;
+  ZMapConfig config;
+  config.seed = 77;
+  config.universe_size = world.universe_size;
+  config.protocol = proto::Protocol::kHttp;
+  config.source_ips = world.origins[0].source_ips;
+  config.metrics = &metrics;
+
+  ZMapScanner scanner(config, &internet, 0);
+  const std::uint64_t locks_after_setup = internet.cache_lock_count();
+
+  std::uint64_t results = 0;
+  const auto stats = scanner.run([&](const L4Result&) { ++results; });
+  EXPECT_GT(results, 0u);
+  EXPECT_EQ(metrics.counter(obsv::Counter::kZmapProbesSent),
+            stats.packets_sent);
+  EXPECT_EQ(internet.cache_lock_count(), locks_after_setup)
+      << "metric taps acquired the cache mutex";
+}
+
 // ----------------------------------------------------------- orchestrator --
 
 TEST(Orchestrator, CompletesL7OnCleanNetwork) {

@@ -3,6 +3,7 @@
 // benchmark's cpu_time regressed by more than the threshold.
 //
 //   bench_gate <baseline.json> <candidate.json> [threshold_percent]
+//   bench_gate --overhead <candidate.json> <base> <variant> [threshold]
 //
 // Threshold defaults to 25% — wide enough to absorb CI machine noise,
 // tight enough to catch a hot path re-growing a serialize/parse round
@@ -10,6 +11,13 @@
 // and pass (new benchmarks shouldn't require a baseline update to land);
 // benchmarks that disappeared from the candidate fail, because a silently
 // dropped benchmark is how a gate goes blind.
+//
+// --overhead compares two benchmarks within ONE report: it fails when
+// <variant>'s cpu_time exceeds <base>'s by more than the threshold
+// (default 5%). Both run in the same process seconds apart, so the
+// machine-noise argument for a wide threshold doesn't apply — this is
+// how ci.sh bounds the cost of metrics-enabled scanning over disabled
+// (DESIGN.md §9's "cheap when enabled" rule).
 //
 // The parser is deliberately minimal: it extracts "name"/"cpu_time"
 // pairs from the `benchmarks` array of google-benchmark's JSON format
@@ -69,14 +77,54 @@ std::map<std::string, double> load_report(const char* path) {
   return times;
 }
 
+int run_overhead(int argc, char** argv) {
+  if (argc < 5 || argc > 6) {
+    std::fprintf(stderr,
+                 "usage: %s --overhead <candidate.json> <base_benchmark> "
+                 "<variant_benchmark> [threshold_percent]\n",
+                 argv[0]);
+    return 2;
+  }
+  const double threshold = argc == 6 ? std::strtod(argv[5], nullptr) : 5.0;
+  if (!(threshold > 0)) {
+    std::fprintf(stderr, "bench_gate: bad threshold %s\n", argv[5]);
+    return 2;
+  }
+  const auto report = load_report(argv[2]);
+  const auto base = report.find(argv[3]);
+  const auto variant = report.find(argv[4]);
+  if (base == report.end() || variant == report.end()) {
+    std::fprintf(stderr, "bench_gate: %s missing from %s\n",
+                 base == report.end() ? argv[3] : argv[4], argv[2]);
+    return 2;
+  }
+  const double delta_pct =
+      (variant->second - base->second) / base->second * 100.0;
+  const bool regressed = delta_pct > threshold;
+  std::printf("%s %s %.1f ns vs %s %.1f ns  (%+.1f%%, limit +%.0f%%)\n",
+              regressed ? "FAIL    " : "ok      ", argv[3], base->second,
+              argv[4], variant->second, delta_pct, threshold);
+  if (regressed) {
+    std::printf("bench_gate: %s costs %.1f%% over %s — the enabled "
+                "observability path must stay within %.0f%%\n",
+                argv[4], delta_pct, argv[3], threshold);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--overhead") == 0) {
+    return run_overhead(argc, argv);
+  }
   if (argc < 3 || argc > 4) {
     std::fprintf(stderr,
                  "usage: %s <baseline.json> <candidate.json> "
-                 "[threshold_percent]\n",
-                 argv[0]);
+                 "[threshold_percent]\n       %s --overhead <candidate.json> "
+                 "<base_benchmark> <variant_benchmark> [threshold_percent]\n",
+                 argv[0], argv[0]);
     return 2;
   }
   const double threshold = argc == 4 ? std::strtod(argv[3], nullptr) : 25.0;

@@ -1,0 +1,64 @@
+// Consistency check between the metric registry (the X-macro tables in
+// src/obsv/metrics.h) and the generated reference docs/METRICS.md: every
+// registered metric name must appear in the document as an inline-code
+// literal (`name`). Registered as a ctest under the `metrics` label so
+// ci.sh fails when a new metric lands without its doc row.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obsv/metrics.h"
+
+namespace {
+
+const char* kind_name(originscan::obsv::MetricKind kind) {
+  switch (kind) {
+    case originscan::obsv::MetricKind::kCounter:
+      return "counter";
+    case originscan::obsv::MetricKind::kGauge:
+      return "gauge";
+    case originscan::obsv::MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main() {
+  const std::string path = std::string(OSN_SOURCE_DIR) + "/docs/METRICS.md";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "metrics_doc_check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+
+  int missing = 0;
+  for (const auto& info : originscan::obsv::all_metrics()) {
+    const std::string needle = "`" + std::string(info.name) + "`";
+    if (doc.find(needle) == std::string::npos) {
+      std::fprintf(stderr,
+                   "metrics_doc_check: %s '%.*s' (updated at %.*s) is "
+                   "registered in src/obsv/metrics.h but undocumented in "
+                   "docs/METRICS.md\n",
+                   kind_name(info.kind), static_cast<int>(info.name.size()),
+                   info.name.data(), static_cast<int>(info.site.size()),
+                   info.site.data());
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    std::fprintf(stderr,
+                 "metrics_doc_check: %d metric(s) missing from "
+                 "docs/METRICS.md — add a table row per metric\n",
+                 missing);
+    return 1;
+  }
+  std::printf("metrics_doc_check: %zu metrics documented\n",
+              originscan::obsv::all_metrics().size());
+  return 0;
+}

@@ -29,6 +29,8 @@
 #include "core/journal.h"
 #include "core/store.h"
 #include "faultinject/faultinject.h"
+#include "obsv/metrics.h"
+#include "obsv/trace.h"
 #include "report/export.h"
 #include "report/table.h"
 
@@ -50,6 +52,8 @@ struct Args {
   std::string in;    // analyze: load raw results from here
   std::string resume_dir;  // experiment/journal: crash-safe journal dir
   std::string faults;      // experiment: fault plan spec
+  std::string metrics_out;  // experiment/scan: metrics snapshot JSON
+  std::string trace_out;    // experiment/scan: Chrome trace_event JSON
 };
 
 void usage() {
@@ -72,6 +76,12 @@ void usage() {
       "                 killed run from it (byte-identical to a run that\n"
       "                 was never interrupted, at any --jobs)\n"
       "  --faults SPEC  experiment: fault plan (see faultinject/)\n"
+      "  --metrics-out F  experiment/scan: write the deterministic metrics\n"
+      "                 snapshot (JSON; byte-identical for any --jobs and\n"
+      "                 across kill/resume — see docs/METRICS.md)\n"
+      "  --trace-out F  experiment/scan: write a Chrome trace_event JSON\n"
+      "                 timeline of the virtual-clock scan phases (open in\n"
+      "                 chrome://tracing or ui.perfetto.dev)\n"
       "\n"
       "  analyze re-runs the coverage analysis on saved results; use the\n"
       "  same --scale/--seed the experiment ran with.\n"
@@ -119,6 +129,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.resume_dir = value;
     } else if (flag == "--faults") {
       args.faults = value;
+    } else if (flag == "--metrics-out") {
+      args.metrics_out = value;
+    } else if (flag == "--trace-out") {
+      args.trace_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -159,6 +173,30 @@ std::string cell_to_string(const core::CellKey& key) {
          " trial " + std::to_string(key.trial + 1);
 }
 
+// Writes the observability artifacts requested on the command line. The
+// metrics snapshot is deterministic (byte-identical for any --jobs value
+// and across kill/resume); the trace is a Chrome trace_event timeline of
+// the virtual-clock schedule.
+bool write_observability(const Args& args, const obsv::MetricBlock& metrics,
+                         const obsv::TraceRecorder* trace) {
+  if (!args.metrics_out.empty()) {
+    if (!report::write_file(args.metrics_out, obsv::snapshot_json(metrics))) {
+      std::fprintf(stderr, "failed to write %s\n", args.metrics_out.c_str());
+      return false;
+    }
+    std::printf("wrote metrics snapshot to %s\n", args.metrics_out.c_str());
+  }
+  if (!args.trace_out.empty() && trace != nullptr) {
+    if (!report::write_file(args.trace_out, trace->chrome_trace_json())) {
+      std::fprintf(stderr, "failed to write %s\n", args.trace_out.c_str());
+      return false;
+    }
+    std::printf("wrote trace to %s (open in chrome://tracing)\n",
+                args.trace_out.c_str());
+  }
+  return true;
+}
+
 int cmd_experiment(const Args& args) {
   auto config = base_config(args);
   std::optional<fault::FaultInjector> injector;
@@ -172,6 +210,10 @@ int cmd_experiment(const Args& args) {
     injector.emplace(*plan, args.seed);
     config.faults = &*injector;
   }
+  obsv::MetricsRegistry registry;
+  obsv::TraceRecorder trace;
+  if (!args.metrics_out.empty()) config.metrics = &registry;
+  if (!args.trace_out.empty()) config.trace = &trace;
   core::Experiment experiment(config);
   std::printf("running %d trials x %zu protocols x %zu origins over %u "
               "addresses...\n",
@@ -201,6 +243,9 @@ int cmd_experiment(const Args& args) {
                 report.cells_lost,
                 static_cast<unsigned long long>(report.retries));
     if (report.status == core::RunReport::Status::kKilled) {
+      // No metrics/trace artifacts for a killed run: the per-cell deltas
+      // live in the journal, and the resumed run's snapshot will equal an
+      // uninterrupted run's.
       std::fprintf(stderr,
                    "run killed (%s); completed cells are journaled in %s — "
                    "rerun with the same --resume-dir to finish\n",
@@ -224,6 +269,7 @@ int cmd_experiment(const Args& args) {
     }
     std::printf("saved raw results to %s\n", args.save.c_str());
   }
+  if (!write_observability(args, registry.snapshot(), &trace)) return 1;
 
   for (proto::Protocol protocol : proto::kAllProtocols) {
     const auto matrix = core::AccessMatrix::build(experiment, protocol);
@@ -280,6 +326,14 @@ int cmd_scan(const Args& args) {
   options.l7_retries = args.retries;
   options.keep_banners = true;
   options.jobs = args.jobs;
+  obsv::MetricBlock metrics;
+  obsv::TraceRecorder trace;
+  if (!args.metrics_out.empty()) options.metrics = &metrics;
+  if (!args.trace_out.empty()) {
+    options.trace = &trace;
+    options.trace_track = args.origin + "/" + args.protocol + "/t" +
+                          std::to_string(args.trial);
+  }
   const auto result = experiment.run_extra_scan(args.trial - 1, *protocol,
                                                 origin, options);
 
@@ -301,6 +355,7 @@ int cmd_scan(const Args& args) {
     std::printf("  %-22s %d\n", outcome.c_str(), count);
   }
   std::printf("wrote %s\n", path.c_str());
+  if (!write_observability(args, metrics, &trace)) return 1;
   return 0;
 }
 
