@@ -3,6 +3,10 @@
 // parsing, blocklist lookups, and the end-to-end probe exchange.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
 #include "netbase/headers.h"
 #include "netbase/siphash.h"
 #include "obsv/metrics.h"
@@ -26,6 +30,28 @@ static void BM_PermutationNext(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PermutationNext);
+
+static void BM_PermutationNextBatch(benchmark::State& state) {
+  // Batched counterpart of BM_PermutationNext: the send loop's actual
+  // consumption pattern (scanner/zmap.cc run()). The per-address delta
+  // against the scalar bench is what the register-resident recurrence
+  // buys.
+  const auto group =
+      scan::CyclicGroup::for_size(1u << 20, /*seed=*/0xBEEF);
+  auto it = group.all();
+  std::array<std::uint32_t, 256> batch;
+  for (auto _ : state) {
+    std::size_t filled = it.next_batch(batch);
+    if (filled == 0) {
+      it = group.all();
+      filled = it.next_batch(batch);
+    }
+    benchmark::DoNotOptimize(batch.data());
+    benchmark::DoNotOptimize(filled);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_PermutationNextBatch);
 
 static void BM_GroupConstruction(benchmark::State& state) {
   std::uint64_t seed = 1;
@@ -226,6 +252,49 @@ static void BM_ProbeTargetMetricsOn(benchmark::State& state) {
   probe_target_loop(state, &metrics);
 }
 BENCHMARK(BM_ProbeTargetMetricsOn);
+
+static void BM_ProceduralLookup(benchmark::State& state) {
+  // Cold-path procedural resolution: per-/24 facts derivation plus the
+  // per-address host derivation, no cache (World::host_at — the
+  // connect/collector path). Strides by 256 so every lookup derives a
+  // fresh block.
+  static const sim::World world = [] {
+    auto config = sim::ScenarioConfig::full_internet(22);
+    return sim::build_world(config, sim::paper_origins(config.universe_size));
+  }();
+  const std::uint32_t first = world.procedural.first_addr();
+  std::uint32_t addr = first;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.host_at(net::Ipv4Addr(addr)));
+    addr += 257;  // new block every lookup, varying offset within it
+    if (addr >= world.universe_size) addr = first;
+  }
+}
+BENCHMARK(BM_ProceduralLookup);
+
+static void BM_BlockCacheHit(benchmark::State& state) {
+  // Hot-path procedural resolution through ProbeContext's lane-private
+  // /24 cache: sequential addresses hit the cached block facts 255
+  // times out of 256, so this approximates the per-probe cost the 2^32
+  // sweep actually pays.
+  static const sim::World world = [] {
+    auto config = sim::ScenarioConfig::full_internet(22);
+    return sim::build_world(config, sim::paper_origins(config.universe_size));
+  }();
+  sim::PersistentState persistent;
+  sim::TrialContext context;
+  context.experiment_seed = world.seed;
+  sim::Internet internet(&world, context, &persistent);
+  auto probe_context = internet.probe_context(0, proto::Protocol::kHttp);
+
+  const std::uint32_t first = world.procedural.first_addr();
+  std::uint32_t addr = first;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe_context.resolve(net::Ipv4Addr(addr)));
+    if (++addr >= world.universe_size) addr = first;
+  }
+}
+BENCHMARK(BM_BlockCacheHit);
 
 static void BM_LossModelLookup(benchmark::State& state) {
   // Steady-state loss decision through the flat ProbeContext table: one

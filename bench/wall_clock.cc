@@ -8,12 +8,22 @@
 // Environment:
 //   OSN_BENCH_SCALE  universe exponent (default 15, the acceptance size)
 //   OSN_BENCH_JOBS   parallel worker count (default 4)
+//
+// Sweep mode (`wall_clock --universe-bits N [--jobs M]`): instead of the
+// experiment grid, time one full procedural sweep (scan::run_l4_sweep)
+// serial and parallel at 2^N addresses and verify the result digests
+// match. This is the bounded-RSS hot loop the 2^32 manual invocation
+// exercises (README "Full-scale sweep").
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/experiment.h"
 #include "core/parallel.h"
+#include "scanner/orchestrator.h"
+#include "sim/internet.h"
+#include "sim/scenario.h"
 
 using namespace originscan;
 
@@ -65,9 +75,79 @@ bool results_identical(const std::vector<scan::ScanResult>& a,
   return true;
 }
 
+int run_sweep_bench(int universe_bits, int jobs) {
+  sim::ScenarioConfig config = sim::ScenarioConfig::full_internet(universe_bits);
+  config.seed = 0x05CA9;
+  const sim::World world =
+      sim::build_world(config, sim::paper_origins(config.universe_size));
+  sim::TrialContext context;
+  context.experiment_seed = config.seed;
+  context.simultaneous_origins = static_cast<int>(world.origins.size());
+  const sim::OriginId origin = world.origin_id("US1");
+
+  scan::SweepResult results[2];
+  double elapsed_s[2] = {0.0, 0.0};
+  const int lane_jobs[2] = {1, jobs};
+  for (int i = 0; i < 2; ++i) {
+    sim::PersistentState persistent;
+    sim::Internet internet(&world, context, &persistent);
+    scan::SweepOptions options;
+    options.jobs = lane_jobs[i];
+    const auto start = std::chrono::steady_clock::now();
+    results[i] =
+        scan::run_l4_sweep(internet, origin, proto::Protocol::kHttp, options);
+    elapsed_s[i] = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  }
+  const bool identical = results[0] == results[1];
+  const double serial_pps =
+      static_cast<double>(results[0].l4_stats.packets_sent) / elapsed_s[0];
+
+  std::printf(
+      "{\n"
+      "  \"universe_size\": %u,\n"
+      "  \"jobs\": %d,\n"
+      "  \"hardware_jobs\": %d,\n"
+      "  \"sweep_serial_s\": %.3f,\n"
+      "  \"sweep_parallel_s\": %.3f,\n"
+      "  \"sweep_speedup\": %.2f,\n"
+      "  \"sweep_serial_pps\": %.0f,\n"
+      "  \"sweep_responsive\": %llu,\n"
+      "  \"sweep_digest\": \"%016llx\",\n"
+      "  \"sweep_identical\": %s\n"
+      "}\n",
+      world.universe_size, jobs, core::hardware_jobs(), elapsed_s[0],
+      elapsed_s[1], elapsed_s[0] / elapsed_s[1], serial_pps,
+      static_cast<unsigned long long>(results[0].responsive),
+      static_cast<unsigned long long>(results[0].digest),
+      identical ? "true" : "false");
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int universe_bits = 0;
+  int sweep_jobs = parallel_jobs();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--universe-bits") == 0 && i + 1 < argc) {
+      universe_bits = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      sweep_jobs = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: wall_clock [--universe-bits N [--jobs M]]\n");
+      return 2;
+    }
+  }
+  if (universe_bits != 0) {
+    if (universe_bits < 20 || universe_bits > 32 || sweep_jobs < 1) {
+      std::fprintf(stderr, "wall_clock: --universe-bits must be 20..32\n");
+      return 2;
+    }
+    return run_sweep_bench(universe_bits, sweep_jobs);
+  }
+
   const std::uint32_t universe = universe_size();
   const int jobs = parallel_jobs();
 

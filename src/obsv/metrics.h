@@ -109,7 +109,13 @@ namespace originscan::obsv {
   X(kSupervisorRetries, "supervisor.retries", "attempts",                     \
     "src/core/experiment.cc:run_journaled")                                   \
   X(kExperimentCellsLost, "experiment.cells_lost", "cells",                   \
-    "src/core/experiment.cc:run_journaled")
+    "src/core/experiment.cc:run_journaled")                                   \
+  X(kUniverseBlockCacheHit, "universe.block_cache_hit", "lookups",            \
+    "src/sim/internet.cc:ProbeContext::resolve")                              \
+  X(kUniverseBlockCacheMiss, "universe.block_cache_miss", "lookups",          \
+    "src/sim/internet.cc:ProbeContext::resolve")                              \
+  X(kUniverseProceduralDerivations, "universe.procedural_derivations",        \
+    "hosts", "src/sim/internet.cc:ProbeContext::resolve")
 
 // ---- Gauge registry (merge = max) -----------------------------------
 #define OSN_GAUGE_METRICS(X)                                                  \

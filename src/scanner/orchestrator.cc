@@ -1,6 +1,7 @@
 #include "scanner/orchestrator.h"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -64,7 +65,7 @@ std::function<void(const L4Result&)> make_collector(
       // ZGrab connects as soon as the first SYN-ACK arrives: one RTT
       // after whichever probe was answered first (delayed second probes
       // shift the handshake with them), plus a small turnaround.
-      const auto as = world.topology.as_of(l4.addr);
+      const auto as = world.as_of(l4.addr);
       net::VirtualTime connect_time = l4.probe_time;
       const int first_answered = __builtin_ctz(l4.synack_mask);
       connect_time += net::VirtualTime::from_micros(
@@ -128,7 +129,7 @@ void emit_scan_trace(const ScanOptions& options, const ZMapConfig& zmap_config,
   const sim::World& world = internet.world();
   const sim::PolicyEngine& policy = internet.policy_engine();
   const auto defer = [&world, &policy, protocol](net::Ipv4Addr dst) {
-    const auto as = world.topology.as_of(dst);
+    const auto as = world.as_of(dst);
     return as && policy.rate_ids_applies(*as, protocol);
   };
   const ScanSchedule schedule =
@@ -259,7 +260,7 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   // bit-identical to the serial sweep.
   const sim::PolicyEngine& policy = internet.policy_engine();
   const auto defer = [&world, &policy, protocol](net::Ipv4Addr dst) {
-    const auto as = world.topology.as_of(dst);
+    const auto as = world.as_of(dst);
     return as && policy.rate_ids_applies(*as, protocol);
   };
   const ScanSchedule schedule = ZMapScanner::build_schedule(
@@ -325,6 +326,188 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   finalize(result, options.keep_banners);
   if (options.trace != nullptr && !result.aborted) {
     emit_scan_trace(options, zmap_config, internet, protocol, result);
+  }
+  return result;
+}
+
+namespace {
+
+// One lane of a windowed sweep: a scanner constructed once (so its probe
+// context, block cache, and metric shard live for the whole sweep) plus
+// the lane's commutative accumulators. Folding a result is addition
+// only, so the merged totals are independent of lane count and order.
+struct SweepLane {
+  std::vector<ScheduledTarget> targets;  // this window's share
+  ZMapScanner::Stats stats;
+  std::uint64_t digest = 0;
+  std::uint64_t responsive = 0;
+  std::uint64_t synack_targets = 0;
+  std::uint64_t rst_only_targets = 0;
+  obsv::MetricBlock metrics;
+  std::optional<ZMapScanner> scanner;
+  std::function<void(const L4Result&)> collect;
+};
+
+std::function<void(const L4Result&)> make_sweep_collector(SweepLane& lane) {
+  return [&lane](const L4Result& l4) {
+    const auto probe_second =
+        static_cast<std::uint32_t>(l4.probe_time.seconds());
+    lane.digest += net::mix_u64(
+        l4.addr.value(),
+        (static_cast<std::uint64_t>(l4.synack_mask) << 8) | l4.rst_mask,
+        probe_second);
+    ++lane.responsive;
+    if (l4.synack_mask != 0) {
+      ++lane.synack_targets;
+    } else {
+      ++lane.rst_only_targets;
+    }
+  };
+}
+
+void merge_lane(SweepResult& result, const SweepLane& lane,
+                obsv::MetricBlock* metrics) {
+  result.l4_stats += lane.stats;
+  result.digest += lane.digest;
+  result.responsive += lane.responsive;
+  result.synack_targets += lane.synack_targets;
+  result.rst_only_targets += lane.rst_only_targets;
+  if (metrics != nullptr) metrics->merge_from(lane.metrics);
+}
+
+}  // namespace
+
+SweepResult run_l4_sweep(sim::Internet& internet, sim::OriginId origin,
+                         proto::Protocol protocol,
+                         const SweepOptions& options) {
+  const sim::World& world = internet.world();
+
+  ZMapConfig zmap_config;
+  zmap_config.seed = net::mix_u64(internet.context().experiment_seed,
+                                  internet.context().trial, 0x5EEDAULL);
+  zmap_config.universe_size = world.universe_size;
+  zmap_config.protocol = protocol;
+  zmap_config.probes = options.probes;
+  zmap_config.probe_interval = options.probe_interval;
+  zmap_config.scan_duration = options.scan_duration;
+  zmap_config.source_ips = world.origins[origin].source_ips;
+  zmap_config.blocklist = options.blocklist;
+  zmap_config.cancel = options.cancel;
+
+  SweepResult result;
+  if (options.metrics != nullptr) {
+    options.metrics->gauge_max(obsv::Gauge::kScanUniverseSize,
+                               world.universe_size);
+  }
+
+  const int jobs = std::max(1, options.jobs);
+  if (jobs == 1) {
+    // Serial path: ZMapScanner::run already streams the permutation in
+    // batches with O(1) state; fold its results directly.
+    SweepLane lane;
+    zmap_config.metrics = options.metrics;
+    lane.scanner.emplace(zmap_config, &internet, origin);
+    lane.stats = lane.scanner->run(make_sweep_collector(lane));
+    merge_lane(result, lane, nullptr);  // metrics already wrote through
+    result.aborted = options.cancel != nullptr && options.cancel->cancelled();
+    return result;
+  }
+
+  // Parallel path: consume the permutation in fixed-size windows. Each
+  // window fills per-lane target vectors (round-robin; any assignment
+  // yields the same result because per-target decisions depend only on
+  // the target and its global slot), runs the lanes to a barrier, and
+  // reuses the vectors — peak memory is one window, not the universe.
+  // Rate-IDS targets go to a dedicated serial lane; windows execute in
+  // permutation order, so that lane sees them in global order exactly as
+  // the serial sweep would. Procedural catalog networks carry only
+  // stateless policies (scenario.cc:build_catalog), so the deferred
+  // check needs no per-address derivation above the override boundary.
+  const sim::PolicyEngine& policy = internet.policy_engine();
+  const auto defer = [&world, &policy, protocol](net::Ipv4Addr dst) {
+    if (world.procedural.covers(dst)) return false;
+    const auto as = world.topology.as_of(dst);
+    return as && policy.rate_ids_applies(*as, protocol);
+  };
+
+  internet.prewarm(origin, protocol);
+
+  // lanes[0..jobs) are shard lanes; lanes[jobs] is the deferred lane.
+  std::vector<SweepLane> lanes(static_cast<std::size_t>(jobs) + 1);
+  for (SweepLane& lane : lanes) {
+    ZMapConfig lane_config = zmap_config;
+    if (options.metrics != nullptr) lane_config.metrics = &lane.metrics;
+    lane.scanner.emplace(lane_config, &internet, origin);
+    lane.collect = make_sweep_collector(lane);
+  }
+
+  auto group = CyclicGroup::for_size(zmap_config.universe_size,
+                                     zmap_config.seed);
+  auto iterator = group.all();
+  std::array<std::uint32_t, 4096> buffer;
+  const std::uint64_t probes = static_cast<std::uint64_t>(zmap_config.probes);
+  std::uint64_t emitted = 0;
+  std::uint64_t blocklisted = 0;
+  std::size_t next_lane = 0;
+  bool exhausted = false;
+
+  while (!exhausted) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      result.aborted = true;
+      break;
+    }
+    for (SweepLane& lane : lanes) lane.targets.clear();
+    std::uint32_t in_window = 0;
+    while (in_window < options.window_targets) {
+      const std::size_t filled = iterator.next_batch(buffer);
+      if (filled == 0) {
+        exhausted = true;
+        break;
+      }
+      for (std::size_t i = 0; i < filled; ++i) {
+        const net::Ipv4Addr dst(buffer[i]);
+        if (zmap_config.blocklist.is_blocked(dst)) {
+          ++blocklisted;
+          continue;
+        }
+        // Global slot of this target's first probe: identical to the
+        // serial sweep's targets_sent * probes, stride 1.
+        const ScheduledTarget target{dst, emitted * probes};
+        ++emitted;
+        ++in_window;
+        if (defer(dst)) {
+          lanes.back().targets.push_back(target);
+        } else {
+          lanes[next_lane].targets.push_back(target);
+          next_lane = (next_lane + 1) % static_cast<std::size_t>(jobs);
+        }
+      }
+    }
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(lanes.size());
+    const auto add_task = [&tasks](SweepLane& lane) {
+      if (lane.targets.empty()) return;
+      tasks.push_back([&lane] {
+        lane.stats += lane.scanner->run_scheduled(lane.targets, lane.collect);
+      });
+    };
+    // Deferred lane first: it cannot be split, so it must not queue
+    // behind shard lanes.
+    add_task(lanes.back());
+    for (std::size_t i = 0; i + 1 < lanes.size(); ++i) add_task(lanes[i]);
+    if (!tasks.empty()) core::run_parallel(jobs, std::move(tasks));
+  }
+
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    result.aborted = true;
+  }
+  for (const SweepLane& lane : lanes) {
+    merge_lane(result, lane, options.metrics);
+  }
+  result.l4_stats.blocklisted_skipped = blocklisted;
+  if (options.metrics != nullptr && blocklisted > 0) {
+    options.metrics->add(obsv::Counter::kZmapBlocklistedSkipped, blocklisted);
   }
   return result;
 }

@@ -118,4 +118,51 @@ struct ScanOptions {
 ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
                     proto::Protocol protocol, const ScanOptions& options = {});
 
+// ---- Full-universe L4 sweep -----------------------------------------
+// run_scan materializes one ScanRecord per responsive target and (with
+// jobs > 1) a full precomputed schedule — both O(universe) in memory,
+// fine up to ~2^24 but hopeless for a 4.3-billion-address sweep.
+// run_l4_sweep is the bounded-RSS alternative for procedural universes:
+// L4 only (no ZGrab wave), results folded into commutative aggregates
+// (counts and an order-independent digest) instead of being stored, and
+// the parallel path consumes the permutation in fixed-size windows so
+// peak memory is O(jobs * window_targets) regardless of universe size.
+//
+// Determinism: every probe decision is a pure function of its target
+// and global schedule slot, and both are identical for any `jobs`; only
+// rate-IDS networks carry cross-target state, and those targets run on
+// one serial lane in global permutation order. The digest is a sum over
+// per-target hashes, so lane assignment and completion order cannot
+// change it: SweepResult compares equal across `--jobs` values.
+struct SweepOptions {
+  int probes = 2;
+  net::VirtualTime probe_interval;
+  Blocklist blocklist;
+  net::VirtualTime scan_duration = net::VirtualTime::from_hours(21);
+  int jobs = 1;
+  // Targets dispatched per parallel window (the RSS knob). Each window
+  // barriers, so smaller windows trade join overhead for memory.
+  std::uint32_t window_targets = 1u << 18;
+  const CancelToken* cancel = nullptr;
+  obsv::MetricBlock* metrics = nullptr;
+};
+
+struct SweepResult {
+  ZMapScanner::Stats l4_stats;
+  std::uint64_t responsive = 0;      // targets with >= 1 validated answer
+  std::uint64_t synack_targets = 0;  // ... answering with a SYN-ACK
+  std::uint64_t rst_only_targets = 0;
+  // Order-independent checksum of the full result stream: the wrapping
+  // sum of mix(addr, masks, probe_second) over every responsive target.
+  // Equal digests mean equal per-target outcomes and timestamps.
+  std::uint64_t digest = 0;
+  bool aborted = false;
+
+  friend bool operator==(const SweepResult&, const SweepResult&) = default;
+};
+
+SweepResult run_l4_sweep(sim::Internet& internet, sim::OriginId origin,
+                         proto::Protocol protocol,
+                         const SweepOptions& options = {});
+
 }  // namespace originscan::scan

@@ -136,4 +136,31 @@ std::optional<std::uint64_t> CyclicGroup::Iterator::next() {
   return std::nullopt;
 }
 
+std::size_t CyclicGroup::Iterator::next_batch(std::span<std::uint32_t> out) {
+  // Local copies keep the recurrence out of memory inside the loop; the
+  // emitted sequence is identical to repeated next() calls.
+  std::uint64_t current = current_;
+  std::uint64_t remaining = remaining_;
+  std::uint64_t consumed = consumed_;
+  const std::uint64_t step = step_;
+  const std::uint64_t prime = prime_;
+  const std::uint64_t size = size_;
+
+  std::size_t written = 0;
+  while (written < out.size() && remaining > 0) {
+    const std::uint64_t value = current;
+    current = mulmod_u64(current, step, prime);
+    --remaining;
+    ++consumed;
+    if (value <= size) {
+      out[written++] = static_cast<std::uint32_t>(value - 1);
+    }
+  }
+
+  current_ = current;
+  remaining_ = remaining;
+  consumed_ = consumed;
+  return written;
+}
+
 }  // namespace originscan::scan

@@ -6,8 +6,10 @@
 // element), exactly as ZMap's --shards option does.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 namespace originscan::scan {
 
@@ -42,6 +44,16 @@ class CyclicGroup {
    public:
     // Returns the next address in [0, size), or nullopt at end of shard.
     std::optional<std::uint64_t> next();
+
+    // Fills `out` with the next addresses of this shard, in exactly the
+    // order next() would return them, and returns how many were written
+    // (short only at end of shard). Batching keeps the modmul recurrence
+    // in registers across the batch instead of bouncing the iterator
+    // state through memory once per address — the send loop consumes
+    // these by the few-hundred. Note: last_position() reflects the final
+    // address of the batch, so callers that interleave shards by
+    // position (the schedule builder) must use scalar next().
+    std::size_t next_batch(std::span<std::uint32_t> out);
 
     // Position in the *full* sequence (0-based over [0, p-2]) of the
     // address most recently returned by next(). Shard i of k emits only

@@ -1,5 +1,6 @@
 #include "scanner/zmap.h"
 
+#include <array>
 #include <cassert>
 
 #include "netbase/headers.h"
@@ -165,33 +166,38 @@ ZMapScanner::Stats ZMapScanner::run(
 
   std::uint64_t targets_sent = 0;
 
-  while (auto value = iterator.next()) {
-    // Cancellation is polled per 256-target batch: cheap enough to keep
-    // out of the per-packet path, frequent enough that a tripped token
-    // stops the sweep long before its next checkpoint.
-    if ((targets_sent & 0xFFu) == 0 && config_.cancel != nullptr &&
-        config_.cancel->cancelled()) {
-      break;
-    }
-    const net::Ipv4Addr dst(static_cast<std::uint32_t>(*value));
-    if (config_.allowlist && !config_.allowlist->contains(dst)) continue;
-    if (config_.blocklist.is_blocked(dst)) {
-      ++stats.blocklisted_skipped;
-      if (config_.metrics != nullptr) {
-        config_.metrics->add(obsv::Counter::kZmapBlocklistedSkipped);
+  // The permutation is consumed in batches: one next_batch call refills
+  // the buffer with kRunBatch addresses in exactly the scalar next()
+  // order, keeping the modmul recurrence in registers, and cancellation
+  // is polled once per refill — cheap enough to stay out of the
+  // per-packet path, frequent enough that a tripped token stops the
+  // sweep long before its next checkpoint.
+  std::array<std::uint32_t, kRunBatch> batch;
+  for (;;) {
+    if (config_.cancel != nullptr && config_.cancel->cancelled()) break;
+    const std::size_t filled = iterator.next_batch(batch);
+    if (filled == 0) break;
+    for (std::size_t i = 0; i < filled; ++i) {
+      const net::Ipv4Addr dst(batch[i]);
+      if (config_.allowlist && !config_.allowlist->contains(dst)) continue;
+      if (config_.blocklist.is_blocked(dst)) {
+        ++stats.blocklisted_skipped;
+        if (config_.metrics != nullptr) {
+          config_.metrics->add(obsv::Counter::kZmapBlocklistedSkipped);
+        }
+        continue;
       }
-      continue;
+      // Shard i of k owns virtual-clock slots congruent to i mod k; this
+      // target's first probe is the shard's (targets_sent * probes)-th
+      // packet.
+      const std::uint64_t first_slot =
+          config_.shard_index + targets_sent *
+                                    static_cast<std::uint64_t>(config_.probes) *
+                                    config_.shard_count;
+      probe_target(dst, first_slot, config_.shard_count, seconds_per_packet,
+                   dst_port, stats, on_result);
+      ++targets_sent;
     }
-    // Shard i of k owns virtual-clock slots congruent to i mod k; this
-    // target's first probe is the shard's (targets_sent * probes)-th
-    // packet.
-    const std::uint64_t first_slot =
-        config_.shard_index + targets_sent *
-                                  static_cast<std::uint64_t>(config_.probes) *
-                                  config_.shard_count;
-    probe_target(dst, first_slot, config_.shard_count, seconds_per_packet,
-                 dst_port, stats, on_result);
-    ++targets_sent;
   }
   return stats;
 }

@@ -11,6 +11,7 @@
 // (see ScanSchedule and orchestrator.h).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -119,6 +120,12 @@ class ZMapScanner {
   // EAGAIN analog, injectable via the send_fail fault point) is retried
   // in place up to this many times before the probe is abandoned.
   static constexpr int kSendRetries = 3;
+
+  // Addresses pulled from the permutation per Iterator::next_batch call
+  // in run(); also the cancellation polling granularity. 1 KiB of
+  // stack-resident buffer — small enough to stay cache-hot, large
+  // enough to amortize the per-call iterator state save/restore.
+  static constexpr std::size_t kRunBatch = 256;
 
   ZMapScanner(const ZMapConfig& config, sim::Internet* internet,
               sim::OriginId origin);

@@ -72,13 +72,11 @@ class HostTable {
   [[nodiscard]] std::size_t count_running(proto::Protocol p) const;
 
  private:
-  // Same span cap as Topology's direct map: 128 MiB of slots at 4 bytes.
-  static constexpr std::uint64_t kDirectMapLimit = 1ull << 25;
-
   std::vector<Host> hosts_;
   // addr -> index into hosts_ plus one (0 = no host), built by freeze()
-  // when the populated span fits kDirectMapLimit; find() falls back to
-  // binary search otherwise.
+  // when the populated span fits sim::kDirectMapLimit (types.h, same cap
+  // as Topology's direct map); find() falls back to binary search
+  // otherwise.
   std::vector<std::uint32_t> direct_;
   bool frozen_ = false;
 };

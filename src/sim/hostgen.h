@@ -1,0 +1,77 @@
+// The host-generation kernel: one address's Host record as a pure
+// function of (world seed, addr, AS, generation parameters). Both the
+// materialized scenario builder (Builder::generate_hosts) and the
+// procedural full-IPv4 layer (ProceduralWorld::derive_host) call this
+// one function, so the population behind an address is bit-identical
+// whichever path produced it — the property the procedural-vs-
+// materialized equivalence test pins.
+//
+// The draw order below is frozen: every bernoulli consumes generator
+// state even when its outcome is unused, so reordering or short-
+// circuiting any draw changes every world built from an existing seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "netbase/rng.h"
+#include "proto/protocol.h"
+#include "proto/ssh.h"
+#include "sim/host.h"
+#include "sim/types.h"
+
+namespace originscan::sim {
+
+// Per-AS generation parameters, fully resolved by the caller: scenario
+// defaults vs per-AS overrides, and the per-AS flaky coin, are decided
+// before this struct is built.
+struct HostGenParams {
+  double density = 0.3;
+  double http = 0.78;
+  double https = 0.56;
+  double ssh = 0.27;
+  double middlebox_share = 0.02;
+  double flaky_share = 0.0;  // 0 for the ~2/3 of ASes with no flaky hosts
+  int flaky_live_percent = 55;
+  double churny_share = 0.16;
+  int churny_live_percent = 82;
+  double maxstartups_share = 0.30;
+  bool aggressive_maxstartups = false;
+};
+
+// Derives the host behind `addr`, or nullopt when the address is empty
+// (density miss, or no services and not a middlebox).
+inline std::optional<Host> generate_host(std::uint64_t world_seed,
+                                         std::uint32_t addr, AsId as,
+                                         const HostGenParams& params) {
+  const proto::MaxStartups kDefaultTriple{10, 30, 100};
+  const proto::MaxStartups kAggressiveTriple{5, 60, 30};
+
+  net::Rng host_rng(net::mix_u64(world_seed, addr, 0x057u));
+  if (!host_rng.bernoulli(params.density)) return std::nullopt;
+
+  Host host;
+  host.addr = net::Ipv4Addr(addr);
+  host.as = as;
+  host.seed = net::mix_u64(world_seed, addr, 0x5EEDu);
+  if (host_rng.bernoulli(params.http)) host.services |= 1u << 0;
+  if (host_rng.bernoulli(params.https)) host.services |= 1u << 1;
+  if (host_rng.bernoulli(params.ssh)) host.services |= 1u << 2;
+  host.middlebox = host_rng.bernoulli(params.middlebox_share);
+  if (host.services == 0 && !host.middlebox) return std::nullopt;
+  if (host_rng.bernoulli(params.flaky_share)) {
+    host.flaky = true;
+    host.live_percent = static_cast<std::uint8_t>(params.flaky_live_percent);
+  } else if (host_rng.bernoulli(params.churny_share)) {
+    host.live_percent = static_cast<std::uint8_t>(params.churny_live_percent);
+  }
+  if (host.runs(proto::Protocol::kSsh) &&
+      host_rng.bernoulli(params.maxstartups_share)) {
+    host.maxstartups_enabled = true;
+    host.maxstartups =
+        params.aggressive_maxstartups ? kAggressiveTriple : kDefaultTriple;
+  }
+  return host;
+}
+
+}  // namespace originscan::sim

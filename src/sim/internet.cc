@@ -152,10 +152,12 @@ std::optional<net::TcpPacket> Internet::handle_probe_fast(
 
 ResolvedTarget Internet::resolve_target(net::Ipv4Addr dst,
                                         OriginId origin) const {
-  ResolvedTarget target{dst, world_->topology.as_of(dst), nullptr};
+  ResolvedTarget target;
+  target.addr = dst;
+  target.as = world_->as_of(dst);
   if (!target.as) return target;
-  const Host* host = world_->hosts.find(dst);
-  if (host == nullptr ||
+  const std::optional<Host> host = world_->host_at(dst);
+  if (!host ||
       !HostTable::live_in_trial(*host, context_.trial,
                                 context_.experiment_seed)) {
     return target;  // nothing listening this trial: silence
@@ -163,7 +165,8 @@ ResolvedTarget Internet::resolve_target(net::Ipv4Addr dst,
   if (host->flaky && flaky_miss(*host, origin)) {
     return target;  // marginal host: dark for this origin this trial
   }
-  target.host = host;
+  target.host = *host;
+  target.has_host = true;
   return target;
 }
 
@@ -204,7 +207,7 @@ std::optional<net::TcpPacket> Internet::probe_impl(
     return std::nullopt;
   }
 
-  const Host* host = target.host;
+  const Host* host = target.host_or_null();
   if (host == nullptr) {
     if (metrics != nullptr) metrics->add(obsv::Counter::kSimDropsNoHost);
     return std::nullopt;
@@ -270,11 +273,51 @@ ProbeContext Internet::probe_context(OriginId origin,
     context.loss_by_as_[as] = &loss_model(origin, as, protocol);
     context.policies_by_as_[as] = world_->policies.find(as);
   }
+  if (world_->procedural.enabled()) {
+    context.block_cache_.assign(ProbeContext::kBlockCacheSlots, {});
+  }
   return context;
 }
 
 ResolvedTarget ProbeContext::resolve(net::Ipv4Addr dst) const {
-  return internet_->resolve_target(dst, origin_);
+  const ProceduralWorld& procedural = internet_->world_->procedural;
+  if (!procedural.covers(dst)) return internet_->resolve_target(dst, origin_);
+
+  // Procedural fast path: one /24 derivation serves 256 addresses via
+  // the lane-private direct-mapped cache; everything else is a pure
+  // per-address derivation. No table, no lock, no shared state.
+  const std::uint32_t block = dst.value() >> 8;
+  BlockCacheSlot& slot = block_cache_[block & (kBlockCacheSlots - 1)];
+  if (slot.block == block) {
+    if (metrics_ != nullptr) {
+      metrics_->add(obsv::Counter::kUniverseBlockCacheHit);
+    }
+  } else {
+    slot.block = block;
+    slot.facts = procedural.block_facts(block);
+    if (metrics_ != nullptr) {
+      metrics_->add(obsv::Counter::kUniverseBlockCacheMiss);
+    }
+  }
+
+  ResolvedTarget target;
+  target.addr = dst;
+  if (slot.facts.as == kNoAs) return target;  // unrouted block
+  target.as = slot.facts.as;
+
+  const std::optional<Host> host = procedural.derive_host(dst, slot.facts);
+  if (metrics_ != nullptr) {
+    metrics_->add(obsv::Counter::kUniverseProceduralDerivations);
+  }
+  if (!host ||
+      !HostTable::live_in_trial(*host, internet_->context_.trial,
+                                internet_->context_.experiment_seed)) {
+    return target;
+  }
+  if (host->flaky && internet_->flaky_miss(*host, origin_)) return target;
+  target.host = *host;
+  target.has_host = true;
+  return target;
 }
 
 std::optional<net::TcpPacket> ProbeContext::probe(const ResolvedTarget& target,
@@ -337,7 +380,7 @@ std::unique_ptr<Connection> Internet::connect(OriginId origin,
                                               proto::Protocol protocol,
                                               net::VirtualTime t,
                                               int attempt) {
-  const auto as = world_->topology.as_of(dst);
+  const auto as = world_->as_of(dst);
   if (!as) return nullptr;
 
   if (faults_ != nullptr && faults_->outage_at(t, static_cast<int>(origin))) {
@@ -354,8 +397,8 @@ std::unique_ptr<Connection> Internet::connect(OriginId origin,
     return nullptr;
   }
 
-  const Host* host = world_->hosts.find(dst);
-  if (host == nullptr ||
+  const std::optional<Host> host = world_->host_at(dst);
+  if (!host ||
       !HostTable::live_in_trial(*host, context_.trial,
                                 context_.experiment_seed)) {
     return nullptr;

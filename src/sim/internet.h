@@ -72,14 +72,21 @@ class Internet;
 
 // Pure per-target facts of the L4 path, resolved once per target and
 // shared by every probe to it: the routed AS and the host that will
-// answer this (origin, trial) — nullptr when nothing is listening
-// (unrouted, no host, offline this trial, or flaky-dark for the origin).
-// Resolution has no side effects, so hoisting it out of the per-probe
-// loop cannot change any decision.
+// answer this (origin, trial) — has_host == false when nothing is
+// listening (unrouted, no host, offline this trial, or flaky-dark for
+// the origin). The host is held *by value*: procedural worlds derive it
+// on demand and have no table row to point into. Resolution has no side
+// effects, so hoisting it out of the per-probe loop cannot change any
+// decision.
 struct ResolvedTarget {
   net::Ipv4Addr addr;
   std::optional<AsId> as;
-  const Host* host = nullptr;
+  Host host{};  // meaningful only when has_host
+  bool has_host = false;
+
+  [[nodiscard]] const Host* host_or_null() const {
+    return has_host ? &host : nullptr;
+  }
 };
 
 // Lock-free per-(origin, protocol) view of the Internet for the scan hot
@@ -122,6 +129,18 @@ class ProbeContext {
  private:
   friend class Internet;
 
+  // One slot of the per-lane /24 facts cache (procedural worlds only).
+  // Direct-mapped and lane-private scratch: resolve() is const to
+  // callers but may refill slots, which is safe because derivation is
+  // pure — any refill writes the same facts. No other lane ever sees
+  // this memory, so the zero-lock hot-path invariant (and the
+  // cache_lock_count oracle) is untouched.
+  struct BlockCacheSlot {
+    std::uint32_t block = ~std::uint32_t{0};
+    BlockFacts facts;
+  };
+  static constexpr std::uint32_t kBlockCacheSlots = 4096;  // power of two
+
   Internet* internet_ = nullptr;
   OriginId origin_ = 0;
   proto::Protocol protocol_ = proto::Protocol::kHttp;
@@ -129,6 +148,9 @@ class ProbeContext {
   obsv::MetricBlock* metrics_ = nullptr;
   std::vector<const PathLossModel*> loss_by_as_;
   std::vector<const AsPolicies*> policies_by_as_;
+  // Allocated (kBlockCacheSlots entries) only when the world derives
+  // state procedurally; empty otherwise.
+  mutable std::vector<BlockCacheSlot> block_cache_;
 };
 
 class Internet {

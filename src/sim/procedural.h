@@ -1,0 +1,110 @@
+// Lazy, seed-derived world state for full-IPv4-scale scans.
+//
+// The materialized Topology/HostTable pair stores every prefix and host
+// explicitly, which caps the universe near 2^25 addresses. This layer
+// removes the cap: above a hand-authored override region (where the
+// paper's named networks — DXTL, Gateway Inc, Cloudflare anycast, and
+// every other scenario AS — keep their exact materialized state), AS
+// membership, geolocation, and the entire host population are derived
+// on demand from mix(seed, block/addr). Nothing per-address is ever
+// stored, so a 4.3B-address sweep runs in O(catalog) memory.
+//
+// Determinism contract (DESIGN.md §10): every derivation is a pure
+// function of (world seed, address). Two lookups of the same address —
+// from any thread, any lane, any --jobs value, cached or not — return
+// identical facts, so procedural state commutes with parallel execution
+// exactly like the materialized tables do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "sim/country.h"
+#include "sim/host.h"
+#include "sim/hostgen.h"
+#include "sim/types.h"
+
+namespace originscan::sim {
+
+// The derived facts of one /24 block: which catalog AS announces it (or
+// kNoAs for unrouted space) and where it geolocates. Facts are per-/24
+// because real announcements are at least that coarse — and because one
+// derivation then serves 256 consecutive addresses (the block cache in
+// ProbeContext).
+struct BlockFacts {
+  AsId as = kNoAs;  // kNoAs: unrouted block (probes die before routing)
+  CountryCode country{};
+  std::uint32_t catalog = 0;  // index into ProceduralWorld::entries()
+};
+
+// One procedural AS archetype: a real AsId registered in the Topology
+// (so policies, path profiles, and outage schedules attach normally),
+// plus the host-generation parameters its blocks use and its share of
+// the procedural address space.
+struct ProceduralEntry {
+  AsId as = kNoAs;
+  CountryCode country{};
+  HostGenParams params;
+  std::uint32_t weight = 1;  // relative share of routed procedural blocks
+};
+
+class ProceduralWorld {
+ public:
+  // Activates procedural derivation for addresses in
+  // [first_addr, universe_size); the override region [0, first_addr)
+  // stays on the materialized tables. `first_addr` must be /24-aligned.
+  void configure(std::uint64_t seed, std::uint32_t first_addr,
+                 std::uint32_t universe_size);
+
+  void add_entry(ProceduralEntry entry) { entries_.push_back(entry); }
+
+  // Builds the cumulative-weight index; call once after the last
+  // add_entry. Aborts if no entries were registered.
+  void freeze();
+
+  // Turns derivation back off (the materialized-twin construction path:
+  // the catalog is consulted once to materialize prefixes and hosts,
+  // after which the world behaves as a plain materialized one).
+  void disable() { enabled_ = false; }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::uint32_t first_addr() const { return first_addr_; }
+  [[nodiscard]] const std::vector<ProceduralEntry>& entries() const {
+    return entries_;
+  }
+
+  [[nodiscard]] bool covers(net::Ipv4Addr addr) const {
+    return enabled_ && addr.value() >= first_addr_ &&
+           addr.value() < universe_size_;
+  }
+
+  // Derives the facts of /24 block `block` (= addr >> 8). Pure in
+  // (seed, block); O(log entries).
+  [[nodiscard]] BlockFacts block_facts(std::uint32_t block) const;
+
+  // Derives the host behind `addr` given its block's facts (which must
+  // be routed). Pure in (seed, addr); nullopt when the address is empty.
+  [[nodiscard]] std::optional<Host> derive_host(net::Ipv4Addr addr,
+                                                const BlockFacts& facts) const;
+
+  // Uncached whole lookups for the non-hot paths (connect, collectors).
+  [[nodiscard]] std::optional<AsId> as_of(net::Ipv4Addr addr) const;
+  [[nodiscard]] std::optional<Host> host_at(net::Ipv4Addr addr) const;
+
+ private:
+  bool enabled_ = false;
+  bool frozen_ = false;
+  std::uint64_t seed_ = 0;
+  std::uint32_t first_addr_ = 0;
+  std::uint32_t universe_size_ = 0;
+  // Share of procedural /24s with no announcement at all (the unrouted
+  // space every full-IPv4 sweep wastes probes on).
+  std::uint32_t unrouted_percent_ = 24;
+  std::vector<ProceduralEntry> entries_;
+  std::vector<std::uint64_t> cumulative_;  // inclusive prefix sums of weight
+  std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace originscan::sim

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "netbase/rng.h"
+#include "sim/hostgen.h"
 
 namespace originscan::sim {
 namespace {
@@ -122,6 +123,45 @@ PathProfile wild_variance_profile(Rng& rng) {
   return p;
 }
 
+// Country sampling weights, shared by the generic fill and the
+// procedural catalog (roughly the routed-space distribution).
+struct CountryWeight {
+  CountryCode cc;
+  double weight;
+};
+const CountryWeight kCountryWeights[] = {
+    {country::kUS, 0.215}, {country::kCN, 0.09},  {country::kJP, 0.05},
+    {country::kDE, 0.055}, {country::kGB, 0.045}, {country::kKR, 0.03},
+    {country::kRU, 0.035}, {country::kFR, 0.035}, {country::kNL, 0.025},
+    {country::kBR, 0.035}, {country::kAU, 0.02},  {country::kIT, 0.015},
+    {country::kCA, 0.02},  {country::kIN, 0.02},  {country::kVN, 0.015},
+    {country::kID, 0.015}, {country::kTR, 0.015}, {country::kPL, 0.015},
+    {country::kES, 0.015}, {country::kSE, 0.012}, {country::kTW, 0.012},
+    {country::kSG, 0.012}, {country::kTH, 0.01},  {country::kMX, 0.01},
+    {country::kAR, 0.008}, {country::kCO, 0.008}, {country::kCL, 0.008},
+    {country::kUA, 0.012}, {country::kRO, 0.01},  {country::kAT, 0.008},
+    {country::kCZ, 0.008}, {country::kCH, 0.008}, {country::kHK, 0.01},
+    {country::kZA, 0.009}, {country::kBD, 0.011}, {country::kEG, 0.006},
+    {country::kNG, 0.005}, {country::kPE, 0.005}, {country::kVE, 0.004},
+    {country::kEC, 0.003}, {country::kEE, 0.006}, {country::kKZ, 0.004},
+    {country::kAM, 0.002}, {country::kAL, 0.002}, {country::kUY, 0.003},
+};
+
+double total_country_weight() {
+  double total = 0;
+  for (const auto& w : kCountryWeights) total += w.weight;
+  return total;
+}
+
+CountryCode sample_country(Rng& rng, double total_weight) {
+  double draw = rng.uniform() * total_weight;
+  for (const auto& w : kCountryWeights) {
+    draw -= w.weight;
+    if (draw <= 0) return w.cc;
+  }
+  return country::kUS;
+}
+
 // ----------------------------------------------------------- builder ----
 
 class Builder {
@@ -132,7 +172,14 @@ class Builder {
     world_.seed = config.seed;
     world_.universe_size = config.universe_size;
     world_.origins = std::move(origins);
-    total_blocks_ = config.universe_size / 256;
+    // In procedural mode the named scenario occupies only the override
+    // region; the catalog owns everything above it.
+    const std::uint32_t named_span =
+        config.procedural ? config.procedural_override : config.universe_size;
+    assert(!config.procedural ||
+           (config.procedural_override % 256 == 0 &&
+            config.procedural_override <= config.universe_size));
+    total_blocks_ = named_span / 256;
     scale_ = static_cast<double>(total_blocks_) / kReferenceBlocks;
     world_.paths.set_default_profile(standard_profile());
     for (OriginId i = 0; i < world_.origins.size(); ++i) {
@@ -206,7 +253,15 @@ class Builder {
 
   void add_special_ases();
   void add_generic_fill();
+  void build_catalog();
+  void materialize_procedural_region();
   void generate_hosts();
+
+  // Applies the reputation-driven blocking draws for one generic AS
+  // (full-AS blocks and partial per-origin host blocks). Shared by the
+  // generic fill and the procedural catalog; draws from rng_.
+  void add_reputation_rules(AsId as);
+
 
   const ScenarioConfig& config_;
   World world_;
@@ -222,7 +277,34 @@ class Builder {
     bool aggressive_maxstartups = false;
   };
   std::map<AsId, GenMeta> meta_;
+
+  // Resolves the per-AS generation metadata (scenario defaults vs
+  // overrides, plus the per-AS flaky coin) into hostgen parameters.
+  [[nodiscard]] HostGenParams resolve_params(AsId as,
+                                             const GenMeta& meta) const;
 };
+
+HostGenParams Builder::resolve_params(AsId as, const GenMeta& meta) const {
+  HostGenParams params;
+  params.density = meta.density;
+  params.http = meta.http >= 0 ? meta.http : config_.http_share;
+  params.https = meta.https >= 0 ? meta.https : config_.https_share;
+  params.ssh = meta.ssh >= 0 ? meta.ssh : config_.ssh_share;
+  params.middlebox_share = config_.middlebox_share;
+  // Flakiness clusters by network: most ASes have none, a third carry
+  // the whole population (so per-AS transient rates can be *identical*
+  // — zero — across origins for the majority of ASes, as in Fig 9).
+  const bool flaky_as = net::mix_u64(config_.seed, as, 0xF1AB5u) % 100 < 35;
+  params.flaky_share = flaky_as ? config_.flaky_host_share / 0.35 : 0.0;
+  params.flaky_live_percent = config_.flaky_live_percent;
+  params.churny_share = config_.churny_host_share;
+  params.churny_live_percent = config_.churny_live_percent;
+  params.maxstartups_share = meta.maxstartups_share >= 0
+                                 ? meta.maxstartups_share
+                                 : config_.maxstartups_share;
+  params.aggressive_maxstartups = meta.aggressive_maxstartups;
+  return params;
+}
 
 AsId Builder::add_impl(const AsSpec& spec, int blocks) {
   if (blocks == 0 || remaining_blocks() < blocks) return kNoAs;
@@ -767,42 +849,35 @@ void Builder::add_special_ases() {
                  by_code({"CEN"}), BlockMode::kL4Drop, 0.30);
 }
 
+void Builder::add_reputation_rules(AsId as) {
+  // Reputation-driven blocking: full-AS blocks (rare, mostly Censys)
+  // and partial per-origin host blocks (ordinary firewall decisions).
+  for (OriginId o = 0; o < world_.origins.size(); ++o) {
+    const double rep = world_.origins[o].scan_reputation;
+    const double p_full = 0.0004 + 0.009 * rep * rep;
+    const double p_partial = 0.006 + 0.045 * rep;
+    if (rng_.bernoulli(p_full)) {
+      add_block_rule(as, origin_bit(o), BlockMode::kL4Drop);
+    } else if (rng_.bernoulli(p_partial)) {
+      const double fraction = rng_.uniform(0.02, 0.15);
+      const BlockMode mode =
+          rng_.bernoulli(0.85) ? BlockMode::kL4Drop : BlockMode::kL7Drop;
+      std::optional<proto::Protocol> protocol;
+      if (rng_.bernoulli(0.25)) {
+        protocol = proto::kAllProtocols[rng_.below(3)];
+      }
+      add_block_rule(as, origin_bit(o), mode, fraction, 0, protocol);
+    }
+  }
+}
+
 void Builder::add_generic_fill() {
   namespace c = country;
-  struct CountryWeight {
-    CountryCode cc;
-    double weight;
-  };
-  static const CountryWeight kWeights[] = {
-      {c::kUS, 0.215}, {c::kCN, 0.09},  {c::kJP, 0.05},  {c::kDE, 0.055},
-      {c::kGB, 0.045}, {c::kKR, 0.03},  {c::kRU, 0.035}, {c::kFR, 0.035},
-      {c::kNL, 0.025}, {c::kBR, 0.035}, {c::kAU, 0.02},  {c::kIT, 0.015},
-      {c::kCA, 0.02},  {c::kIN, 0.02},  {c::kVN, 0.015}, {c::kID, 0.015},
-      {c::kTR, 0.015}, {c::kPL, 0.015}, {c::kES, 0.015}, {c::kSE, 0.012},
-      {c::kTW, 0.012}, {c::kSG, 0.012}, {c::kTH, 0.01},  {c::kMX, 0.01},
-      {c::kAR, 0.008}, {c::kCO, 0.008}, {c::kCL, 0.008}, {c::kUA, 0.012},
-      {c::kRO, 0.01},  {c::kAT, 0.008}, {c::kCZ, 0.008}, {c::kCH, 0.008},
-      {c::kHK, 0.01},  {c::kZA, 0.009}, {c::kBD, 0.011}, {c::kEG, 0.006},
-      {c::kNG, 0.005}, {c::kPE, 0.005}, {c::kVE, 0.004}, {c::kEC, 0.003},
-      {c::kEE, 0.006}, {c::kKZ, 0.004}, {c::kAM, 0.002}, {c::kAL, 0.002},
-      {c::kUY, 0.003},
-  };
-
-  double total_weight = 0;
-  for (const auto& w : kWeights) total_weight += w.weight;
+  const double total_weight = total_country_weight();
 
   int counter = 0;
   while (remaining_blocks() > 0) {
-    // Sample a country.
-    double draw = rng_.uniform() * total_weight;
-    CountryCode cc = c::kUS;
-    for (const auto& w : kWeights) {
-      draw -= w.weight;
-      if (draw <= 0) {
-        cc = w.cc;
-        break;
-      }
-    }
+    const CountryCode cc = sample_country(rng_, total_weight);
     int blocks = static_cast<int>(std::lround(rng_.lognormal(1.0, 1.0)));
     blocks = std::clamp(blocks, 1, std::max(1, remaining_blocks()));
     blocks = std::min(blocks, 40);
@@ -822,81 +897,85 @@ void Builder::add_generic_fill() {
     }
     const AsId as = add_impl(spec, blocks);
     if (as == kNoAs) break;
-
-    // Reputation-driven blocking: full-AS blocks (rare, mostly Censys)
-    // and partial per-origin host blocks (ordinary firewall decisions).
-    for (OriginId o = 0; o < world_.origins.size(); ++o) {
-      const double rep = world_.origins[o].scan_reputation;
-      const double p_full = 0.0004 + 0.009 * rep * rep;
-      const double p_partial = 0.006 + 0.045 * rep;
-      if (rng_.bernoulli(p_full)) {
-        add_block_rule(as, origin_bit(o), BlockMode::kL4Drop);
-      } else if (rng_.bernoulli(p_partial)) {
-        const double fraction = rng_.uniform(0.02, 0.15);
-        const BlockMode mode =
-            rng_.bernoulli(0.85) ? BlockMode::kL4Drop : BlockMode::kL7Drop;
-        std::optional<proto::Protocol> protocol;
-        if (rng_.bernoulli(0.25)) {
-          protocol = proto::kAllProtocols[rng_.below(3)];
-        }
-        add_block_rule(as, origin_bit(o), mode, fraction, 0, protocol);
-      }
-    }
+    add_reputation_rules(as);
   }
 }
 
+void Builder::build_catalog() {
+  namespace c = country;
+  // The catalog: generic AS archetypes that own the procedural space.
+  // Registered as ordinary (prefix-less) ASes so path profiles, outage
+  // schedules, and block policies attach through the existing engines;
+  // only *stateless* policies are drawn here — rate-IDS and temporal-RST
+  // rules stay confined to the override region, which is what lets the
+  // parallel executor's deferred lane stay bounded at full-IPv4 scale.
+  constexpr int kCatalogEntries = 192;
+  const double total_weight = total_country_weight();
+
+  world_.procedural.configure(config_.seed, config_.procedural_override,
+                              config_.universe_size);
+  for (int i = 0; i < kCatalogEntries; ++i) {
+    const CountryCode cc = sample_country(rng_, total_weight);
+    const AsId as = world_.topology.add_as(
+        "Procedural " + cc.to_string() + "-" + std::to_string(i + 1), cc);
+
+    int weight = static_cast<int>(std::lround(rng_.lognormal(1.0, 1.0)));
+    weight = std::clamp(weight, 1, 40);
+
+    GenMeta meta;
+    meta.density = rng_.uniform(0.15, 0.55);
+    if (rng_.bernoulli(0.03)) {
+      meta.maxstartups_share = 0.85;
+      meta.aggressive_maxstartups = true;
+    }
+    meta_[as] = meta;
+
+    // Same profile classes, same per-AS substream, as add_impl.
+    Rng profile_rng(net::mix_u64(config_.seed, as, 0x9F0F11Eu));
+    if (cc == c::kCN) {
+      world_.paths.set_as_profile(as, china_profile(profile_rng));
+    } else if (rng_.bernoulli(0.06)) {
+      world_.paths.set_as_profile(as, flip_prone_profile(profile_rng));
+    }
+
+    add_reputation_rules(as);
+
+    ProceduralEntry entry;
+    entry.as = as;
+    entry.country = cc;
+    entry.params = resolve_params(as, meta);
+    entry.weight = static_cast<std::uint32_t>(weight);
+    world_.procedural.add_entry(entry);
+  }
+  world_.procedural.freeze();
+}
+
+void Builder::materialize_procedural_region() {
+  // Test-only twin construction: replay the catalog's block assignment
+  // into ordinary prefixes, then turn derivation off. generate_hosts()
+  // picks the new prefixes up through meta_, and hostgen purity makes
+  // the populations bit-identical.
+  const std::uint32_t first_block = config_.procedural_override / 256;
+  const std::uint32_t last_block = config_.universe_size / 256;
+  for (std::uint32_t block = first_block; block < last_block; ++block) {
+    const BlockFacts facts = world_.procedural.block_facts(block);
+    if (facts.as == kNoAs) continue;
+    world_.topology.add_prefix(facts.as, Prefix(Ipv4Addr(block * 256u), 24),
+                               facts.country);
+  }
+  world_.procedural.disable();
+}
+
 void Builder::generate_hosts() {
-  const proto::MaxStartups kDefaultTriple{10, 30, 100};
-  const proto::MaxStartups kAggressiveTriple{5, 60, 30};
-
   for (const AsInfo& as : world_.topology.ases()) {
-    const GenMeta& meta = meta_.at(as.id);
-    const double http = meta.http >= 0 ? meta.http : config_.http_share;
-    const double https = meta.https >= 0 ? meta.https : config_.https_share;
-    const double ssh = meta.ssh >= 0 ? meta.ssh : config_.ssh_share;
-    const double ms_share = meta.maxstartups_share >= 0
-                                ? meta.maxstartups_share
-                                : config_.maxstartups_share;
-
-    // Flakiness clusters by network: most ASes have none, a third carry
-    // the whole population (so per-AS transient rates can be *identical*
-    // — zero — across origins for the majority of ASes, as in Fig 9).
-    const bool flaky_as =
-        net::mix_u64(config_.seed, as.id, 0xF1AB5u) % 100 < 35;
-    const double flaky_share =
-        flaky_as ? config_.flaky_host_share / 0.35 : 0.0;
-
+    const HostGenParams params = resolve_params(as.id, meta_.at(as.id));
     for (const PrefixEntry& entry : as.prefixes) {
       const std::uint32_t first = entry.prefix.first().value();
       const std::uint32_t last = entry.prefix.last().value();
       for (std::uint32_t addr = first; addr <= last; ++addr) {
-        Rng host_rng(net::mix_u64(config_.seed, addr, 0x057u));
-        if (!host_rng.bernoulli(meta.density)) continue;
-
-        Host host;
-        host.addr = Ipv4Addr(addr);
-        host.as = as.id;
-        host.seed = net::mix_u64(config_.seed, addr, 0x5EEDu);
-        if (host_rng.bernoulli(http)) host.services |= 1u << 0;
-        if (host_rng.bernoulli(https)) host.services |= 1u << 1;
-        if (host_rng.bernoulli(ssh)) host.services |= 1u << 2;
-        host.middlebox = host_rng.bernoulli(config_.middlebox_share);
-        if (host.services == 0 && !host.middlebox) continue;
-        if (host_rng.bernoulli(flaky_share)) {
-          host.flaky = true;
-          host.live_percent =
-              static_cast<std::uint8_t>(config_.flaky_live_percent);
-        } else if (host_rng.bernoulli(config_.churny_host_share)) {
-          host.live_percent =
-              static_cast<std::uint8_t>(config_.churny_live_percent);
+        if (auto host = generate_host(config_.seed, addr, as.id, params)) {
+          world_.hosts.add(*host);
         }
-        if (host.runs(proto::Protocol::kSsh) &&
-            host_rng.bernoulli(ms_share)) {
-          host.maxstartups_enabled = true;
-          host.maxstartups = meta.aggressive_maxstartups ? kAggressiveTriple
-                                                         : kDefaultTriple;
-        }
-        world_.hosts.add(host);
       }
     }
   }
@@ -906,6 +985,10 @@ World Builder::build() {
   world_.flaky_miss_probability = config_.flaky_miss_probability;
   add_special_ases();
   add_generic_fill();
+  if (config_.procedural) {
+    build_catalog();
+    if (config_.materialize_procedural) materialize_procedural_region();
+  }
   world_.topology.freeze();
   generate_hosts();
   world_.hosts.freeze();

@@ -34,12 +34,38 @@ struct ScenarioConfig {
   // SSH daemon behaviour.
   double maxstartups_share = 0.30;  // of SSH hosts, normal networks
 
+  // Procedural mode: the named scenario is built materialized inside
+  // [0, procedural_override) exactly as a standalone world of that size
+  // (same AS ids, same hosts, same goldens), and everything from the
+  // override boundary up to universe_size is derived lazily from the
+  // seed through a generic AS catalog — no per-address tables.
+  bool procedural = false;
+  // Size of the materialized override region. The default equals the
+  // reference scale (2048 /24s), so the named networks keep their exact
+  // paper_default state. Must be a multiple of 256.
+  std::uint32_t procedural_override = 1u << 19;
+  // Test-only: eagerly materialize the procedural region into the
+  // ordinary Topology/HostTable tables and disable derivation. The
+  // result is the procedural world's byte-identical twin; only sensible
+  // for small universes (the equivalence test uses 2^20).
+  bool materialize_procedural = false;
+
   static ScenarioConfig paper_default() { return {}; }
 
   // A small universe for unit/integration tests.
   static ScenarioConfig test_scale() {
     ScenarioConfig config;
     config.universe_size = 1u << 15;
+    return config;
+  }
+
+  // A procedural universe of 2^bits addresses (bits in [20, 32]). At
+  // bits == 32 the top /16 is reserved so the origin source blocks
+  // still fit in 32 bits: the sweep covers 0xFFFF0000 addresses.
+  static ScenarioConfig full_internet(int bits) {
+    ScenarioConfig config;
+    config.procedural = true;
+    config.universe_size = bits >= 32 ? 0xFFFF0000u : (1u << bits);
     return config;
   }
 };

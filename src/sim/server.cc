@@ -57,7 +57,7 @@ class HttpServer final : public ProtocolServer {
   }
 
  private:
-  const Host& host_;
+  Host host_;  // by value: procedural hosts have no stable table row
   std::string forced_title_;
   std::string buffer_;
 };
@@ -150,7 +150,7 @@ class TlsServer final : public ProtocolServer {
     return action;
   }
 
-  const Host& host_;
+  Host host_;  // by value: procedural hosts have no stable table row
   std::vector<std::uint8_t> buffer_;
 };
 
@@ -198,7 +198,7 @@ class SshServer final : public ProtocolServer {
   }
 
  private:
-  const Host& host_;
+  Host host_;  // by value: procedural hosts have no stable table row
   std::string buffer_;
   bool client_id_seen_ = false;
 };

@@ -71,15 +71,11 @@ class Topology {
 
   [[nodiscard]] const Entry* lookup(net::Ipv4Addr addr) const;
 
-  // Direct map is only built for address spans up to this many addresses
-  // (64 MiB of slots at 2 bytes each); larger spans fall back to binary
-  // search over index_.
-  static constexpr std::uint64_t kDirectMapLimit = 1ull << 25;
-
   std::vector<AsInfo> ases_;
   std::vector<Entry> index_;  // sorted by first, disjoint
   // addr -> index into index_ plus one (0 = unrouted), built by freeze()
-  // when the routed span fits kDirectMapLimit. Scan universes are dense
+  // when the routed span fits sim::kDirectMapLimit (types.h). Scan
+  // universes are dense
   // and start at 0, so the common case is one O(1) load per lookup
   // instead of a log2(prefixes) pointer chase per probe.
   std::vector<std::uint16_t> direct_;

@@ -11,6 +11,7 @@
 #include "sim/outage.h"
 #include "sim/path.h"
 #include "sim/policy.h"
+#include "sim/procedural.h"
 #include "sim/topology.h"
 
 namespace originscan::sim {
@@ -30,6 +31,11 @@ struct MaxStartupsConfig {
 struct World {
   Topology topology;
   HostTable hosts;
+  // Lazy seed-derived state for addresses above the override region;
+  // disabled (and ignored) for plain materialized scenarios. Use the
+  // as_of/country_of/host_at helpers below rather than the tables
+  // directly so both kinds of world resolve identically.
+  ProceduralWorld procedural;
   std::vector<OriginSpec> origins;
   PathTable paths;
   PolicyConfig policies;
@@ -54,6 +60,29 @@ struct World {
       if (origins[i].code == code) return static_cast<OriginId>(i);
     }
     return ~OriginId{0};
+  }
+
+  // Whole-world lookups: the materialized tables below the procedural
+  // boundary, derivation above it. These are the uncached slow paths
+  // (connects, collectors, schedule building); the per-probe hot loop
+  // goes through ProbeContext's per-lane block cache instead.
+  [[nodiscard]] std::optional<AsId> as_of(net::Ipv4Addr addr) const {
+    if (procedural.covers(addr)) return procedural.as_of(addr);
+    return topology.as_of(addr);
+  }
+
+  [[nodiscard]] CountryCode country_of(net::Ipv4Addr addr) const {
+    if (procedural.covers(addr)) {
+      return procedural.block_facts(addr.value() >> 8).country;
+    }
+    return topology.country_of(addr);
+  }
+
+  [[nodiscard]] std::optional<Host> host_at(net::Ipv4Addr addr) const {
+    if (procedural.covers(addr)) return procedural.host_at(addr);
+    const Host* host = hosts.find(addr);
+    if (host == nullptr) return std::nullopt;
+    return *host;
   }
 };
 

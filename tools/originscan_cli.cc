@@ -4,6 +4,8 @@
 //   experiment  run the paper experiment and export coverage +
 //               classification CSVs
 //   scan        run one origin x protocol scan and export raw records
+//   sweep       full-universe L4 sweep over a procedural world (bounded
+//               memory at any size; prints a determinism digest)
 //   topology    print the simulated world's AS/country inventory
 //   origins     print the vantage-point roster
 //
@@ -23,6 +25,8 @@
 #include <string>
 
 #include "core/access_matrix.h"
+#include "scanner/orchestrator.h"
+#include "sim/scenario.h"
 #include "core/analysis/coverage.h"
 #include "core/classify.h"
 #include "core/experiment.h"
@@ -48,6 +52,11 @@ struct Args {
   int trial = 1;
   int retries = 0;
   int jobs = 1;      // worker threads; output is identical for any value
+  // sweep: universe exponent for the procedural full-Internet world.
+  // Deliberately NOT subject to the --scale [12, 22] clamp — procedural
+  // worlds have no per-address tables, so 2^32 is affordable.
+  int universe_bits = 28;
+  int probes = 2;  // sweep: SYN probes per target
   std::string save;  // experiment: also write raw results here
   std::string in;    // analyze: load raw results from here
   std::string resume_dir;  // experiment/journal: crash-safe journal dir
@@ -59,14 +68,19 @@ struct Args {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: originscan <experiment|analyze|scan|topology|origins> [options]\n"
+      "usage: originscan "
+      "<experiment|analyze|scan|sweep|topology|origins> [options]\n"
       "       originscan journal inspect --resume-dir DIR\n"
       "  --scale N      universe exponent, 12..22 (default 16)\n"
+      "  --universe-bits N  sweep: procedural universe exponent, 20..32\n"
+      "                 (default 28; 32 sweeps all 4.3B addresses\n"
+      "                 with bounded memory — ~15 min serial)\n"
+      "  --probes N     sweep: SYN probes per target (default 2)\n"
       "  --seed N       scenario seed\n"
       "  --out DIR      CSV output directory (default .)\n"
-      "  --origin CODE  scan: AU BR DE JP US1 US64 CEN (default US1)\n"
-      "  --protocol P   scan: http|https|ssh (default http)\n"
-      "  --trial N      scan: trial number 1..3 (default 1)\n"
+      "  --origin CODE  scan/sweep: AU BR DE JP US1 US64 CEN (default US1)\n"
+      "  --protocol P   scan/sweep: http|https|ssh (default http)\n"
+      "  --trial N      scan/sweep: trial number 1..3 (default 1)\n"
       "  --retries N    scan: L7 retry budget (default 0)\n"
       "  --jobs N       worker threads for experiment/scan (default 1;\n"
       "                 results are bit-identical for any value)\n"
@@ -121,6 +135,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.retries = std::atoi(value.c_str());
     } else if (flag == "--jobs") {
       args.jobs = std::atoi(value.c_str());
+    } else if (flag == "--universe-bits") {
+      args.universe_bits = std::atoi(value.c_str());
+    } else if (flag == "--probes") {
+      args.probes = std::atoi(value.c_str());
     } else if (flag == "--save") {
       args.save = value;
     } else if (flag == "--in") {
@@ -140,6 +158,14 @@ bool parse_args(int argc, char** argv, Args& args) {
   }
   if (args.scale < 12 || args.scale > 22) {
     std::fprintf(stderr, "--scale must be in [12, 22]\n");
+    return false;
+  }
+  if (args.universe_bits < 20 || args.universe_bits > 32) {
+    std::fprintf(stderr, "--universe-bits must be in [20, 32]\n");
+    return false;
+  }
+  if (args.probes < 1 || args.probes > 8) {
+    std::fprintf(stderr, "--probes must be in [1, 8]\n");
     return false;
   }
   if (args.trial < 1 || args.trial > 3) {
@@ -359,6 +385,62 @@ int cmd_scan(const Args& args) {
   return 0;
 }
 
+// Full-universe L4 sweep over a procedural world (DESIGN.md §10): no
+// per-address tables, no stored records — memory stays bounded at any
+// universe size. Prints commutative aggregates plus an order-independent
+// digest; two runs that print the same digest produced identical
+// per-target outcomes, so comparing digests across --jobs values checks
+// parallel determinism at full scale.
+int cmd_sweep(const Args& args) {
+  const auto protocol = protocol_from(args.protocol);
+  if (!protocol) {
+    std::fprintf(stderr, "unknown protocol: %s\n", args.protocol.c_str());
+    return 1;
+  }
+  auto scenario = sim::ScenarioConfig::full_internet(args.universe_bits);
+  scenario.seed = args.seed;
+  std::printf("building procedural universe of %u addresses (2^%d)...\n",
+              scenario.universe_size, args.universe_bits);
+  const auto world = sim::build_world(
+      scenario, sim::paper_origins(scenario.universe_size));
+  const auto origin = world.origin_id(args.origin);
+  if (origin == ~sim::OriginId{0}) {
+    std::fprintf(stderr, "unknown origin: %s\n", args.origin.c_str());
+    return 1;
+  }
+
+  sim::TrialContext context;
+  context.trial = args.trial - 1;
+  context.experiment_seed = scenario.seed;
+  context.simultaneous_origins = static_cast<int>(world.origins.size());
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context, &persistent);
+
+  std::printf("sweeping %s from %s (trial %d, probes %d, jobs %d)...\n",
+              args.protocol.c_str(), args.origin.c_str(), args.trial,
+              args.probes, args.jobs);
+  scan::SweepOptions options;
+  options.probes = args.probes;
+  options.jobs = args.jobs;
+  obsv::MetricBlock metrics;
+  if (!args.metrics_out.empty()) options.metrics = &metrics;
+  const auto result = scan::run_l4_sweep(internet, origin, *protocol, options);
+
+  std::printf(
+      "targets probed:    %llu\n"
+      "packets sent:      %llu\n"
+      "responsive:        %llu (%llu SYN-ACK, %llu RST-only)\n"
+      "result digest:     %016llx\n",
+      static_cast<unsigned long long>(result.l4_stats.targets_probed),
+      static_cast<unsigned long long>(result.l4_stats.packets_sent),
+      static_cast<unsigned long long>(result.responsive),
+      static_cast<unsigned long long>(result.synack_targets),
+      static_cast<unsigned long long>(result.rst_only_targets),
+      static_cast<unsigned long long>(result.digest));
+  if (!write_observability(args, metrics, nullptr)) return 1;
+  return 0;
+}
+
 int cmd_analyze(const Args& args) {
   if (args.in.empty()) {
     std::fprintf(stderr, "analyze requires --in FILE\n");
@@ -485,6 +567,7 @@ int main(int argc, char** argv) {
   if (args.command == "journal-inspect") return cmd_journal_inspect(args);
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "scan") return cmd_scan(args);
+  if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "topology") return cmd_topology(args);
   if (args.command == "origins") return cmd_origins(args);
   usage();
