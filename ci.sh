@@ -3,16 +3,16 @@
 #
 #   unit      fast pre-commit lane: build + `ctest -L 'unit|metrics'`
 #   full      build + the whole suite (unit, metrics, property,
-#             differential, crash, slow), the bounded-RSS full-universe
-#             scale lane, + the bench regression gate
+#             differential, crash, dist, slow), the bounded-RSS
+#             full-universe scale lane, + the bench regression gate
 #   bench     build, run the microbenchmarks, and gate against the
 #             checked-in BENCH_micro.json (fails on >25% cpu_time
 #             regression; refresh baselines with bench/record.sh) plus
 #             the 5% metrics-on vs metrics-off overhead bound
 #   tsan      ORIGINSCAN_SANITIZE=thread build; runs the suites that
-#             exercise the parallel executor, the cell supervisor, and
-#             the fault-injected differential harness under thread
-#             sanitizer
+#             exercise the parallel executor, the cell supervisor, the
+#             multi-process worker pool, and the fault-injected
+#             differential harness under thread sanitizer
 #   coverage  -DOSN_COVERAGE=ON build, full suite, gcov aggregation
 #   all       unit + full + tsan (default; coverage stays opt-in)
 #
@@ -46,6 +46,7 @@ run_full() {
   # manual invocation (README "Full-scale sweep").
   (cd build && ctest -LE scale --output-on-failure &&
     ctest -L crash --output-on-failure &&
+    ctest -L dist --output-on-failure &&
     ctest -L metrics --output-on-failure &&
     ctest -L scale --output-on-failure)
   run_bench
@@ -73,7 +74,7 @@ run_bench() {
 run_tsan() {
   configure_and_build build-tsan -DORIGINSCAN_SANITIZE=thread
   (cd build-tsan &&
-    ctest -R 'parallel_test|scanner_test|sim_test|core_test|journal_test|crash_resume_test|differential_test' \
+    ctest -R 'parallel_test|scanner_test|sim_test|core_test|journal_test|crash_resume_test|differential_test|dist_test' \
       --output-on-failure)
 }
 

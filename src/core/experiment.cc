@@ -46,6 +46,121 @@ std::size_t Experiment::index(int trial, std::size_t protocol_index,
          origin;
 }
 
+CellKey Experiment::cell_key_at(std::size_t slot) const {
+  const std::size_t origin_count = world_.origins.size();
+  const std::size_t protocol_count = config_.protocols.size();
+  const std::size_t origin = slot % origin_count;
+  const std::size_t p = (slot / origin_count) % protocol_count;
+  const int trial = static_cast<int>(slot / (origin_count * protocol_count));
+  return CellKey{world_.origins[origin].code, config_.protocols[p], trial};
+}
+
+// ---- CellEngine ------------------------------------------------------
+
+CellEngine::CellEngine(Experiment& experiment) : experiment_(experiment) {
+  // One Internet per trial, created up front: the PolicyEngine
+  // constructors pre-insert the persistent IDS map entries serially,
+  // before any worker thread can touch them. This must also precede any
+  // journal adoption restore — restore_ids writes into those entries.
+  const ExperimentConfig& config = experiment_.config_;
+  internets_.reserve(static_cast<std::size_t>(config.trials));
+  for (int trial = 0; trial < config.trials; ++trial) {
+    sim::TrialContext context;
+    context.trial = trial;
+    context.experiment_seed = config.scenario.seed;
+    context.simultaneous_origins =
+        static_cast<int>(experiment_.world_.origins.size());
+    context.scan_duration = config.scan_duration;
+    internets_.push_back(std::make_unique<sim::Internet>(
+        &experiment_.world_, context, &experiment_.persistent_));
+    internets_.back()->set_fault_injector(config.faults);
+  }
+}
+
+IdsSnapshot CellEngine::capture_origin(sim::OriginId origin) const {
+  return capture_ids(experiment_.persistent_,
+                     experiment_.world_.origins[origin].source_ips);
+}
+
+void CellEngine::restore_origin(sim::OriginId origin,
+                                const IdsSnapshot& snapshot) {
+  restore_ids(experiment_.persistent_,
+              experiment_.world_.origins[origin].source_ips, snapshot);
+}
+
+CellOutcome CellEngine::run_cell(std::size_t slot, CellSupervisor& supervisor,
+                                 obsv::MetricBlock* cell_block) {
+  const ExperimentConfig& config = experiment_.config_;
+  const sim::World& world = experiment_.world_;
+  const std::size_t origin_count = world.origins.size();
+  const std::size_t protocol_count = config.protocols.size();
+  const sim::OriginId origin = slot % origin_count;
+  const std::size_t p = (slot / origin_count) % protocol_count;
+  const int trial =
+      static_cast<int>(slot / (origin_count * protocol_count));
+  const CellKey key = experiment_.cell_key_at(slot);
+  const std::string track = key.origin_code + "/" +
+                            std::string(proto::name_of(key.protocol)) +
+                            "/t" + std::to_string(key.trial);
+  const auto source_ips =
+      std::span<const net::Ipv4Addr>(world.origins[origin].source_ips);
+
+  // Per-cell metric attribution: `attempt_block` is a fresh scratch
+  // block per attempt — an aborted attempt's counters are simply thrown
+  // away with it, mirroring the IDS rollback. `cell_block` is the cell's
+  // durable delta: the supervisor's fault taps, the successful attempt's
+  // counters, and the retry accounting.
+  obsv::MetricBlock attempt_block;
+
+  CellOutcome outcome = supervisor.run_cell(
+      slot,
+      [&](const scan::CancelToken& token) {
+        // Warm the (origin, protocol) loss/outage caches before the
+        // sweep: the scan's ProbeContexts then resolve against warm
+        // entries, and neither the probe hot loop nor the ZGrab
+        // connect path ever takes the cache writer lock — regardless
+        // of how concurrently-running origin chains interleave.
+        internets_[static_cast<std::size_t>(trial)]->prewarm(
+            origin, config.protocols[p]);
+        scan::ScanOptions options;
+        options.probes = config.probes;
+        options.probe_interval = config.probe_interval;
+        options.l7_retries = config.l7_retries;
+        options.blocklist = config.blocklist;
+        options.scan_duration = config.scan_duration;
+        options.retry_banner_failures = config.retry_banner_failures;
+        options.faults = config.faults;
+        options.cancel = &token;
+        options.jobs = scan_jobs_;
+        if (cell_block != nullptr) {
+          attempt_block = obsv::MetricBlock{};
+          options.metrics = &attempt_block;
+        }
+        options.trace = config.trace;
+        options.trace_track = track;
+        return scan::run_scan(*internets_[static_cast<std::size_t>(trial)],
+                              origin, config.protocols[p], options);
+      },
+      [&] { return capture_ids(experiment_.persistent_, source_ips); },
+      [&](const IdsSnapshot& snapshot) {
+        restore_ids(experiment_.persistent_, source_ips, snapshot);
+      },
+      cell_block);
+
+  if (outcome.status == CellOutcome::Status::kDone && cell_block != nullptr) {
+    const std::uint64_t retries =
+        static_cast<std::uint64_t>(std::max(0, outcome.attempts - 1));
+    cell_block->merge_from(attempt_block);
+    cell_block->add(obsv::Counter::kSupervisorRetries, retries);
+    if (retries > 0) {
+      cell_block->observe(
+          obsv::Histogram::kSupervisorBackoffMicros,
+          static_cast<std::uint64_t>(outcome.backoff_total.micros()));
+    }
+  }
+  return outcome;
+}
+
 void Experiment::run(const std::function<void(std::string_view)>& progress) {
   const RunReport report = run_journaled(nullptr, SupervisorPolicy{}, progress);
   if (report.status == RunReport::Status::kKilled) {
@@ -83,37 +198,122 @@ std::string Experiment::config_fingerprint() const {
       reinterpret_cast<const std::uint8_t*>(canon.data()), canon.size())));
 }
 
+Experiment::AdoptionPlan Experiment::adopt_journal(ExperimentJournal& journal) {
+  assert(results_.size() == cell_count() && lost_.size() == cell_count());
+  const std::size_t protocol_count = config_.protocols.size();
+  const std::size_t origin_count = world_.origins.size();
+
+  AdoptionPlan plan;
+  plan.adopted.assign(cell_count(), false);
+  plan.latest.resize(origin_count);
+  plan.have_snapshot.assign(origin_count, false);
+
+  // Every journal entry must map into this grid (the fingerprint check
+  // at open makes a mismatch here a corrupt journal, not a config
+  // change).
+  for (const JournalEntry& entry : journal.entries()) {
+    const sim::OriginId origin = world_.origin_id(entry.key.origin_code);
+    if (origin == ~sim::OriginId{0}) {
+      throw std::runtime_error("journal names unknown origin \"" +
+                               entry.key.origin_code + "\"");
+    }
+    bool known_protocol = false;
+    for (proto::Protocol p : config_.protocols) {
+      known_protocol = known_protocol || p == entry.key.protocol;
+    }
+    if (!known_protocol || entry.key.trial < 0 ||
+        entry.key.trial >= config_.trials) {
+      throw std::runtime_error(
+          "journal entry outside the experiment grid: " +
+          entry.key.origin_code + " " +
+          std::string(proto::name_of(entry.key.protocol)) + " trial " +
+          std::to_string(entry.key.trial));
+    }
+  }
+
+  // Adopt per origin, in chain order. Entries must form a prefix of
+  // the origin's chain: the journal appends in execution order, so a
+  // gap means lost manifest lines — the IDS snapshots after the gap
+  // would no longer describe the state their cells actually saw.
+  for (sim::OriginId origin = 0; origin < origin_count; ++origin) {
+    bool gap = false;
+    for (int trial = 0; trial < config_.trials; ++trial) {
+      for (std::size_t p = 0; p < protocol_count; ++p) {
+        const CellKey key{world_.origins[origin].code, config_.protocols[p],
+                          trial};
+        const JournalEntry* entry = journal.find(key);
+        const std::size_t slot = index(trial, p, origin);
+        if (entry == nullptr) {
+          gap = true;
+          continue;
+        }
+        if (gap) {
+          throw std::runtime_error(
+              "journal for origin " + key.origin_code +
+              " is not a chain prefix: cell " +
+              std::string(proto::name_of(key.protocol)) + " trial " +
+              std::to_string(key.trial) + " follows a missing cell");
+        }
+        if (entry->status == JournalEntry::Status::kDone) {
+          std::string load_error;
+          IdsSnapshot snapshot;
+          obsv::MetricBlock delta;
+          auto result = journal.load_cell(
+              *entry, &snapshot, &load_error,
+              config_.metrics != nullptr ? &delta : nullptr);
+          if (!result.has_value()) {
+            throw std::runtime_error("journal corrupt: " + load_error);
+          }
+          // Replaying the cell's persisted delta (instead of its scan)
+          // is what makes resumed and uninterrupted runs' snapshots
+          // byte-identical.
+          if (config_.metrics != nullptr) {
+            config_.metrics->merge_block(delta);
+          }
+          if (config_.trace != nullptr) {
+            config_.trace->instant(
+                "journal", "journal.replay", net::VirtualTime{},
+                {{"cell", key.origin_code + "/" +
+                              std::string(proto::name_of(key.protocol)) +
+                              "/t" + std::to_string(key.trial)},
+                 {"records", std::to_string(result->records.size())}});
+          }
+          results_[slot] = std::move(*result);
+          plan.adopted[slot] = true;
+          // The latest done cell's snapshot is cumulative for the origin
+          // (serial chain, disjoint source IPs): restoring it puts the
+          // IDS exactly where the chain's next un-run cell expects it.
+          plan.latest[origin] = std::move(snapshot);
+          plan.have_snapshot[origin] = true;
+          ++plan.adopted_count;
+        } else {
+          // A lost cell stays lost on resume: its chain already moved
+          // past it, so re-running it now would see later IDS state.
+          lost_[slot] = true;
+          plan.lost_keys.push_back(key);
+        }
+      }
+    }
+  }
+  return plan;
+}
+
 RunReport Experiment::run_journaled(
     ExperimentJournal* journal, const SupervisorPolicy& policy,
     const std::function<void(std::string_view)>& progress) {
   assert(results_.empty() && "Experiment::run called twice");
   const std::size_t protocol_count = config_.protocols.size();
   const std::size_t origin_count = world_.origins.size();
-  const std::size_t total =
-      static_cast<std::size_t>(config_.trials) * protocol_count * origin_count;
+  const std::size_t total = cell_count();
   results_.resize(total);
   lost_.assign(total, false);
 
   RunReport report;
   report.cells_total = total;
 
-  // One Internet per trial, created up front: the PolicyEngine
-  // constructors pre-insert the persistent IDS map entries serially,
-  // before any worker thread can touch them. This must also precede the
-  // journal adoption below — restore_ids writes into those entries.
-  std::vector<std::unique_ptr<sim::Internet>> internets;
-  internets.reserve(static_cast<std::size_t>(config_.trials));
-  for (int trial = 0; trial < config_.trials; ++trial) {
-    sim::TrialContext context;
-    context.trial = trial;
-    context.experiment_seed = config_.scenario.seed;
-    context.simultaneous_origins =
-        static_cast<int>(world_.origins.size());
-    context.scan_duration = config_.scan_duration;
-    internets.push_back(
-        std::make_unique<sim::Internet>(&world_, context, &persistent_));
-    internets.back()->set_fault_injector(config_.faults);
-  }
+  // The engine builds the per-trial Internets; construction must precede
+  // the snapshot restores below (see CellEngine).
+  CellEngine engine(*this);
 
   const auto cell_key = [&](int trial, std::size_t p,
                             sim::OriginId origin) {
@@ -122,95 +322,13 @@ RunReport Experiment::run_journaled(
 
   std::vector<bool> adopted(total, false);
   if (journal != nullptr) {
-    // Every journal entry must map into this grid (the fingerprint check
-    // at open makes a mismatch here a corrupt journal, not a config
-    // change).
-    for (const JournalEntry& entry : journal->entries()) {
-      const sim::OriginId origin = world_.origin_id(entry.key.origin_code);
-      if (origin == ~sim::OriginId{0}) {
-        throw std::runtime_error("journal names unknown origin \"" +
-                                 entry.key.origin_code + "\"");
-      }
-      bool known_protocol = false;
-      for (proto::Protocol p : config_.protocols) {
-        known_protocol = known_protocol || p == entry.key.protocol;
-      }
-      if (!known_protocol || entry.key.trial < 0 ||
-          entry.key.trial >= config_.trials) {
-        throw std::runtime_error(
-            "journal entry outside the experiment grid: " +
-            entry.key.origin_code + " " +
-            std::string(proto::name_of(entry.key.protocol)) + " trial " +
-            std::to_string(entry.key.trial));
-      }
-    }
-
-    // Adopt per origin, in chain order. Entries must form a prefix of
-    // the origin's chain: the journal appends in execution order, so a
-    // gap means lost manifest lines — the IDS snapshots after the gap
-    // would no longer describe the state their cells actually saw.
+    AdoptionPlan plan = adopt_journal(*journal);
+    adopted = std::move(plan.adopted);
+    report.cells_adopted = plan.adopted_count;
+    report.lost = std::move(plan.lost_keys);
     for (sim::OriginId origin = 0; origin < origin_count; ++origin) {
-      bool gap = false;
-      bool have_snapshot = false;
-      IdsSnapshot latest;
-      for (int trial = 0; trial < config_.trials; ++trial) {
-        for (std::size_t p = 0; p < protocol_count; ++p) {
-          const CellKey key = cell_key(trial, p, origin);
-          const JournalEntry* entry = journal->find(key);
-          const std::size_t slot = index(trial, p, origin);
-          if (entry == nullptr) {
-            gap = true;
-            continue;
-          }
-          if (gap) {
-            throw std::runtime_error(
-                "journal for origin " + key.origin_code +
-                " is not a chain prefix: cell " +
-                std::string(proto::name_of(key.protocol)) + " trial " +
-                std::to_string(key.trial) + " follows a missing cell");
-          }
-          if (entry->status == JournalEntry::Status::kDone) {
-            std::string load_error;
-            IdsSnapshot snapshot;
-            obsv::MetricBlock delta;
-            auto result = journal->load_cell(
-                *entry, &snapshot, &load_error,
-                config_.metrics != nullptr ? &delta : nullptr);
-            if (!result.has_value()) {
-              throw std::runtime_error("journal corrupt: " + load_error);
-            }
-            // Replaying the cell's persisted delta (instead of its scan)
-            // is what makes resumed and uninterrupted runs' snapshots
-            // byte-identical.
-            if (config_.metrics != nullptr) {
-              config_.metrics->merge_block(delta);
-            }
-            if (config_.trace != nullptr) {
-              config_.trace->instant(
-                  "journal", "journal.replay", net::VirtualTime{},
-                  {{"cell", key.origin_code + "/" +
-                                std::string(proto::name_of(key.protocol)) +
-                                "/t" + std::to_string(key.trial)},
-                   {"records", std::to_string(result->records.size())}});
-            }
-            results_[slot] = std::move(*result);
-            adopted[slot] = true;
-            latest = std::move(snapshot);
-            have_snapshot = true;
-            ++report.cells_adopted;
-          } else {
-            // A lost cell stays lost on resume: its chain already moved
-            // past it, so re-running it now would see later IDS state.
-            lost_[slot] = true;
-            report.lost.push_back(key);
-          }
-        }
-      }
-      // The latest done cell's snapshot is cumulative for the origin
-      // (serial chain, disjoint source IPs): restoring it puts the IDS
-      // exactly where the chain's next un-run cell expects it.
-      if (have_snapshot) {
-        restore_ids(persistent_, world_.origins[origin].source_ips, latest);
+      if (plan.have_snapshot[origin]) {
+        engine.restore_origin(origin, plan.latest[origin]);
       }
     }
   }
@@ -232,51 +350,15 @@ RunReport Experiment::run_journaled(
     const auto source_ips =
         std::span<const net::Ipv4Addr>(world_.origins[origin].source_ips);
 
-    // Per-cell metric attribution: `attempt_block` is a fresh scratch
-    // block per attempt — an aborted attempt's counters are simply thrown
-    // away with it, mirroring the IDS rollback. `cell_block` is the
-    // cell's durable delta: the supervisor's fault taps, the successful
-    // attempt's counters, the retry accounting, and (via record_done) the
-    // journal counters. It is persisted with the cell and merged into the
+    // `cell_block` is the cell's durable metric delta: the engine's
+    // supervised-scan attribution plus (via record_done) the journal
+    // counters. It is persisted with the cell and merged into the
     // registry, so an adopted cell replays exactly what a live run of it
     // would have contributed.
     obsv::MetricBlock cell_block;
-    obsv::MetricBlock attempt_block;
 
-    CellOutcome outcome = supervisor.run_cell(
-        slot,
-        [&](const scan::CancelToken& token) {
-          // Warm the (origin, protocol) loss/outage caches before the
-          // sweep: the scan's ProbeContexts then resolve against warm
-          // entries, and neither the probe hot loop nor the ZGrab
-          // connect path ever takes the cache writer lock — regardless
-          // of how concurrently-running origin chains interleave.
-          internets[static_cast<std::size_t>(trial)]->prewarm(
-              origin, config_.protocols[p]);
-          scan::ScanOptions options;
-          options.probes = config_.probes;
-          options.probe_interval = config_.probe_interval;
-          options.l7_retries = config_.l7_retries;
-          options.blocklist = config_.blocklist;
-          options.scan_duration = config_.scan_duration;
-          options.retry_banner_failures = config_.retry_banner_failures;
-          options.faults = config_.faults;
-          options.cancel = &token;
-          if (config_.metrics != nullptr) {
-            attempt_block = obsv::MetricBlock{};
-            options.metrics = &attempt_block;
-          }
-          options.trace = config_.trace;
-          options.trace_track = track;
-          return scan::run_scan(
-              *internets[static_cast<std::size_t>(trial)], origin,
-              config_.protocols[p], options);
-        },
-        [&] { return capture_ids(persistent_, source_ips); },
-        [&](const IdsSnapshot& snapshot) {
-          restore_ids(persistent_, source_ips, snapshot);
-        },
-        config_.metrics != nullptr ? &cell_block : nullptr);
+    CellOutcome outcome = engine.run_cell(
+        slot, supervisor, config_.metrics != nullptr ? &cell_block : nullptr);
 
     if (outcome.status == CellOutcome::Status::kKilled) {
       // The killed process never writes a snapshot, but its supervisor
@@ -297,15 +379,6 @@ RunReport Experiment::run_journaled(
       }
     }
     if (outcome.status == CellOutcome::Status::kDone) {
-      if (config_.metrics != nullptr) {
-        cell_block.merge_from(attempt_block);
-        cell_block.add(obsv::Counter::kSupervisorRetries, retries);
-        if (retries > 0) {
-          cell_block.observe(
-              obsv::Histogram::kSupervisorBackoffMicros,
-              static_cast<std::uint64_t>(outcome.backoff_total.micros()));
-        }
-      }
       if (journal != nullptr && !supervisor.killed()) {
         const IdsSnapshot post = capture_ids(persistent_, source_ips);
         std::string journal_error;

@@ -4,6 +4,7 @@
 // trials exactly as it would persist in the real world.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -165,9 +166,41 @@ class Experiment {
                                   sim::OriginId origin,
                                   const scan::ScanOptions& options);
 
+  // Grid geometry, public for the distributed runtime (core/dist.h) and
+  // tests. Cells are numbered in serial execution order:
+  // (trial * protocols + protocol_index) * origins + origin. An origin's
+  // chain therefore occupies slots {c * origins + origin} for chain
+  // positions c in [0, trials * protocols).
+  [[nodiscard]] std::size_t cell_count() const {
+    return static_cast<std::size_t>(config_.trials) *
+           config_.protocols.size() * world_.origins.size();
+  }
+  [[nodiscard]] CellKey cell_key_at(std::size_t slot) const;
+
  private:
+  friend class CellEngine;
+  friend class GridMaster;
+
   [[nodiscard]] std::size_t index(int trial, std::size_t protocol_index,
                                   sim::OriginId origin) const;
+
+  // Journal adoption, shared by run_journaled and the distributed
+  // master. Validates every entry against the grid, adopts the
+  // per-origin chain prefixes into results_/lost_ (merging persisted
+  // metric deltas, emitting journal.replay trace instants), and returns
+  // each origin's latest IDS snapshot WITHOUT restoring it — only a
+  // process that will actually scan needs live IDS state. run_journaled
+  // restores once its internets exist; the master never does (workers
+  // restore from the snapshots its GRANTs carry). results_/lost_ must be
+  // sized to cell_count() before the call.
+  struct AdoptionPlan {
+    std::vector<bool> adopted;            // per slot
+    std::vector<IdsSnapshot> latest;      // per origin
+    std::vector<bool> have_snapshot;      // per origin
+    std::vector<CellKey> lost_keys;       // journaled-lost, chain order
+    std::size_t adopted_count = 0;
+  };
+  AdoptionPlan adopt_journal(ExperimentJournal& journal);
 
   ExperimentConfig config_;
   sim::World world_;
@@ -176,6 +209,46 @@ class Experiment {
   // Parallel to results_ once run: true for cells lost to the retry
   // budget. Empty (= all present) for adopted result sets.
   std::vector<bool> lost_;
+};
+
+// The per-cell execution engine: the supervised scan machinery shared by
+// Experiment::run_journaled (in-process chains) and core::run_worker
+// (distributed worker processes). Owns the per-trial Internets — the
+// PolicyEngine constructors pre-insert the persistent IDS map entries
+// serially at construction, which must precede any restore_origin call
+// (restore writes into those entries). One engine per process; run_cell
+// is thread-safe across distinct origins' chains, serial within one.
+class CellEngine {
+ public:
+  explicit CellEngine(Experiment& experiment);
+
+  // Runs one cell under `supervisor`: prewarm, supervised scan with
+  // per-attempt IDS rollback, and — when `cell_block` is non-null — the
+  // cell's metric attribution (the successful attempt's counters, the
+  // supervisor's fault taps, retry/backoff accounting). The caller owns
+  // everything around the outcome: journal recording, report bookkeeping,
+  // progress lines.
+  [[nodiscard]] CellOutcome run_cell(std::size_t slot,
+                                     CellSupervisor& supervisor,
+                                     obsv::MetricBlock* cell_block);
+
+  // The origin's current IDS slice (for journaling a completed cell or
+  // streaming it to the distributed master).
+  [[nodiscard]] IdsSnapshot capture_origin(sim::OriginId origin) const;
+  // Overwrites the origin's IDS slice with `snapshot` (an empty snapshot
+  // clears it). How a worker adopts the chain state a GRANT carries.
+  void restore_origin(sim::OriginId origin, const IdsSnapshot& snapshot);
+
+  // Thread count for the scans themselves (scan::ScanOptions::jobs,
+  // bit-identical for any value). run_journaled keeps this at 1 — its
+  // parallelism is across origin chains; distributed workers run chains
+  // serially and parallelize inside the scan instead.
+  void set_scan_jobs(int jobs) { scan_jobs_ = std::max(1, jobs); }
+
+ private:
+  Experiment& experiment_;
+  std::vector<std::unique_ptr<sim::Internet>> internets_;
+  int scan_jobs_ = 1;
 };
 
 }  // namespace originscan::core

@@ -11,6 +11,7 @@
 #include "core/store.h"
 #include "netbase/byteio.h"
 #include "netbase/crc32.h"
+#include "netbase/frame.h"
 
 namespace originscan::core {
 namespace {
@@ -90,11 +91,24 @@ std::set<std::uint32_t> ip_set(std::span<const net::Ipv4Addr> source_ips) {
   return out;
 }
 
-// The .ids sidecar: the origin's IDS snapshot plus the result fields the
-// .osnr segment cannot carry (L4 stats and the attempt histogram are
-// deliberately outside the store format, but golden digests include the
-// SYN-ACK count, so an adopted cell must reproduce them exactly).
-std::vector<std::uint8_t> serialize_sidecar(
+// Reads a sidecar file written as one shared-codec frame
+// (netbase/frame.h), returning the framed payload. Files from before
+// framing existed carry the raw payload with its own CRC footer — those
+// fall back to the whole buffer, which the payload parser's CRC then
+// vets. The frame path is what enforces "never over-read a lying length
+// prefix" for sidecars.
+std::span<const std::uint8_t> unframe_sidecar(
+    std::span<const std::uint8_t> data) {
+  std::span<const std::uint8_t> payload;
+  if (net::parse_single_frame(data, payload) == net::FrameError::kNone) {
+    return payload;
+  }
+  return data;  // legacy raw sidecar; inner CRC still applies
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_cell_sidecar(
     const IdsSnapshot& ids, const scan::ZMapScanner::Stats& stats,
     const std::vector<std::uint64_t>& histogram) {
   std::vector<std::uint8_t> out;
@@ -116,9 +130,10 @@ std::vector<std::uint8_t> serialize_sidecar(
   return out;
 }
 
-bool parse_sidecar(std::span<const std::uint8_t> data, IdsSnapshot& ids,
-                   scan::ZMapScanner::Stats& stats,
-                   std::vector<std::uint64_t>& histogram) {
+bool parse_cell_sidecar(std::span<const std::uint8_t> raw, IdsSnapshot& ids,
+                        scan::ZMapScanner::Stats& stats,
+                        std::vector<std::uint64_t>& histogram) {
+  const std::span<const std::uint8_t> data = unframe_sidecar(raw);
   if (data.size() < 16) return false;
   const std::uint32_t want = net::crc32(data.subspan(0, data.size() - 4));
   net::ByteReader footer(data.subspan(data.size() - 4));
@@ -147,8 +162,6 @@ bool parse_sidecar(std::span<const std::uint8_t> data, IdsSnapshot& ids,
   }
   return r.ok() && r.remaining() == 0;
 }
-
-}  // namespace
 
 // ---- IdsSnapshot ----------------------------------------------------
 
@@ -433,8 +446,8 @@ std::optional<scan::ScanResult> ExperimentJournal::load_cell(
     return std::nullopt;
   }
   IdsSnapshot sidecar_ids;
-  if (!parse_sidecar(*ids_bytes, sidecar_ids, result.l4_stats,
-                     result.attempt_histogram)) {
+  if (!parse_cell_sidecar(*ids_bytes, sidecar_ids, result.l4_stats,
+                          result.attempt_histogram)) {
     set_error(error, "corrupt sidecar " + ids_path);
     return std::nullopt;
   }
@@ -447,7 +460,7 @@ std::optional<scan::ScanResult> ExperimentJournal::load_cell(
       // Pre-metrics journal: the cell simply carries a zero delta.
       *metrics = obsv::MetricBlock{};
     } else {
-      auto parsed = obsv::MetricBlock::parse(*metrics_bytes);
+      auto parsed = obsv::MetricBlock::parse(unframe_sidecar(*metrics_bytes));
       if (!parsed.has_value()) {
         set_error(error, "corrupt metrics sidecar " + metrics_path);
         return std::nullopt;
@@ -479,8 +492,10 @@ bool ExperimentJournal::record_done(const CellKey& key,
     return false;
   }
   const auto sidecar_bytes =
-      serialize_sidecar(snapshot, result.l4_stats, result.attempt_histogram);
-  if (!write_file_durable(dir_ + "/" + stem + ".ids", sidecar_bytes, error)) {
+      serialize_cell_sidecar(snapshot, result.l4_stats,
+                             result.attempt_histogram);
+  if (!write_file_durable(dir_ + "/" + stem + ".ids",
+                          net::encode_frame(sidecar_bytes), error)) {
     return false;
   }
   if (metrics != nullptr) {
@@ -496,7 +511,7 @@ bool ExperimentJournal::record_done(const CellKey& key,
     metrics->observe(obsv::Histogram::kJournalSegmentBytes,
                      sidecar_bytes.size());
     if (!write_file_durable(dir_ + "/" + stem + ".metrics",
-                            metrics->serialize(), error)) {
+                            net::encode_frame(metrics->serialize()), error)) {
       return false;
     }
   }

@@ -10,11 +10,19 @@
 //     done <origin> <proto> <trial> attempts=N sha256=<hex> segment=<stem>
 //     lost <origin> <proto> <trial> attempts=N reason=<text>
 //   <stem>.osnr                   single-cell store segment (v2, CRC'd)
-//   <stem>.ids                    CRC'd sidecar: the origin's post-cell
+//   <stem>.ids                    framed sidecar: the origin's post-cell
 //                                 IDS snapshot + the result fields the
 //                                 store format omits (L4 stats, attempt
 //                                 histogram) so adopted cells reproduce
 //                                 golden digests exactly
+//   <stem>.metrics                framed sidecar: the cell's metric delta
+//
+// Both sidecars are wrapped in the shared length-prefixed CRC32 frame
+// (netbase/frame.h) — the same codec the distributed worker protocol
+// streams segments with. The frame's length check means a reader never
+// trusts a corrupt length prefix and over-reads past the end of the
+// file; sidecars written before framing existed (raw payload, own CRC
+// footer) are still accepted as a legacy fallback.
 //
 // The manifest line is appended only *after* both sidecar files are
 // durably written, so a crash between cell completion and manifest
@@ -77,6 +85,22 @@ void restore_ids(sim::PersistentState& state,
                  std::span<const net::Ipv4Addr> source_ips,
                  const IdsSnapshot& snapshot);
 
+// The `.ids` sidecar payload: the origin's IDS snapshot plus the result
+// fields the `.osnr` segment cannot carry (L4 stats and the attempt
+// histogram live outside the store format, but golden digests include
+// the SYN-ACK count, so an adopted — or remotely executed — cell must
+// reproduce them exactly). Public because the distributed runtime's
+// SEGMENT messages carry exactly these bytes: a worker serializes the
+// sidecar once and the master persists it verbatim, so the journal a
+// distributed run writes is byte-identical to a single-process one.
+[[nodiscard]] std::vector<std::uint8_t> serialize_cell_sidecar(
+    const IdsSnapshot& ids, const scan::ZMapScanner::Stats& stats,
+    const std::vector<std::uint64_t>& histogram);
+[[nodiscard]] bool parse_cell_sidecar(std::span<const std::uint8_t> data,
+                                      IdsSnapshot& ids,
+                                      scan::ZMapScanner::Stats& stats,
+                                      std::vector<std::uint64_t>& histogram);
+
 // Identity of one grid cell, as spelled in the manifest.
 struct CellKey {
   std::string origin_code;
@@ -122,6 +146,11 @@ class ExperimentJournal {
     return entries_;
   }
   [[nodiscard]] const JournalEntry* find(const CellKey& key) const;
+  // Claim check for the distributed master: a settled cell (done or
+  // lost) must never be granted again — its outcome is already durable.
+  [[nodiscard]] bool settled(const CellKey& key) const {
+    return find(key) != nullptr;
+  }
 
   // Loads a done cell's segment, verifying the store CRCs and the
   // manifest's record digest. `snapshot` (optional out) receives the

@@ -13,7 +13,8 @@ constexpr Point kAllPoints[kPointCount] = {
     Point::kProbeDrop,     Point::kOutage,       Point::kSendFail,
     Point::kMacCorrupt,    Point::kConnectRst,   Point::kBannerTruncate,
     Point::kBannerStall,   Point::kStoreWriteError,
-    Point::kCellCrash,     Point::kCellHang,
+    Point::kCellCrash,     Point::kCellHang,     Point::kWorkerKill,
+    Point::kWorkerStall,
 };
 
 double hash01(std::uint64_t h) {
@@ -51,8 +52,20 @@ constexpr std::string_view spec_keyword(Point point) {
       return "cell_crash";
     case Point::kCellHang:
       return "cell_hang";
+    case Point::kWorkerKill:
+      return "worker_kill";
+    case Point::kWorkerStall:
+      return "worker_stall";
   }
   return "?";
+}
+
+std::optional<WorkerPhase> worker_phase_from(std::string_view name) {
+  if (name == "hello") return WorkerPhase::kHello;
+  if (name == "claim") return WorkerPhase::kClaim;
+  if (name == "segment") return WorkerPhase::kSegment;
+  if (name == "done") return WorkerPhase::kDone;
+  return std::nullopt;
 }
 
 bool set_error(std::string* error, std::string message) {
@@ -291,6 +304,65 @@ bool parse_cell_args(std::span<const std::string_view> args, Point point,
   return true;
 }
 
+// Worker clauses: worker_kill / worker_stall. Two mutually exclusive
+// forms — `worker=W` (pre-HELLO; the process has no cell yet) and
+// `cell=K,phase=claim|segment|done[,attempts=N]`.
+bool parse_worker_args(std::span<const std::string_view> args, Point point,
+                       FaultClause& clause, std::string* error) {
+  bool saw_worker = false;
+  bool saw_cell = false;
+  bool saw_phase = false;
+  for (std::string_view arg : args) {
+    if (arg.rfind("worker=", 0) == 0) {
+      std::uint64_t worker = 0;
+      if (!parse_u64(arg.substr(7), worker) || worker > 255) {
+        return set_error(error, "worker must be 0..255: " + std::string(arg));
+      }
+      clause.worker = static_cast<int>(worker);
+      saw_worker = true;
+    } else if (arg.rfind("cell=", 0) == 0) {
+      if (!parse_u64(arg.substr(5), clause.cell)) {
+        return set_error(error, "bad cell index: " + std::string(arg));
+      }
+      saw_cell = true;
+    } else if (arg.rfind("phase=", 0) == 0) {
+      const auto phase = worker_phase_from(arg.substr(6));
+      if (!phase.has_value()) {
+        return set_error(error,
+                         "phase must be hello|claim|segment|done: " +
+                             std::string(arg));
+      }
+      clause.phase = static_cast<int>(*phase);
+      saw_phase = true;
+    } else if (arg.rfind("attempts=", 0) == 0) {
+      std::uint64_t attempts = 0;
+      if (!parse_u64(arg.substr(9), attempts) || attempts == 0 ||
+          attempts > 16) {
+        return set_error(error, "attempts must be 1..16: " + std::string(arg));
+      }
+      clause.attempts = static_cast<int>(attempts);
+    } else {
+      return set_error(error, "unknown argument: " + std::string(arg));
+    }
+  }
+  if (saw_worker == saw_cell) {
+    return set_error(error, std::string(point_name(point)) +
+                                " needs exactly one of worker=W / cell=K");
+  }
+  if (saw_worker) {
+    if (saw_phase && clause.phase != static_cast<int>(WorkerPhase::kHello)) {
+      return set_error(error, "worker= clauses fire pre-HELLO only");
+    }
+    clause.phase = static_cast<int>(WorkerPhase::kHello);
+  } else {
+    if (!saw_phase || clause.phase == static_cast<int>(WorkerPhase::kHello)) {
+      return set_error(error,
+                       "cell= clauses need phase=claim|segment|done");
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string_view point_name(Point point) {
@@ -315,6 +387,24 @@ std::string_view point_name(Point point) {
       return "cell_crash";
     case Point::kCellHang:
       return "cell_hang";
+    case Point::kWorkerKill:
+      return "worker_kill";
+    case Point::kWorkerStall:
+      return "worker_stall";
+  }
+  return "?";
+}
+
+std::string_view worker_phase_name(WorkerPhase phase) {
+  switch (phase) {
+    case WorkerPhase::kHello:
+      return "hello";
+    case WorkerPhase::kClaim:
+      return "claim";
+    case WorkerPhase::kSegment:
+      return "segment";
+    case WorkerPhase::kDone:
+      return "done";
   }
   return "?";
 }
@@ -335,9 +425,13 @@ bool FaultClause::recoverable() const {
       return false;
     // Cell faults interrupt the run itself; recovery happens across runs
     // (journal resume) or via supervisor retries — never inside one
-    // uninterrupted run, which is what this predicate promises.
+    // uninterrupted run, which is what this predicate promises. Worker
+    // faults likewise kill or wedge a process; the master's grant-retry
+    // machinery recovers, not the faulted run.
     case Point::kCellCrash:
     case Point::kCellHang:
+    case Point::kWorkerKill:
+    case Point::kWorkerStall:
       return false;
   }
   return false;
@@ -380,6 +474,19 @@ std::string FaultClause::to_string() const {
       std::snprintf(buffer, sizeof(buffer), ":cell=%llu,sec=%llu,attempts=%d",
                     static_cast<unsigned long long>(cell),
                     static_cast<unsigned long long>(hang_seconds), attempts);
+      break;
+    case Point::kWorkerKill:
+    case Point::kWorkerStall:
+      if (worker >= 0) {
+        std::snprintf(buffer, sizeof(buffer), ":worker=%d", worker);
+      } else {
+        std::snprintf(
+            buffer, sizeof(buffer), ":cell=%llu,phase=%s,attempts=%d",
+            static_cast<unsigned long long>(cell),
+            std::string(worker_phase_name(static_cast<WorkerPhase>(phase)))
+                .c_str(),
+            attempts);
+      }
       break;
   }
   out += buffer;
@@ -440,6 +547,12 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
     } else if (name == "cell_hang") {
       clause.point = Point::kCellHang;
       ok = parse_cell_args(args, clause.point, clause, error);
+    } else if (name == "worker_kill") {
+      clause.point = Point::kWorkerKill;
+      ok = parse_worker_args(args, clause.point, clause, error);
+    } else if (name == "worker_stall") {
+      clause.point = Point::kWorkerStall;
+      ok = parse_worker_args(args, clause.point, clause, error);
     } else {
       set_error(error, "unknown fault clause: " + std::string(name));
       return std::nullopt;
@@ -631,6 +744,39 @@ std::uint64_t FaultInjector::cell_hang_seconds(std::uint64_t cell_index,
     return clause.hang_seconds;
   }
   return 0;
+}
+
+bool FaultInjector::worker_fault(Point point, int worker, WorkerPhase phase,
+                                 std::uint64_t cell, int grant) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != point) continue;
+    if (clause.phase != static_cast<int>(phase)) continue;
+    if (phase == WorkerPhase::kHello) {
+      // Pre-HELLO clauses are keyed by worker index: the process has not
+      // claimed anything yet, so a cell key would be meaningless.
+      if (clause.worker != worker) continue;
+    } else {
+      // Cell-keyed clauses fire on the first `attempts` grants of the
+      // cell's chain, regardless of which worker drew the grant — that
+      // keeps kill matrices deterministic under any chain assignment.
+      if (clause.worker >= 0) continue;
+      if (clause.cell != cell) continue;
+      if (grant >= clause.attempts) continue;
+    }
+    record(point);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::worker_kill(int worker, WorkerPhase phase,
+                                std::uint64_t cell, int grant) const {
+  return worker_fault(Point::kWorkerKill, worker, phase, cell, grant);
+}
+
+bool FaultInjector::worker_stall(int worker, WorkerPhase phase,
+                                 std::uint64_t cell, int grant) const {
+  return worker_fault(Point::kWorkerStall, worker, phase, cell, grant);
 }
 
 std::uint64_t FaultInjector::total_hits() const {

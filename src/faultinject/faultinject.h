@@ -30,6 +30,11 @@
 //   store_eio      core::save_results  store_eio:write=N[,count=C]
 //   cell_crash     core::CellSupervisor  cell_crash:cell=K
 //   cell_hang      core::CellSupervisor  cell_hang:cell=K,sec=S[,attempts=N]
+//   worker_kill    core::run_worker    worker_kill:worker=W        (pre-HELLO)
+//                                      worker_kill:cell=K,phase=claim|segment
+//                                      |done[,attempts=N]
+//   worker_stall   core::run_worker    worker_stall:worker=W       (pre-HELLO)
+//                                      worker_stall:cell=K,phase=...[,attempts=N]
 //
 // Recoverable faults (send_fail, the three ZGrab faults, store_eio) are
 // absorbed by pipeline machinery — the send retry loop, the RetryPolicy
@@ -46,6 +51,19 @@
 // recovers through the retry budget, or degrades the cell to lost when
 // N exhausts it. Both classify as non-recoverable so the differential
 // harness never treats an interrupted single run as byte-comparable.
+//
+// The two worker-level faults model real process failures in the
+// distributed runtime (core/dist.h): worker_kill makes a worker process
+// SIGKILL itself, worker_stall makes it block forever so the master's
+// deadline has to fire. The `worker=W` form hits worker index W before
+// it sends HELLO; the `cell=K,phase=...` form hits whichever worker is
+// handling cell K, at the named protocol phase, on the cell's first N
+// grants (attempts=, default 1). The master detects the death, rolls
+// the claimed cells back, and retries — so a plan whose attempts stay
+// under the grant budget still yields byte-identical output, which the
+// dist kill matrix (tests/dist_test.cc) asserts. Like the cell faults,
+// both classify as non-recoverable: they interrupt processes, and
+// recovery happens in the master, not inside the faulted run.
 #pragma once
 
 #include <array>
@@ -76,9 +94,23 @@ enum class Point : int {
   kStoreWriteError,
   kCellCrash,
   kCellHang,
+  kWorkerKill,
+  kWorkerStall,
 };
 
-inline constexpr int kPointCount = 10;
+inline constexpr int kPointCount = 12;
+
+// Protocol phases at which the worker faults can fire (the checkpoints
+// core::run_worker queries). kHello is the `worker=W` form — the worker
+// has no cell yet; the others key on the granted cell.
+enum class WorkerPhase : int {
+  kHello = 0,    // before the worker sends HELLO
+  kClaim,        // after a cell is granted, before its scan starts
+  kSegment,      // mid-SEGMENT stream (a torn write on the wire)
+  kDone,         // segments sent, DONE not yet sent
+};
+
+[[nodiscard]] std::string_view worker_phase_name(WorkerPhase phase);
 
 [[nodiscard]] std::string_view point_name(Point point);
 [[nodiscard]] std::span<const Point> all_points();
@@ -113,6 +145,12 @@ struct FaultClause {
   // `hang_seconds` of virtual time.
   std::uint64_t cell = 0;
   std::uint64_t hang_seconds = 0;
+
+  // Worker faults (worker_kill, worker_stall): either a worker index
+  // (pre-HELLO form; phase is kHello) or a cell + later phase. `attempts`
+  // bounds how many grants of the cell the fault fires on.
+  int worker = -1;                          // -1 = cell-keyed clause
+  int phase = static_cast<int>(WorkerPhase::kHello);
 
   // Outage scope: -1 darkens every origin's view; >= 0 restricts the
   // window to one origin id — the paper's Section-5.4 burst outages are
@@ -208,6 +246,17 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t cell_hang_seconds(std::uint64_t cell_index,
                                                 int attempt) const;
 
+  // ---- distributed layer (core::run_worker) -------------------------
+  // Whether worker `worker`, at protocol phase `phase` while handling
+  // grant number `grant` (0-based) of cell `cell`, should SIGKILL itself
+  // / stall forever. For WorkerPhase::kHello only worker= clauses match
+  // (cell/grant are ignored); for the later phases only cell= clauses
+  // match, on grants [0, attempts).
+  [[nodiscard]] bool worker_kill(int worker, WorkerPhase phase,
+                                 std::uint64_t cell, int grant) const;
+  [[nodiscard]] bool worker_stall(int worker, WorkerPhase phase,
+                                  std::uint64_t cell, int grant) const;
+
   // Diagnostics: how many times each injection point actually fired.
   [[nodiscard]] std::uint64_t hits(Point point) const {
     return hits_[static_cast<int>(point)].load(std::memory_order_relaxed);
@@ -221,6 +270,8 @@ class FaultInjector {
   [[nodiscard]] bool window_hit(const FaultClause& clause,
                                 FaultClause::Unit unit, std::uint64_t value,
                                 std::uint64_t stream) const;
+  [[nodiscard]] bool worker_fault(Point point, int worker, WorkerPhase phase,
+                                  std::uint64_t cell, int grant) const;
   void record(Point point) const {
     hits_[static_cast<int>(point)].fetch_add(1, std::memory_order_relaxed);
   }

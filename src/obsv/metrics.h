@@ -115,7 +115,27 @@ namespace originscan::obsv {
   X(kUniverseBlockCacheMiss, "universe.block_cache_miss", "lookups",          \
     "src/sim/internet.cc:ProbeContext::resolve")                              \
   X(kUniverseProceduralDerivations, "universe.procedural_derivations",        \
-    "hosts", "src/sim/internet.cc:ProbeContext::resolve")
+    "hosts", "src/sim/internet.cc:ProbeContext::resolve")                     \
+  X(kDistWorkersSpawned, "dist.workers_spawned", "processes",                 \
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kDistWorkersRestarted, "dist.workers_restarted", "processes",             \
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kDistWorkersFailed, "dist.workers_failed", "processes",                   \
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kDistChainsGranted, "dist.chains_granted", "grants",                      \
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kDistGrantRetries, "dist.grant_retries", "grants",                        \
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kDistCellsCompleted, "dist.cells_completed", "cells",                     \
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kDistCellsLost, "dist.cells_lost", "cells",                               \
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kDistSegmentsReceived, "dist.segments_received", "segments",              \
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kDistFrameErrors, "dist.frame_errors", "frames",                          \
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kDistDeadlinesExpired, "dist.deadlines_expired", "workers",               \
+    "src/core/dist.cc:GridMaster")
 
 // ---- Gauge registry (merge = max) -----------------------------------
 #define OSN_GAUGE_METRICS(X)                                                  \

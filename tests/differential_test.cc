@@ -18,6 +18,7 @@
 
 #include "core/analysis/bursts.h"
 #include "core/classify.h"
+#include "core/dist.h"
 #include "core/goldens.h"
 #include "core/store.h"
 #include "tests/test_world.h"
@@ -90,6 +91,27 @@ TEST(GoldenRegression, DigestJsonRoundTrips) {
     ASSERT_TRUE(reparsed.has_value()) << scenario;
     EXPECT_EQ(golden, *reparsed) << scenario;
   }
+}
+
+// The committed goldens also gate the distributed runtime: the
+// grid-shaped scenario re-run under a 2-worker master must match the
+// digests byte for byte — multi-process distribution is not allowed to
+// be a new source of divergence (core/dist.h, merge commutativity).
+TEST(GoldenRegression, PaperSmallDistributedMatchesCommittedDigests) {
+  const auto golden = load_golden_digests("paper_small");
+  ASSERT_FALSE(golden.digests.empty());
+  Experiment experiment(paper_small_config());
+  DistOptions options;
+  options.workers = 2;
+  const RunReport report =
+      run_distributed(experiment, nullptr, SupervisorPolicy{}, options);
+  EXPECT_TRUE(report.complete());
+  const auto mismatch =
+      compare_digests(golden.digests, digest_all(experiment.all_results()));
+  EXPECT_FALSE(mismatch.has_value()) << *mismatch;
+  const auto record_report = compare_results(
+      load_golden_records("paper_small"), experiment.all_results());
+  EXPECT_TRUE(record_report.identical()) << record_report.summary();
 }
 
 // A regression failure must name the first diverging record with its

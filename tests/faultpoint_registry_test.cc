@@ -56,7 +56,9 @@ TEST(FaultpointRegistry, EveryPointIsExercised) {
       "banner_stall:host%3==2;"
       "store_eio:write=0,count=2;"
       "cell_crash:cell=5;"
-      "cell_hang:cell=7,sec=600,attempts=2");
+      "cell_hang:cell=7,sec=600,attempts=2;"
+      "worker_kill:worker=3;"
+      "worker_stall:cell=9,phase=done,attempts=2");
   const FaultInjector injector(plan, /*seed=*/0xFA57u);
 
   // ZMap layer.
@@ -85,6 +87,19 @@ TEST(FaultpointRegistry, EveryPointIsExercised) {
   EXPECT_EQ(injector.cell_hang_seconds(7, 1), 600u);
   EXPECT_EQ(injector.cell_hang_seconds(7, 2), 0u);  // past attempts=2
   EXPECT_EQ(injector.cell_hang_seconds(8, 0), 0u);  // different cell
+  // Distributed layer (core::run_worker checkpoints). These hit counts
+  // must be queried in-process: a real distributed run records them in
+  // the forked worker, invisibly to the master's copy-on-write pages.
+  EXPECT_TRUE(injector.worker_kill(3, WorkerPhase::kHello, 0, 0));
+  EXPECT_FALSE(injector.worker_kill(4, WorkerPhase::kHello, 0, 0));
+  EXPECT_FALSE(injector.worker_kill(3, WorkerPhase::kClaim, 9, 0));
+  EXPECT_TRUE(injector.worker_stall(1, WorkerPhase::kDone, 9, 0));
+  EXPECT_TRUE(injector.worker_stall(2, WorkerPhase::kDone, 9, 1));
+  EXPECT_FALSE(injector.worker_stall(1, WorkerPhase::kDone, 9, 2));
+  EXPECT_FALSE(injector.worker_stall(1, WorkerPhase::kSegment, 9, 0));
+  EXPECT_FALSE(injector.worker_stall(1, WorkerPhase::kDone, 8, 0));
+  EXPECT_EQ(injector.hits(Point::kWorkerKill), 1u);
+  EXPECT_EQ(injector.hits(Point::kWorkerStall), 2u);
 
   // The registry assertion proper: every point fired at least once.
   for (Point point : all_points()) {
@@ -129,6 +144,11 @@ TEST(FaultPlanSemantics, RecoverabilityClassification) {
   // is false by definition.
   EXPECT_FALSE(must_parse("cell_crash:cell=0").recoverable());
   EXPECT_FALSE(must_parse("cell_hang:cell=0,sec=60").recoverable());
+  // Worker faults kill or wedge processes; recovery is the master's
+  // grant rollback, never within-run.
+  EXPECT_FALSE(must_parse("worker_kill:worker=0").recoverable());
+  EXPECT_FALSE(
+      must_parse("worker_stall:cell=2,phase=segment").recoverable());
   // Mixed plan: one degrading clause poisons the whole plan.
   EXPECT_FALSE(must_parse("rst:host%5==0;drop:slot=0..9,p=1").recoverable());
 }
@@ -166,6 +186,9 @@ TEST(FaultPlanSemantics, RoundTripsThroughToString) {
       "outage:sec=0..600,origin=1",
       "cell_crash:cell=4",
       "cell_hang:cell=9,sec=7200,attempts=3",
+      "worker_kill:worker=2",
+      "worker_stall:cell=5,phase=segment,attempts=2",
+      "worker_kill:cell=0,phase=claim;worker_kill:cell=1,phase=done",
   };
   for (const char* spec : specs) {
     const FaultPlan plan = must_parse(spec);
@@ -204,6 +227,14 @@ TEST(FaultPlanSemantics, RejectsMalformedSpecs) {
       "cell_hang:cell=0,sec=0",       // zero stall
       "cell_hang:sec=5",              // missing cell index
       "cell_hang:cell=0,sec=5,attempts=99",  // attempts above cap
+      "worker_kill",                  // missing selector
+      "worker_kill:worker=0,cell=1,phase=claim",  // both selector forms
+      "worker_kill:worker=256",       // worker index out of range
+      "worker_kill:worker=0,phase=claim",  // worker= is pre-HELLO only
+      "worker_kill:cell=0",           // cell= needs a phase
+      "worker_kill:cell=0,phase=hello",    // hello is worker= only
+      "worker_stall:cell=0,phase=nonsense",  // unknown phase
+      "worker_stall:cell=0,phase=done,attempts=99",  // attempts above cap
   };
   for (const char* spec : bad) {
     std::string error;

@@ -3,8 +3,12 @@
 // messages without crashing, and round-trip anything it accepts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/dist.h"
 #include "core/store.h"
 #include "faultinject/faultinject.h"
+#include "netbase/frame.h"
 #include "netbase/headers.h"
 #include "netbase/rng.h"
 #include "proto/http.h"
@@ -352,6 +356,201 @@ TEST(Fuzz, BlocklistParserSurvivesGarbage) {
   ASSERT_TRUE(added.has_value());
   EXPECT_EQ(*added, 2u);
   EXPECT_TRUE(blocklist.is_blocked(net::Ipv4Addr(10, 1, 2, 3)));
+}
+
+TEST(Fuzz, FrameCodecTruncationsBitFlipsOversizeAndDuplicates) {
+  // The framing layer under the journal segments and the dist wire
+  // protocol: every mangled input must come back as a classified
+  // FrameError (or a clean parse when the CRC happens to survive),
+  // never a crash, and a lying length field must never over-allocate.
+  net::Rng rng(114);
+  const auto payload = random_bytes(rng, 64);
+  const auto valid = net::encode_frame(payload);
+
+  // Every truncation of a single-frame buffer is kTruncated.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    auto truncated = valid;
+    truncated.resize(cut);
+    std::span<const std::uint8_t> out;
+    EXPECT_EQ(net::parse_single_frame(truncated, out),
+              net::FrameError::kTruncated)
+        << "cut=" << cut;
+  }
+
+  // A duplicated frame is trailing garbage for the file-shaped parser
+  // but two clean frames for the stream decoder.
+  auto doubled = valid;
+  doubled.insert(doubled.end(), valid.begin(), valid.end());
+  std::span<const std::uint8_t> single;
+  EXPECT_NE(net::parse_single_frame(doubled, single), net::FrameError::kNone);
+  net::FrameDecoder stream;
+  stream.feed(doubled);
+  for (int i = 0; i < 2; ++i) {
+    const auto frame = stream.next();
+    ASSERT_TRUE(frame.has_value()) << "frame " << i;
+    EXPECT_TRUE(std::equal(frame->begin(), frame->end(), payload.begin(),
+                           payload.end()));
+  }
+  EXPECT_FALSE(stream.next().has_value());
+  EXPECT_EQ(stream.buffered(), 0u);
+
+  // An oversized declared length poisons the decoder before any
+  // allocation in its size class can happen.
+  std::vector<std::uint8_t> oversized = {0xFF, 0xFF, 0xFF, 0xFF, 0x00};
+  net::FrameDecoder capped(/*max_payload=*/1024);
+  capped.feed(oversized);
+  EXPECT_FALSE(capped.next().has_value());
+  EXPECT_EQ(capped.error(), net::FrameError::kOversized);
+
+  // Random mutations: classified or parsed, never a crash; a decoder
+  // that survives must either yield frames or report why not.
+  for (int i = 0; i < 5000; ++i) {
+    const auto mangled = i % 2 == 0 ? random_bytes(rng, 128)
+                                    : mutate(rng, valid);
+    std::span<const std::uint8_t> out;
+    (void)net::parse_single_frame(mangled, out);
+    net::FrameDecoder decoder(/*max_payload=*/4096);
+    decoder.feed(mangled);
+    while (decoder.next().has_value()) {
+    }
+    if (decoder.error() == net::FrameError::kNone) {
+      EXPECT_LE(decoder.buffered(), mangled.size());
+    }
+  }
+}
+
+TEST(Fuzz, DistMessageCodecRoundTripsAndSurvivesMutations) {
+  net::Rng rng(115);
+  // One representative valid frame per message type.
+  std::vector<std::vector<std::uint8_t>> valid;
+  {
+    core::WireMessage hello;
+    hello.type = core::MsgType::kHello;
+    hello.worker = 7;
+    core::WireMessage claim;
+    claim.type = core::MsgType::kClaim;
+    core::WireMessage grant;
+    grant.type = core::MsgType::kGrant;
+    grant.origin = 3;
+    grant.chain_pos = 5;
+    grant.grant = 1;
+    grant.have_snapshot = true;
+    grant.snapshot = random_bytes(rng, 48);
+    core::WireMessage segment;
+    segment.type = core::MsgType::kSegment;
+    segment.slot = 42;
+    segment.kind = core::SegmentKind::kIds;
+    segment.bytes = random_bytes(rng, 96);
+    core::WireMessage done;
+    done.type = core::MsgType::kDone;
+    done.slot = 42;
+    done.attempts = 2;
+    done.sha256 = "abc123";
+    core::WireMessage abort_msg;
+    abort_msg.type = core::MsgType::kAbort;
+    abort_msg.text = "cell_crash fault";
+    for (const auto* message :
+         {&hello, &claim, &grant, &segment, &done, &abort_msg}) {
+      valid.push_back(core::encode_message(*message));
+      // Round trip: the frame decodes back to the same typed fields.
+      net::FrameDecoder decoder;
+      decoder.feed(valid.back());
+      const auto payload = decoder.next();
+      ASSERT_TRUE(payload.has_value());
+      const auto decoded = core::decode_message(*payload);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(decoded->type, message->type);
+      EXPECT_EQ(decoded->worker, message->worker);
+      EXPECT_EQ(decoded->origin, message->origin);
+      EXPECT_EQ(decoded->chain_pos, message->chain_pos);
+      EXPECT_EQ(decoded->grant, message->grant);
+      EXPECT_EQ(decoded->have_snapshot, message->have_snapshot);
+      EXPECT_EQ(decoded->snapshot, message->snapshot);
+      EXPECT_EQ(decoded->slot, message->slot);
+      EXPECT_EQ(decoded->kind, message->kind);
+      EXPECT_EQ(decoded->bytes, message->bytes);
+      EXPECT_EQ(decoded->attempts, message->attempts);
+      EXPECT_EQ(decoded->lost, message->lost);
+      EXPECT_EQ(decoded->sha256, message->sha256);
+      EXPECT_EQ(decoded->text, message->text);
+    }
+  }
+
+  // The master's exact ingestion path under mutation: frame decode, then
+  // message decode of whatever payloads survive the CRC. Both must
+  // classify (decoder error / nullopt message), never crash.
+  for (int i = 0; i < 5000; ++i) {
+    const auto& base = valid[rng.below(valid.size())];
+    const auto mangled = i % 3 == 0 ? random_bytes(rng, 160)
+                                    : mutate(rng, base);
+    net::FrameDecoder decoder;
+    decoder.feed(mangled);
+    while (auto payload = decoder.next()) {
+      (void)core::decode_message(*payload);
+    }
+  }
+
+  // Raw payload fuzz (bypassing the CRC): decode_message alone must
+  // reject garbage without crashing or over-allocating.
+  for (int i = 0; i < 5000; ++i) {
+    (void)core::decode_message(random_bytes(rng, 96));
+  }
+}
+
+TEST(Fuzz, SegmentMergerDigestIsInterleavingInvariant) {
+  // The merge-commutativity property the distributed master relies on:
+  // any arrival order of the same keyed segments — including duplicated
+  // deliveries after a worker retry — produces the same digest.
+  net::Rng rng(116);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t slots = 1 + rng.below(6);
+    struct Entry {
+      std::uint64_t slot;
+      core::SegmentKind kind;
+      std::vector<std::uint8_t> bytes;
+    };
+    std::vector<Entry> entries;
+    for (std::uint64_t slot = 0; slot < slots; ++slot) {
+      for (auto kind : {core::SegmentKind::kRecords, core::SegmentKind::kIds,
+                        core::SegmentKind::kMetrics}) {
+        entries.push_back({slot, kind, random_bytes(rng, 32)});
+      }
+    }
+
+    core::SegmentMerger reference;
+    for (const auto& entry : entries) {
+      reference.add(entry.slot, entry.kind, entry.bytes);
+    }
+    const std::string expected = reference.digest();
+
+    // A few random interleavings, each with random duplicate deliveries.
+    for (int perm = 0; perm < 4; ++perm) {
+      auto shuffled = entries;
+      for (std::size_t i = shuffled.size(); i > 1; --i) {
+        std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+      }
+      core::SegmentMerger merger;
+      for (const auto& entry : shuffled) {
+        merger.add(entry.slot, entry.kind, entry.bytes);
+        if (rng.below(4) == 0) {  // duplicated frame: last write wins
+          merger.add(entry.slot, entry.kind, entry.bytes);
+        }
+      }
+      EXPECT_EQ(merger.digest(), expected) << "round=" << round;
+      for (std::uint64_t slot = 0; slot < slots; ++slot) {
+        EXPECT_TRUE(merger.complete(slot));
+      }
+      // Rollback erases the slot completely; re-adding restores the
+      // exact digest (what a chain re-grant does after a worker death).
+      merger.drop_slot(0);
+      EXPECT_FALSE(merger.complete(0));
+      EXPECT_NE(merger.digest(), expected);
+      for (const auto& entry : entries) {
+        if (entry.slot == 0) merger.add(entry.slot, entry.kind, entry.bytes);
+      }
+      EXPECT_EQ(merger.digest(), expected);
+    }
+  }
 }
 
 TEST(Fuzz, CyclicGroupHandlesArbitrarySizes) {

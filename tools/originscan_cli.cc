@@ -24,7 +24,10 @@
 #include <optional>
 #include <string>
 
+#include <unistd.h>
+
 #include "core/access_matrix.h"
+#include "core/dist.h"
 #include "scanner/orchestrator.h"
 #include "sim/scenario.h"
 #include "core/analysis/coverage.h"
@@ -63,6 +66,10 @@ struct Args {
   std::string faults;      // experiment: fault plan spec
   std::string metrics_out;  // experiment/scan: metrics snapshot JSON
   std::string trace_out;    // experiment/scan: Chrome trace_event JSON
+  int workers = 0;  // experiment: worker processes (0 = in-process run)
+  // worker subcommand only (spawned by the master, not by hand):
+  int fd = -1;           // inherited socketpair transport fd
+  int worker_index = 0;  // index the master assigned this worker
 };
 
 void usage() {
@@ -84,6 +91,11 @@ void usage() {
       "  --retries N    scan: L7 retry budget (default 0)\n"
       "  --jobs N       worker threads for experiment/scan (default 1;\n"
       "                 results are bit-identical for any value)\n"
+      "  --workers N    experiment: distribute the grid over N worker\n"
+      "                 processes (default 0 = run in-process). Output is\n"
+      "                 byte-identical for any --workers x --jobs combo;\n"
+      "                 killed workers are respawned and their cells\n"
+      "                 retried (see DESIGN.md s11)\n"
       "  --save FILE    experiment: also save raw results (binary)\n"
       "  --in FILE      analyze: load raw results saved by experiment\n"
       "  --resume-dir D experiment: journal each cell into D and resume a\n"
@@ -151,6 +163,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.metrics_out = value;
     } else if (flag == "--trace-out") {
       args.trace_out = value;
+    } else if (flag == "--workers") {
+      args.workers = std::atoi(value.c_str());
+    } else if (flag == "--fd") {
+      args.fd = std::atoi(value.c_str());
+    } else if (flag == "--worker-index") {
+      args.worker_index = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -174,6 +192,10 @@ bool parse_args(int argc, char** argv, Args& args) {
   }
   if (args.jobs < 1) {
     std::fprintf(stderr, "--jobs must be >= 1\n");
+    return false;
+  }
+  if (args.workers < 0 || args.workers > 64) {
+    std::fprintf(stderr, "--workers must be in [0, 64]\n");
     return false;
   }
   return true;
@@ -249,7 +271,84 @@ int cmd_experiment(const Args& args) {
   const auto progress = [](std::string_view line) {
     std::printf("  %.*s\n", static_cast<int>(line.size()), line.data());
   };
-  if (args.resume_dir.empty()) {
+  if (args.workers > 0) {
+    if (!args.trace_out.empty()) {
+      std::fprintf(stderr,
+                   "--trace-out is not supported with --workers: trace spans "
+                   "are produced inside the worker processes\n");
+      return 2;
+    }
+    std::optional<core::ExperimentJournal> journal;
+    if (!args.resume_dir.empty()) {
+      std::string error;
+      journal = core::ExperimentJournal::open(
+          args.resume_dir, experiment.config_fingerprint(), &error);
+      if (!journal.has_value()) {
+        std::fprintf(stderr, "cannot open journal %s: %s\n",
+                     args.resume_dir.c_str(), error.c_str());
+        return 1;
+      }
+    }
+    core::DistOptions dist_options;
+    dist_options.workers = args.workers;
+    // Exec transport: workers (and respawned replacements) run through
+    // this binary's own `worker` subcommand, reconstructing the exact
+    // experiment config from forwarded flags. Falls back to the fork
+    // transport if /proc/self/exe is unreadable.
+    char exe[4096];
+    const ssize_t exe_len = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+    if (exe_len > 0) {
+      exe[exe_len] = '\0';
+      dist_options.worker_argv = {std::string(exe),
+                                  "worker",
+                                  "--scale",
+                                  std::to_string(args.scale),
+                                  "--seed",
+                                  std::to_string(args.seed),
+                                  "--jobs",
+                                  std::to_string(args.jobs)};
+      if (!args.faults.empty()) {
+        dist_options.worker_argv.push_back("--faults");
+        dist_options.worker_argv.push_back(args.faults);
+      }
+    }
+    obsv::MetricBlock dist_block;
+    const core::RunReport report = core::run_distributed(
+        experiment, journal.has_value() ? &*journal : nullptr,
+        core::SupervisorPolicy{}, dist_options, &dist_block, progress);
+    std::printf("cells: %zu total, %zu adopted from journal, %zu run, "
+                "%zu lost (%llu retries)\n",
+                report.cells_total, report.cells_adopted, report.cells_run,
+                report.cells_lost,
+                static_cast<unsigned long long>(report.retries));
+    std::printf(
+        "dist: %llu workers spawned (%llu restarted, %llu failed), "
+        "%llu segments merged\n",
+        static_cast<unsigned long long>(
+            dist_block.counter(obsv::Counter::kDistWorkersSpawned)),
+        static_cast<unsigned long long>(
+            dist_block.counter(obsv::Counter::kDistWorkersRestarted)),
+        static_cast<unsigned long long>(
+            dist_block.counter(obsv::Counter::kDistWorkersFailed)),
+        static_cast<unsigned long long>(
+            dist_block.counter(obsv::Counter::kDistSegmentsReceived)));
+    if (report.status == core::RunReport::Status::kKilled) {
+      std::fprintf(stderr, "run killed (%s)%s\n", report.kill_reason.c_str(),
+                   args.resume_dir.empty()
+                       ? ""
+                       : "; completed cells are journaled — rerun with the "
+                         "same --resume-dir to finish");
+      return 3;
+    }
+    for (const auto& key : report.lost) {
+      std::printf("  lost cell (retry budget exhausted): %s\n",
+                  cell_to_string(key).c_str());
+    }
+    if (report.status == core::RunReport::Status::kPartial) {
+      std::printf("partial grid: analysis excludes the lost cells and CSV "
+                  "headers label them\n");
+    }
+  } else if (args.resume_dir.empty()) {
     experiment.run(progress);
   } else {
     std::string error;
@@ -327,6 +426,35 @@ int cmd_experiment(const Args& args) {
                 std::string(proto::name_of(protocol)).c_str(),
                 table.to_string().c_str());
   }
+  return 0;
+}
+
+// Worker-process entry point for the distributed experiment runner. Not
+// meant to be invoked by hand: the master spawns `originscan worker
+// --fd N --worker-index I <config flags>` over an inherited socketpair
+// and this process claims and executes grid cells until told to stop
+// (see core/dist.h).
+int cmd_worker(const Args& args) {
+  if (args.fd < 0) {
+    std::fprintf(stderr,
+                 "worker is spawned by `originscan experiment --workers N`, "
+                 "not by hand (missing --fd)\n");
+    return 2;
+  }
+  auto config = base_config(args);
+  std::optional<fault::FaultInjector> injector;
+  if (!args.faults.empty()) {
+    std::string error;
+    const auto plan = fault::FaultPlan::parse(args.faults, &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", error.c_str());
+      return 2;
+    }
+    injector.emplace(*plan, args.seed);
+    config.faults = &*injector;
+  }
+  core::Experiment experiment(config);
+  core::run_worker(args.fd, args.worker_index, experiment);
   return 0;
 }
 
@@ -564,6 +692,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args.command == "experiment") return cmd_experiment(args);
+  if (args.command == "worker") return cmd_worker(args);
   if (args.command == "journal-inspect") return cmd_journal_inspect(args);
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "scan") return cmd_scan(args);
