@@ -3,8 +3,11 @@
 #
 #   unit      fast pre-commit lane: build + `ctest -L 'unit|metrics'`
 #   full      build + the whole suite (unit, metrics, property,
-#             differential, crash, dist, slow), the bounded-RSS
+#             differential, crash, dist, chaos, slow), the bounded-RSS
 #             full-universe scale lane, + the bench regression gate
+#   chaos     build + the randomized fault-episode soak on its own
+#             (25 rounds by default; ORIGINSCAN_CHAOS_ROUNDS=N deepens
+#             or shortens it)
 #   bench     build, run the microbenchmarks, and gate against the
 #             checked-in BENCH_micro.json (fails on >25% cpu_time
 #             regression; refresh baselines with bench/record.sh) plus
@@ -16,7 +19,7 @@
 #   coverage  -DOSN_COVERAGE=ON build, full suite, gcov aggregation
 #   all       unit + full + tsan (default; coverage stays opt-in)
 #
-# Usage: ./ci.sh [unit|full|bench|tsan|coverage|all]
+# Usage: ./ci.sh [unit|full|bench|chaos|tsan|coverage|all]
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -47,9 +50,18 @@ run_full() {
   (cd build && ctest -LE scale --output-on-failure &&
     ctest -L crash --output-on-failure &&
     ctest -L dist --output-on-failure &&
+    ctest -L chaos --output-on-failure &&
     ctest -L metrics --output-on-failure &&
     ctest -L scale --output-on-failure)
   run_bench
+}
+
+run_chaos() {
+  configure_and_build build
+  # 25 randomized episodes by default; a nightly can deepen the soak
+  # with ORIGINSCAN_CHAOS_ROUNDS=500 without touching the script.
+  (cd build && ORIGINSCAN_CHAOS_ROUNDS="${ORIGINSCAN_CHAOS_ROUNDS:-25}" \
+    ctest -L chaos --output-on-failure)
 }
 
 run_bench() {
@@ -74,7 +86,7 @@ run_bench() {
 run_tsan() {
   configure_and_build build-tsan -DORIGINSCAN_SANITIZE=thread
   (cd build-tsan &&
-    ctest -R 'parallel_test|scanner_test|sim_test|core_test|journal_test|crash_resume_test|differential_test|dist_test' \
+    ctest -R 'parallel_test|scanner_test|sim_test|core_test|journal_test|crash_resume_test|differential_test|dist_test|chaos_test' \
       --output-on-failure)
 }
 
@@ -89,6 +101,7 @@ case "$STAGE" in
   unit) run_unit ;;
   full) run_full ;;
   bench) run_bench ;;
+  chaos) run_chaos ;;
   tsan) run_tsan ;;
   coverage) run_coverage ;;
   all)
@@ -97,7 +110,7 @@ case "$STAGE" in
     run_tsan
     ;;
   *)
-    echo "usage: $0 [unit|full|tsan|coverage|all]" >&2
+    echo "usage: $0 [unit|full|bench|chaos|tsan|coverage|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,70 @@
+// Chaos soak harness: runs seed-derived randomized fault episodes
+// (faultinject/chaos.h) against a small experiment grid and checks the
+// recovery invariant after every one — an episode must end either
+// byte-identical to the serial reference run or as an honestly labeled
+// partial grid, never as silent divergence.
+//
+// Per round the driver:
+//   1. draws an episode (fault plan + jobs + workers) from (seed, round);
+//   2. runs a serial reference under the plan minus its kill-class
+//      clauses (cell_crash, worker faults, enospc, segment_corrupt,
+//      frame_garble) — fault decisions are seed-pure, so this is the
+//      exact expected output of any execution that survives the kills;
+//   3. runs the full plan, journaled, at the drawn jobs/workers; if the
+//      plan kills the run (cell_crash / worker faults), resumes from the
+//      journal with the kill-class clauses stripped;
+//   4. checks the oracle: present cells byte-identical to the reference,
+//      present cells a prefix of each origin's chain, absent cells
+//      exactly the report's labeled losses;
+//   5. re-opens the journal directory in a fresh experiment and runs to
+//      completion — the salvage pass: quarantined cells (segment_corrupt
+//      damage) and unpersisted cells re-run, and the final grid must
+//      reproduce the reference byte for byte.
+//
+// Every quarantine / storage-death event is visible in the metrics
+// registry (journal.quarantined_*, journal.writes_failed, chaos.*).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obsv/metrics.h"
+
+namespace originscan::core {
+
+struct ChaosOptions {
+  int rounds = 25;
+  std::uint64_t seed = 0x05CA9;
+  // Universe exponent for the soak grid's world (kept small: the value
+  // of a soak is episode count, not universe size).
+  int scale = 12;
+  // Scratch root for per-round journal directories; empty = the system
+  // temp directory. Each round's directory is removed up front and left
+  // behind afterwards for post-mortem only when the round violated.
+  std::string work_dir;
+  // Optional sinks: `metrics` receives the chaos.* counters plus every
+  // journal/fault counter the episodes generate; `progress` gets one
+  // line per round.
+  obsv::MetricsRegistry* metrics = nullptr;
+  std::function<void(std::string_view)> progress;
+};
+
+struct ChaosReport {
+  int rounds = 0;
+  int resumes = 0;         // episodes killed and resumed from the journal
+  int partial_grids = 0;   // episodes that ended as labeled partial grids
+  std::uint64_t quarantined_cells = 0;      // corrupt cells demoted
+  std::uint64_t quarantined_followers = 0;  // chain-mates demoted with them
+  // One message per violated invariant, prefixed "round N:". Empty =
+  // the soak passed.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+ChaosReport run_chaos_soak(const ChaosOptions& options);
+
+}  // namespace originscan::core

@@ -271,10 +271,33 @@ void run_worker(int fd, int worker_index, Experiment& experiment,
   worker_checkpoint(faults, worker_index, fault::WorkerPhase::kHello, 0, 0,
                     fd, nullptr);
 
+  // All worker->master traffic funnels through here so the frame_garble
+  // fault point sees one monotone frame index per process. A garbled
+  // frame fails the master's CRC/decode check (dist.frame_errors), which
+  // fails this worker and re-grants its chain — transport corruption is
+  // absorbed by the same machinery as a worker death.
+  std::uint64_t frames_sent = 0;
+  const auto send_frame = [&](std::vector<std::uint8_t> frame) {
+    const std::uint64_t frame_index = frames_sent++;
+    if (faults != nullptr && !frame.empty() &&
+        faults->frame_garble(worker_index, frame_index)) {
+      const std::uint64_t offset =
+          faults->garble_offset(worker_index, frame_index, frame.size());
+      frame[offset] ^= 0x40;
+      if (experiment.config().metrics != nullptr) {
+        experiment.config().metrics->add(obsv::Counter::kFaultFrameGarble);
+      }
+    }
+    return write_all(fd, frame);
+  };
+  const auto send = [&](const WireMessage& message) {
+    return send_frame(encode_message(message));
+  };
+
   WireMessage hello;
   hello.type = MsgType::kHello;
   hello.worker = static_cast<std::uint32_t>(worker_index);
-  if (!send_message(fd, hello)) return;
+  if (!send(hello)) return;
 
   const std::size_t origin_count = experiment.world().origins.size();
   const std::size_t chain_len = experiment.cell_count() / origin_count;
@@ -289,7 +312,7 @@ void run_worker(int fd, int worker_index, Experiment& experiment,
   for (;;) {
     WireMessage claim;
     claim.type = MsgType::kClaim;
-    if (!send_message(fd, claim)) return;
+    if (!send(claim)) return;
 
     const auto grant_msg = read_message(fd, decoder);
     if (!grant_msg.has_value() || grant_msg->type != MsgType::kGrant) {
@@ -303,7 +326,7 @@ void run_worker(int fd, int worker_index, Experiment& experiment,
     if (!engine.has_value()) {
       engine.emplace(experiment);
       engine->set_scan_jobs(experiment.config().jobs);
-      supervisor.emplace(policy, faults);
+      supervisor.emplace(policy, faults, experiment.config().scenario.seed);
     }
 
     const auto origin = static_cast<sim::OriginId>(grant_msg->origin);
@@ -336,7 +359,7 @@ void run_worker(int fd, int worker_index, Experiment& experiment,
         WireMessage abort_msg;
         abort_msg.type = MsgType::kAbort;
         abort_msg.text = "cell_crash fault";
-        (void)send_message(fd, abort_msg);
+        (void)send(abort_msg);
         return;
       }
 
@@ -352,7 +375,7 @@ void run_worker(int fd, int worker_index, Experiment& experiment,
         done.text = outcome.reason;
         worker_checkpoint(faults, worker_index, fault::WorkerPhase::kDone,
                           slot, grant, fd, nullptr);
-        if (!send_message(fd, done)) return;
+        if (!send(done)) return;
         continue;
       }
 
@@ -368,21 +391,21 @@ void run_worker(int fd, int worker_index, Experiment& experiment,
       const std::vector<std::uint8_t> records_frame = encode_message(segment);
       worker_checkpoint(faults, worker_index, fault::WorkerPhase::kSegment,
                         slot, grant, fd, &records_frame);
-      if (!write_all(fd, records_frame)) return;
+      if (!send_frame(records_frame)) return;
 
       segment.kind = SegmentKind::kIds;
       segment.bytes = serialize_cell_sidecar(post, outcome.result.l4_stats,
                                              outcome.result.attempt_histogram);
-      if (!send_message(fd, segment)) return;
+      if (!send(segment)) return;
 
       segment.kind = SegmentKind::kMetrics;
       segment.bytes = cell_block.serialize();
-      if (!send_message(fd, segment)) return;
+      if (!send(segment)) return;
 
       done.sha256 = digest_of(outcome.result).record_sha256;
       worker_checkpoint(faults, worker_index, fault::WorkerPhase::kDone, slot,
                         grant, fd, nullptr);
-      if (!send_message(fd, done)) return;
+      if (!send(done)) return;
     }
   }
 }
@@ -570,6 +593,21 @@ void GridMaster::ensure_workers(bool initial) {
 }
 
 void GridMaster::dispatch_ready() {
+  if (journal_ != nullptr && journal_->storage_dead()) {
+    // Storage died: granting more work would only produce results that
+    // cannot be persisted. Drain the queue by failing every waiting
+    // chain's remaining cells fast — active workers' in-flight cells
+    // degrade one by one through handle_done's write-failure path.
+    while (!ready_.empty()) {
+      Chain& chain = chains_[ready_.front()];
+      ready_.pop_front();
+      while (chain.pos < chain_len_) {
+        mark_cell_lost(chain_slot(chain), 0, "journal storage dead");
+        ++chain.pos;
+      }
+    }
+    return;
+  }
   while (!ready_.empty()) {
     Worker* parked = nullptr;
     for (const auto& worker : workers_) {
@@ -623,7 +661,9 @@ void GridMaster::mark_cell_lost(std::size_t slot, int attempts,
   if (journal_ != nullptr) {
     std::string journal_error;
     if (!journal_->record_lost(key, attempts, reason, &journal_error)) {
-      throw std::runtime_error("journal write failed: " + journal_error);
+      // The cell is already lost in-memory; a failed lost-line append
+      // just means a resume re-runs it instead of adopting the loss.
+      bump(obsv::Counter::kJournalWritesFailed);
     }
   }
   experiment_.lost_[slot] = true;
@@ -701,7 +741,23 @@ void GridMaster::handle_done(Worker& worker, WireMessage message) {
               key, result, snapshot, static_cast<int>(message.attempts),
               experiment_.config_.metrics != nullptr ? &delta : nullptr,
               &journal_error)) {
-        throw std::runtime_error("journal write failed: " + journal_error);
+        // Storage-exhaustion degradation: the worker's result cannot be
+        // made durable, so the cell — not the run — fails. Storage does
+        // not come back (storage_dead latches), so every later cell of
+        // this chain degrades the same way and dispatch_ready stops
+        // granting; the chain still advances so the run terminates with
+        // an honestly labeled partial grid.
+        bump(obsv::Counter::kJournalWritesFailed);
+        merger_.drop_slot(slot);
+        mark_cell_lost(slot, static_cast<int>(message.attempts),
+                       "journal write failed: " + journal_error);
+        chain.grant_failures = 0;
+        ++chain.pos;
+        if (chain.pos >= chain_len_) {
+          chain.active = false;
+          worker.chain = -1;
+        }
+        return;
       }
     }
     if (experiment_.config_.metrics != nullptr) {
@@ -875,6 +931,10 @@ RunReport GridMaster::run() {
   std::vector<IdsSnapshot> latest(origin_count);
   std::vector<bool> have_snapshot(origin_count, false);
   if (journal_ != nullptr) {
+    // Chaos hooks: the master is the only process that writes the
+    // journal, so the enospc / segment_corrupt points live here; their
+    // counts land in the dist metric block alongside the dist.* rows.
+    journal_->set_fault_injector(experiment_.config_.faults, dist_);
     Experiment::AdoptionPlan plan = experiment_.adopt_journal(*journal_);
     adopted = std::move(plan.adopted);
     latest = std::move(plan.latest);

@@ -237,6 +237,11 @@ Experiment::AdoptionPlan Experiment::adopt_journal(ExperimentJournal& journal) {
   // would no longer describe the state their cells actually saw.
   for (sim::OriginId origin = 0; origin < origin_count; ++origin) {
     bool gap = false;
+    // Set when a cell of this origin's chain fails segment/sidecar
+    // verification: the cell is quarantined (demoted to absent, re-run on
+    // this resume) and every later entry in the chain is demoted with it
+    // — their IDS provenance includes the cell that went bad.
+    bool quarantined = false;
     for (int trial = 0; trial < config_.trials; ++trial) {
       for (std::size_t p = 0; p < protocol_count; ++p) {
         const CellKey key{world_.origins[origin].code, config_.protocols[p],
@@ -245,6 +250,13 @@ Experiment::AdoptionPlan Experiment::adopt_journal(ExperimentJournal& journal) {
         const std::size_t slot = index(trial, p, origin);
         if (entry == nullptr) {
           gap = true;
+          continue;
+        }
+        if (quarantined) {
+          journal.quarantine(key);
+          if (config_.metrics != nullptr) {
+            config_.metrics->add(obsv::Counter::kJournalQuarantinedFollowers);
+          }
           continue;
         }
         if (gap) {
@@ -262,7 +274,24 @@ Experiment::AdoptionPlan Experiment::adopt_journal(ExperimentJournal& journal) {
               *entry, &snapshot, &load_error,
               config_.metrics != nullptr ? &delta : nullptr);
           if (!result.has_value()) {
-            throw std::runtime_error("journal corrupt: " + load_error);
+            // Salvage, not abort: the segment or a sidecar failed CRC /
+            // digest / parse checks. Demote the cell to absent — it
+            // re-runs from the origin's last good snapshot and its fresh
+            // manifest line supersedes the bad one (last-wins replay).
+            journal.quarantine(key);
+            if (config_.metrics != nullptr) {
+              config_.metrics->add(obsv::Counter::kJournalQuarantinedCells);
+            }
+            if (config_.trace != nullptr) {
+              config_.trace->instant(
+                  "journal", "journal.quarantine", net::VirtualTime{},
+                  {{"cell", key.origin_code + "/" +
+                                std::string(proto::name_of(key.protocol)) +
+                                "/t" + std::to_string(key.trial)},
+                   {"error", load_error}});
+            }
+            quarantined = true;
+            continue;
           }
           // Replaying the cell's persisted delta (instead of its scan)
           // is what makes resumed and uninterrupted runs' snapshots
@@ -333,9 +362,18 @@ RunReport Experiment::run_journaled(
     }
   }
 
-  CellSupervisor supervisor(policy, config_.faults);
+  CellSupervisor supervisor(policy, config_.faults, config_.scenario.seed);
   std::mutex mutex;  // guards journal appends, report, progress
   std::vector<std::size_t> lost_slots;
+
+  // Chaos hooks: the journal's durable writes consult the injector's
+  // enospc / segment_corrupt points; their counts land in `fault_block`
+  // (written only under `mutex`, merged into the registry at the end).
+  obsv::MetricBlock fault_block;
+  if (journal != nullptr) {
+    journal->set_fault_injector(
+        config_.faults, config_.metrics != nullptr ? &fault_block : nullptr);
+  }
 
   // Runs one cell under the supervisor; false aborts the caller's chain
   // (simulated process death).
@@ -344,6 +382,21 @@ RunReport Experiment::run_journaled(
     const std::size_t slot = index(trial, p, origin);
     if (adopted[slot] || lost_[slot]) return true;
     const CellKey key = cell_key(trial, p, origin);
+    if (journal != nullptr && journal->storage_dead()) {
+      // Storage died earlier in this run. Scanning would only burn time
+      // on a result that cannot be persisted — fail the cell fast. No
+      // manifest line can be written, so a resume on a healthy disk
+      // simply re-runs it.
+      std::scoped_lock lock(mutex);
+      lost_[slot] = true;
+      lost_slots.push_back(slot);
+      if (progress) {
+        progress("trial " + std::to_string(trial + 1) + " " +
+                 std::string(proto::name_of(config_.protocols[p])) + " " +
+                 key.origin_code + ": LOST (journal storage dead)");
+      }
+      return true;
+    }
     const std::string track = key.origin_code + "/" +
                               std::string(proto::name_of(key.protocol)) +
                               "/t" + std::to_string(key.trial);
@@ -386,7 +439,26 @@ RunReport Experiment::run_journaled(
                 key, outcome.result, post, outcome.attempts,
                 config_.metrics != nullptr ? &cell_block : nullptr,
                 &journal_error)) {
-          throw std::runtime_error("journal write failed: " + journal_error);
+          // Storage-exhaustion degradation: the scan completed but its
+          // outcome cannot be made durable, so the cell — not the run —
+          // fails. It is dropped from the grid (an unpersisted result
+          // would silently vanish on resume) and marked lost best-effort;
+          // if even that line cannot be appended, the cell is simply
+          // absent and a resume on a healthy disk re-runs it.
+          fault_block.add(obsv::Counter::kJournalWritesFailed);
+          lost_[slot] = true;
+          lost_slots.push_back(slot);
+          std::string lost_error;
+          journal->record_lost(key, outcome.attempts,
+                               "journal write failed: " + journal_error,
+                               &lost_error);
+          if (progress) {
+            progress("trial " + std::to_string(trial + 1) + " " +
+                     std::string(proto::name_of(config_.protocols[p])) + " " +
+                     key.origin_code + ": LOST (journal write failed: " +
+                     journal_error + ")");
+          }
+          return true;
         }
       }
       if (config_.metrics != nullptr) config_.metrics->merge_block(cell_block);
@@ -410,7 +482,9 @@ RunReport Experiment::run_journaled(
         std::string journal_error;
         if (!journal->record_lost(key, outcome.attempts, outcome.reason,
                                   &journal_error)) {
-          throw std::runtime_error("journal write failed: " + journal_error);
+          // The cell is already lost in-memory; a failed lost-line append
+          // just means a resume re-runs it instead of adopting the loss.
+          fault_block.add(obsv::Counter::kJournalWritesFailed);
         }
       }
       if (progress) {
@@ -462,6 +536,7 @@ RunReport Experiment::run_journaled(
     lost_.clear();
     report.status = RunReport::Status::kKilled;
     report.kill_reason = "cell_crash fault";
+    if (config_.metrics != nullptr) config_.metrics->merge_block(fault_block);
     return report;
   }
 
@@ -493,6 +568,7 @@ RunReport Experiment::run_journaled(
     config_.metrics->gauge_max(obsv::Gauge::kExperimentCellsTotal, total);
     config_.metrics->add(obsv::Counter::kExperimentCellsLost,
                          report.cells_lost);
+    config_.metrics->merge_block(fault_block);
   }
   return report;
 }

@@ -110,8 +110,16 @@ class Experiment {
   // contract extends across the kill: a run killed after any cell and
   // resumed — at any jobs value — produces results byte-identical to an
   // uninterrupted run. `journal` may be null (plain supervised run, no
-  // persistence). Throws std::runtime_error on journal corruption or a
-  // journal that is not a per-origin chain prefix of this grid.
+  // persistence). A journaled cell whose segment or sidecar fails
+  // verification is quarantined — demoted to absent along with every
+  // later cell of its origin's chain (counted in journal.quarantined_*)
+  // and re-executed — rather than aborting the resume. A journal write
+  // failure (ENOSPC, I/O error) fails the cell, not the run: the cell
+  // is recorded lost and, once the journal reports storage_dead,
+  // remaining cells fail fast instead of scanning into a dead disk.
+  // Throws std::runtime_error only on structural mismatch: unknown
+  // origins, entries outside the grid, or a journal that is not a
+  // per-origin chain prefix of this grid.
   RunReport run_journaled(
       ExperimentJournal* journal, const SupervisorPolicy& policy = {},
       const std::function<void(std::string_view)>& progress = {});

@@ -3,7 +3,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <set>
 
@@ -26,6 +28,16 @@ bool set_error(std::string* error, std::string message) {
   return false;
 }
 
+// The failing syscall's errno, rendered for error text. Write and fsync
+// failures must name their cause — "short write" alone cannot tell a
+// full disk from a yanked one.
+std::string errno_text() {
+  const int err = errno;
+  if (err == 0) return "unknown error";
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
 // Writes `data` to `path` durably: the file contents and its metadata
 // are on stable storage before this returns true. The manifest line that
 // references the file is appended only afterwards.
@@ -33,16 +45,35 @@ bool write_file_durable(const std::string& path,
                         std::span<const std::uint8_t> data,
                         std::string* error) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) return set_error(error, "cannot create " + path);
+  if (file == nullptr) {
+    return set_error(error, "cannot create " + path + ": " + errno_text());
+  }
+  errno = 0;
   const bool written = std::fwrite(data.data(), 1, data.size(), file) ==
                        data.size();
   const bool flushed = written && std::fflush(file) == 0 &&
                        ::fsync(::fileno(file)) == 0;
   const bool closed = std::fclose(file) == 0;
   if (!(written && flushed && closed)) {
-    return set_error(error, "short write to " + path);
+    return set_error(error, "short write to " + path + ": " + errno_text());
   }
   return true;
+}
+
+// Flips one byte of an already-written file in place (the
+// segment_corrupt fault point: bit-rot landing between a successful
+// fsync and the next read).
+void flip_byte_in_file(const std::string& path, std::uint64_t offset) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) return;
+  if (std::fseek(file, static_cast<long>(offset), SEEK_SET) == 0) {
+    const int byte = std::fgetc(file);
+    if (byte != EOF &&
+        std::fseek(file, static_cast<long>(offset), SEEK_SET) == 0) {
+      std::fputc(byte ^ 0x40, file);
+    }
+  }
+  std::fclose(file);
 }
 
 std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
@@ -89,6 +120,47 @@ std::set<std::uint32_t> ip_set(std::span<const net::Ipv4Addr> source_ips) {
   std::set<std::uint32_t> out;
   for (net::Ipv4Addr ip : source_ips) out.insert(ip.value());
   return out;
+}
+
+// Parses one manifest body line ("done ..." / "lost ...") into an
+// entry. Returns nullopt on any malformation — open() treats that as a
+// hard error, repair() as a droppable line.
+std::optional<JournalEntry> parse_manifest_line(std::string_view line) {
+  const std::vector<std::string_view> tokens = split_ws(line);
+  if (tokens.size() < 5 || (tokens[0] != "done" && tokens[0] != "lost")) {
+    return std::nullopt;
+  }
+  JournalEntry entry;
+  entry.status = tokens[0] == "done" ? JournalEntry::Status::kDone
+                                     : JournalEntry::Status::kLost;
+  entry.key.origin_code = std::string(tokens[1]);
+  const auto protocol = protocol_from_name(tokens[2]);
+  if (!protocol.has_value()) return std::nullopt;
+  entry.key.protocol = *protocol;
+  entry.key.trial = std::atoi(std::string(tokens[3]).c_str());
+  for (std::size_t t = 4; t < tokens.size(); ++t) {
+    const std::string_view token = tokens[t];
+    if (token.rfind("attempts=", 0) == 0) {
+      entry.attempts = std::atoi(std::string(token.substr(9)).c_str());
+    } else if (token.rfind("sha256=", 0) == 0) {
+      entry.record_sha256 = std::string(token.substr(7));
+    } else if (token.rfind("segment=", 0) == 0) {
+      entry.segment = std::string(token.substr(8));
+    } else if (token.rfind("reason=", 0) == 0) {
+      // The reason is the rest of the line (it may contain spaces).
+      const std::size_t pos = line.find("reason=");
+      entry.reason = std::string(line.substr(pos + 7));
+      break;
+    } else {
+      return std::nullopt;
+    }
+  }
+  const bool complete = entry.status == JournalEntry::Status::kDone
+                            ? !entry.record_sha256.empty() &&
+                                  !entry.segment.empty()
+                            : !entry.reason.empty();
+  if (!complete) return std::nullopt;
+  return entry;
 }
 
 // Reads a sidecar file written as one shared-codec frame
@@ -325,7 +397,10 @@ std::optional<ExperimentJournal> ExperimentJournal::open(
   std::size_t start = 0;
   while (start < text.size()) {
     const std::size_t nl = text.find('\n', start);
-    if (nl == std::string::npos) break;  // torn trailing line: dropped
+    if (nl == std::string::npos) {
+      journal.dropped_torn_line_ = true;  // torn trailing line: dropped
+      break;
+    }
     lines.push_back(std::string_view(text).substr(start, nl - start));
     start = nl + 1;
   }
@@ -354,52 +429,129 @@ std::optional<ExperimentJournal> ExperimentJournal::open(
     }
   }
   for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::vector<std::string_view> tokens = split_ws(lines[i]);
-    if (tokens.size() < 5 || (tokens[0] != "done" && tokens[0] != "lost")) {
+    auto entry = parse_manifest_line(lines[i]);
+    if (!entry.has_value()) {
       set_error(error, "malformed journal line: " + std::string(lines[i]));
       return std::nullopt;
     }
-    JournalEntry entry;
-    entry.status = tokens[0] == "done" ? JournalEntry::Status::kDone
-                                       : JournalEntry::Status::kLost;
-    entry.key.origin_code = std::string(tokens[1]);
-    const auto protocol = protocol_from_name(tokens[2]);
-    if (!protocol.has_value()) {
-      set_error(error, "unknown protocol in journal: " + std::string(tokens[2]));
-      return std::nullopt;
-    }
-    entry.key.protocol = *protocol;
-    entry.key.trial = std::atoi(std::string(tokens[3]).c_str());
-    bool ok = true;
-    for (std::size_t t = 4; t < tokens.size(); ++t) {
-      const std::string_view token = tokens[t];
-      if (token.rfind("attempts=", 0) == 0) {
-        entry.attempts = std::atoi(std::string(token.substr(9)).c_str());
-      } else if (token.rfind("sha256=", 0) == 0) {
-        entry.record_sha256 = std::string(token.substr(7));
-      } else if (token.rfind("segment=", 0) == 0) {
-        entry.segment = std::string(token.substr(8));
-      } else if (token.rfind("reason=", 0) == 0) {
-        // The reason is the rest of the line (it may contain spaces).
-        const std::size_t pos = lines[i].find("reason=");
-        entry.reason = std::string(lines[i].substr(pos + 7));
-        break;
-      } else {
-        ok = false;
-        break;
-      }
-    }
-    const bool complete = entry.status == JournalEntry::Status::kDone
-                              ? !entry.record_sha256.empty() &&
-                                    !entry.segment.empty()
-                              : !entry.reason.empty();
-    if (!ok || !complete) {
-      set_error(error, "malformed journal line: " + std::string(lines[i]));
-      return std::nullopt;
-    }
-    journal.entries_.push_back(std::move(entry));
+    journal.push_entry(std::move(*entry));
   }
   return journal;
+}
+
+// Last-wins: a re-recorded cell (quarantine + re-execution appends a
+// fresh `done` line for a key that already has one) supersedes the
+// earlier entry and takes its chain position at the end — which is the
+// order the re-execution actually ran in.
+void ExperimentJournal::push_entry(JournalEntry entry) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const JournalEntry& existing) {
+                                  return existing.key == entry.key;
+                                }),
+                 entries_.end());
+  entries_.push_back(std::move(entry));
+}
+
+std::optional<RepairReport> ExperimentJournal::repair(const std::string& dir,
+                                                      std::string* error) {
+  const std::string manifest_path = dir + "/MANIFEST";
+  const auto data = read_file(manifest_path);
+  if (!data.has_value()) {
+    set_error(error, "no journal manifest in " + dir);
+    return std::nullopt;
+  }
+  RepairReport report;
+
+  const std::string text(data->begin(), data->end());
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      ++report.lines_dropped_malformed;  // torn trailing line
+      break;
+    }
+    lines.push_back(std::string_view(text).substr(start, nl - start));
+    start = nl + 1;
+  }
+  constexpr std::string_view kHeaderPrefix = "osnr-journal v1 fingerprint=";
+  if (lines.empty() || !lines.front().starts_with(kHeaderPrefix)) {
+    // Without the header there is no fingerprint to bind a resume to —
+    // nothing below it can be trusted to belong to any experiment.
+    set_error(error, "journal header unreadable; nothing salvageable in " +
+                         manifest_path);
+    return std::nullopt;
+  }
+  report.fingerprint = std::string(lines.front().substr(kHeaderPrefix.size()));
+
+  // Replay tolerantly: malformed lines are dropped (counted), later
+  // lines for a key supersede earlier ones exactly as open() does.
+  ExperimentJournal scanner;
+  scanner.dir_ = dir;
+  scanner.fingerprint_ = report.fingerprint;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    auto entry = parse_manifest_line(lines[i]);
+    if (!entry.has_value()) {
+      ++report.lines_dropped_malformed;
+      continue;
+    }
+    scanner.push_entry(std::move(*entry));
+  }
+
+  // Verify every done entry's artifacts and enforce the chain-prefix
+  // invariant per origin: once one of an origin's cells is dropped, every
+  // later entry of that origin rode on state that will now be re-derived,
+  // so it is demoted too (resume re-runs the whole suffix).
+  std::set<std::string> broken_origins;
+  std::vector<const JournalEntry*> kept;
+  for (const JournalEntry& entry : scanner.entries_) {
+    if (broken_origins.count(entry.key.origin_code) != 0) {
+      ++report.entries_dropped_followers;
+      continue;
+    }
+    if (entry.status == JournalEntry::Status::kDone) {
+      std::string load_error;
+      if (!scanner.load_cell(entry, nullptr, &load_error).has_value()) {
+        ++report.entries_dropped_corrupt;
+        broken_origins.insert(entry.key.origin_code);
+        continue;
+      }
+    }
+    kept.push_back(&entry);
+  }
+  report.entries_kept = kept.size();
+
+  // Rebuild the MANIFEST durably: tmp write + atomic rename, so a crash
+  // mid-repair leaves either the old manifest or the repaired one.
+  std::string rebuilt = std::string(kHeaderPrefix) + report.fingerprint + "\n";
+  for (const JournalEntry* entry : kept) {
+    const std::string prefix =
+        entry->key.origin_code + " " +
+        std::string(proto::name_of(entry->key.protocol)) + " " +
+        std::to_string(entry->key.trial) +
+        " attempts=" + std::to_string(entry->attempts);
+    if (entry->status == JournalEntry::Status::kDone) {
+      rebuilt += "done " + prefix + " sha256=" + entry->record_sha256 +
+                 " segment=" + entry->segment + "\n";
+    } else {
+      rebuilt += "lost " + prefix + " reason=" + entry->reason + "\n";
+    }
+  }
+  const std::string tmp_path = manifest_path + ".repair";
+  if (!write_file_durable(
+          tmp_path,
+          std::span(reinterpret_cast<const std::uint8_t*>(rebuilt.data()),
+                    rebuilt.size()),
+          error)) {
+    return std::nullopt;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, manifest_path, ec);
+  if (ec) {
+    set_error(error, "cannot replace " + manifest_path + ": " + ec.message());
+    return std::nullopt;
+  }
+  return report;
 }
 
 const JournalEntry* ExperimentJournal::find(const CellKey& key) const {
@@ -407,6 +559,14 @@ const JournalEntry* ExperimentJournal::find(const CellKey& key) const {
     if (entry.key == key) return &entry;
   }
   return nullptr;
+}
+
+void ExperimentJournal::quarantine(const CellKey& key) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const JournalEntry& entry) {
+                                  return entry.key == key;
+                                }),
+                 entries_.end());
 }
 
 std::optional<scan::ScanResult> ExperimentJournal::load_cell(
@@ -479,6 +639,37 @@ bool ExperimentJournal::record_done(const CellKey& key,
                      error);
 }
 
+// A durable file write as seen by the fault layer: enospc can refuse it
+// (storage latches dead), segment_corrupt can flip a byte after the
+// write lands. Real failures also latch storage_dead_ — a journal whose
+// disk errored once must not be trusted with further cells.
+bool ExperimentJournal::durable_write(const std::string& path,
+                                      std::span<const std::uint8_t> data,
+                                      std::string* error) {
+  if (faults_ != nullptr && faults_->enospc(bytes_written_)) {
+    if (fault_metrics_ != nullptr) {
+      fault_metrics_->add(obsv::Counter::kFaultEnospc);
+    }
+    storage_dead_ = true;
+    return set_error(error, "no space left on device writing " + path +
+                                " (injected ENOSPC after " +
+                                std::to_string(bytes_written_) + " bytes)");
+  }
+  if (!write_file_durable(path, data, error)) {
+    storage_dead_ = true;
+    return false;
+  }
+  bytes_written_ += data.size();
+  const std::uint64_t file_index = files_written_++;
+  if (faults_ != nullptr && faults_->segment_corrupt(file_index)) {
+    if (fault_metrics_ != nullptr) {
+      fault_metrics_->add(obsv::Counter::kFaultSegmentCorrupt);
+    }
+    flip_byte_in_file(path, faults_->corrupt_offset(file_index, data.size()));
+  }
+  return true;
+}
+
 bool ExperimentJournal::record_done(const CellKey& key,
                                     const scan::ScanResult& result,
                                     const IdsSnapshot& snapshot, int attempts,
@@ -488,14 +679,14 @@ bool ExperimentJournal::record_done(const CellKey& key,
                            lower(proto::name_of(key.protocol)) + "_t" +
                            std::to_string(key.trial);
   const auto segment_bytes = serialize_results({result});
-  if (!write_file_durable(dir_ + "/" + stem + ".osnr", segment_bytes, error)) {
+  if (!durable_write(dir_ + "/" + stem + ".osnr", segment_bytes, error)) {
     return false;
   }
   const auto sidecar_bytes =
       serialize_cell_sidecar(snapshot, result.l4_stats,
                              result.attempt_histogram);
-  if (!write_file_durable(dir_ + "/" + stem + ".ids",
-                          net::encode_frame(sidecar_bytes), error)) {
+  if (!durable_write(dir_ + "/" + stem + ".ids",
+                     net::encode_frame(sidecar_bytes), error)) {
     return false;
   }
   if (metrics != nullptr) {
@@ -510,8 +701,8 @@ bool ExperimentJournal::record_done(const CellKey& key,
                      segment_bytes.size());
     metrics->observe(obsv::Histogram::kJournalSegmentBytes,
                      sidecar_bytes.size());
-    if (!write_file_durable(dir_ + "/" + stem + ".metrics",
-                            net::encode_frame(metrics->serialize()), error)) {
+    if (!durable_write(dir_ + "/" + stem + ".metrics",
+                       net::encode_frame(metrics->serialize()), error)) {
       return false;
     }
   }
@@ -528,7 +719,7 @@ bool ExperimentJournal::record_done(const CellKey& key,
       std::to_string(key.trial) + " attempts=" + std::to_string(attempts) +
       " sha256=" + entry.record_sha256 + " segment=" + stem;
   if (!append_manifest_line(line, error)) return false;
-  entries_.push_back(std::move(entry));
+  push_entry(std::move(entry));
   return true;
 }
 
@@ -546,15 +737,28 @@ bool ExperimentJournal::record_lost(const CellKey& key, int attempts,
       std::to_string(key.trial) + " attempts=" + std::to_string(attempts) +
       " reason=" + entry.reason;
   if (!append_manifest_line(line, error)) return false;
-  entries_.push_back(std::move(entry));
+  push_entry(std::move(entry));
   return true;
 }
 
 bool ExperimentJournal::append_manifest_line(const std::string& line,
                                              std::string* error) {
   const std::string path = dir_ + "/MANIFEST";
+  if (faults_ != nullptr && faults_->enospc(bytes_written_)) {
+    if (fault_metrics_ != nullptr) {
+      fault_metrics_->add(obsv::Counter::kFaultEnospc);
+    }
+    storage_dead_ = true;
+    return set_error(error, "no space left on device appending to " + path +
+                                " (injected ENOSPC after " +
+                                std::to_string(bytes_written_) + " bytes)");
+  }
   std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) return set_error(error, "cannot open " + path);
+  if (file == nullptr) {
+    storage_dead_ = true;
+    return set_error(error, "cannot open " + path + ": " + errno_text());
+  }
+  errno = 0;
   const std::string with_newline = line + "\n";
   const bool written = std::fwrite(with_newline.data(), 1,
                                    with_newline.size(),
@@ -563,8 +767,10 @@ bool ExperimentJournal::append_manifest_line(const std::string& line,
                        ::fsync(::fileno(file)) == 0;
   const bool closed = std::fclose(file) == 0;
   if (!(written && flushed && closed)) {
-    return set_error(error, "short append to " + path);
+    storage_dead_ = true;
+    return set_error(error, "short append to " + path + ": " + errno_text());
   }
+  bytes_written_ += with_newline.size();
   return true;
 }
 

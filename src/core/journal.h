@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "faultinject/faultinject.h"
 #include "obsv/metrics.h"
 #include "proto/protocol.h"
 #include "scanner/orchestrator.h"
@@ -120,6 +121,20 @@ struct JournalEntry {
   std::string reason;         // lost only
 };
 
+// Outcome of ExperimentJournal::repair — how much of a damaged run
+// directory survived.
+struct RepairReport {
+  std::size_t entries_kept = 0;
+  // Manifest lines that did not parse (plus a torn trailing line).
+  std::size_t lines_dropped_malformed = 0;
+  // Done entries whose segment/sidecar failed CRC or digest checks.
+  std::size_t entries_dropped_corrupt = 0;
+  // Entries demoted because an earlier cell of their origin's chain was
+  // dropped: adopting them would violate the chain-prefix invariant.
+  std::size_t entries_dropped_followers = 0;
+  std::string fingerprint;
+};
+
 // Append-only journal over one experiment run. Open once per process;
 // record_* calls are not internally synchronized (Experiment serializes
 // them behind a mutex).
@@ -136,16 +151,58 @@ class ExperimentJournal {
                                                const std::string& fingerprint,
                                                std::string* error = nullptr);
 
+  // Rewrites a damaged run directory in place so that everything
+  // survivable becomes resumable: malformed and torn manifest lines are
+  // dropped, done entries whose segment/sidecar fails verification are
+  // dropped, and — because an origin's cells form a serial chain —
+  // every entry after a dropped one in the same origin's chain is
+  // demoted too (adopting it would violate the chain-prefix invariant).
+  // The MANIFEST is rebuilt via a durable tmp-write + rename; orphaned
+  // segment files are left on disk (resume overwrites them). Requires a
+  // readable header line; everything after it is salvage.
+  static std::optional<RepairReport> repair(const std::string& dir,
+                                            std::string* error = nullptr);
+
   ExperimentJournal(ExperimentJournal&&) = default;
   ExperimentJournal& operator=(ExperimentJournal&&) = default;
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
   [[nodiscard]] const std::string& fingerprint() const { return fingerprint_; }
-  // Entries replayed from the manifest at open, in append order.
+  // Entries replayed from the manifest at open, in append order. A later
+  // line for an already-seen cell replaces the earlier entry and takes
+  // its position at the end — last-wins, which is what makes quarantined
+  // cells re-recordable: the fresh `done` line appended after a
+  // re-execution supersedes the line whose segment went bad.
   [[nodiscard]] const std::vector<JournalEntry>& entries() const {
     return entries_;
   }
+  // Whether open() dropped a torn trailing manifest line (crash
+  // mid-append). Diagnostic only; the referenced cell simply re-runs.
+  [[nodiscard]] bool dropped_torn_line() const { return dropped_torn_line_; }
+
+  // Optional deterministic fault injection for the chaos harness: when
+  // set, durable writes consult the injector's enospc/segment_corrupt
+  // points. `fault_metrics` (optional, single-writer like every
+  // MetricBlock) receives the fault.* counts.
+  void set_fault_injector(const fault::FaultInjector* faults,
+                          obsv::MetricBlock* fault_metrics = nullptr) {
+    faults_ = faults;
+    fault_metrics_ = fault_metrics;
+  }
+  // Latched true after any durable-write failure (real or injected).
+  // Storage does not come back within a run: callers fail remaining
+  // cells fast instead of burning retry budget on a dead disk.
+  [[nodiscard]] bool storage_dead() const { return storage_dead_; }
+  // Cumulative payload bytes this handle has durably written (segments,
+  // sidecars, and manifest appends) — the enospc clause's clock.
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
   [[nodiscard]] const JournalEntry* find(const CellKey& key) const;
+  // Demotes a cell to absent (adopt_journal's quarantine path: the
+  // entry's segment or sidecar failed verification, or it follows a
+  // quarantined cell in its origin's chain). Only the in-memory view
+  // changes — the manifest line stays on disk, superseded by the fresh
+  // line the re-execution appends (last-wins replay at the next open).
+  void quarantine(const CellKey& key);
   // Claim check for the distributed master: a settled cell (done or
   // lost) must never be granted again — its outcome is already durable.
   [[nodiscard]] bool settled(const CellKey& key) const {
@@ -188,10 +245,19 @@ class ExperimentJournal {
   ExperimentJournal() = default;
 
   bool append_manifest_line(const std::string& line, std::string* error);
+  bool durable_write(const std::string& path,
+                     std::span<const std::uint8_t> data, std::string* error);
+  void push_entry(JournalEntry entry);
 
   std::string dir_;
   std::string fingerprint_;
   std::vector<JournalEntry> entries_;
+  bool dropped_torn_line_ = false;
+  const fault::FaultInjector* faults_ = nullptr;
+  obsv::MetricBlock* fault_metrics_ = nullptr;
+  bool storage_dead_ = false;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t files_written_ = 0;  // segment_corrupt's file= index
 };
 
 }  // namespace originscan::core

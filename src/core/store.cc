@@ -132,6 +132,15 @@ bool save_results(const std::string& path,
   bool ok = true;
   while (committed < bytes.size()) {
     const std::size_t len = std::min(kChunk, bytes.size() - committed);
+    if (faults != nullptr && faults->enospc(committed)) {
+      // Permanent no-space failure: unlike EIO, the disk does not come
+      // back on a reopen, so the retry ladder would only spin. Abandon
+      // the save; the caller fails the cell, not the run.
+      if (metrics != nullptr) metrics->add(obsv::Counter::kFaultEnospc);
+      local.storage_exhausted = true;
+      ok = false;
+      break;
+    }
     const bool injected_eio =
         faults != nullptr && faults->store_write_fails(write_index);
     if (injected_eio && metrics != nullptr) {

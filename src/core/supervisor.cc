@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "netbase/rng.h"
+
 namespace originscan::core {
+
+net::VirtualTime CellSupervisor::backoff_for(std::uint64_t cell_index,
+                                             int attempt) const {
+  const std::int64_t base =
+      std::min(policy_.backoff_cap.micros(),
+               policy_.backoff_base.micros() << attempt);
+  // ±25% jitter, integer-only: offset uniform in [-base/4, +base/4],
+  // drawn from mix(seed, cell, attempt) so it replays exactly on resume
+  // and never synchronizes across origins' chains.
+  const std::int64_t span = base / 2;
+  if (span <= 0) return net::VirtualTime::from_micros(base);
+  const std::uint64_t h =
+      net::mix_u64(seed_, cell_index, static_cast<std::uint64_t>(attempt),
+                   0xB0FFC0DEULL);
+  const std::int64_t offset =
+      static_cast<std::int64_t>(h % static_cast<std::uint64_t>(span + 1)) -
+      span / 2;
+  return net::VirtualTime::from_micros(base + offset);
+}
 
 CellOutcome CellSupervisor::run_cell(
     std::uint64_t cell_index,
@@ -61,10 +82,7 @@ CellOutcome CellSupervisor::run_cell(
     // Failed attempt: roll the origin's IDS slice back to the pre-cell
     // snapshot (a partial sweep may have fed counters) and back off.
     restore(pre);
-    const std::int64_t backoff_micros =
-        std::min(policy_.backoff_cap.micros(),
-                 policy_.backoff_base.micros() << attempt);
-    outcome.backoff_total += net::VirtualTime::from_micros(backoff_micros);
+    outcome.backoff_total += backoff_for(cell_index, attempt);
   }
 
   restore(pre);

@@ -37,7 +37,8 @@ struct SupervisorPolicy {
   // An attempt stalling longer than this (virtual time) is aborted. The
   // default comfortably clears a 21-hour scan plus retry slack.
   net::VirtualTime cell_deadline = net::VirtualTime::from_hours(48);
-  // Exponential backoff between attempts: base << attempt, capped.
+  // Exponential backoff between attempts: base << attempt, capped, then
+  // jittered ±25% (deterministically — see CellSupervisor::backoff_for).
   net::VirtualTime backoff_base = net::VirtualTime::from_seconds(1);
   net::VirtualTime backoff_cap = net::VirtualTime::from_seconds(64);
 };
@@ -58,8 +59,21 @@ struct CellOutcome {
 
 class CellSupervisor {
  public:
-  CellSupervisor(SupervisorPolicy policy, const fault::FaultInjector* faults)
-      : policy_(policy), faults_(faults) {}
+  // `seed` drives the deterministic backoff jitter; pass the experiment
+  // seed so every execution mode (serial, --jobs N, --workers N, resume)
+  // charges identical backoff to the same cell.
+  CellSupervisor(SupervisorPolicy policy, const fault::FaultInjector* faults,
+                 std::uint64_t seed = 0)
+      : policy_(policy), faults_(faults), seed_(seed) {}
+
+  // Backoff charged after failed attempt `attempt` of cell `cell_index`:
+  // min(cap, base << attempt) jittered by ±25%, where the jitter is a
+  // pure integer function of (seed, cell_index, attempt) — the cell
+  // index encodes the origin, so retries of different origins' cells
+  // never synchronize, yet every re-execution of the same cell charges
+  // the exact same virtual time (the byte-identity contract).
+  [[nodiscard]] net::VirtualTime backoff_for(std::uint64_t cell_index,
+                                             int attempt) const;
 
   // The process-wide kill token. Chains poll it (via per-attempt child
   // tokens) so a simulated process death stops the whole run, not just
@@ -86,6 +100,7 @@ class CellSupervisor {
  private:
   SupervisorPolicy policy_;
   const fault::FaultInjector* faults_;
+  std::uint64_t seed_ = 0;
   scan::CancelToken kill_;
 };
 

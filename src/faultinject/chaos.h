@@ -1,0 +1,41 @@
+// Chaos episode generation: seed-derived randomized fault plans for the
+// soak harness (core/chaos.h). Every episode is a pure function of
+// (seed, round) — the same soak seed replays the same schedule of
+// plans, job counts, and worker counts, so a violating round found in
+// CI reproduces locally from its round number alone.
+//
+// The generator composes clauses across the full injection-point
+// registry (faultinject.h), but bounds the failure pressure so that
+// every episode has a decidable oracle: retry-class faults stay under
+// the supervisor's attempt budget and the master's grant budget, which
+// means a cell can be lost only through storage exhaustion — and those
+// losses are always a suffix of an origin's chain. The soak driver's
+// invariant checks (core/chaos.cc) rely on exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace originscan::fault {
+
+// One generated soak episode: how to perturb the run and how to run it.
+struct ChaosEpisode {
+  // Composed fault-plan spec (FaultPlan::parse grammar). May be empty —
+  // a fault-free episode is a valid draw and keeps the oracle honest.
+  std::string plan_spec;
+  // Thread count for the in-process run; used when workers == 0.
+  int jobs = 1;
+  // Worker-process count for a distributed episode; 0 = in-process.
+  int workers = 0;
+};
+
+// Generates episode `round` of a soak with the given seed.
+// `cell_count` bounds cell-keyed clauses to the experiment grid;
+// `universe_size` scales slot/second windows to the scan's actual
+// schedule so windowed clauses land on real traffic.
+[[nodiscard]] ChaosEpisode make_chaos_episode(std::uint64_t seed,
+                                              std::uint64_t round,
+                                              std::uint64_t cell_count,
+                                              std::uint32_t universe_size);
+
+}  // namespace originscan::fault

@@ -14,7 +14,8 @@ constexpr Point kAllPoints[kPointCount] = {
     Point::kMacCorrupt,    Point::kConnectRst,   Point::kBannerTruncate,
     Point::kBannerStall,   Point::kStoreWriteError,
     Point::kCellCrash,     Point::kCellHang,     Point::kWorkerKill,
-    Point::kWorkerStall,
+    Point::kWorkerStall,   Point::kEnospc,       Point::kSegmentCorrupt,
+    Point::kFrameGarble,
 };
 
 double hash01(std::uint64_t h) {
@@ -56,6 +57,12 @@ constexpr std::string_view spec_keyword(Point point) {
       return "worker_kill";
     case Point::kWorkerStall:
       return "worker_stall";
+    case Point::kEnospc:
+      return "enospc";
+    case Point::kSegmentCorrupt:
+      return "segment_corrupt";
+    case Point::kFrameGarble:
+      return "frame_garble";
   }
   return "?";
 }
@@ -363,6 +370,81 @@ bool parse_worker_args(std::span<const std::string_view> args, Point point,
   return true;
 }
 
+// enospc:bytes=N — storage dies once the journal has written N bytes.
+bool parse_enospc_args(std::span<const std::string_view> args,
+                       FaultClause& clause, std::string* error) {
+  bool saw_bytes = false;
+  for (std::string_view arg : args) {
+    if (arg.rfind("bytes=", 0) == 0) {
+      if (!parse_u64(arg.substr(6), clause.bytes)) {
+        return set_error(error, "bad byte threshold: " + std::string(arg));
+      }
+      saw_bytes = true;
+    } else {
+      return set_error(error, "unknown argument: " + std::string(arg));
+    }
+  }
+  if (!saw_bytes) return set_error(error, "enospc needs bytes=N");
+  return true;
+}
+
+// segment_corrupt:file=N[,count=C] — durable files [N, N+C) each get
+// one flipped byte after the write lands.
+bool parse_corrupt_args(std::span<const std::string_view> args,
+                        FaultClause& clause, std::string* error) {
+  bool saw_file = false;
+  for (std::string_view arg : args) {
+    if (arg.rfind("file=", 0) == 0) {
+      if (!parse_u64(arg.substr(5), clause.write_index)) {
+        return set_error(error, "bad file index: " + std::string(arg));
+      }
+      saw_file = true;
+    } else if (arg.rfind("count=", 0) == 0) {
+      if (!parse_u64(arg.substr(6), clause.count) || clause.count == 0 ||
+          clause.count > 64) {
+        return set_error(error, "count must be 1..64: " + std::string(arg));
+      }
+    } else {
+      return set_error(error, "unknown argument: " + std::string(arg));
+    }
+  }
+  if (!saw_file) return set_error(error, "segment_corrupt needs file=N");
+  return true;
+}
+
+// frame_garble:worker=W,frame=N[,count=C] — frames [N, N+C) sent by
+// worker W each get one flipped bit on the wire.
+bool parse_garble_args(std::span<const std::string_view> args,
+                       FaultClause& clause, std::string* error) {
+  bool saw_worker = false;
+  bool saw_frame = false;
+  for (std::string_view arg : args) {
+    if (arg.rfind("worker=", 0) == 0) {
+      std::uint64_t worker = 0;
+      if (!parse_u64(arg.substr(7), worker) || worker > 255) {
+        return set_error(error, "worker must be 0..255: " + std::string(arg));
+      }
+      clause.worker = static_cast<int>(worker);
+      saw_worker = true;
+    } else if (arg.rfind("frame=", 0) == 0) {
+      if (!parse_u64(arg.substr(6), clause.write_index)) {
+        return set_error(error, "bad frame index: " + std::string(arg));
+      }
+      saw_frame = true;
+    } else if (arg.rfind("count=", 0) == 0) {
+      if (!parse_u64(arg.substr(6), clause.count) || clause.count == 0 ||
+          clause.count > 64) {
+        return set_error(error, "count must be 1..64: " + std::string(arg));
+      }
+    } else {
+      return set_error(error, "unknown argument: " + std::string(arg));
+    }
+  }
+  if (!saw_worker) return set_error(error, "frame_garble needs worker=W");
+  if (!saw_frame) return set_error(error, "frame_garble needs frame=N");
+  return true;
+}
+
 }  // namespace
 
 std::string_view point_name(Point point) {
@@ -391,6 +473,12 @@ std::string_view point_name(Point point) {
       return "worker_kill";
     case Point::kWorkerStall:
       return "worker_stall";
+    case Point::kEnospc:
+      return "enospc";
+    case Point::kSegmentCorrupt:
+      return "segment_corrupt";
+    case Point::kFrameGarble:
+      return "frame_garble";
   }
   return "?";
 }
@@ -432,6 +520,13 @@ bool FaultClause::recoverable() const {
     case Point::kCellHang:
     case Point::kWorkerKill:
     case Point::kWorkerStall:
+      return false;
+    // Storage/transport decay: recovery crosses runs (quarantine +
+    // re-execution, journal repair) or processes (the master's frame
+    // error handling), never the faulted run itself.
+    case Point::kEnospc:
+    case Point::kSegmentCorrupt:
+    case Point::kFrameGarble:
       return false;
   }
   return false;
@@ -487,6 +582,20 @@ std::string FaultClause::to_string() const {
                 .c_str(),
             attempts);
       }
+      break;
+    case Point::kEnospc:
+      std::snprintf(buffer, sizeof(buffer), ":bytes=%llu",
+                    static_cast<unsigned long long>(bytes));
+      break;
+    case Point::kSegmentCorrupt:
+      std::snprintf(buffer, sizeof(buffer), ":file=%llu,count=%llu",
+                    static_cast<unsigned long long>(write_index),
+                    static_cast<unsigned long long>(count));
+      break;
+    case Point::kFrameGarble:
+      std::snprintf(buffer, sizeof(buffer), ":worker=%d,frame=%llu,count=%llu",
+                    worker, static_cast<unsigned long long>(write_index),
+                    static_cast<unsigned long long>(count));
       break;
   }
   out += buffer;
@@ -553,6 +662,15 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
     } else if (name == "worker_stall") {
       clause.point = Point::kWorkerStall;
       ok = parse_worker_args(args, clause.point, clause, error);
+    } else if (name == "enospc") {
+      clause.point = Point::kEnospc;
+      ok = parse_enospc_args(args, clause, error);
+    } else if (name == "segment_corrupt") {
+      clause.point = Point::kSegmentCorrupt;
+      ok = parse_corrupt_args(args, clause, error);
+    } else if (name == "frame_garble") {
+      clause.point = Point::kFrameGarble;
+      ok = parse_garble_args(args, clause, error);
     } else {
       set_error(error, "unknown fault clause: " + std::string(name));
       return std::nullopt;
@@ -777,6 +895,60 @@ bool FaultInjector::worker_kill(int worker, WorkerPhase phase,
 bool FaultInjector::worker_stall(int worker, WorkerPhase phase,
                                  std::uint64_t cell, int grant) const {
   return worker_fault(Point::kWorkerStall, worker, phase, cell, grant);
+}
+
+bool FaultInjector::enospc(std::uint64_t bytes_written) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kEnospc) continue;
+    if (bytes_written >= clause.bytes) {
+      record(Point::kEnospc);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::segment_corrupt(std::uint64_t file_index) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kSegmentCorrupt) continue;
+    if (file_index >= clause.write_index &&
+        file_index < clause.write_index + clause.count) {
+      record(Point::kSegmentCorrupt);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::corrupt_offset(std::uint64_t file_index,
+                                            std::uint64_t file_size) const {
+  if (file_size == 0) return 0;
+  return net::mix_u64(seed_, file_index, file_size,
+                      salt_of(Point::kSegmentCorrupt)) %
+         file_size;
+}
+
+bool FaultInjector::frame_garble(int worker,
+                                 std::uint64_t frame_index) const {
+  for (const FaultClause& clause : plan_.clauses()) {
+    if (clause.point != Point::kFrameGarble) continue;
+    if (clause.worker != worker) continue;
+    if (frame_index >= clause.write_index &&
+        frame_index < clause.write_index + clause.count) {
+      record(Point::kFrameGarble);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::garble_offset(int worker,
+                                           std::uint64_t frame_index,
+                                           std::uint64_t frame_size) const {
+  if (frame_size == 0) return 0;
+  return net::mix_u64(seed_, static_cast<std::uint64_t>(worker), frame_index,
+                      salt_of(Point::kFrameGarble)) %
+         frame_size;
 }
 
 std::uint64_t FaultInjector::total_hits() const {

@@ -35,6 +35,9 @@
 //                                      |done[,attempts=N]
 //   worker_stall   core::run_worker    worker_stall:worker=W       (pre-HELLO)
 //                                      worker_stall:cell=K,phase=...[,attempts=N]
+//   enospc         core::ExperimentJournal  enospc:bytes=N
+//   segment_corrupt core::ExperimentJournal segment_corrupt:file=N[,count=C]
+//   frame_garble   core::run_worker    frame_garble:worker=W,frame=N[,count=C]
 //
 // Recoverable faults (send_fail, the three ZGrab faults, store_eio) are
 // absorbed by pipeline machinery — the send retry loop, the RetryPolicy
@@ -51,6 +54,19 @@
 // recovers through the retry budget, or degrades the cell to lost when
 // N exhausts it. Both classify as non-recoverable so the differential
 // harness never treats an interrupted single run as byte-comparable.
+//
+// The three storage/transport faults model operational decay rather
+// than crashes. enospc makes every durable journal write (manifest
+// append, segment, sidecar) fail with a no-space error once the
+// journal's cumulative byte count reaches N — the run degrades cell by
+// cell through the retry/partial-grid machinery instead of aborting.
+// segment_corrupt flips one seed-chosen byte in the Nth durable file
+// the journal writes, which the CRC-verified resume path must
+// quarantine rather than adopt. frame_garble flips one seed-chosen bit
+// in the Nth frame a worker sends to the master, exercising the framed
+// protocol's poison-on-error decoder as a live runtime fault. All
+// three classify as non-recoverable: their recovery crosses runs
+// (journal repair / quarantine) or processes (grant rollback).
 //
 // The two worker-level faults model real process failures in the
 // distributed runtime (core/dist.h): worker_kill makes a worker process
@@ -96,9 +112,12 @@ enum class Point : int {
   kCellHang,
   kWorkerKill,
   kWorkerStall,
+  kEnospc,
+  kSegmentCorrupt,
+  kFrameGarble,
 };
 
-inline constexpr int kPointCount = 12;
+inline constexpr int kPointCount = 15;
 
 // Protocol phases at which the worker faults can fire (the checkpoints
 // core::run_worker queries). kHello is the `worker=W` form — the worker
@@ -135,9 +154,14 @@ struct FaultClause {
   int attempts = 1;
 
   // Store faults: physical write operations [write_index,
-  // write_index + count) fail with a transient EIO.
+  // write_index + count) fail with a transient EIO. segment_corrupt
+  // and frame_garble reuse the same pair as their file=/frame= window.
   std::uint64_t write_index = 0;
   std::uint64_t count = 1;
+
+  // enospc: durable journal writes fail once the journal's cumulative
+  // byte count reaches this threshold.
+  std::uint64_t bytes = 0;
 
   // Cell faults (cell_crash, cell_hang): the global cell index in the
   // experiment grid, serial order (trial * protocols + p) * origins + o.
@@ -256,6 +280,32 @@ class FaultInjector {
                                  std::uint64_t cell, int grant) const;
   [[nodiscard]] bool worker_stall(int worker, WorkerPhase phase,
                                   std::uint64_t cell, int grant) const;
+
+  // ---- journal / storage layer --------------------------------------
+  // Whether a durable journal write should fail with a no-space error,
+  // given the cumulative bytes the journal has written so far. Once
+  // true it stays true for every larger count — storage does not come
+  // back within a run.
+  [[nodiscard]] bool enospc(std::uint64_t bytes_written) const;
+  // Whether the `file_index`-th durable file the journal writes
+  // (0-based, counted across segments and sidecars) gets one byte
+  // flipped after the write lands.
+  [[nodiscard]] bool segment_corrupt(std::uint64_t file_index) const;
+  // Seed-chosen offset of the flipped byte; pure, does not record a
+  // hit (segment_corrupt already did). `file_size` must be > 0.
+  [[nodiscard]] std::uint64_t corrupt_offset(std::uint64_t file_index,
+                                             std::uint64_t file_size) const;
+
+  // ---- dist transport layer -----------------------------------------
+  // Whether the `frame_index`-th frame worker `worker` sends to the
+  // master (0-based, counted per worker process) gets one bit flipped
+  // on the wire.
+  [[nodiscard]] bool frame_garble(int worker,
+                                  std::uint64_t frame_index) const;
+  // Seed-chosen byte offset for the bitflip; pure, no hit recorded.
+  [[nodiscard]] std::uint64_t garble_offset(int worker,
+                                            std::uint64_t frame_index,
+                                            std::uint64_t frame_size) const;
 
   // Diagnostics: how many times each injection point actually fired.
   [[nodiscard]] std::uint64_t hits(Point point) const {

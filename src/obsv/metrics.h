@@ -135,7 +135,29 @@ namespace originscan::obsv {
   X(kDistFrameErrors, "dist.frame_errors", "frames",                          \
     "src/core/dist.cc:GridMaster")                                            \
   X(kDistDeadlinesExpired, "dist.deadlines_expired", "workers",               \
-    "src/core/dist.cc:GridMaster")
+    "src/core/dist.cc:GridMaster")                                            \
+  X(kFaultEnospc, "fault.enospc", "hits",                                     \
+    "src/core/journal.cc:durable_write")                                      \
+  X(kFaultSegmentCorrupt, "fault.segment_corrupt", "hits",                    \
+    "src/core/journal.cc:durable_write")                                      \
+  X(kFaultFrameGarble, "fault.frame_garble", "hits",                          \
+    "src/core/dist.cc:send_message")                                          \
+  X(kJournalQuarantinedCells, "journal.quarantined_cells", "cells",           \
+    "src/core/experiment.cc:adopt_journal")                                   \
+  X(kJournalQuarantinedFollowers, "journal.quarantined_followers", "cells",   \
+    "src/core/experiment.cc:adopt_journal")                                   \
+  X(kJournalWritesFailed, "journal.writes_failed", "writes",                  \
+    "src/core/experiment.cc:run_journaled + src/core/dist.cc:GridMaster")     \
+  X(kChaosEpisodes, "chaos.episodes", "episodes",                             \
+    "src/core/chaos.cc:run_chaos_soak")                                       \
+  X(kChaosResumes, "chaos.resumes", "episodes",                               \
+    "src/core/chaos.cc:run_chaos_soak")                                       \
+  X(kChaosPartialGrids, "chaos.partial_grids", "episodes",                    \
+    "src/core/chaos.cc:run_chaos_soak")                                       \
+  X(kChaosQuarantines, "chaos.quarantines", "cells",                          \
+    "src/core/chaos.cc:run_chaos_soak")                                       \
+  X(kChaosViolations, "chaos.violations", "episodes",                        \
+    "src/core/chaos.cc:run_chaos_soak")
 
 // ---- Gauge registry (merge = max) -----------------------------------
 #define OSN_GAUGE_METRICS(X)                                                  \

@@ -7,6 +7,7 @@
 // (seed, slot/host), the counts are exact, not merely positive.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -58,7 +59,10 @@ TEST(FaultpointRegistry, EveryPointIsExercised) {
       "cell_crash:cell=5;"
       "cell_hang:cell=7,sec=600,attempts=2;"
       "worker_kill:worker=3;"
-      "worker_stall:cell=9,phase=done,attempts=2");
+      "worker_stall:cell=9,phase=done,attempts=2;"
+      "enospc:bytes=4096;"
+      "segment_corrupt:file=2,count=2;"
+      "frame_garble:worker=1,frame=3,count=2");
   const FaultInjector injector(plan, /*seed=*/0xFA57u);
 
   // ZMap layer.
@@ -100,6 +104,22 @@ TEST(FaultpointRegistry, EveryPointIsExercised) {
   EXPECT_FALSE(injector.worker_stall(1, WorkerPhase::kDone, 8, 0));
   EXPECT_EQ(injector.hits(Point::kWorkerKill), 1u);
   EXPECT_EQ(injector.hits(Point::kWorkerStall), 2u);
+  // Storage layer (journal/store durable writes).
+  EXPECT_FALSE(injector.enospc(4095));
+  EXPECT_TRUE(injector.enospc(4096));   // threshold is inclusive...
+  EXPECT_TRUE(injector.enospc(99999));  // ...and the failure is permanent
+  EXPECT_FALSE(injector.segment_corrupt(1));
+  EXPECT_TRUE(injector.segment_corrupt(2));
+  EXPECT_TRUE(injector.segment_corrupt(3));
+  EXPECT_FALSE(injector.segment_corrupt(4));  // past file+count
+  EXPECT_LT(injector.corrupt_offset(2, 100), 100u);
+  EXPECT_EQ(injector.corrupt_offset(2, 100), injector.corrupt_offset(2, 100));
+  // Distributed transport layer (the worker's socketpair frames).
+  EXPECT_FALSE(injector.frame_garble(0, 3));  // different worker
+  EXPECT_TRUE(injector.frame_garble(1, 3));
+  EXPECT_TRUE(injector.frame_garble(1, 4));
+  EXPECT_FALSE(injector.frame_garble(1, 5));  // past frame+count
+  EXPECT_LT(injector.garble_offset(1, 3, 64), 64u);
 
   // The registry assertion proper: every point fired at least once.
   for (Point point : all_points()) {
@@ -149,6 +169,12 @@ TEST(FaultPlanSemantics, RecoverabilityClassification) {
   EXPECT_FALSE(must_parse("worker_kill:worker=0").recoverable());
   EXPECT_FALSE(
       must_parse("worker_stall:cell=2,phase=segment").recoverable());
+  // Storage/transport decay: enospc is permanent, segment corruption
+  // costs a quarantined re-scan, and a garbled frame burns a grant —
+  // none is absorbed within the faulted run itself.
+  EXPECT_FALSE(must_parse("enospc:bytes=4096").recoverable());
+  EXPECT_FALSE(must_parse("segment_corrupt:file=0").recoverable());
+  EXPECT_FALSE(must_parse("frame_garble:worker=0,frame=0").recoverable());
   // Mixed plan: one degrading clause poisons the whole plan.
   EXPECT_FALSE(must_parse("rst:host%5==0;drop:slot=0..9,p=1").recoverable());
 }
@@ -189,6 +215,10 @@ TEST(FaultPlanSemantics, RoundTripsThroughToString) {
       "worker_kill:worker=2",
       "worker_stall:cell=5,phase=segment,attempts=2",
       "worker_kill:cell=0,phase=claim;worker_kill:cell=1,phase=done",
+      "enospc:bytes=4096",
+      "segment_corrupt:file=2,count=3",
+      "frame_garble:worker=1,frame=5,count=2",
+      "enospc:bytes=0;segment_corrupt:file=0;frame_garble:worker=0,frame=0",
   };
   for (const char* spec : specs) {
     const FaultPlan plan = must_parse(spec);
@@ -235,6 +265,17 @@ TEST(FaultPlanSemantics, RejectsMalformedSpecs) {
       "worker_kill:cell=0,phase=hello",    // hello is worker= only
       "worker_stall:cell=0,phase=nonsense",  // unknown phase
       "worker_stall:cell=0,phase=done,attempts=99",  // attempts above cap
+      "enospc",                       // missing byte threshold
+      "enospc:bytes=abc",             // junk threshold
+      "enospc:bytes=4096,count=2",    // count is corrupt/garble-only
+      "segment_corrupt",              // missing file index
+      "segment_corrupt:file=abc",     // junk file index
+      "segment_corrupt:file=0,count=0",   // zero count
+      "segment_corrupt:file=0,count=65",  // count above cap
+      "frame_garble:frame=3",         // missing worker
+      "frame_garble:worker=0",        // missing frame index
+      "frame_garble:worker=256,frame=0",  // worker index out of range
+      "frame_garble:worker=0,frame=1,count=65",  // count above cap
   };
   for (const char* spec : bad) {
     std::string error;
@@ -463,8 +504,35 @@ TEST(FaultpointMetrics, CellHangCountsPerHungAttempt) {
   EXPECT_EQ(cell.counter(obsv::Counter::kFaultCellHang), 2u);
   EXPECT_EQ(cell.counter(obsv::Counter::kFaultCellCrash), 0u);
   EXPECT_EQ(injector.hits(Point::kCellHang), 2u);
-  // Backoff after each hung attempt: 1s << 0 + 1s << 1.
-  EXPECT_EQ(outcome.backoff_total, net::VirtualTime::from_seconds(3.0));
+  // Backoff after each hung attempt: 1s << 0 + 1s << 1, each jittered
+  // ±25% by the seed-pure schedule — the exact same virtual time any
+  // re-execution of cell 7 would charge.
+  EXPECT_EQ(outcome.backoff_total,
+            supervisor.backoff_for(7, 0) + supervisor.backoff_for(7, 1));
+}
+
+TEST(FaultpointMetrics, BackoffJitterIsSeedPureAndBounded) {
+  const core::SupervisorPolicy policy;
+  const core::CellSupervisor a(policy, nullptr, /*seed=*/0x05CA9u);
+  const core::CellSupervisor b(policy, nullptr, /*seed=*/0x05CA9u);
+  const core::CellSupervisor other(policy, nullptr, /*seed=*/0xBEEFu);
+
+  int differs = 0;
+  for (std::uint64_t cell = 0; cell < 32; ++cell) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto backoff = a.backoff_for(cell, attempt);
+      // Pure function of (seed, cell, attempt): equal seeds agree.
+      EXPECT_EQ(backoff, b.backoff_for(cell, attempt));
+      if (backoff != other.backoff_for(cell, attempt)) ++differs;
+      // Bounded: within ±25% of the capped exponential base.
+      const double base = std::min(policy.backoff_cap.seconds(),
+                                   policy.backoff_base.seconds() *
+                                       static_cast<double>(1ULL << attempt));
+      EXPECT_GE(backoff.seconds(), base * 0.75 - 1e-9);
+      EXPECT_LE(backoff.seconds(), base * 1.25 + 1e-9);
+    }
+  }
+  EXPECT_GT(differs, 0);  // the seed actually reaches the jitter
 }
 
 }  // namespace

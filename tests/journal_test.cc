@@ -245,6 +245,233 @@ TEST(ExperimentJournal, LoadCellDetectsSidecarCorruption) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(CellSidecar, LegacyRawPayloadRoundTripsAndRejectsDamage) {
+  // Sidecars written before framing existed are the raw payload with its
+  // own CRC footer; the parser must keep accepting them verbatim.
+  const IdsSnapshot ids = sample_snapshot();
+  const scan::ScanResult reference = sample_result();
+  const auto raw = serialize_cell_sidecar(ids, reference.l4_stats,
+                                          reference.attempt_histogram);
+
+  IdsSnapshot out_ids;
+  scan::ZMapScanner::Stats out_stats;
+  std::vector<std::uint64_t> out_histogram;
+  ASSERT_TRUE(parse_cell_sidecar(raw, out_ids, out_stats, out_histogram));
+  EXPECT_EQ(out_ids, ids);
+  EXPECT_TRUE(out_stats == reference.l4_stats);
+  EXPECT_EQ(out_histogram, reference.attempt_histogram);
+
+  // Truncation at any boundary is rejected, never over-read.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{15}, raw.size() - 1}) {
+    auto torn = raw;
+    torn.resize(keep);
+    EXPECT_FALSE(parse_cell_sidecar(torn, out_ids, out_stats, out_histogram))
+        << "accepted a sidecar truncated to " << keep << " bytes";
+  }
+  // A single flipped byte anywhere trips the CRC footer.
+  for (const std::size_t at : {std::size_t{0}, raw.size() / 2, raw.size() - 1}) {
+    auto flipped = raw;
+    flipped[at] ^= 0x40;
+    EXPECT_FALSE(
+        parse_cell_sidecar(flipped, out_ids, out_stats, out_histogram))
+        << "accepted a sidecar with byte " << at << " flipped";
+  }
+}
+
+TEST(ExperimentJournal, LoadCellAcceptsLegacyRawSidecar) {
+  const std::string dir = scratch_dir("journal_legacy_sidecar");
+  std::string error;
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  const scan::ScanResult result = sample_result();
+  const IdsSnapshot snapshot = sample_snapshot();
+  ASSERT_TRUE(journal->record_done(sample_key(), result, snapshot, 1, &error))
+      << error;
+  const JournalEntry& entry = journal->entries().front();
+
+  // Rewrite the framed .ids sidecar as a pre-framing journal would have
+  // written it: raw payload, no frame envelope.
+  const auto raw = serialize_cell_sidecar(snapshot, result.l4_stats,
+                                          result.attempt_histogram);
+  {
+    std::ofstream file(dir + "/" + entry.segment + ".ids",
+                       std::ios::binary | std::ios::trunc);
+    file.write(reinterpret_cast<const char*>(raw.data()),
+               static_cast<std::streamsize>(raw.size()));
+  }
+  IdsSnapshot loaded_snapshot;
+  const auto loaded = journal->load_cell(entry, &loaded_snapshot, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded_snapshot, snapshot);
+
+  // The legacy path is a fallback, not a CRC bypass: damage the raw
+  // payload and the load fails like any other corruption.
+  {
+    auto damaged = raw;
+    damaged[damaged.size() / 2] ^= 0x40;
+    std::ofstream file(dir + "/" + entry.segment + ".ids",
+                       std::ios::binary | std::ios::trunc);
+    file.write(reinterpret_cast<const char*>(damaged.data()),
+               static_cast<std::streamsize>(damaged.size()));
+  }
+  EXPECT_FALSE(journal->load_cell(entry, nullptr, &error).has_value());
+}
+
+TEST(ExperimentJournal, QuarantineDemotesAndReRecordSupersedes) {
+  const std::string dir = scratch_dir("journal_quarantine");
+  std::string error;
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  ASSERT_TRUE(journal->record_done(sample_key(), sample_result(),
+                                   sample_snapshot(), 1, &error))
+      << error;
+  ASSERT_TRUE(journal->settled(sample_key()));
+
+  // Quarantine demotes the cell to absent in this handle's view only.
+  journal->quarantine(sample_key());
+  EXPECT_EQ(journal->find(sample_key()), nullptr);
+  EXPECT_FALSE(journal->settled(sample_key()));
+
+  // Re-recording appends a fresh manifest line; last-wins replay at the
+  // next open resolves the pair to the fresh entry, not a duplicate.
+  ASSERT_TRUE(journal->record_done(sample_key(), sample_result(),
+                                   sample_snapshot(), 2, &error))
+      << error;
+  auto reopened = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(reopened.has_value()) << error;
+  ASSERT_EQ(reopened->entries().size(), 1u);
+  EXPECT_EQ(reopened->entries().front().attempts, 2);
+  EXPECT_TRUE(
+      reopened->load_cell(reopened->entries().front(), nullptr, &error)
+          .has_value())
+      << error;
+}
+
+TEST(ExperimentJournal, InjectedEnospcFailsWritesAndLatchesStorageDead) {
+  const std::string dir = scratch_dir("journal_enospc");
+  std::string error;
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+
+  const auto plan = fault::FaultPlan::parse("enospc:bytes=0");
+  ASSERT_TRUE(plan.has_value());
+  const fault::FaultInjector injector(*plan, 0xFA57u);
+  obsv::MetricBlock fault_metrics;
+  journal->set_fault_injector(&injector, &fault_metrics);
+
+  EXPECT_FALSE(journal->record_done(sample_key(), sample_result(),
+                                    sample_snapshot(), 1, &error));
+  EXPECT_NE(error.find("no space"), std::string::npos) << error;
+  EXPECT_TRUE(journal->storage_dead());
+  EXPECT_FALSE(journal->settled(sample_key()));
+  EXPECT_GT(fault_metrics.counter(obsv::Counter::kFaultEnospc), 0u);
+}
+
+TEST(ExperimentJournal, InjectedSegmentCorruptionIsCaughtAtLoad) {
+  const std::string dir = scratch_dir("journal_injected_corrupt");
+  std::string error;
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+
+  // File index 0 is the cell's .osnr segment: the write lands, then one
+  // seed-chosen byte flips — exactly the decay journal repair exists for.
+  const auto plan = fault::FaultPlan::parse("segment_corrupt:file=0");
+  ASSERT_TRUE(plan.has_value());
+  const fault::FaultInjector injector(*plan, 0xFA57u);
+  obsv::MetricBlock fault_metrics;
+  journal->set_fault_injector(&injector, &fault_metrics);
+
+  ASSERT_TRUE(journal->record_done(sample_key(), sample_result(),
+                                   sample_snapshot(), 1, &error))
+      << error;
+  EXPECT_FALSE(journal->storage_dead());  // corruption is not exhaustion
+  EXPECT_GT(fault_metrics.counter(obsv::Counter::kFaultSegmentCorrupt), 0u);
+  EXPECT_FALSE(
+      journal->load_cell(journal->entries().front(), nullptr, &error)
+          .has_value());
+}
+
+TEST(ExperimentJournal, RepairDropsCorruptEntriesAndTheirFollowers) {
+  const std::string dir = scratch_dir("journal_repair");
+  std::string error;
+  const CellKey one_t1{"ONE", proto::Protocol::kHttp, 1};
+  const CellKey one_t2{"ONE", proto::Protocol::kHttp, 2};
+  const CellKey two_t1{"TWO", proto::Protocol::kHttp, 1};
+  std::string corrupt_segment;
+  {
+    auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+    ASSERT_TRUE(journal.has_value()) << error;
+    for (const CellKey& key : {one_t1, one_t2, two_t1}) {
+      scan::ScanResult result = sample_result();
+      result.origin_code = key.origin_code;
+      result.trial = key.trial;
+      ASSERT_TRUE(journal->record_done(key, result, sample_snapshot(), 1,
+                                       &error))
+          << error;
+    }
+    corrupt_segment = journal->entries().front().segment;
+  }
+  // Flip one byte in ONE/t1's segment and tear the manifest's tail.
+  {
+    std::fstream file(dir + "/" + corrupt_segment + ".osnr",
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(40);
+    file.write("\x7f", 1);
+  }
+  {
+    std::ofstream manifest(dir + "/MANIFEST", std::ios::app);
+    manifest << "done ZZZ HTTP 0 attempts=1 sha256=ab segment=torn";
+  }
+
+  const auto report = ExperimentJournal::repair(dir, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  EXPECT_EQ(report->fingerprint, kFingerprint);
+  EXPECT_EQ(report->lines_dropped_malformed, 1u);  // the torn line
+  EXPECT_EQ(report->entries_dropped_corrupt, 1u);  // ONE/t1
+  // ONE/t2 ran from IDS state the dropped cell produced; adopting it
+  // would violate the chain-prefix invariant, so repair demotes it too.
+  EXPECT_EQ(report->entries_dropped_followers, 1u);
+  EXPECT_EQ(report->entries_kept, 1u);  // TWO/t1 survives
+
+  // The repaired directory opens cleanly and resumes: the surviving cell
+  // loads, the dropped ones are simply absent (they will re-run).
+  auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  ASSERT_EQ(journal->entries().size(), 1u);
+  EXPECT_EQ(journal->entries().front().key, two_t1);
+  EXPECT_TRUE(
+      journal->load_cell(journal->entries().front(), nullptr, &error)
+          .has_value())
+      << error;
+}
+
+TEST(ExperimentJournal, RepairRescuesAMalformedManifest) {
+  const std::string dir = scratch_dir("journal_repair_malformed");
+  std::string error;
+  {
+    auto journal = ExperimentJournal::open(dir, kFingerprint, &error);
+    ASSERT_TRUE(journal.has_value()) << error;
+    ASSERT_TRUE(journal->record_done(sample_key(), sample_result(),
+                                     sample_snapshot(), 1, &error))
+        << error;
+  }
+  {
+    std::ofstream manifest(dir + "/MANIFEST", std::ios::app);
+    manifest << "frobnicate ONE HTTP 0 attempts=1\n";
+  }
+  // A malformed line makes a normal open refuse the directory...
+  EXPECT_FALSE(ExperimentJournal::open(dir, kFingerprint, &error).has_value());
+  // ...and repair is the documented way back.
+  const auto report = ExperimentJournal::repair(dir, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  EXPECT_EQ(report->lines_dropped_malformed, 1u);
+  EXPECT_EQ(report->entries_kept, 1u);
+  EXPECT_TRUE(ExperimentJournal::open(dir, kFingerprint, &error).has_value())
+      << error;
+}
+
 TEST(ExperimentJournal, RecordsAndReplaysLostCells) {
   const std::string dir = scratch_dir("journal_lost");
   std::string error;

@@ -23,6 +23,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -32,6 +33,7 @@
 #include "sim/scenario.h"
 #include "core/analysis/coverage.h"
 #include "core/classify.h"
+#include "core/chaos.h"
 #include "core/experiment.h"
 #include "core/journal.h"
 #include "core/store.h"
@@ -67,6 +69,8 @@ struct Args {
   std::string metrics_out;  // experiment/scan: metrics snapshot JSON
   std::string trace_out;    // experiment/scan: Chrome trace_event JSON
   int workers = 0;  // experiment: worker processes (0 = in-process run)
+  int rounds = 25;  // chaos: randomized episodes to run
+  bool json = false;  // journal inspect: machine-readable output
   // worker subcommand only (spawned by the master, not by hand):
   int fd = -1;           // inherited socketpair transport fd
   int worker_index = 0;  // index the master assigned this worker
@@ -76,8 +80,9 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: originscan "
-      "<experiment|analyze|scan|sweep|topology|origins> [options]\n"
-      "       originscan journal inspect --resume-dir DIR\n"
+      "<experiment|analyze|scan|sweep|chaos|topology|origins> [options]\n"
+      "       originscan journal inspect --resume-dir DIR [--json]\n"
+      "       originscan journal repair --resume-dir DIR\n"
       "  --scale N      universe exponent, 12..22 (default 16)\n"
       "  --universe-bits N  sweep: procedural universe exponent, 20..32\n"
       "                 (default 28; 32 sweeps all 4.3B addresses\n"
@@ -108,11 +113,24 @@ void usage() {
       "  --trace-out F  experiment/scan: write a Chrome trace_event JSON\n"
       "                 timeline of the virtual-clock scan phases (open in\n"
       "                 chrome://tracing or ui.perfetto.dev)\n"
+      "  --rounds N     chaos: randomized fault episodes to run (default\n"
+      "                 25); each is a pure function of (--seed, round)\n"
       "\n"
       "  analyze re-runs the coverage analysis on saved results; use the\n"
       "  same --scale/--seed the experiment ran with.\n"
+      "  chaos soak-tests the recovery machinery: every episode must end\n"
+      "  byte-identical to a serial reference or as an honestly labeled\n"
+      "  partial grid (exit 0 = no invariant violations, 1 = violations;\n"
+      "  --resume-dir overrides the scratch root, --metrics-out dumps the\n"
+      "  chaos.*/journal.*/fault.* counters).\n"
       "  journal inspect lists a journal's cells and verifies their\n"
-      "  segment checksums.\n");
+      "  segment checksums; --json emits a machine-readable report.\n"
+      "  Exit codes: 0 = every entry verifies, 1 = journal unreadable or\n"
+      "  corrupt entries found, 2 = usage error.\n"
+      "  journal repair rewrites a damaged run directory in place:\n"
+      "  malformed/torn manifest lines and entries failing verification\n"
+      "  are dropped (with their chain followers) so the directory is\n"
+      "  resumable again. Exit 0 = repaired, 1 = unrepairable, 2 = usage.\n");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -120,16 +138,25 @@ bool parse_args(int argc, char** argv, Args& args) {
   args.command = argv[1];
   int first_flag = 2;
   if (args.command == "journal") {
-    if (argc < 3 || std::strcmp(argv[2], "inspect") != 0) {
-      std::fprintf(stderr, "journal supports one subcommand: inspect\n");
+    if (argc >= 3 && std::strcmp(argv[2], "inspect") == 0) {
+      args.command = "journal-inspect";
+    } else if (argc >= 3 && std::strcmp(argv[2], "repair") == 0) {
+      args.command = "journal-repair";
+    } else {
+      std::fprintf(stderr,
+                   "journal supports two subcommands: inspect, repair\n");
       return false;
     }
-    args.command = "journal-inspect";
     first_flag = 3;
   }
   for (int i = first_flag; i < argc; i += 2) {
-    if (i + 1 >= argc) return false;
     const std::string flag = argv[i];
+    if (flag == "--json") {  // boolean: consumes no value
+      args.json = true;
+      --i;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
     const std::string value = argv[i + 1];
     if (flag == "--scale") {
       args.scale = std::atoi(value.c_str());
@@ -165,6 +192,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.trace_out = value;
     } else if (flag == "--workers") {
       args.workers = std::atoi(value.c_str());
+    } else if (flag == "--rounds") {
+      args.rounds = std::atoi(value.c_str());
     } else if (flag == "--fd") {
       args.fd = std::atoi(value.c_str());
     } else if (flag == "--worker-index") {
@@ -196,6 +225,10 @@ bool parse_args(int argc, char** argv, Args& args) {
   }
   if (args.workers < 0 || args.workers > 64) {
     std::fprintf(stderr, "--workers must be in [0, 64]\n");
+    return false;
+  }
+  if (args.rounds < 1 || args.rounds > 100000) {
+    std::fprintf(stderr, "--rounds must be in [1, 100000]\n");
     return false;
   }
   return true;
@@ -605,6 +638,36 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 int cmd_journal_inspect(const Args& args) {
   if (args.resume_dir.empty()) {
     std::fprintf(stderr, "journal inspect requires --resume-dir DIR\n");
@@ -615,38 +678,183 @@ int cmd_journal_inspect(const Args& args) {
       core::ExperimentJournal::open(args.resume_dir, /*fingerprint=*/"",
                                     &error);
   if (!journal.has_value()) {
-    std::fprintf(stderr, "cannot open journal %s: %s\n",
-                 args.resume_dir.c_str(), error.c_str());
+    if (args.json) {
+      std::printf("{\"dir\": \"%s\", \"error\": \"%s\"}\n",
+                  json_escape(args.resume_dir).c_str(),
+                  json_escape(error).c_str());
+    } else {
+      std::fprintf(stderr, "cannot open journal %s: %s\n",
+                   args.resume_dir.c_str(), error.c_str());
+    }
     return 1;
   }
-  std::printf("journal %s\nfingerprint %s\n", journal->dir().c_str(),
-              journal->fingerprint().c_str());
 
-  report::Table table({"cell", "status", "attempts", "records", "integrity"});
+  // Per-cell verdicts: every done entry's segment + sidecars are fully
+  // verified (CRC frames, store checksums, manifest digest).
+  struct Verdict {
+    const core::JournalEntry* entry;
+    bool ok = false;
+    std::size_t records = 0;
+    std::string detail;  // load error (corrupt) or loss reason (lost)
+  };
+  std::vector<Verdict> verdicts;
+  std::size_t done = 0;
+  std::size_t lost = 0;
   std::size_t corrupt = 0;
   for (const auto& entry : journal->entries()) {
+    Verdict verdict{&entry};
+    if (entry.status == core::JournalEntry::Status::kLost) {
+      ++lost;
+      verdict.ok = true;  // an honest loss is not an integrity failure
+      verdict.detail = entry.reason;
+    } else {
+      ++done;
+      std::string load_error;
+      const auto result = journal->load_cell(entry, nullptr, &load_error);
+      if (result.has_value()) {
+        verdict.ok = true;
+        verdict.records = result->records.size();
+      } else {
+        ++corrupt;
+        verdict.detail = load_error;
+      }
+    }
+    verdicts.push_back(std::move(verdict));
+  }
+
+  if (args.json) {
+    std::printf("{\n");
+    std::printf("  \"dir\": \"%s\",\n", json_escape(journal->dir()).c_str());
+    std::printf("  \"fingerprint\": \"%s\",\n",
+                journal->fingerprint().c_str());
+    std::printf("  \"entries\": %zu,\n", journal->entries().size());
+    std::printf("  \"done\": %zu,\n", done);
+    std::printf("  \"lost\": %zu,\n", lost);
+    // Corrupt entries are what a resume (or `journal repair`) will
+    // quarantine; the torn flag records a crash mid-manifest-append.
+    std::printf("  \"quarantine_candidates\": %zu,\n", corrupt);
+    std::printf("  \"torn_line_dropped\": %s,\n",
+                journal->dropped_torn_line() ? "true" : "false");
+    std::printf("  \"cells\": [\n");
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      const Verdict& verdict = verdicts[i];
+      const core::JournalEntry& entry = *verdict.entry;
+      std::printf("    {\"origin\": \"%s\", \"protocol\": \"%s\", "
+                  "\"trial\": %d, \"status\": \"%s\", \"attempts\": %d, "
+                  "\"records\": %zu, \"verdict\": \"%s\"",
+                  json_escape(entry.key.origin_code).c_str(),
+                  std::string(proto::name_of(entry.key.protocol)).c_str(),
+                  entry.key.trial + 1,
+                  entry.status == core::JournalEntry::Status::kLost ? "lost"
+                                                                    : "done",
+                  entry.attempts, verdict.records,
+                  entry.status == core::JournalEntry::Status::kLost
+                      ? "lost"
+                      : (verdict.ok ? "ok" : "corrupt"));
+      if (!verdict.detail.empty()) {
+        std::printf(", \"detail\": \"%s\"",
+                    json_escape(verdict.detail).c_str());
+      }
+      std::printf("}%s\n", i + 1 < verdicts.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return corrupt == 0 ? 0 : 1;
+  }
+
+  std::printf("journal %s\nfingerprint %s\n", journal->dir().c_str(),
+              journal->fingerprint().c_str());
+  report::Table table({"cell", "status", "attempts", "records", "integrity"});
+  for (const Verdict& verdict : verdicts) {
+    const core::JournalEntry& entry = *verdict.entry;
     if (entry.status == core::JournalEntry::Status::kLost) {
       table.add_row({cell_to_string(entry.key), "lost",
                      std::to_string(entry.attempts), "-",
-                     "(" + entry.reason + ")"});
-      continue;
-    }
-    std::string load_error;
-    const auto result = journal->load_cell(entry, nullptr, &load_error);
-    if (result.has_value()) {
+                     "(" + verdict.detail + ")"});
+    } else if (verdict.ok) {
       table.add_row({cell_to_string(entry.key), "done",
                      std::to_string(entry.attempts),
-                     std::to_string(result->records.size()), "ok"});
+                     std::to_string(verdict.records), "ok"});
     } else {
-      ++corrupt;
       table.add_row({cell_to_string(entry.key), "done",
                      std::to_string(entry.attempts), "-",
-                     "CORRUPT: " + load_error});
+                     "CORRUPT: " + verdict.detail});
     }
   }
   std::printf("%s%zu entries, %zu corrupt\n", table.to_string().c_str(),
               journal->entries().size(), corrupt);
+  if (corrupt > 0) {
+    std::printf("run `originscan journal repair --resume-dir %s` to drop "
+                "the corrupt entries and make the directory resumable\n",
+                args.resume_dir.c_str());
+  }
   return corrupt == 0 ? 0 : 1;
+}
+
+int cmd_journal_repair(const Args& args) {
+  if (args.resume_dir.empty()) {
+    std::fprintf(stderr, "journal repair requires --resume-dir DIR\n");
+    return 2;
+  }
+  std::string error;
+  const auto report = core::ExperimentJournal::repair(args.resume_dir, &error);
+  if (!report.has_value()) {
+    std::fprintf(stderr, "cannot repair journal %s: %s\n",
+                 args.resume_dir.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("repaired journal %s (fingerprint %s)\n"
+              "  entries kept:               %zu\n"
+              "  manifest lines dropped:     %zu (malformed or torn)\n"
+              "  corrupt entries dropped:    %zu\n"
+              "  chain followers dropped:    %zu\n",
+              args.resume_dir.c_str(), report->fingerprint.c_str(),
+              report->entries_kept, report->lines_dropped_malformed,
+              report->entries_dropped_corrupt,
+              report->entries_dropped_followers);
+  std::printf("resume with the original flags and the same --resume-dir to "
+              "re-run the dropped cells\n");
+  return 0;
+}
+
+int cmd_chaos(const Args& args) {
+  core::ChaosOptions options;
+  options.rounds = args.rounds;
+  options.seed = args.seed;
+  if (!args.resume_dir.empty()) options.work_dir = args.resume_dir;
+  obsv::MetricsRegistry registry;
+  options.metrics = &registry;
+  options.progress = [](std::string_view line) {
+    std::printf("  %.*s\n", static_cast<int>(line.size()), line.data());
+  };
+  std::printf("chaos soak: %d rounds, seed %llu\n", args.rounds,
+              static_cast<unsigned long long>(args.seed));
+  const core::ChaosReport report = core::run_chaos_soak(options);
+
+  const auto snapshot = registry.snapshot();
+  std::printf(
+      "episodes: %d (%d resumed after a kill, %d ended as labeled partial "
+      "grids)\n"
+      "quarantined: %llu corrupt cells + %llu chain followers\n"
+      "storage: %llu journal writes failed (fault.enospc=%llu)\n",
+      report.rounds, report.resumes, report.partial_grids,
+      static_cast<unsigned long long>(report.quarantined_cells),
+      static_cast<unsigned long long>(report.quarantined_followers),
+      static_cast<unsigned long long>(
+          snapshot.counter(obsv::Counter::kJournalWritesFailed)),
+      static_cast<unsigned long long>(
+          snapshot.counter(obsv::Counter::kFaultEnospc)));
+  if (!write_observability(args, snapshot, nullptr)) return 1;
+  if (!report.passed()) {
+    for (const std::string& violation : report.violations) {
+      std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", violation.c_str());
+    }
+    std::fprintf(stderr, "%zu invariant violation(s) — reproduce any round "
+                 "with the same --seed\n",
+                 report.violations.size());
+    return 1;
+  }
+  std::printf("0 invariant violations\n");
+  return 0;
 }
 
 int cmd_topology(const Args& args) {
@@ -694,6 +902,8 @@ int main(int argc, char** argv) {
   if (args.command == "experiment") return cmd_experiment(args);
   if (args.command == "worker") return cmd_worker(args);
   if (args.command == "journal-inspect") return cmd_journal_inspect(args);
+  if (args.command == "journal-repair") return cmd_journal_repair(args);
+  if (args.command == "chaos") return cmd_chaos(args);
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "scan") return cmd_scan(args);
   if (args.command == "sweep") return cmd_sweep(args);
