@@ -6,6 +6,11 @@
 #                      the parallel output ever diverges)
 #
 # Usage: bench/record.sh [build-dir]   (default: build)
+#
+# Refuses Debug builds: a Debug baseline would make every optimized
+# build look like a regression (or worse, hide one). The build type is
+# read from CMakeCache.txt and stamped into both JSON files as
+# "repo_build_type" so a committed baseline records what produced it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,9 +22,33 @@ if [[ ! -x "$BUILD_DIR/bench/micro_scanner" || ! -x "$BUILD_DIR/bench/wall_clock
   exit 1
 fi
 
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  echo "bench/record.sh: no CMakeCache.txt in $BUILD_DIR — not a cmake build dir" >&2
+  exit 1
+fi
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")"
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo|MinSizeRel)
+    ;;
+  *)
+    echo "bench/record.sh: refusing to record baselines from a" >&2
+    echo "  CMAKE_BUILD_TYPE='$BUILD_TYPE' build (need Release/RelWithDebInfo/MinSizeRel):" >&2
+    echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+    ;;
+esac
+
+# Stamp the build type as the first key of the top-level JSON object.
+stamp_build_type() {
+  local file="$1"
+  sed -i "0,/^{/s/^{/{\n  \"repo_build_type\": \"$BUILD_TYPE\",/" "$file"
+}
+
 "$BUILD_DIR/bench/micro_scanner" --benchmark_format=json > BENCH_micro.json
-echo "wrote BENCH_micro.json"
+stamp_build_type BENCH_micro.json
+echo "wrote BENCH_micro.json ($BUILD_TYPE)"
 
 "$BUILD_DIR/bench/wall_clock" > BENCH_wall.json
-echo "wrote BENCH_wall.json"
+stamp_build_type BENCH_wall.json
+echo "wrote BENCH_wall.json ($BUILD_TYPE)"
 cat BENCH_wall.json

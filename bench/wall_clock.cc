@@ -186,6 +186,35 @@ int main(int argc, char** argv) {
       scan_serial.banners == scan_parallel.banners &&
       scan_serial.l4_stats == scan_parallel.l4_stats;
 
+  // One serial procedural sweep through the batched SoA pipeline
+  // (DESIGN.md §13) — the per-probe figure the 2^32 manual invocation
+  // scales from, small enough (2^20) to ride along in the grid run.
+  double sweep_batched_pps = 0.0;
+  {
+    sim::ScenarioConfig sweep_config = sim::ScenarioConfig::full_internet(20);
+    sweep_config.seed = 0x05CA9;
+    const sim::World sweep_world = sim::build_world(
+        sweep_config, sim::paper_origins(sweep_config.universe_size));
+    sim::TrialContext sweep_context;
+    sweep_context.experiment_seed = sweep_config.seed;
+    sweep_context.simultaneous_origins =
+        static_cast<int>(sweep_world.origins.size());
+    sim::PersistentState sweep_persistent;
+    sim::Internet sweep_internet(&sweep_world, sweep_context,
+                                 &sweep_persistent);
+    scan::SweepOptions sweep_options;
+    sweep_options.jobs = 1;
+    const auto sweep_start = std::chrono::steady_clock::now();
+    const scan::SweepResult sweep =
+        scan::run_l4_sweep(sweep_internet, sweep_world.origin_id("US1"),
+                           proto::Protocol::kHttp, sweep_options);
+    const double sweep_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - sweep_start)
+                               .count();
+    sweep_batched_pps =
+        static_cast<double>(sweep.l4_stats.packets_sent) / sweep_s;
+  }
+
   // Throughput in simulated probe packets per wall-clock second — the
   // number the README's hot-path table quotes.
   std::uint64_t experiment_packets = 0;
@@ -211,13 +240,14 @@ int main(int argc, char** argv) {
       "  \"scan_parallel_s\": %.3f,\n"
       "  \"scan_speedup\": %.2f,\n"
       "  \"scan_serial_pps\": %.0f,\n"
-      "  \"scan_identical\": %s\n"
+      "  \"scan_identical\": %s,\n"
+      "  \"sweep_batched_pps\": %.0f\n"
       "}\n",
       universe, jobs, core::hardware_jobs(), experiment_serial_s,
       experiment_parallel_s, experiment_serial_s / experiment_parallel_s,
       experiment_pps, experiment_identical ? "true" : "false", scan_serial_s,
       scan_parallel_s, scan_serial_s / scan_parallel_s, scan_pps,
-      scan_identical ? "true" : "false");
+      scan_identical ? "true" : "false", sweep_batched_pps);
 
   // Determinism is part of the contract: a fast-but-different parallel
   // run is a failure, not a result.

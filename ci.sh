@@ -66,6 +66,16 @@ run_chaos() {
 
 run_bench() {
   configure_and_build build
+  # The committed baseline must cover the batched SoA pipeline
+  # (DESIGN.md §13): a baseline recorded before those benches existed
+  # would silently exempt the batch hot path from the regression gate.
+  for bench in BM_HandleProbeBatch BM_ResolveBatch BM_MixBatch4; do
+    if ! grep -q "\"$bench\"" BENCH_micro.json; then
+      echo "ci.sh bench: $bench missing from BENCH_micro.json —" >&2
+      echo "  re-record with bench/record.sh from a Release build" >&2
+      exit 1
+    fi
+  done
   # Short repetitions keep the lane fast; the 25% gate (bench_gate's
   # default) absorbs the extra noise that buys.
   build/bench/micro_scanner --benchmark_format=json \
@@ -86,7 +96,7 @@ run_bench() {
 run_tsan() {
   configure_and_build build-tsan -DORIGINSCAN_SANITIZE=thread
   (cd build-tsan &&
-    ctest -R 'parallel_test|scanner_test|sim_test|core_test|journal_test|crash_resume_test|differential_test|dist_test|chaos_test' \
+    ctest -R 'parallel_test|scanner_test|sim_test|core_test|journal_test|crash_resume_test|differential_test|dist_test|chaos_test|batch_test' \
       --output-on-failure)
 }
 

@@ -35,6 +35,35 @@ constexpr std::uint64_t mix_u64(std::uint64_t a, std::uint64_t b = 0,
   return out;
 }
 
+// Four-lane unrolled mix_u64: computes mix_u64(a[i], b[i], c, d) for
+// i = 0..3 into out[0..3]. The lanes are fully independent dependency
+// chains, so a superscalar core overlaps the 64-bit multiplies that
+// serialize the scalar kernel (x86-64 has no packed 64-bit multiply, so
+// the win here is instruction-level parallelism, not SIMD). Results are
+// bit-identical to four scalar mix_u64 calls — the batch probe pipeline
+// relies on that for scalar/batch byte-identity.
+constexpr void mix_u64_x4(const std::uint64_t a[4], const std::uint64_t b[4],
+                          std::uint64_t c, std::uint64_t d,
+                          std::uint64_t out[4]) {
+  std::uint64_t state[4];
+  for (int i = 0; i < 4; ++i) state[i] = a[i];
+  for (int i = 0; i < 4; ++i) out[i] = splitmix64(state[i]);
+  for (int i = 0; i < 4; ++i) state[i] ^= b[i] + 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < 4; ++i) out[i] ^= splitmix64(state[i]);
+  for (int i = 0; i < 4; ++i) state[i] ^= c + 0xC2B2AE3D27D4EB4FULL;
+  for (int i = 0; i < 4; ++i) out[i] ^= splitmix64(state[i]);
+  for (int i = 0; i < 4; ++i) state[i] ^= d + 0x165667B19E3779F9ULL;
+  for (int i = 0; i < 4; ++i) out[i] ^= splitmix64(state[i]);
+}
+
+// Scalar-b convenience overload: mix_u64(a[i], b, c, d) per lane.
+constexpr void mix_u64_x4(const std::uint64_t a[4], std::uint64_t b,
+                          std::uint64_t c, std::uint64_t d,
+                          std::uint64_t out[4]) {
+  const std::uint64_t bs[4] = {b, b, b, b};
+  mix_u64_x4(a, bs, c, d, out);
+}
+
 // xoshiro256**: the workhorse generator. Satisfies (most of) the
 // UniformRandomBitGenerator requirements so it composes with <random>,
 // but the distribution helpers below avoid <random>'s

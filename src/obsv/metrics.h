@@ -110,12 +110,16 @@ namespace originscan::obsv {
     "src/core/experiment.cc:run_journaled")                                   \
   X(kExperimentCellsLost, "experiment.cells_lost", "cells",                   \
     "src/core/experiment.cc:run_journaled")                                   \
-  X(kUniverseBlockCacheHit, "universe.block_cache_hit", "lookups",            \
-    "src/sim/internet.cc:ProbeContext::resolve")                              \
-  X(kUniverseBlockCacheMiss, "universe.block_cache_miss", "lookups",          \
-    "src/sim/internet.cc:ProbeContext::resolve")                              \
+  X(kUniverseBlockCacheHit, "universe.block_cache_hit", "fetches",           \
+    "src/sim/internet.cc:ProbeContext::resolve_batch")                        \
+  X(kUniverseBlockCacheMiss, "universe.block_cache_miss", "fetches",         \
+    "src/sim/internet.cc:ProbeContext::resolve_batch")                        \
   X(kUniverseProceduralDerivations, "universe.procedural_derivations",        \
-    "hosts", "src/sim/internet.cc:ProbeContext::resolve")                     \
+    "hosts", "src/sim/internet.cc:ProbeContext::resolve_batch")               \
+  X(kUniverseBatchBatches, "universe.batch.batches", "batches",               \
+    "src/sim/internet.cc:ProbeContext::resolve_batch")                        \
+  X(kUniverseBatchTargets, "universe.batch.targets", "targets",               \
+    "src/sim/internet.cc:ProbeContext::resolve_batch")                        \
   X(kDistWorkersSpawned, "dist.workers_spawned", "processes",                 \
     "src/core/dist.cc:GridMaster")                                            \
   X(kDistWorkersRestarted, "dist.workers_restarted", "processes",             \

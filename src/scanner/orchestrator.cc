@@ -274,9 +274,9 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
   std::vector<std::function<void()>> tasks;
   tasks.reserve(lanes.size());
   const auto make_lane_task = [&](std::span<const ScheduledTarget> targets,
-                                  LaneOutput& lane) {
+                                  LaneOutput& lane, bool serial) {
     return [&internet, origin, &zmap_config, &zgrab_config, &options,
-            targets, &lane] {
+            targets, &lane, serial] {
       // Each lane scans through config copies pointing at its own metric
       // shard, keeping the blocks single-writer (nullptr when disabled).
       ZMapConfig lane_zmap = zmap_config;
@@ -287,17 +287,22 @@ ScanResult run_scan(sim::Internet& internet, sim::OriginId origin,
       }
       ZMapScanner zmap(lane_zmap, &internet, origin);
       ZGrabEngine zgrab(lane_zgrab, &internet, origin);
-      lane.stats = zmap.run_scheduled(
-          targets,
+      const auto collect =
           make_collector(internet, origin, zgrab, options, lane.records,
-                         lane.banners, lane.attempt_histogram));
+                         lane.banners, lane.attempt_histogram);
+      // The deferred rate-IDS lane stays on the scalar reference path
+      // (DESIGN.md §13); shard lanes ride the SoA batch pipeline.
+      lane.stats = serial ? zmap.run_scheduled_serial(targets, collect)
+                          : zmap.run_scheduled(targets, collect);
     };
   };
   // The deferred lane goes first: it is the one lane that cannot be
   // split, so it should never sit behind shard lanes in the queue.
-  tasks.push_back(make_lane_task(schedule.deferred, lanes.back()));
+  tasks.push_back(
+      make_lane_task(schedule.deferred, lanes.back(), /*serial=*/true));
   for (std::size_t i = 0; i < schedule.shards.size(); ++i) {
-    tasks.push_back(make_lane_task(schedule.shards[i], lanes[i]));
+    tasks.push_back(
+        make_lane_task(schedule.shards[i], lanes[i], /*serial=*/false));
   }
   core::run_parallel(jobs, std::move(tasks));
 
@@ -486,16 +491,23 @@ SweepResult run_l4_sweep(sim::Internet& internet, sim::OriginId origin,
 
     std::vector<std::function<void()>> tasks;
     tasks.reserve(lanes.size());
-    const auto add_task = [&tasks](SweepLane& lane) {
+    const auto add_task = [&tasks](SweepLane& lane, bool serial) {
       if (lane.targets.empty()) return;
-      tasks.push_back([&lane] {
-        lane.stats += lane.scanner->run_scheduled(lane.targets, lane.collect);
+      tasks.push_back([&lane, serial] {
+        // The deferred rate-IDS lane keeps the scalar reference path;
+        // shard lanes ride the SoA batch pipeline (DESIGN.md §13).
+        lane.stats +=
+            serial ? lane.scanner->run_scheduled_serial(lane.targets,
+                                                        lane.collect)
+                   : lane.scanner->run_scheduled(lane.targets, lane.collect);
       });
     };
     // Deferred lane first: it cannot be split, so it must not queue
     // behind shard lanes.
-    add_task(lanes.back());
-    for (std::size_t i = 0; i + 1 < lanes.size(); ++i) add_task(lanes[i]);
+    add_task(lanes.back(), /*serial=*/true);
+    for (std::size_t i = 0; i + 1 < lanes.size(); ++i) {
+      add_task(lanes[i], /*serial=*/false);
+    }
     if (!tasks.empty()) core::run_parallel(jobs, std::move(tasks));
   }
 

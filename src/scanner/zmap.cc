@@ -1,5 +1,6 @@
 #include "scanner/zmap.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 
@@ -7,6 +8,10 @@
 #include "netbase/rng.h"
 
 namespace originscan::scan {
+
+// run() feeds permutation refills straight into the SoA pipeline; the
+// two batch sizes must agree so a refill is exactly one probe batch.
+static_assert(ZMapScanner::kRunBatch == sim::ProbeBatch::kCapacity);
 
 ZMapScanner::ZMapScanner(const ZMapConfig& config, sim::Internet* internet,
                          sim::OriginId origin)
@@ -154,6 +159,158 @@ void ZMapScanner::probe_target(
   }
 }
 
+void ZMapScanner::probe_batch(
+    std::span<const ScheduledTarget> targets, std::uint64_t slot_stride,
+    double seconds_per_packet, std::uint16_t dst_port, Stats& stats,
+    const std::function<void(const L4Result&)>& on_result) {
+  const int count = static_cast<int>(targets.size());
+  const int probes = config_.probes;
+  assert(count <= sim::ProbeBatch::kCapacity);
+  assert(probes <= sim::ProbeBatch::kMaxProbes);
+  obsv::MetricBlock* const metrics = config_.metrics;
+  sim::ProbeBatch& batch = batch_;
+  batch.size = count;
+  batch.probes = probes;
+
+  stats.targets_probed += static_cast<std::uint64_t>(count);
+  if (metrics != nullptr) {
+    metrics->add(obsv::Counter::kZmapTargetsProbed,
+                 static_cast<std::uint64_t>(count));
+  }
+
+  // Fill pass: addresses, per-probe send times (the virtual clock is a
+  // pure function of the global schedule slot, computed exactly as the
+  // scalar path does), and the delivered mask after send-layer faults.
+  std::uint64_t send_failures_total = 0;
+  std::uint64_t send_drops = 0;
+  const std::uint8_t all_probes_mask =
+      static_cast<std::uint8_t>((1u << probes) - 1);
+  for (int i = 0; i < count; ++i) {
+    const net::Ipv4Addr dst = targets[i].addr;
+    batch.addr[i] = dst;
+    std::uint8_t sent = all_probes_mask;
+    for (int p = 0; p < probes; ++p) {
+      const std::uint64_t slot =
+          targets[i].first_packet +
+          static_cast<std::uint64_t>(p) * slot_stride;
+      std::int64_t us = net::VirtualTime::from_seconds(
+                            static_cast<double>(slot) * seconds_per_packet)
+                            .micros();
+      if (p > 0) us += config_.probe_interval.micros() * p;
+      batch.time_us[p * sim::ProbeBatch::kCapacity + i] = us;
+      if (config_.faults != nullptr) {
+        const int failures = config_.faults->send_failures(slot, dst);
+        if (failures > kSendRetries) {  // unreachable by injector contract
+          sent &= static_cast<std::uint8_t>(~(1u << p));
+          continue;
+        }
+        send_failures_total += static_cast<std::uint64_t>(failures);
+        if (config_.faults->drop_at_slot(slot, dst)) {
+          sent &= static_cast<std::uint8_t>(~(1u << p));
+          ++send_drops;  // lost in flight; the send itself still counts
+        }
+      }
+    }
+    batch.sent_mask[i] = sent;
+  }
+  // Every probe was sent (send failures are retried in place and never
+  // exceed the retry budget), so the send counters are batch-constant.
+  stats.packets_sent += static_cast<std::uint64_t>(count) * probes;
+  if (metrics != nullptr) {
+    metrics->add(obsv::Counter::kZmapProbesSent,
+                 static_cast<std::uint64_t>(count) * probes);
+    if (send_failures_total != 0) {
+      metrics->add(obsv::Counter::kZmapSendRetries, send_failures_total);
+      metrics->add(obsv::Counter::kFaultSendFail, send_failures_total);
+    }
+    if (send_drops != 0) {
+      metrics->add(obsv::Counter::kFaultProbeDrop, send_drops);
+    }
+  }
+
+  context_.resolve_batch(batch);
+  internet_->handle_probe_batch(context_, batch);
+
+  // Emission pass: only live probes re-enter the scalar path, in the
+  // exact (target, probe) order of the serial sweep — the policy
+  // engine's rate-IDS state is the one order-sensitive consumer. The
+  // replayed ladder decisions are deterministic and pass by
+  // construction; probe() continues to IDS, response build, and reverse
+  // loss.
+  //
+  // The SYN carries zeroed seq/src_port: the simulated responder echoes
+  // the SYN's MAC material back, so validator_.validate() on an
+  // uncorrupted in-sim response always succeeds and its outcome here is
+  // exactly !corrupt_response — the fields_for/validate pair is skipped
+  // wholesale. (The differential harness checks real MAC validation on
+  // the wire-level scalar path.)
+  for (int i = 0; i < count; ++i) {
+    const std::uint8_t live = batch.live_mask[i];
+    if (live == 0) continue;
+    const net::Ipv4Addr dst = batch.addr[i];
+    const net::Ipv4Addr src_ip = source_ip_for(dst);
+
+    sim::ResolvedTarget target;
+    target.addr = dst;
+    target.as = batch.as[i];
+    target.host = batch.host[i];
+    target.has_host = true;
+
+    L4Result result;
+    result.addr = dst;
+    result.source_ip = src_ip;
+    result.probe_time = net::VirtualTime::from_seconds(
+        static_cast<double>(targets[i].first_packet) * seconds_per_packet);
+
+    net::TcpPacket syn;
+    syn.ip.src = src_ip;
+    syn.ip.dst = dst;
+    syn.ip.ttl = 255;
+    syn.tcp.dst_port = dst_port;
+    syn.tcp.flags.syn = true;
+
+    for (int p = 0; p < probes; ++p) {
+      if (((live >> p) & 1) == 0) continue;
+      const std::uint64_t slot =
+          targets[i].first_packet +
+          static_cast<std::uint64_t>(p) * slot_stride;
+      const auto t = net::VirtualTime::from_micros(
+          batch.time_us[p * sim::ProbeBatch::kCapacity + i]);
+      auto response = context_.probe(target, syn, t, p);
+      if (!response) continue;  // IDS verdict or reverse-direction loss
+      if (config_.faults != nullptr &&
+          config_.faults->corrupt_response(slot, dst)) {
+        ++stats.validation_failures;
+        if (metrics != nullptr) {
+          metrics->add(obsv::Counter::kFaultMacCorrupt);
+          metrics->add(obsv::Counter::kZmapValidationFailures);
+        }
+        continue;
+      }
+      if (response->tcp.flags.syn && response->tcp.flags.ack) {
+        result.synack_mask |= static_cast<std::uint8_t>(1u << p);
+        ++stats.synacks;
+        if (metrics != nullptr) {
+          metrics->add(obsv::Counter::kZmapResponsesSynack);
+        }
+      } else if (response->tcp.flags.rst) {
+        result.rst_mask |= static_cast<std::uint8_t>(1u << p);
+        ++stats.rsts;
+        if (metrics != nullptr) metrics->add(obsv::Counter::kZmapResponsesRst);
+      }
+      if (metrics != nullptr && p == probes - 1 &&
+          (response->tcp.flags.rst ||
+           (response->tcp.flags.syn && response->tcp.flags.ack))) {
+        metrics->add(obsv::Counter::kZmapCooldownResponses);
+      }
+    }
+
+    if (result.synack_mask != 0 || result.rst_mask != 0) {
+      on_result(result);
+    }
+  }
+}
+
 ZMapScanner::Stats ZMapScanner::run(
     const std::function<void(const L4Result&)>& on_result) {
   Stats stats;
@@ -163,6 +320,9 @@ ZMapScanner::Stats ZMapScanner::run(
   const double seconds_per_packet =
       1.0 / config_.effective_pps(config_.universe_size);
   const std::uint16_t dst_port = proto::port_of(config_.protocol);
+  // A probe count past the result masks' width falls back to the scalar
+  // path (nothing ships such a config; the masks are 8 bits).
+  const bool batched = config_.probes <= sim::ProbeBatch::kMaxProbes;
 
   std::uint64_t targets_sent = 0;
 
@@ -171,12 +331,15 @@ ZMapScanner::Stats ZMapScanner::run(
   // order, keeping the modmul recurrence in registers, and cancellation
   // is polled once per refill — cheap enough to stay out of the
   // per-packet path, frequent enough that a tripped token stops the
-  // sweep long before its next checkpoint.
+  // sweep long before its next checkpoint. Surviving targets ride the
+  // SoA pipeline chunk-for-chunk with the refill.
   std::array<std::uint32_t, kRunBatch> batch;
+  std::array<ScheduledTarget, kRunBatch> chunk;
   for (;;) {
     if (config_.cancel != nullptr && config_.cancel->cancelled()) break;
     const std::size_t filled = iterator.next_batch(batch);
     if (filled == 0) break;
+    std::size_t chunk_size = 0;
     for (std::size_t i = 0; i < filled; ++i) {
       const net::Ipv4Addr dst(batch[i]);
       if (config_.allowlist && !config_.allowlist->contains(dst)) continue;
@@ -194,15 +357,50 @@ ZMapScanner::Stats ZMapScanner::run(
           config_.shard_index + targets_sent *
                                     static_cast<std::uint64_t>(config_.probes) *
                                     config_.shard_count;
-      probe_target(dst, first_slot, config_.shard_count, seconds_per_packet,
-                   dst_port, stats, on_result);
+      if (batched) {
+        chunk[chunk_size++] = ScheduledTarget{dst, first_slot};
+      } else {
+        probe_target(dst, first_slot, config_.shard_count, seconds_per_packet,
+                     dst_port, stats, on_result);
+      }
       ++targets_sent;
+    }
+    if (chunk_size != 0) {
+      probe_batch(std::span<const ScheduledTarget>(chunk.data(), chunk_size),
+                  config_.shard_count, seconds_per_packet, dst_port, stats,
+                  on_result);
     }
   }
   return stats;
 }
 
 ZMapScanner::Stats ZMapScanner::run_scheduled(
+    std::span<const ScheduledTarget> targets,
+    const std::function<void(const L4Result&)>& on_result) {
+  if (config_.probes > sim::ProbeBatch::kMaxProbes) {
+    return run_scheduled_serial(targets, on_result);
+  }
+  Stats stats;
+  const double seconds_per_packet =
+      1.0 / config_.effective_pps(config_.universe_size);
+  const std::uint16_t dst_port = proto::port_of(config_.protocol);
+  // Chunked over the SoA pipeline; cancellation polls once per chunk,
+  // the same granularity as the scalar path's every-256-targets check.
+  std::size_t offset = 0;
+  while (offset < targets.size()) {
+    if (config_.cancel != nullptr && config_.cancel->cancelled()) break;
+    const std::size_t chunk =
+        std::min<std::size_t>(kRunBatch, targets.size() - offset);
+    // Slot stride 1: a target's probes occupy consecutive slots of the
+    // global schedule, matching the serial sweep's back-to-back sends.
+    probe_batch(targets.subspan(offset, chunk), 1, seconds_per_packet,
+                dst_port, stats, on_result);
+    offset += chunk;
+  }
+  return stats;
+}
+
+ZMapScanner::Stats ZMapScanner::run_scheduled_serial(
     std::span<const ScheduledTarget> targets,
     const std::function<void(const L4Result&)>& on_result) {
   Stats stats;

@@ -151,8 +151,18 @@ class ZMapScanner {
   // Probes exactly the given pre-scheduled targets, stamping each probe
   // from its recorded global packet slot. Used by the parallel executor;
   // blocklist/allowlist filtering already happened in build_schedule.
+  // Batched: targets flow through the SoA probe pipeline in kRunBatch
+  // chunks, byte-identical to run_scheduled_serial.
   Stats run_scheduled(std::span<const ScheduledTarget> targets,
                       const std::function<void(const L4Result&)>& on_result);
+
+  // The scalar reference path: one probe_target call per target, no
+  // batching. The deferred rate-IDS lane runs on it (order-sensitive
+  // policy state wants the simplest possible execution), and the batch
+  // equivalence tests use it as the determinism oracle.
+  Stats run_scheduled_serial(
+      std::span<const ScheduledTarget> targets,
+      const std::function<void(const L4Result&)>& on_result);
 
   // Walks the full permutation once (cheap: no simulation work) and
   // partitions the surviving targets into `shard_count` concurrent lanes
@@ -181,11 +191,25 @@ class ZMapScanner {
                     std::uint16_t dst_port, Stats& stats,
                     const std::function<void(const L4Result&)>& on_result);
 
+  // Runs up to ProbeBatch::kCapacity targets through the SoA pipeline:
+  // fills the batch (addresses, per-probe send times, delivered mask
+  // after send-fault handling), resolves and classifies it in the sim,
+  // then replays only the live probes through the scalar probe path to
+  // produce responses. Byte-identical Stats, metrics, and L4Results to
+  // probe_target over the same targets; dead targets never materialize
+  // a ResolvedTarget or a TcpPacket.
+  void probe_batch(std::span<const ScheduledTarget> targets,
+                   std::uint64_t slot_stride, double seconds_per_packet,
+                   std::uint16_t dst_port, Stats& stats,
+                   const std::function<void(const L4Result&)>& on_result);
+
   ZMapConfig config_;
   sim::Internet* internet_;
   sim::OriginId origin_;
   ProbeValidator validator_;
   sim::ProbeContext context_;
+  // Reused across probe_batch calls; lane-private like the context.
+  sim::ProbeBatch batch_;
 };
 
 }  // namespace originscan::scan

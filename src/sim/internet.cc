@@ -6,6 +6,11 @@
 
 #include "netbase/rng.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define OSN_FWD_DRAW_AVX512 1
+#include <immintrin.h>
+#endif
+
 namespace originscan::sim {
 namespace {
 
@@ -18,7 +23,123 @@ double hash01(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+#ifdef OSN_FWD_DRAW_AVX512
+
+// Vector replica of net::splitmix64's output mix (the caller advances
+// the state by the golden constant itself). Integer ops are exact, so
+// the lanes are bit-identical to the scalar kernel.
+__attribute__((target("avx512f,avx512dq,avx512vl"))) inline __m256i
+splitmix_out4(__m256i z) {
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+  z = _mm256_mullo_epi64(z, _mm256_set1_epi64x(0xBF58476D1CE4E5B9LL));
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+  z = _mm256_mullo_epi64(z, _mm256_set1_epi64x(0x94D049BB133111EBLL));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+// Four-lane mix_u64(a, b, c, d) with vector b; c and d enter pre-folded
+// with their stage constants (cc = c + 0xC2B2…, dd = d + 0x1656…) so
+// the per-call work is adds, xors, and the splitmix output mix.
+__attribute__((target("avx512f,avx512dq,avx512vl"))) inline __m256i
+mix4(__m256i a, __m256i b, __m256i cc, __m256i dd) {
+  const __m256i golden = _mm256_set1_epi64x(
+      static_cast<long long>(0x9E3779B97F4A7C15ULL));
+  __m256i state = _mm256_add_epi64(a, golden);
+  __m256i out = splitmix_out4(state);
+  state = _mm256_add_epi64(
+      _mm256_xor_si256(state, _mm256_add_epi64(b, golden)), golden);
+  out = _mm256_xor_si256(out, splitmix_out4(state));
+  state = _mm256_add_epi64(_mm256_xor_si256(state, cc), golden);
+  out = _mm256_xor_si256(out, splitmix_out4(state));
+  state = _mm256_add_epi64(_mm256_xor_si256(state, dd), golden);
+  return _mm256_xor_si256(out, splitmix_out4(state));
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void fwd_draws_avx512(
+    const net::Ipv4Addr* addr, const AsId* as,
+    const std::uint64_t* seed_by_as, AsId as_count, std::uint64_t origin,
+    int n, int probes, double* fwd_draw) {
+  // Stage constants of the two chained mixes, pre-folded: the key mix is
+  // mix(addr, p, origin, 0xF0D0), the draw mix is mix(seed, key, 0xD60B).
+  const __m256i key_cc = _mm256_set1_epi64x(
+      static_cast<long long>(origin + 0xC2B2AE3D27D4EB4FULL));
+  const __m256i key_dd = _mm256_set1_epi64x(
+      static_cast<long long>(0xF0D0ULL + 0x165667B19E3779F9ULL));
+  const __m256i draw_cc = _mm256_set1_epi64x(
+      static_cast<long long>(0xD60BULL + 0xC2B2AE3D27D4EB4FULL));
+  const __m256i draw_dd = _mm256_set1_epi64x(
+      static_cast<long long>(0x165667B19E3779F9ULL));
+  const __m256d scale = _mm256_set1_pd(0x1.0p-53);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    std::uint32_t addr4[4];
+    alignas(32) std::uint64_t seed4[4];
+    for (int lane = 0; lane < 4; ++lane) {
+      addr4[lane] = addr[i + lane].value();
+      const AsId lane_as = as[i + lane];
+      seed4[lane] = lane_as < as_count ? seed_by_as[lane_as] : 0;
+    }
+    const __m256i addr_v = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(addr4)));
+    const __m256i seed_v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(seed4));
+    for (int p = 0; p < probes; ++p) {
+      const __m256i key =
+          mix4(addr_v, _mm256_set1_epi64x(p), key_cc, key_dd);
+      const __m256i hash = mix4(seed_v, key, draw_cc, draw_dd);
+      // hash01, lane-exact: (double)(h >> 11) is exact below 2^53 and
+      // the 2^-53 scale is a power of two, so vector FP == scalar FP.
+      const __m256d draw =
+          _mm256_mul_pd(_mm256_cvtepu64_pd(_mm256_srli_epi64(hash, 11)),
+                        scale);
+      _mm256_storeu_pd(fwd_draw + p * ProbeBatch::kCapacity + i, draw);
+    }
+  }
+  for (; i < n; ++i) {
+    const AsId lane_as = as[i];
+    const std::uint64_t seed = lane_as < as_count ? seed_by_as[lane_as] : 0;
+    for (int p = 0; p < probes; ++p) {
+      const std::uint64_t key =
+          net::mix_u64(addr[i].value(), static_cast<std::uint64_t>(p),
+                       origin, 0xF0D0u);
+      fwd_draw[p * ProbeBatch::kCapacity + i] =
+          hash01(net::mix_u64(seed, key, 0xD60Bu));
+    }
+  }
+}
+
+#endif  // OSN_FWD_DRAW_AVX512
+
 }  // namespace
+
+namespace detail {
+
+bool fwd_draws_vectorized(const net::Ipv4Addr* addr, const AsId* as,
+                          const std::uint64_t* seed_by_as, AsId as_count,
+                          std::uint64_t origin, int n, int probes,
+                          double* fwd_draw) {
+#ifdef OSN_FWD_DRAW_AVX512
+  static const bool supported = __builtin_cpu_supports("avx512f") &&
+                                __builtin_cpu_supports("avx512dq") &&
+                                __builtin_cpu_supports("avx512vl");
+  if (!supported) return false;
+  fwd_draws_avx512(addr, as, seed_by_as, as_count, origin, n, probes,
+                   fwd_draw);
+  return true;
+#else
+  (void)addr;
+  (void)as;
+  (void)seed_by_as;
+  (void)as_count;
+  (void)origin;
+  (void)n;
+  (void)probes;
+  (void)fwd_draw;
+  return false;
+#endif
+}
+
+}  // namespace detail
 
 std::vector<std::uint8_t> Connection::read() {
   return std::exchange(pending_, {});
@@ -269,9 +390,15 @@ ProbeContext Internet::probe_context(OriginId origin,
   const auto as_count = static_cast<AsId>(world_->topology.as_count());
   context.loss_by_as_.resize(as_count);
   context.policies_by_as_.resize(as_count);
+  context.loss_seed_by_as_.resize(as_count);
+  context.loss_cursor_.assign(as_count, {});  // empty windows: refill on use
+  context.outage_possible_by_as_.resize(as_count);
   for (AsId as = 0; as < as_count; ++as) {
     context.loss_by_as_[as] = &loss_model(origin, as, protocol);
     context.policies_by_as_[as] = world_->policies.find(as);
+    context.loss_seed_by_as_[as] = context.loss_by_as_[as]->stream_seed();
+    context.outage_possible_by_as_[as] =
+        context.outage_->ever_in_outage(as) ? 1 : 0;
   }
   if (world_->procedural.enabled()) {
     context.block_cache_.assign(ProbeContext::kBlockCacheSlots, {});
@@ -318,6 +445,219 @@ ResolvedTarget ProbeContext::resolve(net::Ipv4Addr dst) const {
   target.host = *host;
   target.has_host = true;
   return target;
+}
+
+void ProbeContext::resolve_batch(ProbeBatch& batch) const {
+  const ProceduralWorld& procedural = internet_->world_->procedural;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t derivations = 0;
+  // The /24 grouping invariant: a consecutive run of same-/24 addresses
+  // shares one block-cache consult. Permutation batches are sequential
+  // inside each next_batch window, so runs span up to 256 addresses; a
+  // materialized (non-procedural) address breaks the run.
+  std::uint32_t run_block = ~std::uint32_t{0};
+  const BlockFacts* run_facts = nullptr;
+  for (int i = 0; i < batch.size; ++i) {
+    const net::Ipv4Addr dst = batch.addr[i];
+    batch.as[i] = kNoAs;
+    batch.has_host[i] = 0;
+    if (!procedural.covers(dst)) {
+      const ResolvedTarget target = internet_->resolve_target(dst, origin_);
+      if (target.as) batch.as[i] = *target.as;
+      if (target.has_host) {
+        batch.has_host[i] = 1;
+        batch.host[i] = target.host;
+      }
+      run_block = ~std::uint32_t{0};
+      continue;
+    }
+    const std::uint32_t block = dst.value() >> 8;
+    if (block != run_block) {
+      BlockCacheSlot& slot = block_cache_[block & (kBlockCacheSlots - 1)];
+      if (slot.block == block) {
+        ++hits;
+      } else {
+        slot.block = block;
+        slot.facts = procedural.block_facts(block);
+        ++misses;
+      }
+      run_block = block;
+      run_facts = &slot.facts;
+    }
+    if (run_facts->as == kNoAs) continue;  // unrouted block
+    batch.as[i] = run_facts->as;
+    const std::optional<Host> host = procedural.derive_host(dst, *run_facts);
+    ++derivations;
+    if (!host ||
+        !HostTable::live_in_trial(*host, internet_->context_.trial,
+                                  internet_->context_.experiment_seed)) {
+      continue;
+    }
+    if (host->flaky && internet_->flaky_miss(*host, origin_)) continue;
+    batch.host[i] = *host;
+    batch.has_host[i] = 1;
+  }
+  if (metrics_ != nullptr) {
+    if (hits != 0) metrics_->add(obsv::Counter::kUniverseBlockCacheHit, hits);
+    if (misses != 0) {
+      metrics_->add(obsv::Counter::kUniverseBlockCacheMiss, misses);
+    }
+    if (derivations != 0) {
+      metrics_->add(obsv::Counter::kUniverseProceduralDerivations, derivations);
+    }
+    // Batch bookkeeping lives under the universe.* exception (lane- and
+    // partition-dependent, docs/METRICS.md) and, like the cache
+    // counters, stays zero outside procedural worlds — materialized
+    // worlds keep the full snapshot byte-identical across --jobs.
+    if (procedural.enabled()) {
+      metrics_->add(obsv::Counter::kUniverseBatchBatches);
+      metrics_->add(obsv::Counter::kUniverseBatchTargets,
+                    static_cast<std::uint64_t>(batch.size));
+    }
+  }
+}
+
+void Internet::handle_probe_batch(ProbeContext& context, ProbeBatch& batch) {
+  const int n = batch.size;
+  const int probes = batch.probes;
+  assert(probes <= ProbeBatch::kMaxProbes);
+  const auto as_count = static_cast<AsId>(context.loss_by_as_.size());
+
+  // Pass 1 (pure): the forward-loss uniform for every (target, probe),
+  // four target lanes at a time, all probes of a lane group together so
+  // the addr/seed gather is paid once. The two chained mixes match
+  // PathLossModel::drop byte-for-byte: key = mix(dst, probe, origin,
+  // 0xF0D0), draw = hash01(mix(stream_seed, key, 0xD60B)). Unresolved or
+  // unrouted lanes mix a zero seed — their draw is never read.
+  if (!detail::fwd_draws_vectorized(batch.addr, batch.as,
+                                    context.loss_seed_by_as_.data(), as_count,
+                                    context.origin_, n, probes,
+                                    batch.fwd_draw)) {
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+      std::uint64_t addr4[4];
+      std::uint64_t key4[4];
+      std::uint64_t seed4[4];
+      std::uint64_t hash4[4];
+      for (int lane = 0; lane < 4; ++lane) {
+        addr4[lane] = batch.addr[i + lane].value();
+        const AsId as = batch.as[i + lane];
+        seed4[lane] = as < as_count ? context.loss_seed_by_as_[as] : 0;
+      }
+      for (int p = 0; p < probes; ++p) {
+        net::mix_u64_x4(addr4, static_cast<std::uint64_t>(p), context.origin_,
+                        0xF0D0u, key4);
+        net::mix_u64_x4(seed4, key4, 0xD60Bu, 0, hash4);
+        double* draw = batch.fwd_draw + p * ProbeBatch::kCapacity;
+        for (int lane = 0; lane < 4; ++lane) {
+          draw[i + lane] = hash01(hash4[lane]);
+        }
+      }
+    }
+    for (; i < n; ++i) {
+      const AsId as = batch.as[i];
+      const std::uint64_t seed =
+          as < as_count ? context.loss_seed_by_as_[as] : 0;
+      for (int p = 0; p < probes; ++p) {
+        const std::uint64_t key =
+            net::mix_u64(batch.addr[i].value(), static_cast<std::uint64_t>(p),
+                         context.origin_, 0xF0D0u);
+        batch.fwd_draw[p * ProbeBatch::kCapacity + i] =
+            hash01(net::mix_u64(seed, key, 0xD60Bu));
+      }
+    }
+  }
+
+  // Pass 2: the scalar decision ladder per sent probe, in probe_impl's
+  // exact order (fault, outage, forward loss, liveness), accumulating
+  // drop counts batch-locally. Probes that clear the ladder are marked
+  // live; the caller replays them through the scalar path, which makes
+  // the same (deterministic) decisions and continues to IDS + response.
+  std::uint64_t n_unrouted = 0;
+  std::uint64_t n_fault_outage = 0;
+  std::uint64_t n_fault_drop = 0;
+  std::uint64_t n_outage = 0;
+  std::uint64_t n_loss = 0;
+  std::uint64_t n_nohost = 0;
+  std::uint64_t n_routed_dead = 0;
+  for (int i = 0; i < n; ++i) {
+    batch.live_mask[i] = 0;
+    const std::uint8_t sent = batch.sent_mask[i];
+    if (sent == 0) continue;
+    const AsId as = batch.as[i];
+    if (as >= as_count) {  // kNoAs or garbage: unrouted space
+      for (int p = 0; p < probes; ++p) {
+        if ((sent >> p) & 1) ++n_unrouted;
+      }
+      continue;
+    }
+    std::uint8_t live = 0;
+    for (int p = 0; p < probes; ++p) {
+      if (!((sent >> p) & 1)) continue;
+      const auto t = net::VirtualTime::from_micros(
+          batch.time_us[p * ProbeBatch::kCapacity + i]);
+      if (faults_ != nullptr) {
+        const bool fault_outage =
+            faults_->outage_at(t, static_cast<int>(context.origin_));
+        if (fault_outage || faults_->drop_at_time(t, batch.addr[i], p)) {
+          ++n_routed_dead;
+          if (fault_outage) {
+            ++n_fault_outage;
+          } else {
+            ++n_fault_drop;
+          }
+          continue;
+        }
+      }
+      if (context.outage_possible_by_as_[as] &&
+          context.outage_->in_outage(as, t)) {
+        ++n_routed_dead;
+        ++n_outage;
+        continue;
+      }
+      PathLossModel::LossWindow& window = context.loss_cursor_[as];
+      if (!window.contains(t)) window = context.loss_by_as_[as]->loss_window(t);
+      if (window.p > 0.0 &&
+          batch.fwd_draw[p * ProbeBatch::kCapacity + i] < window.p) {
+        ++n_routed_dead;
+        ++n_loss;
+        continue;
+      }
+      if (batch.has_host[i] == 0) {
+        ++n_routed_dead;
+        ++n_nohost;
+        continue;
+      }
+      live |= static_cast<std::uint8_t>(1u << p);
+    }
+    batch.live_mask[i] = live;
+  }
+
+  // One flush per non-zero reason. kSimProbesRouted covers only the
+  // routed probes that die here — live probes are counted by probe_impl
+  // when the caller replays them, so every routed probe lands in the
+  // fate invariant exactly once.
+  obsv::MetricBlock* metrics = context.metrics_;
+  if (metrics != nullptr) {
+    if (n_unrouted != 0) {
+      metrics->add(obsv::Counter::kSimDropsUnrouted, n_unrouted);
+    }
+    if (n_routed_dead != 0) {
+      metrics->add(obsv::Counter::kSimProbesRouted, n_routed_dead);
+    }
+    const std::uint64_t n_fault = n_fault_outage + n_fault_drop;
+    if (n_fault != 0) metrics->add(obsv::Counter::kSimDropsFault, n_fault);
+    if (n_fault_outage != 0) {
+      metrics->add(obsv::Counter::kFaultOutage, n_fault_outage);
+    }
+    if (n_fault_drop != 0) {
+      metrics->add(obsv::Counter::kFaultProbeDrop, n_fault_drop);
+    }
+    if (n_outage != 0) metrics->add(obsv::Counter::kSimDropsOutage, n_outage);
+    if (n_loss != 0) metrics->add(obsv::Counter::kSimDropsLossModel, n_loss);
+    if (n_nohost != 0) metrics->add(obsv::Counter::kSimDropsNoHost, n_nohost);
+  }
 }
 
 std::optional<net::TcpPacket> ProbeContext::probe(const ResolvedTarget& target,

@@ -89,6 +89,60 @@ struct ResolvedTarget {
   }
 };
 
+// Structure-of-arrays batch for the scan hot path: up to kCapacity
+// targets × kMaxProbes probes travel together from permutation draw
+// through resolution (resolve_batch) and fate classification
+// (handle_probe_batch). Parallel arrays keep each pass a tight loop
+// over one column — addresses, then AS ids, then draws — instead of
+// pointer-chasing per-target objects. Probe-indexed arrays (time_us,
+// fwd_draw) are probe-major: element [p * kCapacity + i] belongs to
+// probe p of target i, so a fixed-p pass is a contiguous sweep.
+//
+// The scanner fills addr/time_us/sent_mask/size/probes, resolve_batch
+// fills as/has_host/host, handle_probe_batch fills live_mask (and uses
+// fwd_draw as scratch). A set bit p of sent_mask means probe p was
+// delivered to the network (send retries exhausted and injected
+// send-drops already excluded); a set bit of live_mask means the probe
+// reaches a listening host — only those re-enter the scalar per-target
+// path to produce a response. Dead targets never materialize a
+// ResolvedTarget or a TcpPacket.
+struct ProbeBatch {
+  static constexpr int kCapacity = 256;
+  static constexpr int kMaxProbes = 8;
+
+  // Scanner-filled inputs.
+  net::Ipv4Addr addr[kCapacity];
+  std::int64_t time_us[kMaxProbes * kCapacity];  // probe-major send times
+  std::uint8_t sent_mask[kCapacity];
+  int size = 0;
+  int probes = 0;
+
+  // resolve_batch outputs. `as` holds kNoAs for unrouted targets;
+  // has_host mirrors ResolvedTarget::has_host.
+  AsId as[kCapacity];
+  std::uint8_t has_host[kCapacity];
+  Host host[kCapacity];
+
+  // handle_probe_batch scratch/outputs.
+  double fwd_draw[kMaxProbes * kCapacity];  // forward-loss uniforms
+  std::uint8_t live_mask[kCapacity];
+};
+
+namespace detail {
+// Fills a probe-major draw matrix (ProbeBatch::kCapacity lane stride)
+// with the forward-loss uniforms hash01(mix(seed_by_as[as[i]],
+// mix(addr[i], p, origin, 0xF0D0), 0xD60B)) using the AVX-512VL/DQ
+// 4-lane kernel. Returns false (computing nothing) when the build or
+// CPU lacks the extension; the caller then runs the portable unrolled
+// path. Both paths are bit-identical — integer lanes are exact and the
+// hash01 conversion stays below 2^53 where vector FP equals scalar FP.
+// Exposed for the equivalence test in tests/batch_test.cc.
+bool fwd_draws_vectorized(const net::Ipv4Addr* addr, const AsId* as,
+                          const std::uint64_t* seed_by_as, AsId as_count,
+                          std::uint64_t origin, int n, int probes,
+                          double* fwd_draw);
+}  // namespace detail
+
 // Lock-free per-(origin, protocol) view of the Internet for the scan hot
 // loop: the outage schedule and every per-AS loss model and policy set,
 // resolved once (after prewarm) into flat vectors indexed by AsId. The
@@ -110,6 +164,15 @@ class ProbeContext {
   // Per-target resolution (AS, host, liveness, flaky-miss), done once
   // per target instead of once per probe.
   [[nodiscard]] ResolvedTarget resolve(net::Ipv4Addr dst) const;
+
+  // Batched resolution of batch.addr[0..size): fills as/has_host/host.
+  // Semantically identical to calling resolve() per address; the win is
+  // the /24 grouping invariant — a consecutive run of addresses in the
+  // same /24 consults the lane-private block cache once for the whole
+  // run (permutation batches are internally sequential, so runs are
+  // long). Block-cache hit/miss counters count these per-fetch consults,
+  // not per-address lookups (docs/METRICS.md).
+  void resolve_batch(ProbeBatch& batch) const;
 
   // Struct-level probe exchange against the pre-resolved target: the
   // same decisions as Internet::handle_probe, minus the wire
@@ -148,6 +211,19 @@ class ProbeContext {
   obsv::MetricBlock* metrics_ = nullptr;
   std::vector<const PathLossModel*> loss_by_as_;
   std::vector<const AsPolicies*> policies_by_as_;
+  // Flat copies of each loss model's stream seed so the batched
+  // forward-loss kernel can gather four seeds and mix four draws without
+  // touching the models themselves.
+  std::vector<std::uint64_t> loss_seed_by_as_;
+  // Per-AS memo of the loss window containing the last queried time —
+  // probes arrive in near-sorted time order, so one window lookup
+  // amortizes over many probes. Pure-refill scratch: a stale entry is
+  // simply refilled, never observed.
+  std::vector<PathLossModel::LossWindow> loss_cursor_;
+  // Per-AS precomputed OutageSchedule::ever_in_outage — most ASes have
+  // no outage windows at all, so the batch ladder can skip the
+  // out-of-line in_outage call for them.
+  std::vector<std::uint8_t> outage_possible_by_as_;
   // Allocated (kBlockCacheSlots entries) only when the world derives
   // state procedurally; empty otherwise.
   mutable std::vector<BlockCacheSlot> block_cache_;
@@ -184,6 +260,17 @@ class Internet {
   // lane. Prewarms the caches, so construction may take the cache lock;
   // the returned context never does.
   ProbeContext probe_context(OriginId origin, proto::Protocol protocol);
+
+  // Classifies every sent probe of a resolved batch: computes the
+  // forward-loss draws in a branch-minimized four-wide pass, then walks
+  // the scalar decision ladder (faults, outage, forward loss, liveness)
+  // per probe, accumulating drop-reason counts batch-locally and
+  // flushing one metric add per reason. Sets batch.live_mask; the caller
+  // re-runs only live probes through the scalar ProbeContext::probe path
+  // (which recomputes the same decisions, deterministically passing, and
+  // then handles IDS + response + reverse loss). Byte-identical counters
+  // and responses to the scalar path — the scalar path is the oracle.
+  void handle_probe_batch(ProbeContext& context, ProbeBatch& batch);
 
   // Per-target resolution shared by handle_probe_fast and ProbeContext.
   [[nodiscard]] ResolvedTarget resolve_target(net::Ipv4Addr dst,

@@ -45,6 +45,17 @@ class OutageSchedule {
     std::int64_t end_us = 0;
   };
 
+  // True if this AS can ever be in outage during the scan — lets batch
+  // consumers (ProbeContext's classifier ladder) skip the per-probe
+  // window check entirely for the typical quiet AS.
+  [[nodiscard]] bool ever_in_outage(AsId as) const {
+    if (wide_event_.end_us > 0 && as < wide_event_members_.size() &&
+        wide_event_members_[as]) {
+      return true;
+    }
+    return as < per_as_.size() && !per_as_[as].empty();
+  }
+
   // For tests/diagnostics.
   [[nodiscard]] const std::vector<Window>& pair_windows(AsId as) const;
   [[nodiscard]] bool has_wide_event() const { return wide_event_.end_us > 0; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace originscan::sim {
 
@@ -52,6 +53,29 @@ bool PathLossModel::drop(net::VirtualTime t, std::uint64_t packet_key) const {
 
 double PathLossModel::loss_probability(net::VirtualTime t) const {
   return in_bad_state(t) ? profile_.bad_loss : profile_.good_loss;
+}
+
+PathLossModel::LossWindow PathLossModel::loss_window(net::VirtualTime t) const {
+  const std::int64_t us = t.micros();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  auto it = std::upper_bound(
+      bad_intervals_.begin(), bad_intervals_.end(), us,
+      [](std::int64_t v, const BadInterval& b) { return v < b.start_us; });
+  // `it` is the first Bad interval starting strictly after t; the one
+  // before it (if any) either contains t or ended already.
+  if (it != bad_intervals_.begin()) {
+    const auto& prev = *std::prev(it);
+    if (us >= prev.start_us && us < prev.end_us) {
+      return {profile_.bad_loss, prev.start_us, prev.end_us};
+    }
+    // In the Good gap between prev and it.
+    return {profile_.good_loss, prev.end_us,
+            it != bad_intervals_.end() ? it->start_us : kMax};
+  }
+  // Before the first Bad interval (or no Bad intervals at all).
+  return {profile_.good_loss, kMin,
+          it != bad_intervals_.end() ? it->start_us : kMax};
 }
 
 net::VirtualTime PathLossModel::total_bad_time() const {

@@ -47,6 +47,25 @@ class PathLossModel {
   [[nodiscard]] double loss_probability(net::VirtualTime t) const;
   [[nodiscard]] const PathProfile& profile() const { return profile_; }
 
+  // A maximal time window over which loss_probability is constant, for
+  // batch consumers that probe many packets at nearby times: one lookup
+  // amortizes over every packet whose time falls inside the window. The
+  // window's p equals loss_probability(t) for every t it contains.
+  struct LossWindow {
+    double p = 0.0;
+    std::int64_t start_us = 0;
+    std::int64_t end_us = -1;  // exclusive; empty by default
+    [[nodiscard]] bool contains(net::VirtualTime t) const {
+      return t.micros() >= start_us && t.micros() < end_us;
+    }
+  };
+  [[nodiscard]] LossWindow loss_window(net::VirtualTime t) const;
+
+  // The raw stream seed, exposed so the batched drop kernel can compute
+  // mix(seed, key, 0xD60B) for four packets at once. Must stay
+  // bit-identical to what drop() uses.
+  [[nodiscard]] std::uint64_t stream_seed() const { return seed_; }
+
   // Total Bad time over the horizon (for tests / calibration).
   [[nodiscard]] net::VirtualTime total_bad_time() const;
 

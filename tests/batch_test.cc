@@ -1,0 +1,391 @@
+// Batch/scalar equivalence for the SoA probe pipeline (DESIGN.md §13).
+//
+// The batched path (ZMapScanner::run / run_scheduled → probe_batch →
+// ProbeContext::resolve_batch → Internet::handle_probe_batch) must be
+// byte-identical to the scalar reference path (run_scheduled_serial →
+// probe_target): same L4Results in the same order, same Stats, same
+// metric counters outside the documented universe.* bookkeeping
+// exception. These tests randomize worlds, probe counts, fault plans,
+// and chunk sizes, and straddle both resolution boundaries — the
+// procedural override region (2^19) and kDirectMapLimit (2^25).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "faultinject/faultinject.h"
+#include "netbase/rng.h"
+#include "netbase/vtime.h"
+#include "obsv/metrics.h"
+#include "scanner/zmap.h"
+#include "sim/internet.h"
+#include "sim/path.h"
+#include "sim/procedural.h"
+#include "sim/scenario.h"
+
+namespace originscan::sim {
+namespace {
+
+// ---- mix_u64_x4 -----------------------------------------------------
+
+TEST(BatchKernel, MixX4MatchesFourScalarCalls) {
+  net::Rng rng(0xBA7C4ull);
+  for (int iter = 0; iter < 4096; ++iter) {
+    std::uint64_t a[4], b[4], lanes[4];
+    for (int i = 0; i < 4; ++i) {
+      a[i] = rng();
+      b[i] = rng();
+    }
+    const std::uint64_t c = rng();
+    const std::uint64_t d = rng();
+
+    net::mix_u64_x4(a, b, c, d, lanes);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(lanes[i], net::mix_u64(a[i], b[i], c, d)) << iter << " " << i;
+    }
+
+    net::mix_u64_x4(a, b[0], c, d, lanes);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(lanes[i], net::mix_u64(a[i], b[0], c, d)) << iter << " " << i;
+    }
+  }
+}
+
+// The AVX-512 draw kernel (when this build and CPU have it) must agree
+// bit-for-bit with the portable formula on every lane — including the
+// unrouted zero-seed lanes and the scalar tail when n % 4 != 0.
+TEST(BatchKernel, VectorizedDrawsMatchScalarFormula) {
+  net::Rng rng(0x55EDull);
+  constexpr AsId kAsCount = 37;
+  std::uint64_t seeds[kAsCount];
+  for (AsId as = 0; as < kAsCount; ++as) seeds[as] = rng();
+
+  bool ran = false;
+  for (int iter = 0; iter < 64; ++iter) {
+    const int n = 1 + static_cast<int>(rng.below(ProbeBatch::kCapacity));
+    const int probes = 1 + static_cast<int>(rng.below(ProbeBatch::kMaxProbes));
+    const std::uint64_t origin = rng.below(7);
+    net::Ipv4Addr addr[ProbeBatch::kCapacity];
+    AsId as[ProbeBatch::kCapacity];
+    double fwd_draw[ProbeBatch::kMaxProbes * ProbeBatch::kCapacity];
+    for (int i = 0; i < n; ++i) {
+      addr[i] = net::Ipv4Addr(static_cast<std::uint32_t>(rng()));
+      as[i] = rng.below(5) == 0 ? kNoAs
+                                : static_cast<AsId>(rng.below(kAsCount));
+    }
+    if (!detail::fwd_draws_vectorized(addr, as, seeds, kAsCount, origin, n,
+                                      probes, fwd_draw)) {
+      break;  // portable-only build or CPU: nothing to cross-check
+    }
+    ran = true;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t seed = as[i] < kAsCount ? seeds[as[i]] : 0;
+      for (int p = 0; p < probes; ++p) {
+        const std::uint64_t key =
+            net::mix_u64(addr[i].value(), static_cast<std::uint64_t>(p),
+                         origin, 0xF0D0u);
+        const double expected =
+            static_cast<double>(net::mix_u64(seed, key, 0xD60Bu) >> 11) *
+            0x1.0p-53;
+        ASSERT_EQ(fwd_draw[p * ProbeBatch::kCapacity + i], expected)
+            << iter << " i=" << i << " p=" << p;
+      }
+    }
+  }
+  if (!ran) GTEST_SKIP() << "AVX-512 draw kernel unavailable on this host";
+}
+
+// ---- LossWindow -----------------------------------------------------
+
+// loss_window(t) must contain t and hold the exact pointwise
+// loss_probability for every instant inside it — that is the contract
+// the batch drop ladder's window cursor depends on.
+TEST(BatchKernel, LossWindowMatchesPointwiseProbability) {
+  PathProfile profile;
+  profile.bad_fraction = 0.05;  // dense Bad timeline: many windows
+  profile.mean_bad_duration_s = 20;
+  const auto horizon = net::VirtualTime::from_hours(2);
+  net::Rng rng(0x10553ull);
+  for (std::uint64_t seed : {1ull, 0xD16E57ull, 0xFEEDull}) {
+    const PathLossModel model(profile, seed, horizon);
+    for (int iter = 0; iter < 20000; ++iter) {
+      const auto t = net::VirtualTime::from_micros(
+          static_cast<std::int64_t>(rng.below(
+              static_cast<std::uint64_t>(horizon.micros()))));
+      const auto window = model.loss_window(t);
+      ASSERT_TRUE(window.contains(t)) << t.micros();
+      EXPECT_EQ(window.p, model.loss_probability(t)) << t.micros();
+      // Edges of the window agree too, and the instant past the end
+      // belongs to a different (adjacent) window.
+      const auto start = net::VirtualTime::from_micros(window.start_us);
+      if (window.start_us > horizon.micros() / -2) {  // skip INT64_MIN
+        EXPECT_EQ(window.p, model.loss_probability(start));
+      }
+      const auto last =
+          net::VirtualTime::from_micros(window.end_us - 1);
+      EXPECT_EQ(window.p, model.loss_probability(last));
+    }
+  }
+}
+
+// ---- Batch vs scalar equivalence ------------------------------------
+
+struct RunOutput {
+  std::vector<std::tuple<std::uint32_t, int, int, std::int64_t,
+                         std::uint32_t>>
+      results;
+  scan::ZMapScanner::Stats stats;
+  obsv::MetricBlock metrics;
+};
+
+void record(RunOutput& out, const scan::L4Result& r) {
+  out.results.emplace_back(r.addr.value(), r.synack_mask, r.rst_mask,
+                           r.probe_time.micros(), r.source_ip.value());
+}
+
+// Counters outside the documented universe.* exception must match
+// exactly between the batched run and the scalar oracle.
+void expect_non_universe_counters_equal(const obsv::MetricBlock& batched,
+                                        const obsv::MetricBlock& scalar) {
+  for (int i = 0; i < obsv::kCounterCount; ++i) {
+    const auto c = static_cast<obsv::Counter>(i);
+    const std::string_view name = obsv::counter_name(c);
+    if (name.substr(0, 9) == "universe.") continue;
+    EXPECT_EQ(batched.counter(c), scalar.counter(c)) << name;
+  }
+}
+
+fault::FaultInjector make_faults(std::string_view spec) {
+  std::string error;
+  auto plan = fault::FaultPlan::parse(spec, &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return fault::FaultInjector(plan.value_or(fault::FaultPlan{}), 0x0FA017ull);
+}
+
+// Runs the full sweep through the batched run() and through the scalar
+// oracle (build_schedule + run_scheduled_serial) on fresh Internet
+// instances over the same world, and demands byte-identity. The world
+// straddles the procedural override boundary (2^19 inside a 2^20
+// universe), and the fault plan keeps every ladder rung of the batch
+// classifier busy.
+TEST(BatchScalarEquivalence, FullSweepMatchesSerialOracle) {
+  for (std::uint64_t seed : {0x5CA7171ull, 0xBEEFD00Dull}) {
+    ScenarioConfig config = ScenarioConfig::full_internet(20);
+    config.seed = seed;
+    const World world =
+        build_world(config, paper_origins(config.universe_size));
+
+    TrialContext context;
+    context.trial = 0;
+    context.experiment_seed = config.seed;
+    context.simultaneous_origins = static_cast<int>(world.origins.size());
+    const OriginId origin = world.origin_id("US1");
+    ASSERT_NE(origin, ~OriginId{0});
+
+    const auto faults = make_faults(
+        "drop:slot=500..40000,p=0.2;send_fail:slot=0..30000,p=0.4;"
+        "mac_corrupt:slot=10000..90000,p=0.1;outage:sec=5..25");
+
+    scan::ZMapConfig zconfig;
+    zconfig.seed = seed;
+    zconfig.universe_size = config.universe_size;
+    zconfig.protocol = proto::Protocol::kHttp;
+    zconfig.probes = 2 + static_cast<int>(seed % 2);
+    zconfig.probe_interval = net::VirtualTime::from_micros(
+        static_cast<std::int64_t>(seed % 3) * 250);
+    zconfig.packets_per_second = 20000;
+    zconfig.source_ips = world.origins[origin].source_ips;
+    zconfig.faults = &faults;
+    zconfig.blocklist.block("0.1.0.0/16");
+    zconfig.blocklist.block(net::Prefix(net::Ipv4Addr(1u << 19), 20));
+
+    RunOutput batched;
+    {
+      PersistentState persistent;
+      Internet internet(&world, context, &persistent);
+      auto cfg = zconfig;
+      cfg.metrics = &batched.metrics;
+      scan::ZMapScanner scanner(cfg, &internet, origin);
+      batched.stats = scanner.run(
+          [&](const scan::L4Result& r) { record(batched, r); });
+    }
+
+    RunOutput scalar;
+    {
+      PersistentState persistent;
+      Internet internet(&world, context, &persistent);
+      auto cfg = zconfig;
+      cfg.metrics = &scalar.metrics;
+      scan::ZMapScanner scanner(cfg, &internet, origin);
+      const scan::ScanSchedule schedule =
+          scan::ZMapScanner::build_schedule(cfg, 1);
+      ASSERT_TRUE(schedule.deferred.empty());
+      EXPECT_GT(schedule.blocklisted_skipped, 0u);
+      scalar.stats = scanner.run_scheduled_serial(
+          schedule.shards[0],
+          [&](const scan::L4Result& r) { record(scalar, r); });
+      // run() filters the blocklist inline; the oracle filtered it in
+      // build_schedule. Fold the schedule's count in so Stats compare
+      // whole. build_schedule takes no metrics, so the batched lane's
+      // blocklist counter is checked directly instead.
+      scalar.stats.blocklisted_skipped = schedule.blocklisted_skipped;
+    }
+
+    EXPECT_EQ(batched.stats, scalar.stats) << seed;
+    EXPECT_GT(batched.stats.targets_probed, 0u);
+    EXPECT_GT(batched.stats.blocklisted_skipped, 0u);
+    EXPECT_GT(batched.results.size(), 0u);
+    EXPECT_EQ(batched.results, scalar.results) << seed;
+    EXPECT_EQ(batched.metrics.counter(obsv::Counter::kZmapBlocklistedSkipped),
+              batched.stats.blocklisted_skipped);
+    // The oracle never touched run()'s inline filter, so zero there.
+    auto scalar_no_blocklist = scalar.metrics;
+    EXPECT_EQ(scalar_no_blocklist.counter(
+                  obsv::Counter::kZmapBlocklistedSkipped),
+              0u);
+    scalar_no_blocklist.add(obsv::Counter::kZmapBlocklistedSkipped,
+                            batched.stats.blocklisted_skipped);
+    expect_non_universe_counters_equal(batched.metrics, scalar_no_blocklist);
+  }
+}
+
+// Partial tail batches (1..255 targets) and the kDirectMapLimit
+// resolution boundary: random-sized spans of scheduled targets sampled
+// around 2^19 (materialized/procedural seam) and 2^25 (direct-map/
+// binary-search seam) in a 2^26 universe must run identically through
+// run_scheduled (batched, chunked) and run_scheduled_serial.
+TEST(BatchScalarEquivalence, TailBatchesMatchSerialAcrossBoundaries) {
+  ScenarioConfig config = ScenarioConfig::full_internet(26);
+  config.seed = 0x7A11BA7ull;
+  const World world =
+      build_world(config, paper_origins(config.universe_size));
+
+  TrialContext context;
+  context.trial = 1;
+  context.experiment_seed = config.seed;
+  context.simultaneous_origins = static_cast<int>(world.origins.size());
+  const OriginId origin = world.origin_id("DE");
+  ASSERT_NE(origin, ~OriginId{0});
+
+  const auto faults =
+      make_faults("drop:slot=0..2000,p=0.15;mac_corrupt:slot=0..4000,p=0.1");
+
+  scan::ZMapConfig zconfig;
+  zconfig.seed = config.seed;
+  zconfig.universe_size = config.universe_size;
+  zconfig.protocol = proto::Protocol::kHttps;
+  zconfig.probes = 2;
+  zconfig.packets_per_second = 50000;
+  zconfig.source_ips = world.origins[origin].source_ips;
+  zconfig.faults = &faults;
+
+  net::Rng rng(0x7A11ull);
+  const std::uint32_t seams[] = {1u << 19, kDirectMapLimit};
+  std::uint64_t slot = 0;
+  for (int iter = 0; iter < 24; ++iter) {
+    // Mostly partial tails; a few spans > 256 to cover full+tail chunks.
+    const std::size_t count = (iter % 6 == 5)
+                                  ? 256 + 1 + rng.below(128)
+                                  : 1 + rng.below(255);
+    std::vector<scan::ScheduledTarget> targets;
+    targets.reserve(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      std::uint32_t addr;
+      switch (rng.below(3)) {
+        case 0:  // straddle one of the two seams
+          addr = seams[rng.below(2)] - 1024 + rng.below(2048);
+          break;
+        case 1:  // consecutive run: exercises the /24 fetch sharing
+          addr = (1u << 20) + static_cast<std::uint32_t>(iter) * 4096 +
+                 static_cast<std::uint32_t>(j);
+          break;
+        default:
+          addr = static_cast<std::uint32_t>(
+              rng.below(config.universe_size));
+          break;
+      }
+      targets.push_back({net::Ipv4Addr(addr),
+                         slot + j * static_cast<std::uint64_t>(
+                                        zconfig.probes)});
+    }
+    slot += count * static_cast<std::uint64_t>(zconfig.probes);
+
+    RunOutput batched;
+    {
+      PersistentState persistent;
+      Internet internet(&world, context, &persistent);
+      auto cfg = zconfig;
+      cfg.metrics = &batched.metrics;
+      scan::ZMapScanner scanner(cfg, &internet, origin);
+      batched.stats = scanner.run_scheduled(
+          targets, [&](const scan::L4Result& r) { record(batched, r); });
+    }
+    RunOutput scalar;
+    {
+      PersistentState persistent;
+      Internet internet(&world, context, &persistent);
+      auto cfg = zconfig;
+      cfg.metrics = &scalar.metrics;
+      scan::ZMapScanner scanner(cfg, &internet, origin);
+      scalar.stats = scanner.run_scheduled_serial(
+          targets, [&](const scan::L4Result& r) { record(scalar, r); });
+    }
+
+    EXPECT_EQ(batched.stats, scalar.stats) << iter;
+    EXPECT_EQ(batched.results, scalar.results) << iter;
+    expect_non_universe_counters_equal(batched.metrics, scalar.metrics);
+  }
+}
+
+// Probe counts past ProbeBatch::kMaxProbes fall back to the scalar path
+// inside run_scheduled — results must still match the serial oracle.
+TEST(BatchScalarEquivalence, OversizedProbeCountFallsBackToScalar) {
+  ScenarioConfig config = ScenarioConfig::full_internet(20);
+  config.seed = 0x0B19ull;
+  const World world =
+      build_world(config, paper_origins(config.universe_size));
+
+  TrialContext context;
+  context.experiment_seed = config.seed;
+  context.simultaneous_origins = static_cast<int>(world.origins.size());
+  const OriginId origin = world.origin_id("US1");
+
+  scan::ZMapConfig zconfig;
+  zconfig.seed = config.seed;
+  zconfig.universe_size = config.universe_size;
+  zconfig.probes = ProbeBatch::kMaxProbes + 2;
+  zconfig.packets_per_second = 100000;
+  zconfig.source_ips = world.origins[origin].source_ips;
+
+  std::vector<scan::ScheduledTarget> targets;
+  for (std::uint32_t j = 0; j < 700; ++j) {
+    targets.push_back({net::Ipv4Addr((1u << 19) - 350 + j),
+                       j * static_cast<std::uint64_t>(zconfig.probes)});
+  }
+
+  RunOutput batched;
+  RunOutput scalar;
+  for (auto* out : {&batched, &scalar}) {
+    PersistentState persistent;
+    Internet internet(&world, context, &persistent);
+    auto cfg = zconfig;
+    cfg.metrics = &out->metrics;
+    scan::ZMapScanner scanner(cfg, &internet, origin);
+    const auto on_result = [&](const scan::L4Result& r) {
+      record(*out, r);
+    };
+    out->stats = (out == &batched)
+                     ? scanner.run_scheduled(targets, on_result)
+                     : scanner.run_scheduled_serial(targets, on_result);
+  }
+  EXPECT_EQ(batched.stats, scalar.stats);
+  EXPECT_EQ(batched.results, scalar.results);
+  expect_non_universe_counters_equal(batched.metrics, scalar.metrics);
+}
+
+}  // namespace
+}  // namespace originscan::sim

@@ -122,6 +122,60 @@ TEST(Fuzz, HandleProbeFastSurvivesMalformedStructs) {
   }
 }
 
+TEST(Fuzz, HandleProbeBatchSurvivesGarbageBatches) {
+  // The batch classifier consumes whatever the resolver left in the SoA
+  // arrays; feed it arbitrary garbage instead — out-of-range AS ids,
+  // random sent masks, absurd timestamps, unresolved hosts. It must
+  // never crash, and its output can only narrow the sent mask: a live
+  // probe implies the lane was sent, routed, and has a host.
+  auto world = originscan::testing::make_mini_world();
+  sim::TrialContext context;
+  context.experiment_seed = world.seed;
+  sim::PersistentState persistent;
+  sim::Internet internet(&world, context, &persistent);
+  auto probe_context = internet.probe_context(0, proto::Protocol::kHttp);
+  const std::size_t as_count = world.topology.as_count();
+
+  net::Rng rng(0xBA7CFull);
+  sim::ProbeBatch batch;
+  for (int iter = 0; iter < 2000; ++iter) {
+    batch.size = 1 + static_cast<int>(rng.below(sim::ProbeBatch::kCapacity));
+    batch.probes =
+        1 + static_cast<int>(rng.below(sim::ProbeBatch::kMaxProbes));
+    for (int i = 0; i < batch.size; ++i) {
+      batch.addr[i] = net::Ipv4Addr(static_cast<std::uint32_t>(rng()));
+      switch (rng.below(3)) {
+        case 0:
+          batch.as[i] = sim::kNoAs;
+          break;
+        case 1:  // arbitrary garbage, usually far out of range
+          batch.as[i] = static_cast<sim::AsId>(rng());
+          break;
+        default:
+          batch.as[i] = static_cast<sim::AsId>(rng.below(as_count));
+          break;
+      }
+      batch.has_host[i] = static_cast<std::uint8_t>(rng.below(2));
+      batch.sent_mask[i] = static_cast<std::uint8_t>(rng());
+      batch.live_mask[i] = static_cast<std::uint8_t>(rng());
+      for (int p = 0; p < batch.probes; ++p) {
+        batch.time_us[p * sim::ProbeBatch::kCapacity + i] =
+            static_cast<std::int64_t>(rng());
+      }
+    }
+    internet.handle_probe_batch(probe_context, batch);
+    for (int i = 0; i < batch.size; ++i) {
+      const auto sent_bits = static_cast<std::uint8_t>(
+          batch.sent_mask[i] & ((1u << batch.probes) - 1));
+      EXPECT_EQ(batch.live_mask[i] & ~sent_bits, 0) << iter << " " << i;
+      if (batch.live_mask[i] != 0) {
+        EXPECT_NE(batch.has_host[i], 0);
+        EXPECT_LT(batch.as[i], as_count);
+      }
+    }
+  }
+}
+
 TEST(Fuzz, TlsRecordAndHandshakeParsers) {
   net::Rng rng(103);
   proto::ClientHello hello;

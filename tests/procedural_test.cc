@@ -232,14 +232,26 @@ TEST(ProceduralEquivalence, SweepDigestInvariantAcrossJobs) {
   EXPECT_EQ(serial, parallel);
   EXPECT_GT(serial.responsive, 0u);
 
-  // Metrics contract (docs/METRICS.md): the block-cache hit/miss split
-  // is lane-dependent, but its sum and the derivation count are
-  // --jobs-invariant.
+  // Metrics contract (docs/METRICS.md): the block-cache counters count
+  // per-fetch consults, and a consecutive same-/24 run inside one
+  // resolve batch shares a single consult — so the hit+miss sum depends
+  // on how targets land on lanes/batches (an adjacent same-block pair
+  // shares a fetch serially but splits across round-robin lanes). The
+  // divergence is bounded by the number of such adjacencies, a fraction
+  // of a percent of the targets in a random permutation; derivations
+  // stay exactly invariant.
   using obsv::Counter;
-  EXPECT_EQ(serial_metrics.counter(Counter::kUniverseBlockCacheHit) +
-                serial_metrics.counter(Counter::kUniverseBlockCacheMiss),
-            parallel_metrics.counter(Counter::kUniverseBlockCacheHit) +
-                parallel_metrics.counter(Counter::kUniverseBlockCacheMiss));
+  const std::uint64_t serial_fetches =
+      serial_metrics.counter(Counter::kUniverseBlockCacheHit) +
+      serial_metrics.counter(Counter::kUniverseBlockCacheMiss);
+  const std::uint64_t parallel_fetches =
+      parallel_metrics.counter(Counter::kUniverseBlockCacheHit) +
+      parallel_metrics.counter(Counter::kUniverseBlockCacheMiss);
+  EXPECT_GT(serial_fetches, 0u);
+  const std::uint64_t fetch_gap = serial_fetches > parallel_fetches
+                                      ? serial_fetches - parallel_fetches
+                                      : parallel_fetches - serial_fetches;
+  EXPECT_LE(fetch_gap, serial_fetches / 100);
   EXPECT_EQ(
       serial_metrics.counter(Counter::kUniverseProceduralDerivations),
       parallel_metrics.counter(Counter::kUniverseProceduralDerivations));
