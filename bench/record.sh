@@ -50,5 +50,24 @@ echo "wrote BENCH_micro.json ($BUILD_TYPE)"
 
 "$BUILD_DIR/bench/wall_clock" > BENCH_wall.json
 stamp_build_type BENCH_wall.json
+
+# Service loadgen baseline: 1000 tenants against an in-process daemon,
+# byte-identity verified; the loadgen_* fields (notably loadgen_p99_us,
+# which ci.sh bench gates with bench_gate --wall) merge into the same
+# flat JSON object.
+if [[ -x "$BUILD_DIR/tools/originscan" ]]; then
+  "$BUILD_DIR/tools/originscan" loadgen --tenants 1000 --requests 1 \
+      --connections 16 --scale 12 --json-out "$BUILD_DIR/BENCH_loadgen.json"
+  # Both files are flat one-pair-per-line objects: drop BENCH_wall's
+  # closing brace, comma-terminate its last field, splice the loadgen
+  # fields in.
+  sed -i '${/^}$/d}' BENCH_wall.json
+  sed -i '$ s/$/,/' BENCH_wall.json
+  grep '"loadgen_' "$BUILD_DIR/BENCH_loadgen.json" >> BENCH_wall.json
+  echo "}" >> BENCH_wall.json
+else
+  echo "bench/record.sh: tools/originscan missing — BENCH_wall.json has no loadgen fields" >&2
+fi
+
 echo "wrote BENCH_wall.json ($BUILD_TYPE)"
 cat BENCH_wall.json

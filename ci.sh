@@ -3,15 +3,23 @@
 #
 #   unit      fast pre-commit lane: build + `ctest -L 'unit|metrics'`
 #   full      build + the whole suite (unit, metrics, property,
-#             differential, crash, dist, chaos, slow), the bounded-RSS
-#             full-universe scale lane, + the bench regression gate
+#             differential, crash, dist, chaos, service, docs, slow),
+#             the bounded-RSS full-universe scale lane, + the bench
+#             regression gate
+#   service   build + the originscand daemon battery (`ctest -L
+#             service`) and the docs consistency checks
+#   docs      build + the doc/header consistency checks on their own
+#             (`ctest -L docs`: protocol_doc_check incl. its negative
+#             self-test, metrics_doc_check)
 #   chaos     build + the randomized fault-episode soak on its own
 #             (25 rounds by default; ORIGINSCAN_CHAOS_ROUNDS=N deepens
 #             or shortens it)
 #   bench     build, run the microbenchmarks, and gate against the
 #             checked-in BENCH_micro.json (fails on >25% cpu_time
-#             regression; refresh baselines with bench/record.sh) plus
-#             the 5% metrics-on vs metrics-off overhead bound
+#             regression; refresh baselines with bench/record.sh), the
+#             5% metrics-on vs metrics-off overhead bound, and the
+#             service loadgen p99 gate against BENCH_wall.json's
+#             loadgen_p99_us (>25% regression fails)
 #   tsan      ORIGINSCAN_SANITIZE=thread build; runs the suites that
 #             exercise the parallel executor, the cell supervisor, the
 #             multi-process worker pool, and the fault-injected
@@ -19,7 +27,7 @@
 #   coverage  -DOSN_COVERAGE=ON build, full suite, gcov aggregation
 #   all       unit + full + tsan (default; coverage stays opt-in)
 #
-# Usage: ./ci.sh [unit|full|bench|chaos|tsan|coverage|all]
+# Usage: ./ci.sh [unit|full|bench|chaos|service|docs|tsan|coverage|all]
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -52,8 +60,20 @@ run_full() {
     ctest -L dist --output-on-failure &&
     ctest -L chaos --output-on-failure &&
     ctest -L metrics --output-on-failure &&
+    ctest -L service --output-on-failure &&
+    ctest -L docs --output-on-failure &&
     ctest -L scale --output-on-failure)
   run_bench
+}
+
+run_service() {
+  configure_and_build build
+  (cd build && ctest -L 'service|docs' --output-on-failure)
+}
+
+run_docs() {
+  configure_and_build build
+  (cd build && ctest -L docs --output-on-failure)
 }
 
 run_chaos() {
@@ -91,12 +111,25 @@ run_bench() {
     > build/BENCH_overhead_candidate.json
   build/tools/bench_gate --overhead build/BENCH_overhead_candidate.json \
     BM_ProbeTarget_median BM_ProbeTargetMetricsOn_median 5
+  # Service latency gate: replay the loadgen against an in-process
+  # daemon and bound the p99 submit->answer latency against the
+  # checked-in BENCH_wall.json. Same 25% allowance as the micro gate.
+  if ! grep -q '"loadgen_p99_us"' BENCH_wall.json; then
+    echo "ci.sh bench: loadgen_p99_us missing from BENCH_wall.json —" >&2
+    echo "  re-record with bench/record.sh from a Release build" >&2
+    exit 1
+  fi
+  build/tools/originscan loadgen --tenants 1000 --requests 1 \
+    --connections 16 --scale 12 --no-verify \
+    --json-out build/BENCH_loadgen_candidate.json
+  build/tools/bench_gate --wall BENCH_wall.json \
+    build/BENCH_loadgen_candidate.json loadgen_p99_us 25
 }
 
 run_tsan() {
   configure_and_build build-tsan -DORIGINSCAN_SANITIZE=thread
   (cd build-tsan &&
-    ctest -R 'parallel_test|scanner_test|sim_test|core_test|journal_test|crash_resume_test|differential_test|dist_test|chaos_test|batch_test' \
+    ctest -R 'parallel_test|scanner_test|sim_test|core_test|journal_test|crash_resume_test|differential_test|dist_test|chaos_test|batch_test|service_test' \
       --output-on-failure)
 }
 
@@ -112,6 +145,8 @@ case "$STAGE" in
   full) run_full ;;
   bench) run_bench ;;
   chaos) run_chaos ;;
+  service) run_service ;;
+  docs) run_docs ;;
   tsan) run_tsan ;;
   coverage) run_coverage ;;
   all)
@@ -120,7 +155,7 @@ case "$STAGE" in
     run_tsan
     ;;
   *)
-    echo "usage: $0 [unit|full|bench|chaos|tsan|coverage|all]" >&2
+    echo "usage: $0 [unit|full|bench|chaos|service|docs|tsan|coverage|all]" >&2
     exit 2
     ;;
 esac

@@ -101,6 +101,22 @@ std::string_view segment_kind_name(SegmentKind kind) {
   return "?";
 }
 
+namespace {
+#define OSN_X(symbol, value, name) DistProtocolSymbol{name, value},
+constexpr DistProtocolSymbol kDistMessageSymbols[] = {
+    OSN_DIST_MESSAGES(OSN_X)};
+constexpr DistProtocolSymbol kDistSegmentSymbols[] = {
+    OSN_DIST_SEGMENT_KINDS(OSN_X)};
+#undef OSN_X
+}  // namespace
+
+std::span<const DistProtocolSymbol> dist_message_symbols() {
+  return kDistMessageSymbols;
+}
+std::span<const DistProtocolSymbol> dist_segment_symbols() {
+  return kDistSegmentSymbols;
+}
+
 std::vector<std::uint8_t> encode_message(const WireMessage& message) {
   std::vector<std::uint8_t> payload;
   net::ByteWriter writer(payload);

@@ -62,23 +62,51 @@
 namespace originscan::core {
 
 // ---- Wire protocol ---------------------------------------------------
+// The X-macro tables are the single source of truth for the dist
+// protocol's symbol/value pairs: docs/PROTOCOL.md is checked against
+// them by tools/protocol_doc_check (ctest label `docs`), the same way
+// the metric tables back docs/METRICS.md.
+
+// X(symbol, wire_value, "DOC-NAME")
+#define OSN_DIST_MESSAGES(X)                                                  \
+  X(kHello, 1, "HELLO")                                                       \
+  X(kClaim, 2, "CLAIM")                                                       \
+  X(kGrant, 3, "GRANT")                                                       \
+  X(kSegment, 4, "SEGMENT")                                                   \
+  X(kDone, 5, "DONE")                                                         \
+  X(kAbort, 6, "ABORT")
 
 enum class MsgType : std::uint8_t {
-  kHello = 1,
-  kClaim = 2,
-  kGrant = 3,
-  kSegment = 4,
-  kDone = 5,
-  kAbort = 6,
+#define OSN_X(symbol, value, name) symbol = value,
+  OSN_DIST_MESSAGES(OSN_X)
+#undef OSN_X
 };
 
+// SEGMENT payload kinds:
+//   RECORDS  serialize_results({result}) — the cell's .osnr bytes
+//   IDS      serialize_cell_sidecar(...) — the cell's .ids bytes
+//   METRICS  MetricBlock::serialize() — the cell's .metrics bytes
+#define OSN_DIST_SEGMENT_KINDS(X)                                             \
+  X(kRecords, 0, "RECORDS")                                                   \
+  X(kIds, 1, "IDS")                                                           \
+  X(kMetrics, 2, "METRICS")
+
 enum class SegmentKind : std::uint8_t {
-  kRecords = 0,  // serialize_results({result}) — the cell's .osnr bytes
-  kIds = 1,      // serialize_cell_sidecar(...) — the cell's .ids bytes
-  kMetrics = 2,  // MetricBlock::serialize() — the cell's .metrics bytes
+#define OSN_X(symbol, value, name) symbol = value,
+  OSN_DIST_SEGMENT_KINDS(OSN_X)
+#undef OSN_X
 };
 
 [[nodiscard]] std::string_view segment_kind_name(SegmentKind kind);
+
+// Introspection rows (doc-name, wire-value) in definition order, for
+// tools/protocol_doc_check. Mirrors service::ProtocolSymbol.
+struct DistProtocolSymbol {
+  std::string_view name;
+  unsigned value;
+};
+[[nodiscard]] std::span<const DistProtocolSymbol> dist_message_symbols();
+[[nodiscard]] std::span<const DistProtocolSymbol> dist_segment_symbols();
 
 // One decoded protocol message. Fields are populated per type; unused
 // fields keep their defaults on the wire (encode writes only the typed

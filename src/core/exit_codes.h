@@ -1,0 +1,22 @@
+// The one exit-code convention every `originscan` subcommand follows —
+// the table in docs/CLI.md renders these values and tests/cli_test.cc
+// asserts the two stay in lockstep. Historically each subcommand grew
+// its own ad-hoc codes; this header is the fix for that drift.
+//
+//   0  kOk       the subcommand did what was asked and verified it
+//   1  kFailure  the work ran but failed (corrupt input, violation,
+//                write error, refused request)
+//   2  kUsage    the command line itself was invalid (unknown flag,
+//                missing required flag, out-of-range value)
+//   3  kKilled   an injected fault killed the run mid-flight but the
+//                journal makes it resumable (experiment --resume-dir)
+#pragma once
+
+namespace originscan::cli {
+
+inline constexpr int kOk = 0;
+inline constexpr int kFailure = 1;
+inline constexpr int kUsage = 2;
+inline constexpr int kKilled = 3;
+
+}  // namespace originscan::cli

@@ -161,14 +161,32 @@ namespace originscan::obsv {
   X(kChaosQuarantines, "chaos.quarantines", "cells",                          \
     "src/core/chaos.cc:run_chaos_soak")                                       \
   X(kChaosViolations, "chaos.violations", "episodes",                        \
-    "src/core/chaos.cc:run_chaos_soak")
+    "src/core/chaos.cc:run_chaos_soak")                                       \
+  X(kServiceConnections, "service.connections", "connections",                \
+    "src/service/service.cc:Loop")                                            \
+  X(kServiceRequestsAccepted, "service.requests_accepted", "requests",        \
+    "src/service/service.cc:Loop")                                            \
+  X(kServiceRequestsRejected, "service.requests_rejected", "requests",        \
+    "src/service/service.cc:Loop")                                            \
+  X(kServiceRequestsCompleted, "service.requests_completed", "requests",      \
+    "src/service/service.cc:Loop")                                            \
+  X(kServiceRequestsCancelled, "service.requests_cancelled", "requests",      \
+    "src/service/service.cc:Loop")                                            \
+  X(kServiceFramesMalformed, "service.frames_malformed", "frames",            \
+    "src/service/service.cc:Loop")                                            \
+  X(kServiceDisconnects, "service.disconnects", "connections",                \
+    "src/service/service.cc:Loop")                                            \
+  X(kServiceShutdownDrained, "service.shutdown_drained", "requests",          \
+    "src/service/service.cc:Loop")
 
 // ---- Gauge registry (merge = max) -----------------------------------
 #define OSN_GAUGE_METRICS(X)                                                  \
   X(kScanUniverseSize, "scan.universe_size", "addresses",                     \
     "src/scanner/orchestrator.cc:run_scan")                                   \
   X(kExperimentCellsTotal, "experiment.cells_total", "cells",                 \
-    "src/core/experiment.cc:run_journaled")
+    "src/core/experiment.cc:run_journaled")                                   \
+  X(kServiceInflightPeak, "service.inflight_peak", "requests",                \
+    "src/service/service.cc:Loop")
 
 // ---- Histogram registry (fixed bucket bounds, values <= bound) ------
 // X(symbol, "dotted.name", "unit", "site", bounds...)
@@ -180,7 +198,9 @@ namespace originscan::obsv {
     16777216)                                                                 \
   X(kSupervisorBackoffMicros, "supervisor.backoff_micros", "microseconds",    \
     "src/core/experiment.cc:run_journaled", 1000000, 4000000, 16000000,       \
-    64000000)
+    64000000)                                                                 \
+  X(kServiceQueueDepth, "service.queue_depth", "requests",                    \
+    "src/service/service.cc:Loop", 1, 4, 16, 64, 256, 1024)
 
 enum class Counter : int {
 #define OSN_X(symbol, name, unit, site) symbol,

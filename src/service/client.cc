@@ -1,0 +1,158 @@
+#include "service/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace originscan::service {
+namespace {
+
+// The client side tolerates a nonblocking fd (the tests hand it one
+// end of a socketpair they also poll) by parking in poll() on EAGAIN.
+bool send_all(int fd, std::span<const std::uint8_t> data,
+              std::string* error) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+        *error = std::string("poll: ") + std::strerror(errno);
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    *error = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_),
+      decoder_(std::move(other.decoder_)),
+      universe_seed_(other.universe_seed_),
+      universe_size_(other.universe_size_),
+      error_(std::move(other.error_)) {
+  other.fd_ = -1;
+}
+
+int ServiceClient::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+bool ServiceClient::send(const ServiceWire& message) {
+  if (fd_ < 0) {
+    error_ = "client closed";
+    return false;
+  }
+  return send_all(fd_, encode_service_message(message), &error_);
+}
+
+bool ServiceClient::hello() {
+  ServiceWire hello;
+  hello.type = ServiceMsg::kHello;
+  hello.version = kServiceProtocolVersion;
+  if (!send(hello)) return false;
+  const auto reply = next_message();
+  if (!reply) return false;
+  if (reply->type == ServiceMsg::kError) {
+    error_ = "server refused: " + std::string(service_error_name(reply->error)) +
+             " (" + reply->text + ")";
+    return false;
+  }
+  if (reply->type != ServiceMsg::kHelloAck) {
+    error_ = "expected HELLO_ACK, got " +
+             std::string(service_msg_name(reply->type));
+    return false;
+  }
+  universe_seed_ = reply->universe_seed;
+  universe_size_ = reply->universe_size;
+  return true;
+}
+
+bool ServiceClient::submit(std::uint64_t request_id, std::uint32_t tenant,
+                           const SessionSpec& spec) {
+  ServiceWire message;
+  message.type = ServiceMsg::kSubmit;
+  message.request_id = request_id;
+  message.tenant = tenant;
+  message.origin_code = spec.origin_code;
+  message.protocol = spec.protocol;
+  message.trial = static_cast<std::uint8_t>(spec.trial);
+  message.probes = static_cast<std::uint8_t>(spec.probes);
+  message.retries = static_cast<std::uint8_t>(spec.retries);
+  return send(message);
+}
+
+std::optional<ServiceWire> ServiceClient::next_message() {
+  if (fd_ < 0) {
+    error_ = "client closed";
+    return std::nullopt;
+  }
+  for (;;) {
+    if (auto payload = decoder_.next()) {
+      auto message = decode_service_message(*payload);
+      if (!message) error_ = "protocol violation: undecodable message";
+      return message;
+    }
+    if (decoder_.error() != net::FrameError::kNone) {
+      error_ = "framing error: " +
+               std::string(net::frame_error_name(decoder_.error()));
+      return std::nullopt;
+    }
+    std::uint8_t buffer[16384];
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n > 0) {
+      decoder_.feed(std::span(buffer, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      error_ = "connection closed by server";
+      return std::nullopt;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+        error_ = std::string("poll: ") + std::strerror(errno);
+        return std::nullopt;
+      }
+      continue;
+    }
+    error_ = std::string("recv: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+}
+
+std::optional<ServiceWire> ServiceClient::wait_for(std::uint64_t request_id) {
+  for (;;) {
+    auto message = next_message();
+    if (!message) return std::nullopt;
+    if (message->request_id != request_id) continue;
+    if (message->type == ServiceMsg::kResult ||
+        message->type == ServiceMsg::kError) {
+      return message;
+    }
+    // STATUS acks for the same request are progress, not answers.
+  }
+}
+
+}  // namespace originscan::service

@@ -1,0 +1,127 @@
+// `originscand` — the scan-as-a-service daemon (ROADMAP item 3). One
+// process freezes one immutable universe at startup and serves many
+// concurrent tenants' scan requests over the CRC32-framed service
+// protocol (service/wire.h, docs/PROTOCOL.md), with admission control
+// and fair-share scheduling over the library's lane executor.
+//
+// Architecture (DESIGN.md §14):
+//
+//   * One event-loop thread owns every socket, the request table, and
+//     the service.* metric block (single writer — the same discipline
+//     as the scan lanes' MetricBlocks). It never scans.
+//   * A fixed pool of executor threads (core::ThreadPool) runs admitted
+//     sessions. Each session is a ScanSession (service/session.h):
+//     private mutable state over the shared FrozenUniverse, so sessions
+//     are embarrassingly parallel and their records are byte-identical
+//     to solo runs.
+//   * Admission control: a SUBMIT is refused (ERROR ADMISSION_FULL)
+//     when the global in-flight cap or the per-tenant cap is reached —
+//     backpressure is explicit and immediate, never a silent queue.
+//   * Fair share: queued sessions drain round-robin across tenants, so
+//     a tenant flooding requests cannot starve a tenant submitting one.
+//   * Failure isolation: a malformed frame poisons only its connection;
+//     a mid-request disconnect cancels only that client's sessions (via
+//     the scan CancelToken, at batch granularity); SHUTDOWN drains
+//     admitted sessions, refuses new ones, then exits the loop.
+//
+// Operations guide: docs/OPERATIONS.md. CLI front ends: `originscan
+// serve` / `client` / `loadgen` (docs/CLI.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obsv/metrics.h"
+#include "obsv/trace.h"
+#include "service/session.h"
+#include "service/wire.h"
+
+namespace originscan::service {
+
+struct ServiceConfig {
+  // The scenario frozen at startup. Materialized scales ([2^12, 2^22])
+  // and procedural full-Internet scenarios both work; the universe is
+  // immutable either way.
+  sim::ScenarioConfig scenario = sim::ScenarioConfig::test_scale();
+  // Executor threads running sessions concurrently (the service's lane
+  // count). Throughput knob only — per-session records are identical
+  // for any value.
+  int executor_threads = 2;
+  // Intra-scan lanes per session (scan::ScanOptions::jobs).
+  int scan_jobs = 1;
+  // Admission control: global and per-tenant caps on in-flight
+  // (queued + running) sessions. A SUBMIT beyond either cap is refused
+  // with ERROR ADMISSION_FULL.
+  std::uint32_t max_inflight = 4096;
+  std::uint32_t max_inflight_per_tenant = 1024;
+  // Optional scan-level telemetry: each completed session's scan
+  // counters merge into `metrics` (thread-safe registry); per-request
+  // phase spans land in `trace` (internally locked) on the
+  // "svc/t<tenant>/r<id>" track.
+  obsv::MetricsRegistry* metrics = nullptr;
+  obsv::TraceRecorder* trace = nullptr;
+  // Progress lines ("tenant 3 request 7 done, 512 records").
+  std::function<void(std::string_view)> log;
+  // Test-only: invoked on the executor thread as each session starts —
+  // lets tests hold sessions in-flight to exercise admission control
+  // and cancellation deterministically.
+  std::function<void()> session_started_hook;
+};
+
+// Creates a listening AF_UNIX socket at `path` (unlinking a stale one).
+// Returns -1 and fills `error` on failure.
+int make_unix_listener(const std::string& path, std::string* error);
+// Connects to the daemon's AF_UNIX socket. Returns -1 on failure.
+int connect_unix(const std::string& path, std::string* error);
+
+class Originscand {
+ public:
+  explicit Originscand(const ServiceConfig& config);
+  ~Originscand();
+  Originscand(const Originscand&) = delete;
+  Originscand& operator=(const Originscand&) = delete;
+
+  [[nodiscard]] const FrozenUniverse& universe() const { return universe_; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  // Runs the event loop until a SHUTDOWN message (or request_stop())
+  // has been honored: admitted sessions finish and deliver, new SUBMITs
+  // are refused, then the loop exits. `listen_fd` (optional, -1 = none)
+  // accepts new connections; `preconnected` are server-side fds already
+  // speaking the protocol (socketpair transports for tests and the
+  // in-process loadgen). serve() closes every connection fd it owns on
+  // exit but never `listen_fd` itself. One serve() per instance.
+  void serve(int listen_fd, std::vector<int> preconnected = {});
+
+  // Asks a running serve() to drain and exit, from any thread —
+  // equivalent to an administrative SHUTDOWN frame.
+  void request_stop();
+
+  // The service.* counters. Single-writer (the event loop); read it
+  // after serve() returns, or from the loop's own callbacks.
+  [[nodiscard]] const obsv::MetricBlock& service_metrics() const {
+    return service_metrics_;
+  }
+
+ private:
+  struct Connection;
+  struct Request;
+  struct Completion;
+  class Loop;
+
+  ServiceConfig config_;
+  FrozenUniverse universe_;
+  obsv::MetricBlock service_metrics_;
+  // The self-wake pipe lives as long as the daemon object (not just one
+  // serve() call): request_stop may write the wake byte from any thread
+  // at any time, so the write end must never close underneath it.
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  bool served_ = false;
+};
+
+}  // namespace originscan::service

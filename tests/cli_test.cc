@@ -1,0 +1,83 @@
+// Lockstep check between the CLI exit-code convention
+// (src/core/exit_codes.h) and its rendered table in docs/CLI.md. The
+// convention exists to end per-subcommand exit-code drift, so the test
+// is strict both ways: every constant must appear in the doc table with
+// its exact value, and the table must not invent codes the header does
+// not define.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/exit_codes.h"
+
+namespace originscan {
+namespace {
+
+std::string read_cli_doc() {
+  const std::string path = std::string(OSN_SOURCE_DIR) + "/docs/CLI.md";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Parses rows shaped "| 0 | `kOk` | ... |" from the exit-code table.
+std::map<std::string, int> parse_exit_code_table(const std::string& doc) {
+  std::map<std::string, int> codes;
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    int value = 0;
+    char name[64] = {0};
+    if (std::sscanf(line.c_str(), "| %d | `%63[A-Za-z]` |", &value, name) ==
+        2) {
+      codes[name] = value;
+    }
+  }
+  return codes;
+}
+
+TEST(Cli, ExitCodeTableMatchesHeader) {
+  const auto codes = parse_exit_code_table(read_cli_doc());
+  ASSERT_EQ(codes.size(), 4u)
+      << "docs/CLI.md exit-code table must list exactly the four "
+         "convention codes";
+  ASSERT_TRUE(codes.count("kOk"));
+  ASSERT_TRUE(codes.count("kFailure"));
+  ASSERT_TRUE(codes.count("kUsage"));
+  ASSERT_TRUE(codes.count("kKilled"));
+  EXPECT_EQ(codes.at("kOk"), cli::kOk);
+  EXPECT_EQ(codes.at("kFailure"), cli::kFailure);
+  EXPECT_EQ(codes.at("kUsage"), cli::kUsage);
+  EXPECT_EQ(codes.at("kKilled"), cli::kKilled);
+}
+
+TEST(Cli, ExitCodeValuesAreTheDocumentedConvention) {
+  // The values themselves are part of the public contract (scripts
+  // branch on them), so pin them independently of the doc.
+  EXPECT_EQ(cli::kOk, 0);
+  EXPECT_EQ(cli::kFailure, 1);
+  EXPECT_EQ(cli::kUsage, 2);
+  EXPECT_EQ(cli::kKilled, 3);
+}
+
+TEST(Cli, DocCoversEverySubcommand) {
+  const std::string doc = read_cli_doc();
+  for (const char* subcommand :
+       {"originscan experiment", "originscan analyze", "originscan scan",
+        "originscan sweep", "originscan chaos", "originscan serve",
+        "originscan client", "originscan loadgen",
+        "originscan journal inspect", "originscan journal repair"}) {
+    EXPECT_NE(doc.find(std::string("### `") + subcommand + "`"),
+              std::string::npos)
+        << subcommand << " has no section in docs/CLI.md";
+  }
+}
+
+}  // namespace
+}  // namespace originscan

@@ -16,6 +16,7 @@
 #include "proto/tls.h"
 #include "scanner/blocklist.h"
 #include "scanner/permutation.h"
+#include "service/wire.h"
 #include "sim/internet.h"
 #include "tests/test_world.h"
 
@@ -604,6 +605,112 @@ TEST(Fuzz, SegmentMergerDigestIsInterleavingInvariant) {
       }
       EXPECT_EQ(merger.digest(), expected);
     }
+  }
+}
+
+TEST(Fuzz, ServiceMessageCodecRoundTripsAndSurvivesMutations) {
+  net::Rng rng(117);
+  // One representative valid frame per service message type.
+  std::vector<std::vector<std::uint8_t>> valid;
+  {
+    service::ServiceWire hello;
+    hello.type = service::ServiceMsg::kHello;
+    service::ServiceWire ack;
+    ack.type = service::ServiceMsg::kHelloAck;
+    ack.universe_seed = 0x05CA9;
+    ack.universe_size = 1u << 12;
+    service::ServiceWire submit;
+    submit.type = service::ServiceMsg::kSubmit;
+    submit.request_id = 7;
+    submit.tenant = 3;
+    submit.origin_code = "US64";
+    submit.protocol = proto::Protocol::kSsh;
+    submit.trial = 2;
+    submit.probes = 1;
+    submit.retries = 1;
+    service::ServiceWire status;
+    status.type = service::ServiceMsg::kStatus;
+    status.request_id = 7;
+    status.state = service::SessionState::kQueued;
+    status.queue_position = 4;
+    service::ServiceWire result;
+    result.type = service::ServiceMsg::kResult;
+    result.request_id = 7;
+    result.records = random_bytes(rng, 128);
+    service::ServiceWire cancel;
+    cancel.type = service::ServiceMsg::kCancel;
+    cancel.request_id = 7;
+    service::ServiceWire shutdown;
+    shutdown.type = service::ServiceMsg::kShutdown;
+    service::ServiceWire error;
+    error.type = service::ServiceMsg::kError;
+    error.request_id = 7;
+    error.error = service::ServiceError::kAdmissionFull;
+    error.text = "admission caps reached";
+    for (const auto* message : {&hello, &ack, &submit, &status, &result,
+                                &cancel, &shutdown, &error}) {
+      valid.push_back(service::encode_service_message(*message));
+      net::FrameDecoder decoder;
+      decoder.feed(valid.back());
+      const auto payload = decoder.next();
+      ASSERT_TRUE(payload.has_value());
+      const auto decoded = service::decode_service_message(*payload);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(decoded->type, message->type);
+      EXPECT_EQ(decoded->version, message->version);
+      EXPECT_EQ(decoded->universe_seed, message->universe_seed);
+      EXPECT_EQ(decoded->universe_size, message->universe_size);
+      EXPECT_EQ(decoded->request_id, message->request_id);
+      EXPECT_EQ(decoded->tenant, message->tenant);
+      EXPECT_EQ(decoded->origin_code, message->origin_code);
+      EXPECT_EQ(decoded->protocol, message->protocol);
+      EXPECT_EQ(decoded->trial, message->trial);
+      EXPECT_EQ(decoded->probes, message->probes);
+      EXPECT_EQ(decoded->retries, message->retries);
+      EXPECT_EQ(decoded->state, message->state);
+      EXPECT_EQ(decoded->queue_position, message->queue_position);
+      EXPECT_EQ(decoded->records, message->records);
+      EXPECT_EQ(decoded->error, message->error);
+      EXPECT_EQ(decoded->text, message->text);
+    }
+  }
+
+  // The daemon's exact ingestion path under mutation: frame decode, then
+  // strict message decode. Both must classify, never crash, and trailing
+  // bytes must always reject.
+  for (int i = 0; i < 5000; ++i) {
+    const auto& base = valid[rng.below(valid.size())];
+    const auto mangled =
+        i % 3 == 0 ? random_bytes(rng, 160) : mutate(rng, base);
+    net::FrameDecoder decoder;
+    decoder.feed(mangled);
+    while (auto payload = decoder.next()) {
+      (void)service::decode_service_message(*payload);
+    }
+  }
+
+  // Payload-level trailing garbage (valid frame, padded message) must
+  // reject even though the CRC passes.
+  for (const auto& frame : valid) {
+    net::FrameDecoder decoder;
+    decoder.feed(frame);
+    auto payload = decoder.next();
+    ASSERT_TRUE(payload.has_value());
+    payload->push_back(0);
+    EXPECT_FALSE(service::decode_service_message(*payload).has_value());
+  }
+
+  // Oversized string caps: an origin code longer than the decoder's cap
+  // rejects rather than allocating from a lying length.
+  {
+    service::ServiceWire submit;
+    submit.type = service::ServiceMsg::kSubmit;
+    submit.origin_code = std::string(64, 'A');  // > kMaxOriginCodeBytes
+    net::FrameDecoder decoder;
+    decoder.feed(service::encode_service_message(submit));
+    const auto payload = decoder.next();
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_FALSE(service::decode_service_message(*payload).has_value());
   }
 }
 

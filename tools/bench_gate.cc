@@ -4,6 +4,7 @@
 //
 //   bench_gate <baseline.json> <candidate.json> [threshold_percent]
 //   bench_gate --overhead <candidate.json> <base> <variant> [threshold]
+//   bench_gate --wall <baseline.json> <candidate.json> <field> [threshold]
 //
 // Threshold defaults to 25% — wide enough to absorb CI machine noise,
 // tight enough to catch a hot path re-growing a serialize/parse round
@@ -18,6 +19,12 @@
 // machine-noise argument for a wide threshold doesn't apply — this is
 // how ci.sh bounds the cost of metrics-enabled scanning over disabled
 // (DESIGN.md §9's "cheap when enabled" rule).
+//
+// --wall compares one named scalar field between two FLAT JSON objects
+// (one "key": value pair per line — the shape bench/record.sh keeps in
+// BENCH_wall.json and `originscan loadgen --json-out` emits). This is
+// how ci.sh bounds the service loadgen's p99 latency:
+//   bench_gate --wall BENCH_wall.json candidate.json loadgen_p99_us 25
 //
 // The parser is deliberately minimal: it extracts "name"/"cpu_time"
 // pairs from the `benchmarks` array of google-benchmark's JSON format
@@ -113,11 +120,78 @@ int run_overhead(int argc, char** argv) {
   return 0;
 }
 
+// Reads one `"field": <number>` scalar out of a flat JSON file, NaN if
+// absent.
+double load_field(const char* path, const std::string& field) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_gate: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const double value = number_value(line, field.c_str());
+    if (value == value) return value;
+  }
+  return std::strtod("nan", nullptr);
+}
+
+int run_wall(int argc, char** argv) {
+  if (argc < 5 || argc > 6) {
+    std::fprintf(stderr,
+                 "usage: %s --wall <baseline.json> <candidate.json> <field> "
+                 "[threshold_percent]\n",
+                 argv[0]);
+    return 2;
+  }
+  const double threshold = argc == 6 ? std::strtod(argv[5], nullptr) : 25.0;
+  if (!(threshold > 0)) {
+    std::fprintf(stderr, "bench_gate: bad threshold %s\n", argv[5]);
+    return 2;
+  }
+  const std::string field = argv[4];
+  const double base = load_field(argv[2], field);
+  const double cand = load_field(argv[3], field);
+  if (base != base) {
+    std::fprintf(stderr,
+                 "bench_gate: %s missing from baseline %s — re-record with "
+                 "bench/record.sh\n",
+                 field.c_str(), argv[2]);
+    return 2;
+  }
+  if (cand != cand) {
+    std::fprintf(stderr, "bench_gate: %s missing from candidate %s\n",
+                 field.c_str(), argv[3]);
+    return 2;
+  }
+  if (!(base > 0)) {
+    std::fprintf(stderr, "bench_gate: baseline %s is %g — not gateable\n",
+                 field.c_str(), base);
+    return 2;
+  }
+  const double delta_pct = (cand - base) / base * 100.0;
+  const bool regressed = delta_pct > threshold;
+  std::printf("%s %-32s %10.1f -> %10.1f  (%+.1f%%, limit +%.0f%%)\n",
+              regressed ? "FAIL    " : "ok      ", field.c_str(), base, cand,
+              delta_pct, threshold);
+  if (regressed) {
+    std::printf("bench_gate: %s regressed %.1f%% beyond the %.0f%% gate — "
+                "refresh BENCH_wall.json with bench/record.sh only if the "
+                "slowdown is intended\n",
+                field.c_str(), delta_pct, threshold);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--overhead") == 0) {
     return run_overhead(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--wall") == 0) {
+    return run_wall(argc, argv);
   }
   if (argc < 3 || argc > 4) {
     std::fprintf(stderr,

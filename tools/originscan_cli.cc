@@ -1,13 +1,19 @@
 // originscan — command-line front end for the library.
 //
-// Subcommands:
+// Subcommands (full reference with flags and exit codes: docs/CLI.md):
 //   experiment  run the paper experiment and export coverage +
 //               classification CSVs
 //   scan        run one origin x protocol scan and export raw records
 //   sweep       full-universe L4 sweep over a procedural world (bounded
 //               memory at any size; prints a determinism digest)
+//   serve       run the originscand daemon over a unix socket
+//   client      submit one scan to a running daemon (or --shutdown it)
+//   loadgen     replay concurrent tenants against an in-process daemon
 //   topology    print the simulated world's AS/country inventory
 //   origins     print the vantage-point roster
+//
+// Exit codes follow core/exit_codes.h: 0 ok, 1 failure, 2 usage,
+// 3 killed-but-resumable.
 //
 // Common flags:
 //   --scale N     universe exponent (default 16; addresses = 2^N)
@@ -29,6 +35,10 @@
 
 #include "core/access_matrix.h"
 #include "core/dist.h"
+#include "core/exit_codes.h"
+#include "service/client.h"
+#include "service/loadgen.h"
+#include "service/service.h"
 #include "scanner/orchestrator.h"
 #include "sim/scenario.h"
 #include "core/analysis/coverage.h"
@@ -74,6 +84,19 @@ struct Args {
   // worker subcommand only (spawned by the master, not by hand):
   int fd = -1;           // inherited socketpair transport fd
   int worker_index = 0;  // index the master assigned this worker
+  // serve/client/loadgen (the daemon front ends):
+  std::string socket_path;       // serve/client: AF_UNIX socket path
+  int executor_threads = 2;      // serve/loadgen: concurrent sessions
+  int max_inflight = 4096;       // serve/loadgen: global admission cap
+  int max_inflight_per_tenant = 1024;
+  int tenant = 0;                // client: fair-share tenant key
+  int tenants = 64;              // loadgen: simulated tenants
+  int requests = 2;              // loadgen: requests per tenant
+  int connections = 8;           // loadgen: multiplexed connections
+  std::uint64_t mix_seed = 1;    // loadgen: request-mix seed
+  std::string json_out;          // loadgen: write the report JSON here
+  bool no_verify = false;        // loadgen: skip byte-identity replay
+  bool shutdown = false;         // client: send SHUTDOWN instead of SUBMIT
 };
 
 void usage() {
@@ -81,6 +104,9 @@ void usage() {
       stderr,
       "usage: originscan "
       "<experiment|analyze|scan|sweep|chaos|topology|origins> [options]\n"
+      "       originscan serve --socket PATH [options]\n"
+      "       originscan client --socket PATH [--shutdown] [scan flags]\n"
+      "       originscan loadgen [--tenants N] [--requests N] [options]\n"
       "       originscan journal inspect --resume-dir DIR [--json]\n"
       "       originscan journal repair --resume-dir DIR\n"
       "  --scale N      universe exponent, 12..22 (default 16)\n"
@@ -115,7 +141,25 @@ void usage() {
       "                 chrome://tracing or ui.perfetto.dev)\n"
       "  --rounds N     chaos: randomized fault episodes to run (default\n"
       "                 25); each is a pure function of (--seed, round)\n"
+      "  --socket PATH  serve/client: AF_UNIX socket the daemon listens on\n"
+      "  --executor-threads N  serve/loadgen: concurrent sessions\n"
+      "                 (default 2; records are identical for any value)\n"
+      "  --max-inflight N  serve/loadgen: global admission cap (4096)\n"
+      "  --max-inflight-per-tenant N  per-tenant admission cap (1024)\n"
+      "  --tenant N     client: fair-share tenant key (default 0)\n"
+      "  --shutdown     client: drain-and-stop the daemon, submit nothing\n"
+      "  --tenants N    loadgen: simulated tenants (default 64)\n"
+      "  --requests N   loadgen: requests per tenant (default 2)\n"
+      "  --connections N  loadgen: multiplexed connections (default 8)\n"
+      "  --mix-seed N   loadgen: request-mix seed (default 1)\n"
+      "  --json-out F   loadgen: write the loadgen_* report JSON to F\n"
+      "  --no-verify    loadgen: skip the byte-identity verification\n"
       "\n"
+      "  serve freezes one universe at startup and serves concurrent scan\n"
+      "  requests until a client sends SHUTDOWN (docs/OPERATIONS.md).\n"
+      "  loadgen replays tenants x requests against an in-process daemon\n"
+      "  and fails (exit 1) unless every answer arrived and every RESULT\n"
+      "  byte-matched a direct single-run scan (docs/PROTOCOL.md).\n"
       "  analyze re-runs the coverage analysis on saved results; use the\n"
       "  same --scale/--seed the experiment ran with.\n"
       "  chaos soak-tests the recovery machinery: every episode must end\n"
@@ -153,6 +197,16 @@ bool parse_args(int argc, char** argv, Args& args) {
     const std::string flag = argv[i];
     if (flag == "--json") {  // boolean: consumes no value
       args.json = true;
+      --i;
+      continue;
+    }
+    if (flag == "--no-verify") {
+      args.no_verify = true;
+      --i;
+      continue;
+    }
+    if (flag == "--shutdown") {
+      args.shutdown = true;
       --i;
       continue;
     }
@@ -198,6 +252,26 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.fd = std::atoi(value.c_str());
     } else if (flag == "--worker-index") {
       args.worker_index = std::atoi(value.c_str());
+    } else if (flag == "--socket") {
+      args.socket_path = value;
+    } else if (flag == "--executor-threads") {
+      args.executor_threads = std::atoi(value.c_str());
+    } else if (flag == "--max-inflight") {
+      args.max_inflight = std::atoi(value.c_str());
+    } else if (flag == "--max-inflight-per-tenant") {
+      args.max_inflight_per_tenant = std::atoi(value.c_str());
+    } else if (flag == "--tenant") {
+      args.tenant = std::atoi(value.c_str());
+    } else if (flag == "--tenants") {
+      args.tenants = std::atoi(value.c_str());
+    } else if (flag == "--requests") {
+      args.requests = std::atoi(value.c_str());
+    } else if (flag == "--connections") {
+      args.connections = std::atoi(value.c_str());
+    } else if (flag == "--mix-seed") {
+      args.mix_seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (flag == "--json-out") {
+      args.json_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -229,6 +303,19 @@ bool parse_args(int argc, char** argv, Args& args) {
   }
   if (args.rounds < 1 || args.rounds > 100000) {
     std::fprintf(stderr, "--rounds must be in [1, 100000]\n");
+    return false;
+  }
+  if (args.executor_threads < 1 || args.executor_threads > 64) {
+    std::fprintf(stderr, "--executor-threads must be in [1, 64]\n");
+    return false;
+  }
+  if (args.max_inflight < 1 || args.max_inflight_per_tenant < 1) {
+    std::fprintf(stderr, "admission caps must be >= 1\n");
+    return false;
+  }
+  if (args.tenants < 1 || args.requests < 1 || args.connections < 1) {
+    std::fprintf(stderr,
+                 "--tenants/--requests/--connections must be >= 1\n");
     return false;
   }
   return true;
@@ -286,7 +373,7 @@ int cmd_experiment(const Args& args) {
     const auto plan = fault::FaultPlan::parse(args.faults, &error);
     if (!plan.has_value()) {
       std::fprintf(stderr, "bad --faults spec: %s\n", error.c_str());
-      return 2;
+      return cli::kUsage;
     }
     injector.emplace(*plan, args.seed);
     config.faults = &*injector;
@@ -309,7 +396,7 @@ int cmd_experiment(const Args& args) {
       std::fprintf(stderr,
                    "--trace-out is not supported with --workers: trace spans "
                    "are produced inside the worker processes\n");
-      return 2;
+      return cli::kUsage;
     }
     std::optional<core::ExperimentJournal> journal;
     if (!args.resume_dir.empty()) {
@@ -319,7 +406,7 @@ int cmd_experiment(const Args& args) {
       if (!journal.has_value()) {
         std::fprintf(stderr, "cannot open journal %s: %s\n",
                      args.resume_dir.c_str(), error.c_str());
-        return 1;
+        return cli::kFailure;
       }
     }
     core::DistOptions dist_options;
@@ -371,7 +458,7 @@ int cmd_experiment(const Args& args) {
                        ? ""
                        : "; completed cells are journaled — rerun with the "
                          "same --resume-dir to finish");
-      return 3;
+      return cli::kKilled;
     }
     for (const auto& key : report.lost) {
       std::printf("  lost cell (retry budget exhausted): %s\n",
@@ -390,7 +477,7 @@ int cmd_experiment(const Args& args) {
     if (!journal.has_value()) {
       std::fprintf(stderr, "cannot open journal %s: %s\n",
                    args.resume_dir.c_str(), error.c_str());
-      return 1;
+      return cli::kFailure;
     }
     const core::RunReport report =
         experiment.run_journaled(&*journal, core::SupervisorPolicy{},
@@ -408,7 +495,7 @@ int cmd_experiment(const Args& args) {
                    "run killed (%s); completed cells are journaled in %s — "
                    "rerun with the same --resume-dir to finish\n",
                    report.kill_reason.c_str(), args.resume_dir.c_str());
-      return 3;
+      return cli::kKilled;
     }
     for (const auto& key : report.lost) {
       std::printf("  lost cell (retry budget exhausted): %s\n",
@@ -423,11 +510,11 @@ int cmd_experiment(const Args& args) {
     if (!core::save_results(args.save, experiment.all_results())) {
       std::fprintf(stderr, "failed to save results to %s\n",
                    args.save.c_str());
-      return 1;
+      return cli::kFailure;
     }
     std::printf("saved raw results to %s\n", args.save.c_str());
   }
-  if (!write_observability(args, registry.snapshot(), &trace)) return 1;
+  if (!write_observability(args, registry.snapshot(), &trace)) return cli::kFailure;
 
   for (proto::Protocol protocol : proto::kAllProtocols) {
     const auto matrix = core::AccessMatrix::build(experiment, protocol);
@@ -444,7 +531,7 @@ int cmd_experiment(const Args& args) {
                                        experiment.world().topology))) {
       std::fprintf(stderr, "failed to write CSVs under %s\n",
                    args.out.c_str());
-      return 1;
+      return cli::kFailure;
     }
     std::printf("wrote %s_coverage.csv and %s_classification.csv\n",
                 stem.c_str(), stem.c_str());
@@ -459,7 +546,7 @@ int cmd_experiment(const Args& args) {
                 std::string(proto::name_of(protocol)).c_str(),
                 table.to_string().c_str());
   }
-  return 0;
+  return cli::kOk;
 }
 
 // Worker-process entry point for the distributed experiment runner. Not
@@ -472,7 +559,7 @@ int cmd_worker(const Args& args) {
     std::fprintf(stderr,
                  "worker is spawned by `originscan experiment --workers N`, "
                  "not by hand (missing --fd)\n");
-    return 2;
+    return cli::kUsage;
   }
   auto config = base_config(args);
   std::optional<fault::FaultInjector> injector;
@@ -481,21 +568,21 @@ int cmd_worker(const Args& args) {
     const auto plan = fault::FaultPlan::parse(args.faults, &error);
     if (!plan.has_value()) {
       std::fprintf(stderr, "bad --faults spec: %s\n", error.c_str());
-      return 2;
+      return cli::kUsage;
     }
     injector.emplace(*plan, args.seed);
     config.faults = &*injector;
   }
   core::Experiment experiment(config);
   core::run_worker(args.fd, args.worker_index, experiment);
-  return 0;
+  return cli::kOk;
 }
 
 int cmd_scan(const Args& args) {
   const auto protocol = protocol_from(args.protocol);
   if (!protocol) {
     std::fprintf(stderr, "unknown protocol: %s\n", args.protocol.c_str());
-    return 1;
+    return cli::kFailure;
   }
   auto config = base_config(args);
   config.protocols = {*protocol};
@@ -503,7 +590,7 @@ int cmd_scan(const Args& args) {
   const auto origin = experiment.origin_id(args.origin);
   if (origin == ~sim::OriginId{0}) {
     std::fprintf(stderr, "unknown origin: %s\n", args.origin.c_str());
-    return 1;
+    return cli::kFailure;
   }
 
   std::printf("scanning %s from %s (trial %d, retries %d)...\n",
@@ -529,7 +616,7 @@ int cmd_scan(const Args& args) {
                            ".csv";
   if (!report::write_file(path, report::scan_result_csv(result))) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
-    return 1;
+    return cli::kFailure;
   }
 
   std::map<std::string, int> outcomes;
@@ -542,8 +629,8 @@ int cmd_scan(const Args& args) {
     std::printf("  %-22s %d\n", outcome.c_str(), count);
   }
   std::printf("wrote %s\n", path.c_str());
-  if (!write_observability(args, metrics, &trace)) return 1;
-  return 0;
+  if (!write_observability(args, metrics, &trace)) return cli::kFailure;
+  return cli::kOk;
 }
 
 // Full-universe L4 sweep over a procedural world (DESIGN.md §10): no
@@ -556,7 +643,7 @@ int cmd_sweep(const Args& args) {
   const auto protocol = protocol_from(args.protocol);
   if (!protocol) {
     std::fprintf(stderr, "unknown protocol: %s\n", args.protocol.c_str());
-    return 1;
+    return cli::kFailure;
   }
   auto scenario = sim::ScenarioConfig::full_internet(args.universe_bits);
   scenario.seed = args.seed;
@@ -567,7 +654,7 @@ int cmd_sweep(const Args& args) {
   const auto origin = world.origin_id(args.origin);
   if (origin == ~sim::OriginId{0}) {
     std::fprintf(stderr, "unknown origin: %s\n", args.origin.c_str());
-    return 1;
+    return cli::kFailure;
   }
 
   sim::TrialContext context;
@@ -598,19 +685,19 @@ int cmd_sweep(const Args& args) {
       static_cast<unsigned long long>(result.synack_targets),
       static_cast<unsigned long long>(result.rst_only_targets),
       static_cast<unsigned long long>(result.digest));
-  if (!write_observability(args, metrics, nullptr)) return 1;
-  return 0;
+  if (!write_observability(args, metrics, nullptr)) return cli::kFailure;
+  return cli::kOk;
 }
 
 int cmd_analyze(const Args& args) {
   if (args.in.empty()) {
     std::fprintf(stderr, "analyze requires --in FILE\n");
-    return 1;
+    return cli::kFailure;
   }
   auto results = core::load_results(args.in);
   if (!results) {
     std::fprintf(stderr, "could not parse %s\n", args.in.c_str());
-    return 1;
+    return cli::kFailure;
   }
   auto config = base_config(args);
   core::Experiment experiment(config);
@@ -620,7 +707,7 @@ int cmd_analyze(const Args& args) {
                  "results in %s do not match this experiment's shape: %s\n"
                  "(pass the original --scale/--seed)\n",
                  args.in.c_str(), error.c_str());
-    return 1;
+    return cli::kFailure;
   }
   for (proto::Protocol protocol : proto::kAllProtocols) {
     const auto matrix = core::AccessMatrix::build(experiment, protocol);
@@ -635,7 +722,7 @@ int cmd_analyze(const Args& args) {
                 std::string(proto::name_of(protocol)).c_str(),
                 table.to_string().c_str());
   }
-  return 0;
+  return cli::kOk;
 }
 
 std::string json_escape(const std::string& text) {
@@ -671,7 +758,7 @@ std::string json_escape(const std::string& text) {
 int cmd_journal_inspect(const Args& args) {
   if (args.resume_dir.empty()) {
     std::fprintf(stderr, "journal inspect requires --resume-dir DIR\n");
-    return 2;
+    return cli::kUsage;
   }
   std::string error;
   const auto journal =
@@ -686,7 +773,7 @@ int cmd_journal_inspect(const Args& args) {
       std::fprintf(stderr, "cannot open journal %s: %s\n",
                    args.resume_dir.c_str(), error.c_str());
     }
-    return 1;
+    return cli::kFailure;
   }
 
   // Per-cell verdicts: every done entry's segment + sidecars are fully
@@ -793,14 +880,14 @@ int cmd_journal_inspect(const Args& args) {
 int cmd_journal_repair(const Args& args) {
   if (args.resume_dir.empty()) {
     std::fprintf(stderr, "journal repair requires --resume-dir DIR\n");
-    return 2;
+    return cli::kUsage;
   }
   std::string error;
   const auto report = core::ExperimentJournal::repair(args.resume_dir, &error);
   if (!report.has_value()) {
     std::fprintf(stderr, "cannot repair journal %s: %s\n",
                  args.resume_dir.c_str(), error.c_str());
-    return 1;
+    return cli::kFailure;
   }
   std::printf("repaired journal %s (fingerprint %s)\n"
               "  entries kept:               %zu\n"
@@ -813,7 +900,7 @@ int cmd_journal_repair(const Args& args) {
               report->entries_dropped_followers);
   std::printf("resume with the original flags and the same --resume-dir to "
               "re-run the dropped cells\n");
-  return 0;
+  return cli::kOk;
 }
 
 int cmd_chaos(const Args& args) {
@@ -843,7 +930,7 @@ int cmd_chaos(const Args& args) {
           snapshot.counter(obsv::Counter::kJournalWritesFailed)),
       static_cast<unsigned long long>(
           snapshot.counter(obsv::Counter::kFaultEnospc)));
-  if (!write_observability(args, snapshot, nullptr)) return 1;
+  if (!write_observability(args, snapshot, nullptr)) return cli::kFailure;
   if (!report.passed()) {
     for (const std::string& violation : report.violations) {
       std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", violation.c_str());
@@ -851,10 +938,214 @@ int cmd_chaos(const Args& args) {
     std::fprintf(stderr, "%zu invariant violation(s) — reproduce any round "
                  "with the same --seed\n",
                  report.violations.size());
-    return 1;
+    return cli::kFailure;
   }
   std::printf("0 invariant violations\n");
-  return 0;
+  return cli::kOk;
+}
+
+// `originscan serve` — the originscand daemon. Freezes one universe,
+// listens on an AF_UNIX socket, and serves concurrent scan requests
+// until a client sends SHUTDOWN (docs/OPERATIONS.md is the runbook).
+int cmd_serve(const Args& args) {
+  if (args.socket_path.empty()) {
+    std::fprintf(stderr, "serve requires --socket PATH\n");
+    return cli::kUsage;
+  }
+  service::ServiceConfig config;
+  config.scenario.universe_size = 1u << args.scale;
+  config.scenario.seed = args.seed;
+  config.executor_threads = args.executor_threads;
+  config.scan_jobs = args.jobs;
+  config.max_inflight = static_cast<std::uint32_t>(args.max_inflight);
+  config.max_inflight_per_tenant =
+      static_cast<std::uint32_t>(args.max_inflight_per_tenant);
+  config.log = [](std::string_view line) {
+    std::printf("originscand: %.*s\n", static_cast<int>(line.size()),
+                line.data());
+    std::fflush(stdout);
+  };
+
+  std::string error;
+  const int listen_fd = service::make_unix_listener(args.socket_path, &error);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "cannot listen on %s: %s\n",
+                 args.socket_path.c_str(), error.c_str());
+    return cli::kFailure;
+  }
+  std::printf("originscand: universe scale %d seed %llu, %d executor "
+              "thread(s), listening on %s\n",
+              args.scale, static_cast<unsigned long long>(args.seed),
+              args.executor_threads, args.socket_path.c_str());
+  std::fflush(stdout);
+
+  service::Originscand daemon(config);
+  daemon.serve(listen_fd);
+  ::close(listen_fd);
+  ::unlink(args.socket_path.c_str());
+
+  const auto& m = daemon.service_metrics();
+  std::printf(
+      "originscand: drained. connections %llu, accepted %llu, rejected "
+      "%llu, completed %llu, cancelled %llu\n",
+      static_cast<unsigned long long>(
+          m.counter(obsv::Counter::kServiceConnections)),
+      static_cast<unsigned long long>(
+          m.counter(obsv::Counter::kServiceRequestsAccepted)),
+      static_cast<unsigned long long>(
+          m.counter(obsv::Counter::kServiceRequestsRejected)),
+      static_cast<unsigned long long>(
+          m.counter(obsv::Counter::kServiceRequestsCompleted)),
+      static_cast<unsigned long long>(
+          m.counter(obsv::Counter::kServiceRequestsCancelled)));
+  if (!args.metrics_out.empty()) {
+    if (!report::write_file(args.metrics_out, obsv::snapshot_json(m))) {
+      std::fprintf(stderr, "failed to write %s\n", args.metrics_out.c_str());
+      return cli::kFailure;
+    }
+  }
+  return cli::kOk;
+}
+
+// `originscan client` — submit one scan to a running daemon and export
+// the RESULT records as CSV, or --shutdown the daemon.
+int cmd_client(const Args& args) {
+  if (args.socket_path.empty()) {
+    std::fprintf(stderr, "client requires --socket PATH\n");
+    return cli::kUsage;
+  }
+  const auto protocol = protocol_from(args.protocol);
+  if (!protocol) {
+    std::fprintf(stderr, "unknown protocol: %s\n", args.protocol.c_str());
+    return cli::kUsage;
+  }
+  std::string error;
+  const int fd = service::connect_unix(args.socket_path, &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n",
+                 args.socket_path.c_str(), error.c_str());
+    return cli::kFailure;
+  }
+  service::ServiceClient client(fd);
+  if (!client.hello()) {
+    std::fprintf(stderr, "handshake failed: %s\n", client.error().c_str());
+    return cli::kFailure;
+  }
+  if (args.shutdown) {
+    service::ServiceWire message;
+    message.type = service::ServiceMsg::kShutdown;
+    if (!client.send(message)) {
+      std::fprintf(stderr, "send failed: %s\n", client.error().c_str());
+      return cli::kFailure;
+    }
+    std::printf("sent SHUTDOWN; daemon drains and exits\n");
+    return cli::kOk;
+  }
+
+  service::SessionSpec spec;
+  spec.origin_code = args.origin;
+  spec.protocol = *protocol;
+  spec.trial = args.trial;
+  spec.probes = args.probes;
+  spec.retries = args.retries;
+  std::printf("submitting %s from %s (trial %d) to daemon at %s "
+              "(universe seed %llu, %u addresses)...\n",
+              args.protocol.c_str(), args.origin.c_str(), args.trial,
+              args.socket_path.c_str(),
+              static_cast<unsigned long long>(client.universe_seed()),
+              client.universe_size());
+  if (!client.submit(1, static_cast<std::uint32_t>(args.tenant), spec)) {
+    std::fprintf(stderr, "submit failed: %s\n", client.error().c_str());
+    return cli::kFailure;
+  }
+  const auto answer = client.wait_for(1);
+  if (!answer) {
+    std::fprintf(stderr, "no answer: %s\n", client.error().c_str());
+    return cli::kFailure;
+  }
+  if (answer->type == service::ServiceMsg::kError) {
+    std::fprintf(stderr, "daemon refused: %s (%s)\n",
+                 std::string(service::service_error_name(answer->error))
+                     .c_str(),
+                 answer->text.c_str());
+    return cli::kFailure;
+  }
+  const auto results = core::parse_results(answer->records);
+  if (!results || results->size() != 1) {
+    std::fprintf(stderr, "RESULT payload failed to parse\n");
+    return cli::kFailure;
+  }
+  const scan::ScanResult& result = results->front();
+  const std::string path = args.out + "/scan_" + args.origin + "_" +
+                           args.protocol + "_t" + std::to_string(args.trial) +
+                           ".csv";
+  if (!report::write_file(path, report::scan_result_csv(result))) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return cli::kFailure;
+  }
+  std::printf("responsive targets: %zu, completed handshakes: %zu\n",
+              result.records.size(), result.completed_count());
+  std::printf("wrote %s\n", path.c_str());
+  return cli::kOk;
+}
+
+// `originscan loadgen` — the concurrency proof: replay tenants against
+// an in-process daemon and byte-compare every RESULT with a direct run.
+int cmd_loadgen(const Args& args) {
+  service::ServiceConfig config;
+  config.scenario.universe_size = 1u << args.scale;
+  config.scenario.seed = args.seed;
+  config.executor_threads = args.executor_threads;
+  config.scan_jobs = args.jobs;
+  config.max_inflight = static_cast<std::uint32_t>(args.max_inflight);
+  config.max_inflight_per_tenant =
+      static_cast<std::uint32_t>(args.max_inflight_per_tenant);
+
+  service::LoadgenOptions options;
+  options.tenants = static_cast<std::uint32_t>(args.tenants);
+  options.requests_per_tenant = static_cast<std::uint32_t>(args.requests);
+  options.connections = static_cast<std::uint32_t>(args.connections);
+  options.mix_seed = args.mix_seed;
+  options.verify = !args.no_verify;
+
+  std::printf("loadgen: %d tenant(s) x %d request(s) over %d connection(s), "
+              "scale %d, %d executor thread(s)%s...\n",
+              args.tenants, args.requests, args.connections, args.scale,
+              args.executor_threads,
+              options.verify ? ", verifying byte-identity" : "");
+  std::fflush(stdout);
+
+  const service::LoadgenReport report = service::run_loadgen(config, options);
+  std::printf(
+      "loadgen: %llu/%llu answered, %llu rejected, %llu distinct spec(s), "
+      "%llu verified, %llu mismatch(es)\n"
+      "loadgen: latency p50 %lld us, p99 %lld us, max %lld us, wall %lld us\n",
+      static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.requests),
+      static_cast<unsigned long long>(report.rejected),
+      static_cast<unsigned long long>(report.distinct_specs),
+      static_cast<unsigned long long>(report.verified_specs),
+      static_cast<unsigned long long>(report.byte_mismatches),
+      static_cast<long long>(report.p50_us),
+      static_cast<long long>(report.p99_us),
+      static_cast<long long>(report.max_us),
+      static_cast<long long>(report.wall_us));
+  if (!args.json_out.empty()) {
+    if (!report::write_file(args.json_out,
+                            service::loadgen_report_json(report))) {
+      std::fprintf(stderr, "failed to write %s\n", args.json_out.c_str());
+      return cli::kFailure;
+    }
+    std::printf("wrote %s\n", args.json_out.c_str());
+  }
+  if (!report.ok) {
+    std::fprintf(stderr, "loadgen FAILED: %s\n", report.error.c_str());
+    return cli::kFailure;
+  }
+  std::printf(options.verify
+                  ? "loadgen OK: every answer byte-identical to direct runs\n"
+                  : "loadgen OK (byte-identity verification skipped)\n");
+  return cli::kOk;
 }
 
 int cmd_topology(const Args& args) {
@@ -872,7 +1163,7 @@ int cmd_topology(const Args& args) {
   std::printf("%zu ASes, %zu hosts over %u addresses; first 40 ASes:\n%s",
               world.topology.as_count(), world.hosts.size(),
               world.universe_size, table.to_string().c_str());
-  return 0;
+  return cli::kOk;
 }
 
 int cmd_origins(const Args& args) {
@@ -888,7 +1179,7 @@ int cmd_origins(const Args& args) {
                    report::Table::num(origin.loss_multiplier, 2)});
   }
   std::printf("%s", table.to_string().c_str());
-  return 0;
+  return cli::kOk;
 }
 
 }  // namespace
@@ -897,7 +1188,7 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) {
     usage();
-    return 2;
+    return cli::kUsage;
   }
   if (args.command == "experiment") return cmd_experiment(args);
   if (args.command == "worker") return cmd_worker(args);
@@ -907,8 +1198,11 @@ int main(int argc, char** argv) {
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "scan") return cmd_scan(args);
   if (args.command == "sweep") return cmd_sweep(args);
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "client") return cmd_client(args);
+  if (args.command == "loadgen") return cmd_loadgen(args);
   if (args.command == "topology") return cmd_topology(args);
   if (args.command == "origins") return cmd_origins(args);
   usage();
-  return 2;
+  return cli::kUsage;
 }

@@ -1,0 +1,220 @@
+// Consistency check between the wire-protocol headers and the spec in
+// docs/PROTOCOL.md — the protocol analogue of metrics_doc_check.
+//
+// The single source of truth is the X-macro tables in the code:
+//   * src/service/wire.h — service message types, error codes, session
+//     states, version and size constants
+//   * src/core/dist.h    — dist message types and segment kinds
+//
+// For every symbol the check demands that docs/PROTOCOL.md contains
+// both the doc-name as an inline-code literal (`NAME`) and its wire
+// value in the form `NAME` ... (N) on the same conceptual row — we
+// approximate "same row" as the value appearing as "(N)" within the 160
+// characters following the name, which is how the spec's tables render.
+// Constants (protocol version, frame payload cap, field caps) must
+// appear verbatim. Registered as a ctest under the `docs` label; ci.sh
+// fails when a protocol change lands without its spec row.
+//
+// `--self-test` runs the checker against a deliberately mismatched
+// in-memory document and exits 0 only if the mismatch is detected —
+// the negative test proving the check can actually fail.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dist.h"
+#include "netbase/frame.h"
+#include "service/wire.h"
+
+namespace {
+
+struct Row {
+  std::string_view table;  // which grammar table the symbol belongs to
+  std::string_view name;
+  unsigned value;
+};
+
+// One flattened view over every protocol symbol the headers define.
+std::vector<Row> all_rows() {
+  std::vector<Row> rows;
+  for (const auto& s : originscan::service::service_message_symbols()) {
+    rows.push_back({"service message", s.name, s.value});
+  }
+  for (const auto& s : originscan::service::service_error_symbols()) {
+    rows.push_back({"service error", s.name, s.value});
+  }
+  for (const auto& s : originscan::service::service_state_symbols()) {
+    rows.push_back({"session state", s.name, s.value});
+  }
+  for (const auto& s : originscan::core::dist_message_symbols()) {
+    rows.push_back({"dist message", s.name, s.value});
+  }
+  for (const auto& s : originscan::core::dist_segment_symbols()) {
+    rows.push_back({"dist segment kind", s.name, s.value});
+  }
+  return rows;
+}
+
+struct Constant {
+  std::string_view label;
+  std::string text;  // must appear verbatim in the doc
+};
+
+std::vector<Constant> all_constants() {
+  return {
+      {"service protocol version",
+       std::to_string(originscan::service::kServiceProtocolVersion)},
+      {"frame payload cap",
+       std::to_string(originscan::net::kMaxFramePayload)},
+      {"origin-code byte cap",
+       std::to_string(originscan::service::kMaxOriginCodeBytes)},
+      {"error-text byte cap",
+       std::to_string(originscan::service::kMaxErrorTextBytes)},
+  };
+}
+
+// Core check, parameterized over the document text so the self-test can
+// feed a corrupted doc. Returns the number of failures (0 = consistent).
+int check(const std::string& doc, bool verbose) {
+  int failures = 0;
+  for (const Row& row : all_rows()) {
+    const std::string needle = "`" + std::string(row.name) + "`";
+    std::size_t at = doc.find(needle);
+    if (at == std::string::npos) {
+      if (verbose) {
+        std::fprintf(stderr,
+                     "protocol_doc_check: %.*s %.*s is defined in the "
+                     "headers but missing from docs/PROTOCOL.md\n",
+                     static_cast<int>(row.table.size()), row.table.data(),
+                     static_cast<int>(row.name.size()), row.name.data());
+      }
+      ++failures;
+      continue;
+    }
+    // The wire value must be stated near *some* mention of the name:
+    // "(N)" within the 160 characters after it (names also appear in
+    // prose far from their defining table row, so any mention counts).
+    const std::string value = "(" + std::to_string(row.value) + ")";
+    bool value_stated = false;
+    for (; at != std::string::npos && !value_stated;
+         at = doc.find(needle, at + 1)) {
+      const std::size_t window_end =
+          std::min(doc.size(), at + needle.size() + 160);
+      const std::string_view window(doc.data() + at, window_end - at);
+      value_stated = window.find(value) != std::string_view::npos;
+    }
+    if (!value_stated) {
+      if (verbose) {
+        std::fprintf(stderr,
+                     "protocol_doc_check: %.*s %.*s is documented but its "
+                     "wire value %s is not stated next to it\n",
+                     static_cast<int>(row.table.size()), row.table.data(),
+                     static_cast<int>(row.name.size()), row.name.data(),
+                     value.c_str());
+      }
+      ++failures;
+    }
+  }
+  for (const Constant& constant : all_constants()) {
+    if (doc.find(constant.text) == std::string::npos) {
+      if (verbose) {
+        std::fprintf(stderr,
+                     "protocol_doc_check: the %.*s (%s) is not stated in "
+                     "docs/PROTOCOL.md\n",
+                     static_cast<int>(constant.label.size()),
+                     constant.label.data(), constant.text.c_str());
+      }
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+// Negative test: corrupt a copy of the real doc in every way the check
+// claims to catch and assert each corruption is detected.
+int self_test(const std::string& doc) {
+  if (check(doc, false) != 0) {
+    std::fprintf(stderr,
+                 "protocol_doc_check --self-test: the real doc must pass "
+                 "before corruption\n");
+    return 1;
+  }
+  int undetected = 0;
+  const auto expect_failure = [&](std::string corrupted, const char* what) {
+    if (check(corrupted, false) == 0) {
+      std::fprintf(stderr,
+                   "protocol_doc_check --self-test: %s went UNDETECTED\n",
+                   what);
+      ++undetected;
+    }
+  };
+  {
+    // Remove a message row's name entirely.
+    std::string corrupted = doc;
+    const std::size_t at = corrupted.find("`SUBMIT`");
+    if (at != std::string::npos) corrupted.erase(at, std::strlen("`SUBMIT`"));
+    expect_failure(std::move(corrupted), "a deleted message name");
+  }
+  {
+    // Renumber a row: SUBMIT's (3) becomes (9) — a doc/header value
+    // disagreement, the exact drift this tool exists to catch.
+    std::string corrupted = doc;
+    const std::size_t name_at = corrupted.find("`SUBMIT`");
+    if (name_at != std::string::npos) {
+      const std::size_t value_at = corrupted.find("(3)", name_at);
+      if (value_at != std::string::npos &&
+          value_at < name_at + 160) {
+        corrupted.replace(value_at, 3, "(9)");
+      }
+    }
+    expect_failure(std::move(corrupted), "a renumbered wire value");
+  }
+  {
+    // Drop a stated constant (the frame payload cap).
+    std::string corrupted = doc;
+    const std::string cap =
+        std::to_string(originscan::net::kMaxFramePayload);
+    const std::size_t at = corrupted.find(cap);
+    if (at != std::string::npos) corrupted.erase(at, cap.size());
+    expect_failure(std::move(corrupted), "a deleted constant");
+  }
+  if (undetected > 0) return 1;
+  std::printf("protocol_doc_check --self-test: all 3 corruptions detected\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = std::string(OSN_SOURCE_DIR) + "/docs/PROTOCOL.md";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "protocol_doc_check: cannot open %s\n",
+                 path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+
+  if (argc > 1 && std::strcmp(argv[1], "--self-test") == 0) {
+    return self_test(doc);
+  }
+
+  const int failures = check(doc, true);
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "protocol_doc_check: %d inconsistenc%s between the wire "
+                 "headers and docs/PROTOCOL.md — update the spec tables\n",
+                 failures, failures == 1 ? "y" : "ies");
+    return 1;
+  }
+  std::printf("protocol_doc_check: %zu symbols + %zu constants consistent\n",
+              all_rows().size(), all_constants().size());
+  return 0;
+}
